@@ -1,0 +1,75 @@
+//===- bench/bench_branch_alias.cpp - E6: branch-predictor aliasing -----------===//
+//
+// Paper Sec. III-C-g: two short-running loops place their back branches in
+// the same PC>>5 predictor bucket; the constantly-confused shared counter
+// mispredicts chronically. "Moving the second branch instruction down via
+// NOP insertion ... speeds up a full image manipulation benchmark by 3%."
+// The BRALIGN pass automates the separation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace maobench;
+
+namespace {
+
+/// Two short loops re-entered from an outer loop, plus enough surrounding
+/// "image manipulation" work that the aliasing costs a few percent overall.
+std::string imageBenchmark(unsigned NeutralIters) {
+  std::string S;
+  S += "\t.text\n\t.globl bench_main\n\t.type bench_main, @function\n";
+  S += "bench_main:\n";
+  S += "\tpushq %rbp\n\tmovq %rsp, %rbp\n";
+  // Surrounding latency-bound work.
+  S += "\tmovl $" + std::to_string(NeutralIters) + ", %ecx\n";
+  S += ".LWORK:\n";
+  S += "\timull $3, %eax, %eax\n";
+  S += "\timull $5, %eax, %eax\n";
+  S += "\tsubl $1, %ecx\n";
+  S += "\tjne .LWORK\n";
+  // The paper's two-deep nest: two short-running loops (iteration counts
+  // 1 and 2) whose back branches land in the same 32-byte bucket. Their
+  // taken patterns conflict — the shared 2-bit counter mispredicts on
+  // nearly every branch until BRALIGN moves the second one out.
+  S += "\tmovl $800, %r15d\n";
+  S += "\t.p2align 5\n";
+  S += ".LOUTER:\n";
+  S += "\tmovl $1, %ecx\n";
+  S += ".LI1:\n";
+  S += "\taddl $1, %eax\n";
+  S += "\tsubl $1, %ecx\n";
+  S += "\tjne .LI1\n"; // Iteration count 1: never taken.
+  S += "\tmovl $2, %ecx\n";
+  S += ".LI2:\n";
+  S += "\taddl $1, %edx\n";
+  S += "\tsubl $1, %ecx\n";
+  S += "\tjne .LI2\n"; // Iteration count 2: alternates taken/not-taken.
+  S += "\tsubl $1, %r15d\n";
+  S += "\tjne .LOUTER\n";
+  S += ".LDONE:\n";
+  S += "\tmovl $0, %eax\n\tleave\n\tret\n";
+  S += "\t.size bench_main, .-bench_main\n";
+  return S;
+}
+
+} // namespace
+
+int main() {
+  printHeader("E6: branch-predictor aliasing by PC>>5 and the BRALIGN "
+              "pass (Core-2 model)");
+  ProcessorConfig Core2 = ProcessorConfig::core2();
+
+  MaoUnit Before = parseOrDie(imageBenchmark(200000));
+  MaoUnit After = parseOrDie(imageBenchmark(200000));
+  unsigned Fixes = applyPasses(After, "BRALIGN");
+
+  PmuCounters P0 = measure(Before, Core2);
+  PmuCounters P1 = measure(After, Core2);
+  std::printf("BRALIGN separated %u colliding branch pair(s)\n", Fixes);
+  std::printf("mispredicts: before %llu, after %llu\n",
+              (unsigned long long)P0.BrMispredicted,
+              (unsigned long long)P1.BrMispredicted);
+  printRow("image benchmark", 3.00, percentGain(P0.CpuCycles, P1.CpuCycles));
+  return 0;
+}

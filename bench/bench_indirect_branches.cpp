@@ -1,0 +1,106 @@
+//===- bench/bench_indirect_branches.cpp - E3: indirect-branch resolution -----===//
+//
+// Paper Sec. II: on a complex internal code base, a compiler update left
+// 246 of 320 indirect branches unresolved by the existing (same-block)
+// patterns; "after adding a single pattern that uses the data flow
+// framework's reaching definitions functionality, only 4 out of the 320
+// indirect branches (1.2%) remained unresolved."
+//
+// The harness generates 320 jump-table dispatches in the three shapes that
+// code base exhibited — same-block table loads, cross-block table loads
+// (the new compiler's scheduling moved the load into a predecessor), and
+// genuinely ambiguous multi-table dispatches — and runs both resolution
+// tiers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "analysis/Dataflow.h"
+
+using namespace maobench;
+
+namespace {
+
+/// One dispatch function; \p Shape 0 = same-block, 1 = cross-block
+/// (reaching-defs pattern required), 2 = ambiguous (unresolvable).
+std::string dispatchFunction(unsigned Index, unsigned Shape) {
+  std::string N = std::to_string(Index);
+  std::string S;
+  S += "\t.type idisp" + N + ", @function\n";
+  S += "idisp" + N + ":\n";
+  switch (Shape) {
+  case 0: // Load and jump in one block.
+    S += "\tmovl %edi, %eax\n";
+    S += "\tandl $1, %eax\n";
+    S += "\tmovq .LT" + N + "(,%rax,8), %rax\n";
+    S += "\tjmp *%rax\n";
+    break;
+  case 1: // The load sits in a predecessor block (compiler scheduling).
+    S += "\tmovl %edi, %eax\n";
+    S += "\tandl $1, %eax\n";
+    S += "\tmovq .LT" + N + "(,%rax,8), %rax\n";
+    S += "\tcmpl $0, %esi\n";
+    S += "\tje .LD" + N + "\n";
+    S += "\taddl $1, %esi\n";
+    S += ".LD" + N + ":\n";
+    S += "\tjmp *%rax\n";
+    break;
+  default: // Two different tables reach the jump: cannot resolve.
+    S += "\tcmpl $0, %esi\n";
+    S += "\tje .LE" + N + "\n";
+    S += "\tmovq .LT" + N + "(,%rdi,8), %rax\n";
+    S += "\tjmp .LD" + N + "\n";
+    S += ".LE" + N + ":\n";
+    S += "\tmovq .LU" + N + "(,%rdi,8), %rax\n";
+    S += ".LD" + N + ":\n";
+    S += "\tjmp *%rax\n";
+    break;
+  }
+  S += ".LA" + N + ":\n\tmovl $1, %eax\n\tret\n";
+  S += ".LB" + N + ":\n\tmovl $2, %eax\n\tret\n";
+  S += "\t.size idisp" + N + ", .-idisp" + N + "\n";
+  S += "\t.section .rodata\n";
+  S += ".LT" + N + ":\n\t.quad .LA" + N + "\n\t.quad .LB" + N + "\n";
+  if (Shape == 2)
+    S += ".LU" + N + ":\n\t.quad .LB" + N + "\n\t.quad .LA" + N + "\n";
+  S += "\t.text\n";
+  return S;
+}
+
+} // namespace
+
+int main() {
+  printHeader("E3: indirect-branch resolution (paper: 246/320 unresolved "
+              "-> 4/320 with reaching defs)");
+
+  // The paper's mix: 74 resolvable by the old pattern, 242 needing the
+  // reaching-defs pattern, 4 genuinely unresolvable.
+  std::string Asm = "\t.text\n";
+  unsigned Index = 0;
+  for (unsigned I = 0; I < 74; ++I)
+    Asm += dispatchFunction(Index++, 0);
+  for (unsigned I = 0; I < 242; ++I)
+    Asm += dispatchFunction(Index++, 1);
+  for (unsigned I = 0; I < 4; ++I)
+    Asm += dispatchFunction(Index++, 2);
+
+  MaoUnit Unit = parseOrDie(Asm);
+  unsigned Total = 0, AfterTier1 = 0, AfterTier2 = 0;
+  for (MaoFunction &Fn : Unit.functions()) {
+    CFG Graph = CFG::build(Fn);
+    Total += Graph.stats().IndirectJumps;
+    AfterTier1 += static_cast<unsigned>(Graph.unresolvedJumps().size());
+    resolveIndirectJumps(Graph);
+    AfterTier2 += static_cast<unsigned>(Graph.unresolvedJumps().size());
+  }
+  std::printf("indirect branches:                 %u   (paper: 320)\n",
+              Total);
+  std::printf("unresolved, same-block tier only:  %u   (paper: 246)\n",
+              AfterTier1);
+  std::printf("unresolved, + reaching-defs tier:  %u   (paper: 4, 1.2%%)\n",
+              AfterTier2);
+  std::printf("resolution rate: %.1f%%\n",
+              100.0 * (Total - AfterTier2) / Total);
+  return 0;
+}

@@ -1,0 +1,57 @@
+//===- bench/bench_instrument.cpp - E18: dynamic instrumentation NOPs ---------===//
+//
+// Paper Sec. III-E-l: placing single 5-byte NOPs at function entry and
+// exit points (never crossing a cache line) enables atomic patching for
+// dynamic instrumentation. "Remarkably, while the insertion of the nop
+// instructions was expected to result in degradations ... it actually
+// resulted in no degradations overall, as well as an unexpected 8%
+// improvement in an image processing benchmark" — an alignment effect.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "analysis/Relaxer.h"
+
+using namespace maobench;
+
+int main() {
+  printHeader("E18: INSTRUMENT - patchable 5-byte NOPs at entry/exit");
+  linkAllPasses();
+  ProcessorConfig Core2 = ProcessorConfig::core2();
+
+  std::printf("%-14s %9s %9s %8s  %s\n", "benchmark", "base", "instr",
+              "delta", "5-byte NOPs (all within one cache line)");
+  double Worst = 0, Best = 0;
+  for (const char *Name : {"164.gzip", "181.mcf", "256.bzip2", "252.eon",
+                           "300.twolf"}) {
+    const WorkloadSpec *Spec = findBenchmarkProfile(Name);
+    std::string Asm = generateWorkloadAssembly(*Spec);
+    MaoUnit Base = parseOrDie(Asm);
+    MaoUnit Instr = parseOrDie(Asm);
+    unsigned Sites = applyPasses(Instr, "INSTRUMENT");
+
+    // Verify the pass's contract: no instrumentation NOP crosses a
+    // 64-byte cache line.
+    relaxUnit(Instr);
+    unsigned Crossing = 0;
+    for (const MaoEntry &E : Instr.entries())
+      if (E.isInstruction() && E.instruction().isNop() &&
+          E.instruction().NopLength == 5 && E.Address / 64 != (E.Address + 4) / 64)
+        ++Crossing;
+
+    uint64_t C0 = measure(Base, Core2).CpuCycles;
+    uint64_t C1 = measure(Instr, Core2).CpuCycles;
+    double Delta = percentGain(C0, C1);
+    Worst = std::min(Worst, Delta);
+    Best = std::max(Best, Delta);
+    std::printf("%-14s %9llu %9llu %+7.2f%%  %u sites, %u crossing\n", Name,
+                (unsigned long long)C0, (unsigned long long)C1, Delta, Sites,
+                Crossing);
+  }
+  std::printf("\npaper: no degradations overall, one unexpected +8%% from "
+              "an alignment\neffect; measured range here: %+.2f%% .. "
+              "%+.2f%%\n",
+              Worst, Best);
+  return 0;
+}

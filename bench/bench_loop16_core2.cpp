@@ -1,0 +1,29 @@
+//===- bench/bench_loop16_core2.cpp - E11: LOOP16 on the Core-2 model ---------===//
+//
+// Paper Sec. V-B, second table: small-loop alignment on Intel Core-2.
+//
+//   Benchmark      LOOP16
+//   C++/252.eon    -4.43%
+//   C/175.vpr      +1.25%
+//   C/176.gcc      +1.41%
+//   C/300.twolf    +1.18%
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace maobench;
+
+int main() {
+  printHeader("E11: LOOP16 small-loop alignment (Core-2 model)");
+  ProcessorConfig Core2 = ProcessorConfig::core2();
+  printRow("C++/252.eon", -4.43, benchmarkDelta("252.eon", "LOOP16", Core2));
+  printRow("C/175.vpr", 1.25, benchmarkDelta("175.vpr", "LOOP16", Core2));
+  printRow("C/176.gcc", 1.41, benchmarkDelta("176.gcc", "LOOP16", Core2));
+  printRow("C/300.twolf", 1.18, benchmarkDelta("300.twolf", "LOOP16", Core2));
+  std::printf("\nAligning split 16-byte loops helps vpr/gcc/twolf; on eon "
+              "the padding\ncollides two predictor buckets and the pass "
+              "degrades the benchmark —\nthe paper's counter-intuitive "
+              "result, reproduced mechanistically.\n");
+  return 0;
+}

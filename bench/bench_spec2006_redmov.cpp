@@ -1,0 +1,38 @@
+//===- bench/bench_spec2006_redmov.cpp - E13: SPEC2006 REDMOV/REDTEST ---------===//
+//
+// Paper Sec. V-B, fourth table (AMD Opteron): removing redundant moves or
+// tests wins big on 454.calculix, modestly on 447.dealII; removing
+// alignment directives (NOPKILL) regresses calculix by 8.8%.
+//
+//   Benchmark      REDMOV   REDTEST  NOPKILL
+//   447.dealII     +2.78%   +3.21%   -0.12%
+//   454.calculix   +20.12%  +20.58%  -8.81%
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace maobench;
+
+int main() {
+  printHeader("E13: SPEC2006 REDMOV / REDTEST / NOPKILL (Opteron model)");
+  ProcessorConfig Opteron = ProcessorConfig::opteron();
+  printRow("447.dealII REDMOV", 2.78,
+           benchmarkDelta("447.dealII", "REDMOV", Opteron));
+  printRow("447.dealII REDTEST", 3.21,
+           benchmarkDelta("447.dealII", "REDTEST", Opteron));
+  printRow("447.dealII NOPKILL", -0.12,
+           benchmarkDelta("447.dealII", "NOPKILL", Opteron));
+  printRow("454.calculix REDMOV", 20.12,
+           benchmarkDelta("454.calculix", "REDMOV", Opteron));
+  printRow("454.calculix REDTEST", 20.58,
+           benchmarkDelta("454.calculix", "REDTEST", Opteron));
+  printRow("454.calculix NOPKILL", -8.81,
+           benchmarkDelta("454.calculix", "NOPKILL", Opteron));
+  std::printf("\ncalculix's runtime concentrates in decode-bound loops "
+              "carrying removable\ninstructions (the paper's unexplained "
+              "second-order AMD effect, modelled\nas load-heavy decode "
+              "cost); both removal passes win large, and removing\nthe "
+              "loops' alignment directives regresses.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===- examples/spec_pipeline.cpp - Full measurement pipeline -----------------===//
+//
+// The evaluation workflow of paper Sec. V as a library client: generate a
+// SPEC-like workload, run an optimization pipeline over it, and measure
+// base-vs-optimized cycles and PMU counters on two machine models. This is
+// what the bench/ harnesses automate for every table in the paper.
+//
+// Usage: ./build/examples/spec_pipeline [benchmark] [passes]
+//        ./build/examples/spec_pipeline 454.calculix REDMOV:REDTEST
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Parser.h"
+#include "pass/MaoPass.h"
+#include "uarch/Runner.h"
+#include "workload/Workload.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace mao;
+
+static void report(const char *Label, const PmuCounters &Pmu) {
+  std::printf("  %-10s %9llu cycles, IPC %.2f, %6llu mispredicts, "
+              "%6llu decode lines, %6llu LSD uops\n",
+              Label, (unsigned long long)Pmu.CpuCycles, Pmu.ipc(),
+              (unsigned long long)Pmu.BrMispredicted,
+              (unsigned long long)Pmu.DecodeLines,
+              (unsigned long long)Pmu.LsdUops);
+}
+
+int main(int Argc, char **Argv) {
+  linkAllPasses();
+  const std::string Benchmark = Argc > 1 ? Argv[1] : "454.calculix";
+  const std::string Passes = Argc > 2 ? Argv[2] : "REDMOV:REDTEST";
+
+  const WorkloadSpec *Spec = findBenchmarkProfile(Benchmark);
+  if (!Spec) {
+    std::fprintf(stderr, "unknown benchmark: %s\n", Benchmark.c_str());
+    return 1;
+  }
+  std::printf("benchmark %s (%s), passes %s\n", Spec->Name.c_str(),
+              Spec->Lang.c_str(), Passes.c_str());
+
+  const std::string Asm = generateWorkloadAssembly(*Spec);
+  auto Base = parseAssembly(Asm);
+  auto Opt = parseAssembly(Asm);
+  if (!Base.ok() || !Opt.ok()) {
+    std::fprintf(stderr, "generated workload failed to parse\n");
+    return 1;
+  }
+
+  std::vector<PassRequest> Requests;
+  if (MaoStatus S = parseMaoOption(Passes, Requests)) {
+    std::fprintf(stderr, "bad pass line: %s\n", S.message().c_str());
+    return 1;
+  }
+  PipelineResult PR = runPasses(*Opt, Requests);
+  if (!PR.Ok) {
+    std::fprintf(stderr, "pass pipeline failed: %s\n", PR.Error.c_str());
+    return 1;
+  }
+  for (const auto &[Pass, Count] : PR.Counts)
+    std::printf("  %s: %u transformation(s)\n", Pass.c_str(), Count);
+
+  for (ProcessorConfig Config :
+       {ProcessorConfig::core2(), ProcessorConfig::opteron()}) {
+    MeasureOptions Options;
+    Options.Config = Config;
+    auto R0 = measureFunction(*Base, "bench_main", Options);
+    auto R1 = measureFunction(*Opt, "bench_main", Options);
+    if (!R0.ok() || !R1.ok()) {
+      std::fprintf(stderr, "measurement failed\n");
+      return 1;
+    }
+    std::printf("%s:\n", Config.Name.c_str());
+    report("base", R0->Pmu);
+    report("optimized", R1->Pmu);
+    double Gain = 100.0 *
+                  (static_cast<double>(R0->Pmu.CpuCycles) -
+                   static_cast<double>(R1->Pmu.CpuCycles)) /
+                  static_cast<double>(R0->Pmu.CpuCycles);
+    std::printf("  -> %+.2f%%\n", Gain);
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/bin/bash
+# Cross-checks the MAO encoder against the system assembler (gas).
+# Usage: scripts/encdiff.sh <instruction-list-file>
+set -u
+IN="$1"
+BUILD="${2:-build}"
+TMP=$(mktemp -d)
+trap "rm -rf $TMP" EXIT
+
+# gas encoding per line: assemble each line alone to avoid relaxation deltas.
+i=0
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  i=$((i+1))
+  printf '%s\n' "$line" > "$TMP/one.s"
+  if as --64 -o "$TMP/one.o" "$TMP/one.s" 2>/dev/null; then
+    gasbytes=$(objdump -d -j .text "$TMP/one.o" 2>/dev/null \
+      | awk '/^[[:space:]]+[0-9a-f]+:/ {for (j=2; j<=NF; j++) { if ($j ~ /^[0-9a-f][0-9a-f]$/) printf "%s", $j; else break }}')
+  else
+    gasbytes="ASFAIL"
+  fi
+  echo "$gasbytes" >> "$TMP/gas.txt"
+  echo "$line" >> "$TMP/lines.txt"
+done < "$IN"
+
+"$BUILD/src/tools/enccheck" < "$TMP/lines.txt" | cut -f1 > "$TMP/mao.txt"
+
+paste "$TMP/mao.txt" "$TMP/gas.txt" "$TMP/lines.txt" | awk -F'\t' '
+  $1 != $2 { print "DIFF: mao=" $1 " gas=" $2 "  insn: " $3; bad++ }
+  END { if (bad) { print bad " mismatches"; exit 1 } else print "all match" }'

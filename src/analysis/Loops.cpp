@@ -1,0 +1,210 @@
+//===- analysis/Loops.cpp - Havlak loop structure graph ----------------------==//
+
+#include "analysis/Loops.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mao;
+
+namespace {
+
+/// Union-find over DFS-numbered nodes with path compression.
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N) {
+    for (size_t I = 0; I < N; ++I)
+      Parent[I] = static_cast<unsigned>(I);
+  }
+  unsigned find(unsigned X) {
+    unsigned Root = X;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    while (Parent[X] != Root) {
+      unsigned Next = Parent[X];
+      Parent[X] = Root;
+      X = Next;
+    }
+    return Root;
+  }
+  void unite(unsigned Child, unsigned NewParent) {
+    Parent[find(Child)] = find(NewParent);
+  }
+
+private:
+  std::vector<unsigned> Parent;
+};
+
+enum class NodeType : uint8_t { NonHeader, Reducible, Self, Irreducible };
+
+} // namespace
+
+std::vector<unsigned>
+LoopStructureGraph::blocksIncludingNested(unsigned LoopIdx) const {
+  std::vector<unsigned> Result;
+  std::vector<unsigned> Work = {LoopIdx};
+  while (!Work.empty()) {
+    unsigned L = Work.back();
+    Work.pop_back();
+    const Loop &Lp = Loops[L];
+    Result.insert(Result.end(), Lp.Blocks.begin(), Lp.Blocks.end());
+    Work.insert(Work.end(), Lp.Children.begin(), Lp.Children.end());
+  }
+  std::sort(Result.begin(), Result.end());
+  Result.erase(std::unique(Result.begin(), Result.end()), Result.end());
+  return Result;
+}
+
+LoopStructureGraph LoopStructureGraph::build(const CFG &G) {
+  LoopStructureGraph LSG;
+  const std::vector<BasicBlock> &Blocks = G.blocks();
+  const size_t N = Blocks.size();
+
+  // Artificial root.
+  LSG.Loops.emplace_back();
+  LSG.Loops[0].IsRoot = true;
+  LSG.Loops[0].Index = 0;
+  LSG.BlockToLoop.assign(N, 0);
+  if (N == 0)
+    return LSG;
+
+  // --- DFS numbering from the entry block (iterative). ---
+  constexpr unsigned Unvisited = ~0u;
+  std::vector<unsigned> Number(N, Unvisited); // block -> dfs number
+  std::vector<unsigned> Last(N, 0);           // dfs -> last descendant dfs
+  std::vector<unsigned> ToBlock;              // dfs number -> block
+  ToBlock.reserve(N);
+  {
+    struct Frame {
+      unsigned Block;
+      size_t SuccIdx;
+    };
+    std::vector<Frame> Stack;
+    Number[0] = static_cast<unsigned>(ToBlock.size());
+    ToBlock.push_back(0);
+    Stack.push_back({0, 0});
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      const BasicBlock &BB = Blocks[F.Block];
+      if (F.SuccIdx < BB.Succs.size()) {
+        unsigned Succ = BB.Succs[F.SuccIdx++];
+        if (Number[Succ] == Unvisited) {
+          Number[Succ] = static_cast<unsigned>(ToBlock.size());
+          ToBlock.push_back(Succ);
+          Stack.push_back({Succ, 0});
+        }
+        continue;
+      }
+      Last[Number[F.Block]] = static_cast<unsigned>(ToBlock.size()) - 1;
+      Stack.pop_back();
+    }
+  }
+  const size_t Reached = ToBlock.size();
+  auto IsAncestor = [&](unsigned W, unsigned V) {
+    return W <= V && V <= Last[W];
+  };
+
+  // --- Classify edges into back and non-back predecessors. ---
+  std::vector<std::vector<unsigned>> BackPreds(Reached), NonBackPreds(Reached);
+  for (size_t W = 0; W < Reached; ++W) {
+    for (unsigned PredBlock : Blocks[ToBlock[W]].Preds) {
+      if (Number[PredBlock] == Unvisited)
+        continue; // Unreachable predecessor.
+      unsigned V = Number[PredBlock];
+      if (IsAncestor(static_cast<unsigned>(W), V))
+        BackPreds[W].push_back(V);
+      else
+        NonBackPreds[W].push_back(V);
+    }
+  }
+
+  // --- Havlak main loop: process headers in reverse DFS order. ---
+  UnionFind UF(Reached);
+  std::vector<NodeType> Type(Reached, NodeType::NonHeader);
+  std::vector<unsigned> LoopOfNode(Reached, 0); // dfs -> LSG loop index
+  // Header map: loop index that node was merged into, for hierarchy.
+  std::vector<unsigned> HeaderLoop(Reached, 0);
+
+  for (size_t WS = Reached; WS-- > 0;) {
+    const unsigned W = static_cast<unsigned>(WS);
+    std::vector<unsigned> NodePool;
+    for (unsigned V : BackPreds[W]) {
+      if (V != W)
+        NodePool.push_back(UF.find(V));
+      else
+        Type[W] = NodeType::Self; // Single-block self loop.
+    }
+    std::vector<unsigned> WorkList = NodePool;
+    if (!NodePool.empty() && Type[W] != NodeType::Self)
+      Type[W] = NodeType::Reducible;
+
+    while (!WorkList.empty()) {
+      unsigned X = WorkList.back();
+      WorkList.pop_back();
+      for (unsigned Y : NonBackPreds[X]) {
+        unsigned YDash = UF.find(Y);
+        if (!IsAncestor(W, YDash)) {
+          // An entry into the loop body that bypasses the header:
+          // irreducible.
+          Type[W] = NodeType::Irreducible;
+          if (std::find(NonBackPreds[W].begin(), NonBackPreds[W].end(),
+                        YDash) == NonBackPreds[W].end())
+            NonBackPreds[W].push_back(YDash);
+        } else if (YDash != W &&
+                   std::find(NodePool.begin(), NodePool.end(), YDash) ==
+                       NodePool.end()) {
+          NodePool.push_back(YDash);
+          WorkList.push_back(YDash);
+        }
+      }
+    }
+
+    if (NodePool.empty() && Type[W] != NodeType::Self)
+      continue;
+
+    // Materialize the loop.
+    unsigned LoopIdx = static_cast<unsigned>(LSG.Loops.size());
+    LSG.Loops.emplace_back();
+    Loop &L = LSG.Loops.back();
+    L.Index = LoopIdx;
+    L.Header = ToBlock[W];
+    L.IsReducible = Type[W] != NodeType::Irreducible;
+    LoopOfNode[W] = LoopIdx;
+    L.Blocks.push_back(ToBlock[W]);
+
+    for (unsigned Node : NodePool) {
+      HeaderLoop[Node] = LoopIdx;
+      UF.unite(Node, W);
+      if (LoopOfNode[Node] != 0) {
+        // Node is itself a (nested) loop header: record hierarchy.
+        LSG.Loops[LoopOfNode[Node]].Parent = LoopIdx;
+      } else {
+        L.Blocks.push_back(ToBlock[Node]);
+      }
+    }
+  }
+
+  // --- Finalize hierarchy: parents default to root; children; depths. ---
+  for (size_t I = 1; I < LSG.Loops.size(); ++I) {
+    if (LSG.Loops[I].Parent == ~0u)
+      LSG.Loops[I].Parent = 0;
+    LSG.Loops[LSG.Loops[I].Parent].Children.push_back(
+        static_cast<unsigned>(I));
+  }
+  // Depth via BFS from root (children lists are acyclic by construction).
+  std::vector<unsigned> Work = {0};
+  while (!Work.empty()) {
+    unsigned L = Work.back();
+    Work.pop_back();
+    for (unsigned C : LSG.Loops[L].Children) {
+      LSG.Loops[C].Depth = LSG.Loops[L].Depth + 1;
+      Work.push_back(C);
+    }
+  }
+  // Block -> innermost loop.
+  for (size_t I = 1; I < LSG.Loops.size(); ++I)
+    for (unsigned B : LSG.Loops[I].Blocks)
+      LSG.BlockToLoop[B] = static_cast<unsigned>(I);
+
+  return LSG;
+}

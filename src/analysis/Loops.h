@@ -1,0 +1,67 @@
+//===- analysis/Loops.h - Havlak loop structure graph -----------*- C++ -*-===//
+///
+/// \file
+/// "MAO offers a loop detection mechanism based on Havlak. It builds a
+/// hierarchical loop structure graph (LSG) representing the nesting
+/// relationships of a given loop nest. [...] The algorithm allows
+/// distinguishing between reducible and irreducible loops and it is up to
+/// particular optimization passes to decide how to proceed in the presence
+/// of irreducible loops." (paper Sec. II; Havlak, TOPLAS 19(4), 1997)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_ANALYSIS_LOOPS_H
+#define MAO_ANALYSIS_LOOPS_H
+
+#include "analysis/CFG.h"
+
+#include <vector>
+
+namespace mao {
+
+/// One natural (or irreducible) loop in the LSG.
+struct Loop {
+  unsigned Index = 0;
+  unsigned Header = ~0u;  ///< Header basic block (CFG index).
+  bool IsReducible = true;
+  bool IsRoot = false;    ///< The artificial root holding top-level loops.
+  unsigned Parent = ~0u;  ///< LSG parent loop index.
+  unsigned Depth = 0;     ///< Root has depth 0.
+  /// Blocks directly in this loop (excluding blocks of nested loops,
+  /// including the header).
+  std::vector<unsigned> Blocks;
+  /// Directly nested loops.
+  std::vector<unsigned> Children;
+};
+
+/// The hierarchical loop structure graph for one CFG.
+class LoopStructureGraph {
+public:
+  /// Runs Havlak's algorithm over \p G.
+  static LoopStructureGraph build(const CFG &G);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+  std::vector<Loop> &loops() { return Loops; }
+
+  /// The artificial root (always index 0).
+  const Loop &root() const { return Loops.front(); }
+
+  /// Number of real loops (excluding the root).
+  size_t loopCount() const { return Loops.size() - 1; }
+
+  /// Innermost loop directly containing \p Block, or 0 (root).
+  unsigned loopOfBlock(unsigned Block) const {
+    return Block < BlockToLoop.size() ? BlockToLoop[Block] : 0;
+  }
+
+  /// All blocks in \p LoopIdx including nested loops' blocks.
+  std::vector<unsigned> blocksIncludingNested(unsigned LoopIdx) const;
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<unsigned> BlockToLoop;
+};
+
+} // namespace mao
+
+#endif // MAO_ANALYSIS_LOOPS_H

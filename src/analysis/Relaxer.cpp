@@ -1,0 +1,180 @@
+//===- analysis/Relaxer.cpp - Repeated relaxation ----------------------------==//
+
+#include "analysis/Relaxer.h"
+
+#include <cassert>
+#include <unordered_set>
+#include <cstdlib>
+
+using namespace mao;
+
+namespace {
+
+/// Length in bytes of a quoted string literal after unescaping; returns 0
+/// for malformed literals.
+size_t unescapedStringLength(const std::string &Quoted) {
+  if (Quoted.size() < 2 || Quoted.front() != '"' || Quoted.back() != '"')
+    return 0;
+  size_t Len = 0;
+  for (size_t I = 1; I + 1 < Quoted.size(); ++I, ++Len) {
+    if (Quoted[I] != '\\')
+      continue;
+    ++I;
+    if (I + 1 >= Quoted.size())
+      break;
+    // Octal escapes consume up to three digits.
+    unsigned Digits = 0;
+    while (Digits < 3 && I + 1 < Quoted.size() && Quoted[I] >= '0' &&
+           Quoted[I] <= '7') {
+      ++I;
+      ++Digits;
+    }
+    if (Digits > 0)
+      --I; // The loop header advances once more.
+  }
+  return Len;
+}
+
+int64_t parseIntArg(const std::string &Text, int64_t Default = 0) {
+  if (Text.empty())
+    return Default;
+  char *End = nullptr;
+  long long V = std::strtoll(Text.c_str(), &End, 0);
+  if (End == Text.c_str())
+    return Default;
+  return V;
+}
+
+/// Padding inserted by an alignment directive at \p Address.
+unsigned alignmentPad(const Directive &Dir, int64_t Address) {
+  int64_t Boundary;
+  if (Dir.Kind == DirKind::P2Align) {
+    int64_t Pow2 = parseIntArg(Dir.arg(0));
+    if (Pow2 < 0 || Pow2 > 31)
+      return 0;
+    Boundary = int64_t(1) << Pow2;
+  } else {
+    Boundary = parseIntArg(Dir.arg(0), 1);
+    if (Boundary <= 1)
+      return 0;
+    // .align/.balign boundaries must be powers of two; round down odd
+    // values to be safe.
+    while (Boundary & (Boundary - 1))
+      Boundary &= Boundary - 1;
+  }
+  int64_t Pad = (Boundary - (Address % Boundary)) % Boundary;
+  // Third argument: maximum number of padding bytes.
+  if (!Dir.arg(2).empty()) {
+    int64_t Max = parseIntArg(Dir.arg(2), -1);
+    if (Max >= 0 && Pad > Max)
+      return 0;
+  }
+  return static_cast<unsigned>(Pad);
+}
+
+} // namespace
+
+unsigned mao::entryLayoutSize(const MaoEntry &Entry, int64_t Address) {
+  if (Entry.isLabel())
+    return 0;
+  if (Entry.isInstruction())
+    return instructionLength(Entry.instruction());
+  const Directive &Dir = Entry.directive();
+  switch (Dir.Kind) {
+  case DirKind::P2Align:
+  case DirKind::Balign:
+    return alignmentPad(Dir, Address);
+  case DirKind::Byte:
+    return static_cast<unsigned>(Dir.Args.size());
+  case DirKind::Word:
+    return static_cast<unsigned>(2 * Dir.Args.size());
+  case DirKind::Long:
+    return static_cast<unsigned>(4 * Dir.Args.size());
+  case DirKind::Quad:
+    return static_cast<unsigned>(8 * Dir.Args.size());
+  case DirKind::Zero:
+    return static_cast<unsigned>(parseIntArg(Dir.arg(0)));
+  case DirKind::String:
+  case DirKind::Asciz:
+    return static_cast<unsigned>(unescapedStringLength(Dir.arg(0)) + 1);
+  case DirKind::Ascii:
+    return static_cast<unsigned>(unescapedStringLength(Dir.arg(0)));
+  default:
+    return 0;
+  }
+}
+
+RelaxationResult mao::relaxUnit(MaoUnit &Unit) {
+  RelaxationResult Result;
+
+  // Global symbols are preemptible: references to them go through
+  // relocations (rel32, displacement 0), exactly as gas treats them. Only
+  // non-global labels participate in displacement resolution.
+  std::unordered_set<std::string> Globals;
+  for (const MaoEntry &E : Unit.entries())
+    if (E.isDirective(DirKind::Globl))
+      Globals.insert(E.directive().arg(0));
+
+  // Reset branch sizes optimistically: every direct jump starts rel8 and
+  // grows as needed. (Calls are rel32 by construction.)
+  for (MaoEntry &E : Unit.entries()) {
+    if (!E.isInstruction())
+      continue;
+    Instruction &Insn = E.instruction();
+    if (Insn.isBranch() && !Insn.hasIndirectTarget())
+      Insn.BranchSize = 1;
+  }
+
+  for (unsigned Iter = 1; Iter <= RelaxationIterationLimit; ++Iter) {
+    Result.Iterations = Iter;
+
+    // Address-assignment round over every section.
+    Result.Labels.clear();
+    Result.SectionSizes.clear();
+    for (SectionInfo &Sec : Unit.sections()) {
+      int64_t Address = 0;
+      for (const MaoFunction::Range &R : Sec.Ranges) {
+        for (EntryIter It = R.Begin; It != R.End; ++It) {
+          It->Address = Address;
+          It->Size = entryLayoutSize(*It, Address);
+          if (It->isLabel() && !Globals.count(It->labelName()))
+            Result.Labels[It->labelName()] = Address;
+          Address += It->Size;
+        }
+      }
+      Result.SectionSizes[Sec.Name] = Address;
+    }
+
+    // Growth round: widen branches whose rel8 displacement no longer fits.
+    bool Changed = false;
+    for (MaoEntry &E : Unit.entries()) {
+      if (!E.isInstruction())
+        continue;
+      Instruction &Insn = E.instruction();
+      if (!Insn.isBranch() || Insn.hasIndirectTarget() ||
+          Insn.BranchSize != 1)
+        continue;
+      const Operand *Target = Insn.branchTarget();
+      assert(Target && Target->isSymbol() && "direct branch without target");
+      auto LabelIt = Result.Labels.find(Target->Sym);
+      if (LabelIt == Result.Labels.end()) {
+        // External target: must use rel32 (linker-resolved).
+        Insn.BranchSize = 4;
+        Changed = true;
+        continue;
+      }
+      int64_t Disp =
+          LabelIt->second + Target->Imm - (E.Address + E.Size);
+      if (Disp < -128 || Disp > 127) {
+        Insn.BranchSize = 4;
+        Changed = true;
+      }
+    }
+
+    if (!Changed) {
+      Result.Converged = true;
+      return Result;
+    }
+  }
+  return Result; // Hit the iteration limit; addresses are best-effort.
+}

@@ -1,0 +1,56 @@
+//===- analysis/Relaxer.h - Repeated relaxation -----------------*- C++ -*-===//
+///
+/// \file
+/// Relaxation finds proper instruction sizes for branches based on branch
+/// target distances, which in turn determines the start address of every
+/// instruction (paper Sec. II). Because growing one branch moves other
+/// targets, the algorithm iterates; the paper notes the general problem is
+/// NP-complete, imposes a built-in limit of 100 iterations, and observes
+/// that in practice relaxation converges in a few iterations. MAO needs
+/// *repeated* relaxation (unlike gas, which relaxed once just before
+/// writing the object file) because alignment passes re-layout code and
+/// re-query addresses many times.
+///
+/// Our implementation chooses rel8 vs. rel32 monotonically (branches only
+/// grow), so convergence is guaranteed; `.p2align` padding is recomputed
+/// every round and settles once branch sizes do.
+///
+/// On success every entry's Address (offset within its section) and Size
+/// are filled in, and a label-address map is produced for binary encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_ANALYSIS_RELAXER_H
+#define MAO_ANALYSIS_RELAXER_H
+
+#include "ir/MaoUnit.h"
+#include "x86/Encoder.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace mao {
+
+/// Built-in iteration bound from the paper.
+constexpr unsigned RelaxationIterationLimit = 100;
+
+struct RelaxationResult {
+  bool Converged = false;
+  unsigned Iterations = 0;
+  /// Label -> address within its section.
+  LabelAddressMap Labels;
+  /// Section name -> total byte size.
+  std::unordered_map<std::string, int64_t> SectionSizes;
+};
+
+/// Relaxes every section of \p Unit. Requires rebuildStructure() to have
+/// run since the last structural change.
+RelaxationResult relaxUnit(MaoUnit &Unit);
+
+/// Returns the layout size in bytes of a non-instruction entry at
+/// \p Address (alignment padding, data directive sizes; labels are 0).
+unsigned entryLayoutSize(const MaoEntry &Entry, int64_t Address);
+
+} // namespace mao
+
+#endif // MAO_ANALYSIS_RELAXER_H

@@ -1,0 +1,42 @@
+//===- asm/Assembler.h - Binary section assembly ----------------*- C++ -*-===//
+///
+/// \file
+/// Assembles a relaxed MaoUnit into raw section bytes. This is the
+/// reproduction's analogue of running gas on MAO's output and comparing
+/// disassembled object files (the identity-verification workflow of paper
+/// Sec. III-A): two units whose assembled bytes are identical encode the
+/// same program.
+///
+/// Addresses are section-relative and unresolved (external) symbols encode
+/// as zero displacements, standing in for relocations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_ASM_ASSEMBLER_H
+#define MAO_ASM_ASSEMBLER_H
+
+#include "analysis/Relaxer.h"
+#include "ir/MaoUnit.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mao {
+
+/// Section name -> assembled bytes.
+using SectionBytes = std::map<std::string, std::vector<uint8_t>>;
+
+/// Relaxes \p Unit and assembles every section. Returns an error when an
+/// instruction fails to encode or when relaxation does not converge.
+ErrorOr<SectionBytes> assembleUnit(MaoUnit &Unit);
+
+/// Assembles with an existing relaxation result (addresses must be current).
+ErrorOr<SectionBytes> assembleUnit(MaoUnit &Unit,
+                                   const RelaxationResult &Relax);
+
+} // namespace mao
+
+#endif // MAO_ASM_ASSEMBLER_H

@@ -1,0 +1,49 @@
+//===- asm/Parser.h - AT&T assembly parser ----------------------*- C++ -*-===//
+///
+/// \file
+/// Parses AT&T-syntax x86-64 assembly (the dialect GCC emits) into a
+/// MaoUnit. Replaces the gas front end of the original MAO.
+///
+/// Instructions outside the modelled subset do not abort parsing: they
+/// become Opaque entries carrying their verbatim text, are re-emitted
+/// unchanged, and are treated by every analysis as reading and writing
+/// everything — mirroring how the original handles inline assembly it
+/// cannot reason about. Every successfully modelled instruction is
+/// guaranteed encodable by the binary encoder (the parser validates by
+/// encoding once).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_ASM_PARSER_H
+#define MAO_ASM_PARSER_H
+
+#include "ir/MaoUnit.h"
+#include "support/Status.h"
+
+#include <string>
+
+namespace mao {
+
+/// Parse-time statistics, mainly for the compile-time experiment (E9).
+struct ParseStats {
+  size_t Lines = 0;
+  size_t Instructions = 0;
+  size_t OpaqueInstructions = 0;
+  size_t Labels = 0;
+  size_t Directives = 0;
+};
+
+/// Parses \p Text into a fresh MaoUnit and builds its structure.
+/// Fails only on malformed file-level syntax (e.g. unterminated string);
+/// unknown instructions degrade to opaque entries instead.
+ErrorOr<MaoUnit> parseAssembly(const std::string &Text,
+                               ParseStats *Stats = nullptr);
+
+/// Parses a single instruction line (no label/directive). Exposed for
+/// tests and the detection framework. Falls back to an opaque instruction
+/// when the text is not in the modelled subset.
+Instruction parseInstructionLine(const std::string &Line);
+
+} // namespace mao
+
+#endif // MAO_ASM_PARSER_H

@@ -1,0 +1,132 @@
+//===- ir/MaoEntry.h - IR entry: instruction, label, directive --*- C++ -*-===//
+///
+/// \file
+/// After parsing, "all assembly directives and instructions form one long
+/// list of MAO IR nodes" (paper Sec. II). MaoEntry is one node of that list:
+/// an instruction, a label definition, or an assembly directive. Directives
+/// MAO does not reason about are preserved verbatim and re-emitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_IR_MAOENTRY_H
+#define MAO_IR_MAOENTRY_H
+
+#include "x86/Instruction.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mao {
+
+/// Directives whose semantics the infrastructure interprets (layout sizes,
+/// alignment, function boundaries); everything else is DirOther.
+enum class DirKind : uint8_t {
+  Text,    // .text
+  Data,    // .data
+  Bss,     // .bss
+  Section, // .section name[,...]
+  P2Align, // .p2align pow2[,fill[,max]]
+  Balign,  // .balign bytes[,fill[,max]]
+  Globl,   // .globl sym
+  Type,    // .type sym, @function / @object
+  Size,    // .size sym, expr
+  Byte,    // .byte v[,v...]
+  Word,    // .word/.value v[,v...]
+  Long,    // .long v[,v...]
+  Quad,    // .quad v[,v...]
+  Zero,    // .zero n
+  String,  // .string "s"   (NUL-terminated)
+  Ascii,   // .ascii "s"
+  Asciz,   // .asciz "s"    (NUL-terminated)
+  Other,   // anything else; re-emitted verbatim
+};
+
+/// One assembly directive: interpreted kind, spelled name, raw arguments.
+struct Directive {
+  DirKind Kind = DirKind::Other;
+  std::string Name;              ///< As spelled, including the leading dot.
+  std::vector<std::string> Args; ///< Comma-separated argument strings.
+
+  /// Returns Args[I] or "" when absent.
+  const std::string &arg(size_t I) const {
+    static const std::string Empty;
+    return I < Args.size() ? Args[I] : Empty;
+  }
+};
+
+/// One node in MAO's long entry list.
+class MaoEntry {
+public:
+  enum class Kind : uint8_t { Instruction, Label, Directive };
+
+  static MaoEntry makeInstruction(Instruction Insn) {
+    MaoEntry E;
+    E.EntryKind = Kind::Instruction;
+    E.Insn = std::move(Insn);
+    return E;
+  }
+  static MaoEntry makeLabel(std::string Name) {
+    MaoEntry E;
+    E.EntryKind = Kind::Label;
+    E.LabelName = std::move(Name);
+    return E;
+  }
+  static MaoEntry makeDirective(Directive Dir) {
+    MaoEntry E;
+    E.EntryKind = Kind::Directive;
+    E.Dir = std::move(Dir);
+    return E;
+  }
+
+  Kind kind() const { return EntryKind; }
+  bool isInstruction() const { return EntryKind == Kind::Instruction; }
+  bool isLabel() const { return EntryKind == Kind::Label; }
+  bool isDirective() const { return EntryKind == Kind::Directive; }
+  bool isDirective(DirKind K) const { return isDirective() && Dir.Kind == K; }
+
+  Instruction &instruction() {
+    assert(isInstruction() && "entry is not an instruction");
+    return Insn;
+  }
+  const Instruction &instruction() const {
+    assert(isInstruction() && "entry is not an instruction");
+    return Insn;
+  }
+  const std::string &labelName() const {
+    assert(isLabel() && "entry is not a label");
+    return LabelName;
+  }
+  Directive &directive() {
+    assert(isDirective() && "entry is not a directive");
+    return Dir;
+  }
+  const Directive &directive() const {
+    assert(isDirective() && "entry is not a directive");
+    return Dir;
+  }
+
+  /// Renders the entry as one line of assembly (without trailing newline).
+  std::string toString() const;
+
+  /// Layout results, valid after relaxation ran for the entry's section.
+  /// Address is the byte offset within the section; Size the encoded size.
+  int64_t Address = -1;
+  uint32_t Size = 0;
+
+  /// Dense id assigned at parse time; stable across layout changes, used
+  /// for deterministic ordering and profile annotation.
+  uint32_t Id = 0;
+
+private:
+  MaoEntry() = default;
+
+  Kind EntryKind = Kind::Directive;
+  Instruction Insn;
+  std::string LabelName;
+  Directive Dir;
+};
+
+} // namespace mao
+
+#endif // MAO_IR_MAOENTRY_H

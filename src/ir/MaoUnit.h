@@ -1,0 +1,207 @@
+//===- ir/MaoUnit.h - Translation unit, sections, functions -----*- C++ -*-===//
+///
+/// \file
+/// MaoUnit owns the long list of IR entries for one assembly file and the
+/// higher-level views over it: sections and functions, "with easy access to
+/// these higher level concepts via corresponding iterators" (paper Sec. II).
+///
+/// A function that is split into multiple pieces by an intermittent section
+/// change (the pattern compilers emit for C switch statements) is presented
+/// as a single sequence of entries: MaoFunction holds one or more
+/// [begin, end) ranges over the unit's entry list and its iterator walks
+/// across the gaps transparently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_IR_MAOUNIT_H
+#define MAO_IR_MAOUNIT_H
+
+#include "ir/MaoEntry.h"
+
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mao {
+
+using EntryList = std::list<MaoEntry>;
+using EntryIter = EntryList::iterator;
+using ConstEntryIter = EntryList::const_iterator;
+
+class MaoUnit;
+
+/// One function recognized in the entry list.
+class MaoFunction {
+public:
+  /// A contiguous piece of the function: [Begin, End) over the unit list.
+  struct Range {
+    EntryIter Begin;
+    EntryIter End;
+  };
+
+  MaoFunction(std::string Name, MaoUnit *Unit)
+      : Name(std::move(Name)), Unit(Unit) {}
+
+  const std::string &name() const { return Name; }
+  MaoUnit &unit() { return *Unit; }
+
+  std::vector<Range> &ranges() { return Ranges; }
+  const std::vector<Range> &ranges() const { return Ranges; }
+
+  /// Iterator over all entries of the function, transparently crossing
+  /// section splits.
+  class entry_iterator {
+  public:
+    entry_iterator() = default;
+    entry_iterator(const MaoFunction *Fn, size_t RangeIdx, EntryIter Pos)
+        : Fn(Fn), RangeIdx(RangeIdx), Pos(Pos) {
+      skipEmptyRanges();
+    }
+
+    MaoEntry &operator*() const { return *Pos; }
+    MaoEntry *operator->() const { return &*Pos; }
+    EntryIter underlying() const { return Pos; }
+
+    entry_iterator &operator++() {
+      ++Pos;
+      skipEmptyRanges();
+      return *this;
+    }
+    entry_iterator operator++(int) {
+      entry_iterator Tmp = *this;
+      ++*this;
+      return Tmp;
+    }
+
+    bool operator==(const entry_iterator &O) const {
+      return RangeIdx == O.RangeIdx && (atEnd() || Pos == O.Pos);
+    }
+    bool operator!=(const entry_iterator &O) const { return !(*this == O); }
+
+  private:
+    bool atEnd() const { return RangeIdx >= Fn->Ranges.size(); }
+    void skipEmptyRanges() {
+      while (!atEnd() && Pos == Fn->Ranges[RangeIdx].End) {
+        ++RangeIdx;
+        if (!atEnd())
+          Pos = Fn->Ranges[RangeIdx].Begin;
+      }
+    }
+
+    const MaoFunction *Fn = nullptr;
+    size_t RangeIdx = 0;
+    EntryIter Pos;
+  };
+
+  entry_iterator begin() const {
+    if (Ranges.empty())
+      return end();
+    return entry_iterator(this, 0, Ranges[0].Begin);
+  }
+  entry_iterator end() const {
+    return entry_iterator(this, Ranges.size(), EntryIter());
+  }
+
+  /// Collects pointers to all instruction entries, in order. The common
+  /// access pattern for passes that index instructions.
+  std::vector<MaoEntry *> instructionEntries() const;
+
+  /// Counts instruction entries.
+  size_t countInstructions() const;
+
+  /// Set when the CFG builder could not resolve an indirect branch in this
+  /// function; passes decide whether to proceed (paper Sec. II).
+  bool HasUnresolvedIndirect = false;
+  /// Set when the function contains opaque (unmodelled) instructions, which
+  /// make computed addresses estimates rather than exact values.
+  bool HasOpaqueInstructions = false;
+
+private:
+  std::string Name;
+  MaoUnit *Unit;
+  std::vector<Range> Ranges;
+};
+
+/// A section and the entries it spans (possibly several disjoint pieces,
+/// since `.text` may be re-entered).
+struct SectionInfo {
+  std::string Name;
+  bool IsCode = false;
+  std::vector<MaoFunction::Range> Ranges;
+};
+
+/// The IR for one assembly file.
+class MaoUnit {
+public:
+  MaoUnit() = default;
+  MaoUnit(const MaoUnit &) = delete;
+  MaoUnit &operator=(const MaoUnit &) = delete;
+  // Sections and functions hold iterators into the entry list (including
+  // end(), which does not survive a list move) and back-pointers to the
+  // unit, so moves must rebuild the derived structure.
+  MaoUnit(MaoUnit &&Other) noexcept { *this = std::move(Other); }
+  MaoUnit &operator=(MaoUnit &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    Entries = std::move(Other.Entries);
+    NextEntryId = Other.NextEntryId;
+    NextLabelId = Other.NextLabelId;
+    Other.Functions.clear();
+    Other.Sections.clear();
+    Other.Labels.clear();
+    rebuildStructure();
+    return *this;
+  }
+
+  EntryList &entries() { return Entries; }
+  const EntryList &entries() const { return Entries; }
+
+  /// Appends an entry (used by the parser and the workload generator) and
+  /// returns an iterator to it.
+  EntryIter append(MaoEntry Entry);
+
+  /// Inserts before \p Pos; returns an iterator to the inserted entry.
+  EntryIter insertBefore(EntryIter Pos, MaoEntry Entry);
+  /// Inserts after \p Pos; returns an iterator to the inserted entry.
+  EntryIter insertAfter(EntryIter Pos, MaoEntry Entry);
+  /// Removes \p Pos; returns the iterator following it.
+  EntryIter erase(EntryIter Pos);
+
+  /// (Re)computes sections and functions from the entry list. Called after
+  /// parsing; passes that restructure function boundaries re-invoke it.
+  void rebuildStructure();
+
+  std::vector<MaoFunction> &functions() { return Functions; }
+  const std::vector<MaoFunction> &functions() const { return Functions; }
+  std::vector<SectionInfo> &sections() { return Sections; }
+
+  /// Finds a function by name; null when absent.
+  MaoFunction *findFunction(const std::string &Name);
+
+  /// Label name -> defining entry. Rebuilt by rebuildStructure(); passes
+  /// inserting labels must re-run it or register labels explicitly.
+  const std::unordered_map<std::string, MaoEntry *> &labelMap() const {
+    return Labels;
+  }
+
+  /// Generates a fresh MAO-local label name (".LMAO<n>").
+  std::string makeUniqueLabel();
+
+  /// Renders the whole unit as assembly text.
+  std::string toString() const;
+
+private:
+  uint32_t nextId() { return NextEntryId++; }
+
+  EntryList Entries;
+  std::vector<MaoFunction> Functions;
+  std::vector<SectionInfo> Sections;
+  std::unordered_map<std::string, MaoEntry *> Labels;
+  uint32_t NextEntryId = 1;
+  uint32_t NextLabelId = 0;
+};
+
+} // namespace mao
+
+#endif // MAO_IR_MAOUNIT_H

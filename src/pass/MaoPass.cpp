@@ -1,0 +1,107 @@
+//===- pass/MaoPass.cpp - Pass base classes and registry ---------------------==//
+
+#include "pass/MaoPass.h"
+
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace mao;
+
+MaoPass::~MaoPass() = default;
+
+void MaoPass::trace(int Level, const char *Fmt, ...) const {
+  if (Level > Tracer.level())
+    return;
+  std::fprintf(stderr, "[%s] ", Name.c_str());
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vfprintf(stderr, Fmt, Args);
+  va_end(Args);
+  std::fputc('\n', stderr);
+}
+
+PassRegistry &PassRegistry::instance() {
+  static PassRegistry Registry;
+  return Registry;
+}
+
+void PassRegistry::registerFunctionPass(const std::string &Name,
+                                        FunctionPassFactory Factory) {
+  FunctionPasses[Name] = std::move(Factory);
+}
+
+void PassRegistry::registerUnitPass(const std::string &Name,
+                                    UnitPassFactory Factory) {
+  UnitPasses[Name] = std::move(Factory);
+}
+
+bool PassRegistry::isFunctionPass(const std::string &Name) const {
+  return FunctionPasses.count(Name) != 0;
+}
+
+bool PassRegistry::isUnitPass(const std::string &Name) const {
+  return UnitPasses.count(Name) != 0;
+}
+
+std::unique_ptr<MaoFunctionPass>
+PassRegistry::makeFunctionPass(const std::string &Name, MaoOptionMap *Options,
+                               MaoUnit *Unit, MaoFunction *Fn) const {
+  auto It = FunctionPasses.find(Name);
+  assert(It != FunctionPasses.end() && "unknown function pass");
+  return It->second(Options, Unit, Fn);
+}
+
+std::unique_ptr<MaoUnitPass>
+PassRegistry::makeUnitPass(const std::string &Name, MaoOptionMap *Options,
+                           MaoUnit *Unit) const {
+  auto It = UnitPasses.find(Name);
+  assert(It != UnitPasses.end() && "unknown unit pass");
+  return It->second(Options, Unit);
+}
+
+std::vector<std::string> PassRegistry::allPassNames() const {
+  std::vector<std::string> Names;
+  for (const auto &[Name, Factory] : FunctionPasses)
+    Names.push_back(Name);
+  for (const auto &[Name, Factory] : UnitPasses)
+    Names.push_back(Name);
+  return Names;
+}
+
+PipelineResult mao::runPasses(MaoUnit &Unit,
+                              const std::vector<PassRequest> &Requests) {
+  PipelineResult Result;
+  PassRegistry &Registry = PassRegistry::instance();
+  for (const PassRequest &Req : Requests) {
+    MaoOptionMap Options = Req.Options; // Mutable copy for the pass.
+    unsigned Count = 0;
+    if (Registry.isUnitPass(Req.PassName)) {
+      auto Pass = Registry.makeUnitPass(Req.PassName, &Options, &Unit);
+      if (!Pass->go()) {
+        Result.Ok = false;
+        Result.Error = "pass " + Req.PassName + " failed";
+        return Result;
+      }
+      Count = Pass->transformationCount();
+    } else if (Registry.isFunctionPass(Req.PassName)) {
+      for (MaoFunction &Fn : Unit.functions()) {
+        auto Pass =
+            Registry.makeFunctionPass(Req.PassName, &Options, &Unit, &Fn);
+        if (!Pass->go()) {
+          Result.Ok = false;
+          Result.Error = "pass " + Req.PassName + " failed on function " +
+                         Fn.name();
+          return Result;
+        }
+        Count += Pass->transformationCount();
+      }
+    } else {
+      Result.Ok = false;
+      Result.Error = "unknown pass: " + Req.PassName;
+      return Result;
+    }
+    Result.Counts.emplace_back(Req.PassName, Count);
+  }
+  return Result;
+}

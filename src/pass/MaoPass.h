@@ -1,0 +1,164 @@
+//===- pass/MaoPass.h - Pass base classes and registry ----------*- C++ -*-===//
+///
+/// \file
+/// The pass model from paper Sec. III-A: "MAO supports two types of passes:
+/// function specific passes, which get invoked for every identified function
+/// in an assembly file, and passes which process the full IR". A pass is a
+/// class with a Go() entry point, registered under a name with
+/// REGISTER_FUNC_PASS / REGISTER_UNIT_PASS, invoked (and ordered) from the
+/// command line, and given a per-invocation option map. Every pass inherits
+/// a standard tracing facility and a transformation counter (the "number of
+/// optimizations performed" column of the paper's Fig. 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_PASS_MAOPASS_H
+#define MAO_PASS_MAOPASS_H
+
+#include "ir/MaoUnit.h"
+#include "support/Options.h"
+#include "support/Trace.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace mao {
+
+/// Base class of all passes.
+class MaoPass {
+public:
+  MaoPass(const char *Name, MaoOptionMap *Options, MaoUnit *Unit)
+      : Name(Name), Options(Options), Unit(Unit),
+        Tracer(Name, Options ? static_cast<int>(Options->getInt("trace", 0))
+                             : 0) {}
+  virtual ~MaoPass();
+
+  /// Main entry point; returns false to abort the pipeline.
+  virtual bool go() = 0;
+
+  const std::string &name() const { return Name; }
+  MaoUnit &unit() { return *Unit; }
+  MaoOptionMap &options() { return *Options; }
+
+  /// Standard tracing facility (level filtered by the "trace" option).
+  void trace(int Level, const char *Fmt, ...) const
+      __attribute__((format(printf, 3, 4)));
+
+  /// Number of code transformations this pass performed (Fig. 7 columns).
+  unsigned transformationCount() const { return Transformations; }
+
+protected:
+  void countTransformation(unsigned N = 1) { Transformations += N; }
+
+private:
+  std::string Name;
+  MaoOptionMap *Options;
+  MaoUnit *Unit;
+  TraceContext Tracer;
+  unsigned Transformations = 0;
+};
+
+/// A pass invoked once per identified function.
+class MaoFunctionPass : public MaoPass {
+public:
+  MaoFunctionPass(const char *Name, MaoOptionMap *Options, MaoUnit *Unit,
+                  MaoFunction *Fn)
+      : MaoPass(Name, Options, Unit), Fn(Fn) {}
+
+  MaoFunction &function() { return *Fn; }
+
+private:
+  MaoFunction *Fn;
+};
+
+/// A pass invoked once for the whole IR.
+class MaoUnitPass : public MaoPass {
+public:
+  using MaoPass::MaoPass;
+};
+
+/// Global registry mapping pass names to factories.
+class PassRegistry {
+public:
+  using FunctionPassFactory = std::function<std::unique_ptr<MaoFunctionPass>(
+      MaoOptionMap *, MaoUnit *, MaoFunction *)>;
+  using UnitPassFactory =
+      std::function<std::unique_ptr<MaoUnitPass>(MaoOptionMap *, MaoUnit *)>;
+
+  static PassRegistry &instance();
+
+  void registerFunctionPass(const std::string &Name,
+                            FunctionPassFactory Factory);
+  void registerUnitPass(const std::string &Name, UnitPassFactory Factory);
+
+  bool isFunctionPass(const std::string &Name) const;
+  bool isUnitPass(const std::string &Name) const;
+  bool knows(const std::string &Name) const {
+    return isFunctionPass(Name) || isUnitPass(Name);
+  }
+
+  std::unique_ptr<MaoFunctionPass> makeFunctionPass(const std::string &Name,
+                                                    MaoOptionMap *Options,
+                                                    MaoUnit *Unit,
+                                                    MaoFunction *Fn) const;
+  std::unique_ptr<MaoUnitPass> makeUnitPass(const std::string &Name,
+                                            MaoOptionMap *Options,
+                                            MaoUnit *Unit) const;
+
+  /// Names of all registered passes, sorted.
+  std::vector<std::string> allPassNames() const;
+
+private:
+  std::map<std::string, FunctionPassFactory> FunctionPasses;
+  std::map<std::string, UnitPassFactory> UnitPasses;
+};
+
+template <typename PassT>
+bool registerFunctionPassImpl(const char *Name) {
+  PassRegistry::instance().registerFunctionPass(
+      Name, [](MaoOptionMap *Options, MaoUnit *Unit, MaoFunction *Fn) {
+        return std::make_unique<PassT>(Options, Unit, Fn);
+      });
+  return true;
+}
+
+template <typename PassT>
+bool registerUnitPassImpl(const char *Name) {
+  PassRegistry::instance().registerUnitPass(
+      Name, [](MaoOptionMap *Options, MaoUnit *Unit) {
+        return std::make_unique<PassT>(Options, Unit);
+      });
+  return true;
+}
+
+/// Registers a function pass under NAME (paper Sec. III-A).
+#define REGISTER_FUNC_PASS(NAME, CLASS)                                       \
+  static const bool MaoRegisteredFunc_##CLASS [[maybe_unused]] =              \
+      ::mao::registerFunctionPassImpl<CLASS>(NAME);
+
+/// Registers a whole-IR pass under NAME.
+#define REGISTER_UNIT_PASS(NAME, CLASS)                                       \
+  static const bool MaoRegisteredUnit_##CLASS [[maybe_unused]] =              \
+      ::mao::registerUnitPassImpl<CLASS>(NAME);
+
+/// Result of running a pass pipeline.
+struct PipelineResult {
+  bool Ok = true;
+  std::string Error;
+  /// Pass name (in invocation order) -> total transformation count.
+  std::vector<std::pair<std::string, unsigned>> Counts;
+};
+
+/// Runs the requested passes over \p Unit in command-line order. Function
+/// passes run over every function; unknown pass names abort with an error.
+PipelineResult runPasses(MaoUnit &Unit,
+                         const std::vector<PassRequest> &Requests);
+
+/// Forces registration of all built-in passes (the static registrars live
+/// in the mao_passes library; call this from executables that link it).
+void linkAllPasses();
+
+} // namespace mao
+
+#endif // MAO_PASS_MAOPASS_H

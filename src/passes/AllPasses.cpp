@@ -1,0 +1,27 @@
+//===- passes/AllPasses.cpp - Force linkage of all built-in passes -----------===//
+
+#include "pass/MaoPass.h"
+
+namespace mao {
+
+void linkPeepholePasses();
+void linkScalarPasses();
+void linkInfraPasses();
+void linkNopPasses();
+void linkAlignPasses();
+void linkSchedPass();
+void linkSimAddrPass();
+void linkPrefetchPass();
+
+void linkAllPasses() {
+  linkPeepholePasses();
+  linkScalarPasses();
+  linkInfraPasses();
+  linkNopPasses();
+  linkAlignPasses();
+  linkSchedPass();
+  linkSimAddrPass();
+  linkPrefetchPass();
+}
+
+} // namespace mao

@@ -1,0 +1,26 @@
+//===- passes/PrefetchPass.h - Inverse prefetching API ----------*- C++ -*-===//
+///
+/// \file
+/// Programmatic entry point for the INVPREF pass (paper Sec. III-E-k),
+/// used by benchmarks that generate reuse profiles in-process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_PASSES_PREFETCHPASS_H
+#define MAO_PASSES_PREFETCHPASS_H
+
+#include "ir/MaoUnit.h"
+
+#include <vector>
+
+namespace mao {
+
+/// Inserts `prefetchnta <addr>` before the loads of \p Fn selected by their
+/// ordinal position among the function's loads (0-based). Returns the
+/// number of prefetches inserted.
+unsigned insertInversePrefetches(MaoUnit &Unit, MaoFunction &Fn,
+                                 const std::vector<unsigned> &Ordinals);
+
+} // namespace mao
+
+#endif // MAO_PASSES_PREFETCHPASS_H

@@ -1,0 +1,82 @@
+//===- support/Options.h - MAO command-line option model --------*- C++ -*-===//
+///
+/// \file
+/// Parsing of MAO's pass-invocation command line (paper Sec. III-A):
+///
+///   mao --mao=LFIND=trace[0]:ASM=o[/dev/null] in.s
+///
+/// Everything after an option's "--mao=" prefix is a ':'-separated list of
+/// pass specifications. Each specification is PASSNAME or
+/// PASSNAME=opt[value],opt[value],... The order of specifications defines
+/// the pass invocation order. Options without the --mao= prefix are passed
+/// through to the underlying assembler (in this reproduction: collected for
+/// the driver to interpret).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_SUPPORT_OPTIONS_H
+#define MAO_SUPPORT_OPTIONS_H
+
+#include "support/Status.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mao {
+
+/// Option values attached to one pass invocation, e.g. {"trace": "3"}.
+class MaoOptionMap {
+public:
+  /// Inserts or overwrites option \p Name.
+  void set(const std::string &Name, const std::string &Value) {
+    Values[Name] = Value;
+  }
+
+  bool has(const std::string &Name) const { return Values.count(Name) != 0; }
+
+  /// Returns the option's string value or \p Default when unset.
+  std::string getString(const std::string &Name,
+                        const std::string &Default = "") const;
+
+  /// Returns the option parsed as a signed integer or \p Default when unset
+  /// or unparsable.
+  long getInt(const std::string &Name, long Default = 0) const;
+
+  /// Returns the option parsed as a boolean ("", "1", "true", "on" are
+  /// true; "0", "false", "off" are false) or \p Default when unset.
+  bool getBool(const std::string &Name, bool Default = false) const;
+
+  const std::map<std::string, std::string> &all() const { return Values; }
+
+private:
+  std::map<std::string, std::string> Values;
+};
+
+/// One requested pass invocation: a pass name plus its options.
+struct PassRequest {
+  std::string PassName;
+  MaoOptionMap Options;
+};
+
+/// The fully parsed driver command line.
+struct MaoCommandLine {
+  /// Pass invocations in command-line order.
+  std::vector<PassRequest> Passes;
+  /// Non---mao= options, passed through to the assembler layer.
+  std::vector<std::string> Passthrough;
+  /// Positional input files.
+  std::vector<std::string> Inputs;
+};
+
+/// Parses one --mao= payload ("LFIND=trace[0]:ASM=o[/dev/null]") into pass
+/// requests appended to \p Out. Returns an error for malformed syntax.
+MaoStatus parseMaoOption(const std::string &Payload,
+                         std::vector<PassRequest> &Out);
+
+/// Parses a full argv-style command line (excluding argv[0]).
+ErrorOr<MaoCommandLine> parseCommandLine(const std::vector<std::string> &Args);
+
+} // namespace mao
+
+#endif // MAO_SUPPORT_OPTIONS_H

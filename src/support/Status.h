@@ -1,0 +1,82 @@
+//===- support/Status.h - Lightweight error propagation --------*- C++ -*-===//
+///
+/// \file
+/// Small status / status-or-value types used for recoverable errors
+/// (malformed assembly input, unknown options). Programmatic errors use
+/// assert; recoverable ones return a MaoStatus or ErrorOr<T> so the driver
+/// can report them to the user without aborting the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_SUPPORT_STATUS_H
+#define MAO_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mao {
+
+/// Success-or-message result of a fallible operation.
+class MaoStatus {
+public:
+  static MaoStatus success() { return MaoStatus(); }
+  static MaoStatus error(std::string Message) {
+    MaoStatus S;
+    S.Failed = true;
+    S.Text = std::move(Message);
+    return S;
+  }
+
+  /// True when the operation failed (mirrors llvm::Error's conversion).
+  explicit operator bool() const { return Failed; }
+  bool ok() const { return !Failed; }
+  const std::string &message() const { return Text; }
+
+private:
+  bool Failed = false;
+  std::string Text;
+};
+
+/// Holds either a value of type T or an error message.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Storage(std::move(Value)) {}
+  ErrorOr(MaoStatus Status) : Storage(std::move(Status)) {
+    assert(!std::get<MaoStatus>(Storage).ok() &&
+           "ErrorOr built from a success status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(Storage); }
+  explicit operator bool() const { return ok(); }
+
+  T &operator*() {
+    assert(ok() && "dereferencing an error value");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(ok() && "dereferencing an error value");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &operator*(); }
+  const T *operator->() const { return &operator*(); }
+
+  const std::string &message() const {
+    assert(!ok() && "reading message of a success value");
+    return std::get<MaoStatus>(Storage).message();
+  }
+
+  /// Moves the contained value out; only valid when ok().
+  T take() {
+    assert(ok() && "taking an error value");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, MaoStatus> Storage;
+};
+
+} // namespace mao
+
+#endif // MAO_SUPPORT_STATUS_H

@@ -1,0 +1,23 @@
+//===- support/Trace.cpp - Tracing facility -------------------------------==//
+
+#include "support/Trace.h"
+
+#include <cstdio>
+
+using namespace mao;
+
+void TraceContext::trace(int MsgLevel, const char *Fmt, ...) const {
+  if (MsgLevel > Level)
+    return;
+  std::fprintf(stderr, "[%s] ", Name.c_str());
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vfprintf(stderr, Fmt, Args);
+  va_end(Args);
+  std::fputc('\n', stderr);
+}
+
+TraceContext &TraceContext::global() {
+  static TraceContext Ctx("mao", 0);
+  return Ctx;
+}

@@ -1,0 +1,51 @@
+//===- support/Trace.h - Tracing facility for MAO passes -------*- C++ -*-===//
+//
+// Part of the MAO reproduction project, under GPL v3 like the original MAO.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard tracing facility available to every MAO pass (paper Sec.
+/// III-A). Trace output is filtered by a per-pass trace level: a message is
+/// emitted iff its level is <= the currently configured level. Level 0 means
+/// "always interesting", higher levels are increasingly verbose.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_SUPPORT_TRACE_H
+#define MAO_SUPPORT_TRACE_H
+
+#include <cstdarg>
+#include <string>
+
+namespace mao {
+
+/// Sink plus level filter for diagnostic output.
+///
+/// Each pass owns a TraceContext named after the pass; the global context is
+/// used by infrastructure code. Output goes to stderr so it never mixes with
+/// assembly written to stdout.
+class TraceContext {
+public:
+  explicit TraceContext(std::string Name, int Level = 0)
+      : Name(std::move(Name)), Level(Level) {}
+
+  /// Emits a printf-formatted message when \p MsgLevel <= the context level.
+  void trace(int MsgLevel, const char *Fmt, ...) const
+      __attribute__((format(printf, 3, 4)));
+
+  void setLevel(int NewLevel) { Level = NewLevel; }
+  int level() const { return Level; }
+  const std::string &name() const { return Name; }
+
+  /// Returns the process-wide context used by non-pass infrastructure.
+  static TraceContext &global();
+
+private:
+  std::string Name;
+  int Level;
+};
+
+} // namespace mao
+
+#endif // MAO_SUPPORT_TRACE_H

@@ -1,0 +1,42 @@
+//===- tools/enccheck.cpp - Encoder cross-validation helper ---------------===//
+//
+// Reads one instruction per line on stdin, prints "<hex bytes>\t<line>" for
+// each (or "OPAQUE" / "ERROR"). Used by scripts/encdiff.sh to cross-check
+// the MAO encoder against the system assembler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Parser.h"
+#include "x86/Encoder.h"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+using namespace mao;
+
+int main() {
+  std::string Line;
+  while (std::getline(std::cin, Line)) {
+    if (Line.empty())
+      continue;
+    Instruction Insn = parseInstructionLine(Line);
+    if (Insn.isOpaque()) {
+      std::printf("OPAQUE\t%s\n", Line.c_str());
+      continue;
+    }
+    std::vector<uint8_t> Bytes;
+    if (MaoStatus S = encodeInstruction(Insn, 0, nullptr, Bytes)) {
+      std::printf("ERROR(%s)\t%s\n", S.message().c_str(), Line.c_str());
+      continue;
+    }
+    std::string Hex;
+    char Buf[4];
+    for (uint8_t B : Bytes) {
+      std::snprintf(Buf, sizeof(Buf), "%02x", B);
+      Hex += Buf;
+    }
+    std::printf("%s\t%s\n", Hex.c_str(), Line.c_str());
+  }
+  return 0;
+}

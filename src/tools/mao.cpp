@@ -1,0 +1,105 @@
+//===- tools/mao.cpp - The MAO driver -----------------------------------------===//
+///
+/// \file
+/// The standalone assembly-to-assembly optimizer (paper Sec. III-A):
+///
+///   mao --mao=LFIND=trace[0]:ASM=o[/dev/null] in.s
+///
+/// Pass order on the command line is the invocation order; reading/parsing
+/// the input is implicitly the first pass, and when no ASM pass is named
+/// the optimized assembly goes to stdout. Options without the --mao=
+/// prefix would be passed to the downstream assembler (here: reported and
+/// ignored, since the reproduction assembles in-process).
+///
+//===----------------------------------------------------------------------===//
+
+#include "asm/AsmEmitter.h"
+#include "asm/Parser.h"
+#include "pass/MaoPass.h"
+#include "support/Options.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace mao;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(stderr,
+               "usage: mao [--mao=PASS[=opt[val],...][:PASS...]] input.s\n"
+               "\n"
+               "example: mao --mao=LFIND=trace[0]:ASM=o[/dev/null] in.s\n"
+               "\n"
+               "available passes:\n");
+  for (const std::string &Name : PassRegistry::instance().allPassNames())
+    std::fprintf(stderr, "  %s\n", Name.c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  linkAllPasses();
+
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  auto CmdOr = parseCommandLine(Args);
+  if (!CmdOr.ok()) {
+    std::fprintf(stderr, "mao: %s\n", CmdOr.message().c_str());
+    return 1;
+  }
+  MaoCommandLine &Cmd = *CmdOr;
+  if (Cmd.Inputs.empty()) {
+    printUsage();
+    return 1;
+  }
+  if (Cmd.Inputs.size() > 1) {
+    std::fprintf(stderr, "mao: expected exactly one input file\n");
+    return 1;
+  }
+  for (const std::string &Opt : Cmd.Passthrough)
+    std::fprintf(stderr, "mao: passing through to assembler: %s\n",
+                 Opt.c_str());
+
+  std::ifstream In(Cmd.Inputs[0]);
+  if (!In) {
+    std::fprintf(stderr, "mao: cannot open %s\n", Cmd.Inputs[0].c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  ParseStats Stats;
+  auto UnitOr = parseAssembly(Buffer.str(), &Stats);
+  if (!UnitOr.ok()) {
+    std::fprintf(stderr, "mao: parse error: %s\n", UnitOr.message().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "mao: %zu lines, %zu instructions (%zu opaque), "
+               "%zu functions\n",
+               Stats.Lines, Stats.Instructions, Stats.OpaqueInstructions,
+               UnitOr->functions().size());
+
+  bool HasAsmPass = false;
+  for (const PassRequest &Req : Cmd.Passes)
+    if (Req.PassName == "ASM")
+      HasAsmPass = true;
+
+  PipelineResult Result = runPasses(*UnitOr, Cmd.Passes);
+  if (!Result.Ok) {
+    std::fprintf(stderr, "mao: %s\n", Result.Error.c_str());
+    return 1;
+  }
+  for (const auto &[Pass, Count] : Result.Counts)
+    if (Count > 0)
+      std::fprintf(stderr, "mao: %s performed %u transformations\n",
+                   Pass.c_str(), Count);
+
+  if (!HasAsmPass)
+    if (MaoStatus S = writeAssemblyFile(*UnitOr, "-")) {
+      std::fprintf(stderr, "mao: %s\n", S.message().c_str());
+      return 1;
+    }
+  return 0;
+}

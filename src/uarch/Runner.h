@@ -1,0 +1,52 @@
+//===- uarch/Runner.h - Emulator-to-uarch measurement pipeline --*- C++ -*-===//
+///
+/// \file
+/// The measurement harness tying the stack together: relax the unit (exact
+/// addresses), execute a function with the architectural emulator, stream
+/// the dynamic trace into the micro-architectural simulator, and return
+/// PMU counters — the reproduction's substitute for "run the benchmark in
+/// isolation and read the hardware counters".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_UARCH_RUNNER_H
+#define MAO_UARCH_RUNNER_H
+
+#include "sim/Emulator.h"
+#include "support/Status.h"
+#include "uarch/UarchSim.h"
+
+#include <string>
+
+namespace mao {
+
+/// Outcome of one measured run.
+struct MeasureResult {
+  PmuCounters Pmu;
+  EmulationResult Emulation;
+};
+
+/// Options for measureFunction.
+struct MeasureOptions {
+  ProcessorConfig Config = ProcessorConfig::core2();
+  MachineState Initial;
+  uint64_t MaxSteps = 10'000'000;
+  /// Optional pre-populated emulator memory: (address, value, bytes).
+  struct MemInit {
+    uint64_t Address;
+    uint64_t Value;
+    unsigned Bytes;
+  };
+  std::vector<MemInit> Memory;
+};
+
+/// Relaxes \p Unit, runs \p Function on the emulator, and feeds the dynamic
+/// instruction stream through the uarch model. Returns an error when
+/// relaxation fails or emulation stops abnormally.
+ErrorOr<MeasureResult> measureFunction(MaoUnit &Unit,
+                                       const std::string &Function,
+                                       const MeasureOptions &Options);
+
+} // namespace mao
+
+#endif // MAO_UARCH_RUNNER_H

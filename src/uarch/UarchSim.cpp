@@ -1,0 +1,335 @@
+//===- uarch/UarchSim.cpp - Trace-driven micro-architectural model ------------==//
+
+#include "uarch/UarchSim.h"
+
+#include "x86/Instruction.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mao;
+
+namespace {
+
+constexpr unsigned FlagsSlot = 32; ///< RegReady index for RFLAGS.
+
+/// Maps a RegMask to RegReady slots: bits [0,16) GPRs, [16,32) XMM.
+template <typename Fn> void forEachRegSlot(RegMask Mask, Fn Callback) {
+  while (Mask) {
+    unsigned Bit = static_cast<unsigned>(__builtin_ctz(Mask));
+    Callback(Bit);
+    Mask &= Mask - 1;
+  }
+}
+
+} // namespace
+
+UarchSimulator::UarchSimulator(const ProcessorConfig &Config) : Cfg(Config) {
+  Predictor.assign(Cfg.BtbEntries, 2); // Weakly taken.
+  L1.assign(Cfg.L1Sets, {});
+  L2.assign(Cfg.L2Sets, {});
+  PortFree.fill(0);
+  RegReady.fill(0);
+}
+
+void UarchSimulator::noteBranch(const TraceEvent &Event, bool Taken,
+                                bool IsConditional) {
+  if (!IsConditional) {
+    // Unconditional redirects break the fetch line and cost a fetch
+    // bubble — unless the loop streams from the LSD, which tolerates
+    // direct jumps (calls/returns disqualify streaming entirely).
+    CurrentLine = -1;
+    DecodedInLine = 0;
+    if (!LsdStreaming || Event.Address < LsdLoopStart ||
+        Event.Address >= LsdLoopEnd)
+      ++FrontCycle;
+    return;
+  }
+  ++Pmu.BrCondRetired;
+  const uint64_t Index = (static_cast<uint64_t>(Event.Address) >>
+                          Cfg.BtbIndexShift) %
+                         Cfg.BtbEntries;
+  uint8_t &Counter = Predictor[Index];
+  const bool Predicted = Counter >= 2;
+  if (Predicted != Taken) {
+    ++Pmu.BrMispredicted;
+    FrontCycle = std::max(FrontCycle, LastCompletion) + Cfg.MispredictPenalty;
+  }
+  if (Taken && Counter < 3)
+    ++Counter;
+  if (!Taken && Counter > 0)
+    --Counter;
+  if (Taken) {
+    CurrentLine = -1;
+    DecodedInLine = 0;
+    // Fetch bubble on a taken branch; the Loop Stream Detector's whole
+    // point is to hide this for small hot loops.
+    if (!LsdStreaming)
+      ++FrontCycle;
+  }
+}
+
+unsigned UarchSimulator::memoryAccess(uint64_t Address, bool IsStore,
+                                      bool NonTemporal) {
+  const uint64_t Line = Address / Cfg.LineBytes;
+
+  auto Lookup = [](std::vector<CacheWay> &Set, uint64_t Tag,
+                   bool MoveToFront) -> bool {
+    for (size_t I = 0; I < Set.size(); ++I) {
+      if (Set[I].Tag != Tag)
+        continue;
+      if (MoveToFront && I != 0) {
+        CacheWay W = Set[I];
+        Set.erase(Set.begin() + static_cast<long>(I));
+        Set.insert(Set.begin(), W);
+      }
+      return true;
+    }
+    return false;
+  };
+  auto Fill = [](std::vector<CacheWay> &Set, uint64_t Tag, unsigned Ways,
+                 bool NT) {
+    if (NT && !Set.empty() && Set.size() >= Ways) {
+      // Non-temporal fill replaces only the LRU way and stays LRU: a
+      // single way of the set is recycled, preserving the hot ways
+      // (the paper's "always replacing a single way" behaviour).
+      Set.back() = {Tag, true};
+      return;
+    }
+    Set.insert(Set.begin(), {Tag, NT});
+    if (Set.size() > Ways)
+      Set.pop_back();
+  };
+
+  std::vector<CacheWay> &L1Set = L1[Line % Cfg.L1Sets];
+  if (Lookup(L1Set, Line, /*MoveToFront=*/!NonTemporal)) {
+    ++Pmu.L1Hits;
+    return Cfg.L1LoadLatency;
+  }
+  ++Pmu.L1Misses;
+  std::vector<CacheWay> &L2Set = L2[Line % Cfg.L2Sets];
+  unsigned Latency;
+  if (Lookup(L2Set, Line, true)) {
+    Latency = Cfg.L2Latency;
+  } else {
+    ++Pmu.L2Misses;
+    Latency = Cfg.MemLatency;
+    Fill(L2Set, Line, Cfg.L2Ways, NonTemporal);
+  }
+  Fill(L1Set, Line, Cfg.L1Ways, NonTemporal);
+  (void)IsStore;
+  return Latency;
+}
+
+uint64_t UarchSimulator::frontEnd(const TraceEvent &Event, unsigned Uops) {
+  // Decode is per 16-byte line: a new line is a new decode cycle, and at
+  // most MaxDecodePerLine instructions decode from one line per cycle.
+  // The Core-2-era LSD sits in the fetch unit (pre-decode): while
+  // streaming, the taken-branch fetch bubble disappears (see noteBranch),
+  // but decode-line costs remain — which is exactly why the paper's
+  // short-loop-alignment cliff (LOOP16) exists on machines with an LSD.
+  if (LsdStreaming && Event.Address >= LsdLoopStart &&
+      Event.Address < LsdLoopEnd)
+    Pmu.LsdUops += Uops;
+
+  const int64_t FirstLine = Event.Address / Cfg.DecodeLineBytes;
+  const int64_t LastLine =
+      (Event.Address + static_cast<int64_t>(Event.Size) - 1) /
+      Cfg.DecodeLineBytes;
+  if (FirstLine != CurrentLine || LastLine != CurrentLine) {
+    int64_t NewLines = LastLine - FirstLine + 1;
+    if (CurrentLine >= 0 && FirstLine == CurrentLine)
+      NewLines = LastLine - CurrentLine; // Only the spilled-into lines.
+    NewLines = std::max<int64_t>(1, NewLines);
+    FrontCycle += static_cast<uint64_t>(NewLines);
+    Pmu.DecodeLines += static_cast<uint64_t>(NewLines);
+    CurrentLine = LastLine;
+    DecodedInLine = 0;
+  }
+  unsigned Slots = 1;
+  if (Cfg.DecodeCostPerLoad > 1 &&
+      Event.Entry->instruction().effects().MemRead)
+    Slots = Cfg.DecodeCostPerLoad;
+  DecodedInLine += Slots;
+  if (DecodedInLine > Cfg.MaxDecodePerLine) {
+    ++FrontCycle;
+    DecodedInLine = Slots;
+  }
+  return FrontCycle;
+}
+
+void UarchSimulator::backEnd(const TraceEvent &Event, uint64_t ReadyCycle) {
+  const Instruction &Insn = Event.Entry->instruction();
+  const OpcodeInfo &Info = Insn.info();
+  const InstructionEffects Fx = Insn.effects();
+
+  // Reservation-station window: dispatch waits for the oldest in-flight
+  // instruction to complete once the window is full, and the wait also
+  // stalls the fetch/decode front end (otherwise the front would race
+  // arbitrarily far ahead of a saturated back end).
+  uint64_t Dispatch = ReadyCycle;
+  if (InFlight.size() >= Cfg.RsEntries) {
+    const uint64_t OldestDone = InFlight.front();
+    InFlight.pop_front();
+    if (OldestDone > Dispatch) {
+      Pmu.RsFullStalls += OldestDone - Dispatch;
+      Dispatch = OldestDone;
+      FrontCycle = std::max(FrontCycle, OldestDone);
+    }
+  }
+
+  // Operand readiness.
+  uint64_t Ready = Dispatch;
+  forEachRegSlot(Fx.RegUses, [&](unsigned Slot) {
+    Ready = std::max(Ready, RegReady[Slot]);
+  });
+  if (Fx.FlagsUse)
+    Ready = std::max(Ready, RegReady[FlagsSlot]);
+
+  // Forwarding-bandwidth limit (paper Sec. III-F): a producer forwards its
+  // result to at most N consumers in the cycle it becomes available;
+  // further consumers wait a cycle in the reservation station, visible as
+  // RESOURCE_STALLS:RS_FULL. This is what made the order of the three
+  // consumers of one xorl worth 21% in the hashing microbenchmark.
+  forEachRegSlot(Fx.RegUses, [&](unsigned Slot) {
+    if (RegReady[Slot] != Ready || Ready == 0)
+      return;
+    if (ForwardUses[Slot] >= Cfg.ForwardingBandwidth) {
+      ++Ready;
+      ++Pmu.RsFullStalls;
+      ForwardUses[Slot] = 0;
+    } else {
+      ++ForwardUses[Slot];
+    }
+  });
+
+  // Execution-port contention.
+  uint8_t Mask = Cfg.AsymmetricPorts ? Info.Ports : PortsAluAny;
+  if (Mask == 0)
+    Mask = PortsAluAny;
+  unsigned BestPort = 0;
+  uint64_t BestStart = ~0ULL;
+  for (unsigned P = 0; P < 6; ++P) {
+    if (!(Mask & (1u << P)))
+      continue;
+    uint64_t Start = std::max(Ready, PortFree[P]);
+    if (Start < BestStart) {
+      BestStart = Start;
+      BestPort = P;
+    }
+  }
+  PortFree[BestPort] = BestStart + 1;
+
+  // Latency, including the memory hierarchy for loads.
+  unsigned Latency = Info.Latency;
+  const bool IsPrefetch = Info.Kind == EncKind::Prefetch;
+  if (Event.MemAddr && !IsPrefetch) {
+    if (Fx.MemRead) {
+      const bool NT = NextLoadNonTemporal &&
+                      *Event.MemAddr / Cfg.LineBytes == LastPrefetchLine;
+      unsigned MemLat = memoryAccess(*Event.MemAddr, false, NT);
+      Latency = std::max(Latency, MemLat);
+    } else if (Fx.MemWrite) {
+      memoryAccess(*Event.MemAddr, true, false);
+    }
+    NextLoadNonTemporal = false;
+  }
+  if (IsPrefetch && Event.MemAddr) {
+    // The prefetch touches the cache with non-temporal placement but is
+    // off the critical path.
+    memoryAccess(*Event.MemAddr, false, true);
+    NextLoadNonTemporal = true;
+    LastPrefetchLine = *Event.MemAddr / Cfg.LineBytes;
+  }
+
+  const uint64_t Completion = BestStart + Latency;
+
+  forEachRegSlot(Fx.RegDefs, [&](unsigned Slot) {
+    RegReady[Slot] = Completion;
+    ForwardUses[Slot] = 0;
+  });
+  if (Fx.FlagsDef)
+    RegReady[FlagsSlot] = Completion;
+
+  InFlight.push_back(Completion);
+  LastCompletion = std::max(LastCompletion, Completion);
+}
+
+void UarchSimulator::consume(const TraceEvent &Event) {
+  assert(!Finished && "consume after finish");
+  assert(Event.Entry && Event.Entry->isInstruction());
+  const Instruction &Insn = Event.Entry->instruction();
+  const OpcodeInfo &Info = Insn.info();
+
+  // Resolve the previous conditional branch now that its outcome (this
+  // instruction's address) is known.
+  if (PendingBranchAddr >= 0) {
+    const bool Taken = Event.Address != PendingBranchFallthrough;
+    TraceEvent BranchEvent;
+    BranchEvent.Address = PendingBranchAddr;
+    noteBranch(BranchEvent, Taken, /*IsConditional=*/true);
+    PendingBranchAddr = -1;
+
+    // Loop Stream Detector bookkeeping on backward taken branches.
+    if (Cfg.HasLsd) {
+      if (Taken && Event.Address < PendingBranchFallthrough) {
+        const int64_t Start = Event.Address;
+        const int64_t End = PendingBranchFallthrough;
+        if (Start == LsdLoopStart && End == LsdLoopEnd) {
+          ++LsdIterations;
+          const unsigned Lines = static_cast<unsigned>(
+              (End - 1) / Cfg.DecodeLineBytes - Start / Cfg.DecodeLineBytes +
+              1);
+          if (LsdEligible && Lines <= Cfg.LsdMaxLines &&
+              LsdIterations >= Cfg.LsdMinIterations)
+            LsdStreaming = true;
+        } else {
+          LsdLoopStart = Start;
+          LsdLoopEnd = End;
+          LsdIterations = 1;
+          LsdStreaming = false;
+          LsdEligible = true;
+          LsdUopsThisIter = 0;
+        }
+      } else if (Taken || Event.Address >= LsdLoopEnd ||
+                 Event.Address < LsdLoopStart) {
+        // Left the loop (fallthrough out or forward jump elsewhere).
+        if (LsdStreaming || Event.Address >= LsdLoopEnd ||
+            Event.Address < LsdLoopStart) {
+          LsdStreaming = false;
+          LsdIterations = 0;
+          LsdLoopStart = LsdLoopEnd = -1;
+        }
+      }
+    }
+  }
+
+  // Instructions that disqualify a loop from streaming.
+  if (Cfg.HasLsd && LsdLoopStart >= 0 && Event.Address >= LsdLoopStart &&
+      Event.Address < LsdLoopEnd &&
+      (Insn.isCall() || Insn.isReturn() || Insn.hasIndirectTarget()))
+    LsdEligible = false;
+
+  ++Pmu.InstRetired;
+  Pmu.UopsRetired += Info.Uops;
+
+  const uint64_t Delivered = frontEnd(Event, Info.Uops);
+  backEnd(Event, Delivered);
+
+  // Record branch kind for resolution at the next event.
+  if (Insn.isCondJump()) {
+    PendingBranchAddr = Event.Address;
+    PendingBranchFallthrough = Event.Address + Event.Size;
+  } else if (Insn.isUncondJump() || Insn.isCall() || Insn.isReturn()) {
+    noteBranch(Event, true, /*IsConditional=*/false);
+  }
+}
+
+const PmuCounters &UarchSimulator::finish() {
+  if (!Finished) {
+    Finished = true;
+    Pmu.CpuCycles = std::max({FrontCycle, LastCompletion,
+                              Pmu.UopsRetired / Cfg.RetireWidth});
+  }
+  return Pmu;
+}

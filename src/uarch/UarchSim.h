@@ -1,0 +1,131 @@
+//===- uarch/UarchSim.h - Trace-driven micro-architectural model -*- C++ -*-===//
+///
+/// \file
+/// The trace-driven performance model standing in for the paper's physical
+/// Core-2 / Opteron machines. It consumes the dynamic instruction stream
+/// produced by the functional emulator (each event: IR entry, layout
+/// address, optional data address) and produces cycle counts plus PMU-style
+/// event counters — the same observables the paper reads from hardware
+/// counters (CPU_CYCLES, RESOURCE_STALLS:RS_FULL, branch mispredicts, ...).
+///
+/// The model is deliberately mechanism-faithful rather than cycle-exact:
+/// it implements exactly the structures the paper attributes its cliffs to
+/// (decode lines, LSD, PC>>5 predictor aliasing, asymmetric ports,
+/// forwarding bandwidth, cache pollution), so pass effects reproduce in
+/// direction and rough magnitude.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_UARCH_UARCHSIM_H
+#define MAO_UARCH_UARCHSIM_H
+
+#include "ir/MaoUnit.h"
+#include "uarch/ProcessorConfig.h"
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace mao {
+
+/// PMU-style event counters.
+struct PmuCounters {
+  uint64_t CpuCycles = 0;
+  uint64_t InstRetired = 0;
+  uint64_t UopsRetired = 0;
+  uint64_t DecodeLines = 0;     ///< 16-byte lines fetched/decoded.
+  uint64_t LsdUops = 0;         ///< Uops streamed from the LSD.
+  uint64_t BrCondRetired = 0;
+  uint64_t BrMispredicted = 0;
+  uint64_t RsFullStalls = 0;    ///< RESOURCE_STALLS:RS_FULL analogue.
+  uint64_t L1Hits = 0;
+  uint64_t L1Misses = 0;
+  uint64_t L2Misses = 0;
+
+  double ipc() const {
+    return CpuCycles ? static_cast<double>(InstRetired) /
+                           static_cast<double>(CpuCycles)
+                     : 0.0;
+  }
+};
+
+/// One dynamic instruction event.
+struct TraceEvent {
+  const MaoEntry *Entry = nullptr;
+  int64_t Address = 0;  ///< Code address (from relaxation).
+  unsigned Size = 0;    ///< Encoded size in bytes.
+  std::optional<uint64_t> MemAddr; ///< Effective data address, if any.
+};
+
+/// The simulator. Feed events in dynamic order; read counters() at the end.
+class UarchSimulator {
+public:
+  explicit UarchSimulator(const ProcessorConfig &Config);
+
+  void consume(const TraceEvent &Event);
+
+  /// Finalizes total cycle count and returns the counters.
+  const PmuCounters &finish();
+
+private:
+  // --- Front end ------------------------------------------------------------
+  /// Cycle at which the instruction's uops are available to the back end.
+  uint64_t frontEnd(const TraceEvent &Event, unsigned Uops);
+  void noteBranch(const TraceEvent &Event, bool ConditionalTaken,
+                  bool IsConditional);
+
+  // --- Memory hierarchy -----------------------------------------------------
+  /// Returns the load-to-use latency for \p Address and updates the caches.
+  unsigned memoryAccess(uint64_t Address, bool IsStore, bool NonTemporal);
+
+  // --- Back end ------------------------------------------------------------
+  void backEnd(const TraceEvent &Event, uint64_t ReadyCycle);
+
+  const ProcessorConfig Cfg;
+  PmuCounters Pmu;
+
+  // Front-end state.
+  uint64_t FrontCycle = 0;     ///< Cycle the front end is working in.
+  int64_t CurrentLine = -1;    ///< Decode line being consumed.
+  unsigned DecodedInLine = 0;  ///< Instructions taken from the line.
+  int64_t PendingBranchFallthrough = -1; ///< Address after last cond branch.
+  int64_t PendingBranchAddr = -1;
+  bool PendingBranchPredictedTaken = false;
+
+  // Loop Stream Detector state.
+  int64_t LsdLoopStart = -1, LsdLoopEnd = -1;
+  unsigned LsdIterations = 0;
+  bool LsdStreaming = false;
+  bool LsdEligible = true;     ///< Loop body qualifies (branch kinds).
+  uint64_t LsdUopsThisIter = 0;
+
+  // Branch predictor: 2-bit saturating counters.
+  std::vector<uint8_t> Predictor;
+
+  // Back-end state.
+  std::array<uint64_t, 48> RegReady{}; ///< 16 GPR + 16 XMM + flags at [32].
+  std::array<uint64_t, 48> ForwardUses{}; ///< Consumers served at RegReady.
+  std::array<uint64_t, 6> PortFree{};
+  std::deque<uint64_t> InFlight;       ///< Completion cycles (RS window).
+  uint64_t LastCompletion = 0;
+  uint64_t MemReadyCycle = 0;          ///< Simple store-ordering point.
+
+  // Caches: set -> list of (tag, non-temporal) in LRU order (front = MRU).
+  struct CacheWay {
+    uint64_t Tag;
+    bool NonTemporal;
+  };
+  std::vector<std::vector<CacheWay>> L1, L2;
+  bool NextLoadNonTemporal = false;
+  uint64_t LastPrefetchLine = ~0ULL;
+
+  bool Finished = false;
+};
+
+} // namespace mao
+
+#endif // MAO_UARCH_UARCHSIM_H

@@ -1,0 +1,215 @@
+//===- workload/Profiles.cpp - Per-benchmark generation profiles --------------==//
+///
+/// \file
+/// Benchmark profiles calibrated against the paper's evaluation:
+///
+///  - The static-pattern knobs follow Fig. 7's per-benchmark transformation
+///    counts, scaled by ~1/10 in code volume (NOPIN's count is proportional
+///    to program size; the L/M/T columns are reproduced directly).
+///  - The layout-sensitivity knobs encode each benchmark's reported
+///    *reaction* to the passes: 252.eon and 253.perlbmk are alignment- and
+///    predictor-aliasing-sensitive (regressions under NOPIN/NOPKILL/
+///    REDTEST/LOOP16); 454.calculix is dominated by decode-bound loops
+///    carrying removable instructions (large REDMOV/REDTEST wins, NOPKILL
+///    regression); the SCHED benchmarks carry fan-out dependence shapes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Workload.h"
+
+#include <algorithm>
+
+using namespace mao;
+
+namespace {
+
+/// Builds one SPEC 2000 int profile from its Fig. 7 row.
+/// \p L, \p M, \p T are the LOOP16 / REDMOV / REDTEST counts; \p NopScale
+/// is the paper's NOPIN count, used to size the program (~NOP instructions
+/// total, giving ~NOP/10 insertions at the default 10% density).
+WorkloadSpec spec2000Row(const std::string &Name, const std::string &Lang,
+                         unsigned L, unsigned NopScale, unsigned M,
+                         unsigned T, uint64_t Seed) {
+  WorkloadSpec S;
+  S.Name = Name;
+  S.Lang = Lang;
+  S.Seed = Seed;
+  S.Functions = std::clamp(NopScale / 900u, 2u, 40u);
+  S.FillerPerFunction = std::clamp(NopScale / S.Functions, 40u, 1200u);
+  S.RedundantLoads = M;
+  S.RedundantTests = T;
+  S.HarmlessTests = T * 3 + 8; // ~24% of tests are redundant (Sec. III-B-b).
+  S.ZeroExtPatterns = 2 + NopScale / 800;
+  S.AddAddPairs = 1 + NopScale / 2000;
+  S.SplitShortLoops = L;
+  S.AlignedShortLoops = 1 + L / 4;
+  S.JumpTables = 1 + NopScale / 8000;
+  S.SchedFanoutLoops = 1;
+  S.HotIterations = 2000;
+  return S;
+}
+
+} // namespace
+
+std::vector<WorkloadSpec> mao::spec2000IntProfiles() {
+  // Fig. 7 rows: (L, NOP, M, T) per benchmark. '-' entries are zero.
+  std::vector<WorkloadSpec> Suite = {
+      spec2000Row("164.gzip", "C", 1, 664, 0, 5, 164),
+      spec2000Row("175.vpr", "C", 3, 1425, 7, 4, 175),
+      spec2000Row("176.gcc", "C", 62, 27471, 35, 57, 176),
+      spec2000Row("181.mcf", "C", 0, 185, 1, 0, 181),
+      spec2000Row("186.crafty", "C", 3, 1987, 7, 18, 186),
+      spec2000Row("197.parser", "C", 13, 2134, 4, 0, 197),
+      spec2000Row("252.eon", "C++", 1, 2373, 10, 6, 252),
+      spec2000Row("253.perlbmk", "C", 21, 11870, 9, 21, 253),
+      spec2000Row("254.gap", "C", 62, 9216, 23, 9, 254),
+      spec2000Row("255.vortex", "C", 1, 6860, 3, 5, 255),
+      spec2000Row("256.bzip2", "C", 2, 396, 3, 0, 256),
+      spec2000Row("300.twolf", "C", 18, 3009, 24, 43, 300),
+  };
+
+  for (WorkloadSpec &S : Suite) {
+    if (S.Name == "252.eon") {
+      // The alignment-pathological benchmark: a fragile loop/branch pair
+      // whose predictor buckets collide under any code shift, plus hot
+      // loops whose alignment is an accident of removable instructions.
+      // NOPIN (-9.23%), NOPKILL (-5.34%), REDTEST (-5.97%) and LOOP16
+      // (-4.43%) all regress it.
+      S.BucketSensitivePairs = 1;
+      S.PairOuterIterations = 500;
+      S.AccidentallyAlignedLoops = 8;
+      S.ShortLoopIterations = 2500;
+      S.AlignedShortLoops = 3;
+      S.SchedFanoutLoops = 2; // Fig. 7: eon has the largest SCHED count.
+      S.NeutralIterations = 20000;
+    } else if (S.Name == "253.perlbmk") {
+      // The only aggregate regression in Fig. 7 (-2.14%).
+      S.BucketSensitivePairs = 1;
+      S.PairOuterIterations = 400;
+      S.AccidentallyAlignedLoops = 2;
+      S.ShortLoopIterations = 120;
+    } else if (S.Name == "181.mcf") {
+      // Fig. 1's unrolled loop with the high-impact NOP lives here.
+      S.SplitShortLoops = 1;
+      S.ShortLoopIterations = 7000;
+    } else if (S.Name == "175.vpr") {
+      S.ShortLoopIterations = 1200;
+    } else if (S.Name == "176.gcc") {
+      S.ShortLoopIterations = 70;
+    } else if (S.Name == "300.twolf") {
+      S.ShortLoopIterations = 170;
+    } else if (S.Name == "186.crafty") {
+      S.ShortLoopIterations = 2300;
+    } else if (S.Name == "197.parser" || S.Name == "254.gap") {
+      S.ShortLoopIterations = 200;
+    }
+  }
+  return Suite;
+}
+
+std::vector<WorkloadSpec> mao::spec2006Profiles() {
+  std::vector<WorkloadSpec> Suite;
+
+  WorkloadSpec DealII;
+  DealII.Name = "447.dealII";
+  DealII.Lang = "C++";
+  DealII.Seed = 447;
+  DealII.Functions = 8;
+  DealII.FillerPerFunction = 300;
+  DealII.RedundantTests = 14;
+  DealII.HarmlessTests = 40;
+  DealII.RedundantLoads = 12;
+  DealII.DecodeBoundLoops = 1; // Modest REDMOV/REDTEST wins (~3%).
+  DealII.DecodeLoopIterations = 4000;
+  DealII.AlignedShortLoops = 3;
+  DealII.SplitShortLoops = 1;
+  DealII.SchedFanoutLoops = 1;
+  Suite.push_back(DealII);
+
+  WorkloadSpec Calculix;
+  Calculix.Name = "454.calculix";
+  Calculix.Lang = "F";
+  Calculix.Seed = 454;
+  Calculix.Functions = 6;
+  Calculix.FillerPerFunction = 200;
+  Calculix.RedundantTests = 8;
+  Calculix.HarmlessTests = 20;
+  Calculix.RedundantLoads = 10;
+  // Runtime dominated by decode-bound loops full of removable
+  // instructions: REDMOV/REDTEST win ~20%; NOPKILL removes the alignment
+  // these loops rely on (-8.8%).
+  Calculix.DecodeBoundLoops = 6;
+  Calculix.DecodeLoopIterations = 8000;
+  Calculix.NeutralIterations = 500;
+  Calculix.FillerPerFunction = 80;
+  Calculix.AlignDirectivesOnHotLoops = true;
+  Suite.push_back(Calculix);
+
+  const struct {
+    const char *Name;
+    const char *Lang;
+    unsigned Sched;
+    uint64_t Seed;
+  } SchedRows[] = {{"410.bwaves", "F", 2, 410},
+                   {"434.zeusmp", "F", 2, 434},
+                   {"483.xalancbmk", "C++", 2, 483},
+                   {"429.mcf", "C", 2, 429},
+                   {"464.h264ref", "C", 3, 464}};
+  for (const auto &Row : SchedRows) {
+    WorkloadSpec S;
+    S.Name = Row.Name;
+    S.Lang = Row.Lang;
+    S.Seed = Row.Seed;
+    S.Functions = 6;
+    S.FillerPerFunction = 250;
+    S.RedundantTests = 6;
+    S.HarmlessTests = 18;
+    S.RedundantLoads = 6;
+    S.SchedFanoutLoops = Row.Sched;
+    S.SchedLoopIterations = 8000;
+    S.AlignedShortLoops = 2;
+    S.HotIterations = 2500;
+    Suite.push_back(S);
+  }
+  return Suite;
+}
+
+WorkloadSpec mao::googleCorpusProfile(double Scale) {
+  // Paper Sec. III-B: ~80 complex C++ files; approximately 1000 redundant
+  // zero extensions; 79763 test instructions, 19272 (24%) redundant;
+  // 13362 redundant memory accesses.
+  WorkloadSpec S;
+  S.Name = "google-core-library";
+  S.Lang = "C++";
+  S.Seed = 1600;
+  auto Scaled = [Scale](double V) {
+    return static_cast<unsigned>(V * Scale + 0.5);
+  };
+  S.Functions = std::max(1u, Scaled(80));
+  S.FillerPerFunction = 400;
+  S.ZeroExtPatterns = Scaled(1000);
+  S.RedundantTests = Scaled(19272);
+  S.HarmlessTests = Scaled(79763 - 19272);
+  S.RedundantLoads = Scaled(13362);
+  S.AddAddPairs = Scaled(500);
+  S.JumpTables = Scaled(40);
+  // The corpus is for static analysis; keep hot loops minimal.
+  S.SplitShortLoops = 0;
+  S.AlignedShortLoops = 0;
+  S.SchedFanoutLoops = 0;
+  S.HotIterations = 10;
+  return S;
+}
+
+const WorkloadSpec *mao::findBenchmarkProfile(const std::string &Name) {
+  static const std::vector<WorkloadSpec> All = [] {
+    std::vector<WorkloadSpec> V = spec2000IntProfiles();
+    std::vector<WorkloadSpec> V6 = spec2006Profiles();
+    V.insert(V.end(), V6.begin(), V6.end());
+    return V;
+  }();
+  for (const WorkloadSpec &S : All)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}

@@ -1,0 +1,512 @@
+//===- workload/Workload.cpp - Synthetic benchmark generator ------------------==//
+
+#include "workload/Workload.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace mao;
+
+namespace {
+
+/// Register conventions inside generated code:
+///   %ecx   inner-loop counter        %r15d  outer-loop counter
+///   %r13   per-function memory base  %r14d  guard register (never zero)
+///   %rsp/%rbp frame                  everything else: filler pool
+const char *Pool32[] = {"eax", "ebx", "edx",  "esi",  "edi",
+                        "r8d", "r9d", "r10d", "r11d", "r12d"};
+const char *Pool64[] = {"rax", "rbx", "rdx", "rsi", "rdi",
+                        "r8",  "r9",  "r10", "r11", "r12"};
+constexpr unsigned PoolSize = 10;
+
+class WorkloadBuilder {
+public:
+  explicit WorkloadBuilder(const WorkloadSpec &Spec)
+      : Spec(Spec), Rng(Spec.Seed) {}
+
+  static unsigned iterOr(unsigned Specific, unsigned Fallback) {
+    return Specific ? Specific : Fallback;
+  }
+
+  std::string build();
+
+private:
+  // --- Emission helpers -----------------------------------------------------
+  void line(const std::string &Text) {
+    Out += '\t';
+    Out += Text;
+    Out += '\n';
+  }
+  void label(const std::string &Name) {
+    Out += Name;
+    Out += ":\n";
+  }
+  std::string newLabel() { return ".LW" + std::to_string(LabelId++); }
+
+  unsigned pick() { return static_cast<unsigned>(Rng.nextBelow(PoolSize)); }
+  unsigned pickOther(unsigned Not) {
+    unsigned R = pick();
+    return R == Not ? (R + 1) % PoolSize : R;
+  }
+  std::string r32(unsigned I) { return std::string("%") + Pool32[I]; }
+  std::string r64(unsigned I) { return std::string("%") + Pool64[I]; }
+
+  // --- Building blocks --------------------------------------------------------
+  void emitFunction(unsigned Index);
+  void emitFiller(unsigned Count);
+  void emitZeroExtPattern();
+  void emitRedundantTest();
+  void emitHarmlessTest();
+  void emitRedundantLoad();
+  void emitAddAddPair();
+  void emitJumpTable();
+  void emitShortLoop(bool Aligned);
+  void emitAccidentallyAlignedLoop();
+  void emitBucketSensitivePair();
+  void emitDecodeBoundLoop();
+  void emitLsdFixableLoop();
+  void emitSchedFanoutLoop();
+  void emitNeutralLoop();
+  void alignDirective() {
+    if (Spec.AlignDirectivesOnHotLoops)
+      line(".p2align 4,,15");
+  }
+
+  const WorkloadSpec &Spec;
+  RandomSource Rng;
+  std::string Out;
+  unsigned LabelId = 0;
+  unsigned FnIndex = 0;
+
+  // Remaining per-file pattern budgets, spent round-robin by functions.
+  struct Budget {
+    unsigned ZeroExt, RedTest, HarmlessTest, RedLoad, AddAdd, JumpTables;
+    unsigned Split, Aligned, Accidental, Pairs, Decode, Lsd, Sched;
+    unsigned Neutral;
+  } B{};
+};
+
+void WorkloadBuilder::emitFiller(unsigned Count) {
+  for (unsigned I = 0; I < Count; ++I) {
+    unsigned X = pick(), Y = pickOther(X);
+    switch (Rng.nextBelow(8)) {
+    case 0:
+      line("addl $" + std::to_string(Rng.nextInRange(1, 100)) + ", " +
+           r32(X));
+      break;
+    case 1:
+      line("xorl " + r32(X) + ", " + r32(Y));
+      break;
+    case 2:
+      line("movl " + r32(X) + ", " + r32(Y));
+      break;
+    case 3:
+      line("leaq " + std::to_string(Rng.nextInRange(0, 64)) + "(" + r64(X) +
+           "), " + r64(Y));
+      break;
+    case 4:
+      line("movl " + std::to_string(8 * Rng.nextInRange(0, 7)) +
+           "(%r13), " + r32(X));
+      break;
+    case 5:
+      line("movl " + r32(X) + ", " +
+           std::to_string(64 + 8 * Rng.nextInRange(0, 7)) + "(%r13)");
+      break;
+    case 6:
+      line("imull $" + std::to_string(Rng.nextInRange(2, 9)) + ", " +
+           r32(X) + ", " + r32(Y));
+      break;
+    case 7:
+      line("shrl $" + std::to_string(Rng.nextInRange(1, 12)) + ", " + r32(X));
+      break;
+    }
+  }
+}
+
+void WorkloadBuilder::emitZeroExtPattern() {
+  unsigned X = pick();
+  line("andl $255, " + r32(X));
+  line("movl " + r32(X) + ", " + r32(X)); // Redundant zero extension.
+}
+
+void WorkloadBuilder::emitRedundantTest() {
+  unsigned X = pick();
+  std::string Skip = newLabel();
+  line("subl $" + std::to_string(Rng.nextInRange(1, 32)) + ", " + r32(X));
+  line("testl " + r32(X) + ", " + r32(X)); // Redundant: subl set the flags.
+  line("je " + Skip);
+  emitFiller(1);
+  label(Skip);
+}
+
+void WorkloadBuilder::emitHarmlessTest() {
+  unsigned X = pick(), Y = pickOther(X);
+  std::string Skip = newLabel();
+  line("movl " + r32(Y) + ", " + r32(X)); // mov sets no flags: test needed.
+  line("testl " + r32(X) + ", " + r32(X));
+  line("je " + Skip);
+  emitFiller(1);
+  label(Skip);
+}
+
+void WorkloadBuilder::emitRedundantLoad() {
+  unsigned X = pick(), Y = pickOther(X);
+  std::string Off = std::to_string(8 * Rng.nextInRange(0, 7));
+  line("movq " + Off + "(%r13), " + r64(X));
+  line("movq " + Off + "(%r13), " + r64(Y)); // Same address: redundant.
+}
+
+void WorkloadBuilder::emitAddAddPair() {
+  unsigned X = pick(), Y = pickOther(X);
+  line("addq $" + std::to_string(Rng.nextInRange(1, 64)) + ", " + r64(X));
+  line("movl $" + std::to_string(Rng.nextInRange(1, 9)) + ", " + r32(Y));
+  line("addq $" + std::to_string(Rng.nextInRange(1, 64)) + ", " + r64(X));
+}
+
+void WorkloadBuilder::emitJumpTable() {
+  // A dynamically-dead switch: the guard never fires at run time, but the
+  // dispatch pattern exercises CFG jump-table resolution.
+  std::string Table = newLabel();
+  std::string CaseA = newLabel(), CaseB = newLabel(), CaseC = newLabel();
+  std::string Done = newLabel();
+  line("cmpl $0, %r14d"); // r14d is never zero.
+  line("je " + Table + "_dispatch");
+  line("jmp " + Done);
+  label(Table + "_dispatch");
+  line("movl %r14d, %eax");
+  line("andl $3, %eax");
+  line("movq " + Table + "(,%rax,8), %rax");
+  line("jmp *%rax");
+  label(CaseA);
+  line("addl $1, %ebx");
+  line("jmp " + Done);
+  label(CaseB);
+  line("addl $2, %ebx");
+  line("jmp " + Done);
+  label(CaseC);
+  line("addl $3, %ebx");
+  label(Done);
+  // The table itself goes into .rodata and back (split-function pattern).
+  line(".section .rodata");
+  line(".p2align 3");
+  label(Table);
+  line(".quad " + CaseA);
+  line(".quad " + CaseB);
+  line(".quad " + CaseC);
+  line(".quad " + CaseA);
+  line(".text");
+}
+
+/// 8-byte loop body: addl $1,r (3) + subl $1,%ecx (3) + jne (2). Aligned
+/// it decodes as one 16-byte line (and three instructions fit even a
+/// 3-wide decoder); at offset 11 it straddles a line boundary.
+void WorkloadBuilder::emitShortLoop(bool Aligned) {
+  unsigned X = pick();
+  std::string Head = newLabel();
+  line("movl $" +
+       std::to_string(iterOr(Spec.ShortLoopIterations, Spec.HotIterations)) +
+       ", %ecx");
+  line(".p2align 4"); // Establish a known 16-byte phase...
+  if (!Aligned)
+    line("nop11"); // ...then deliberately break it (offset 11: straddles).
+  label(Head);
+  line("addl $1, " + r32(X));
+  line("subl $1, %ecx");
+  line("jne " + Head);
+}
+
+/// A short hot loop that is 16-byte aligned only because a redundant
+/// sub/test pair (7 bytes) plus padding precedes it: REDTEST removes the
+/// test and un-aligns the loop; NOPKILL removes the padding with the same
+/// effect. This is the mechanism behind the paper's counter-intuitive
+/// REDTEST regression on 252.eon.
+void WorkloadBuilder::emitAccidentallyAlignedLoop() {
+  unsigned X = pick(), Y = pickOther(X);
+  std::string Head = newLabel();
+  std::string Skip = newLabel();
+  line("movl $" +
+       std::to_string(iterOr(Spec.ShortLoopIterations, Spec.HotIterations)) +
+       ", %ecx");
+  line(".p2align 4");
+  // 9 bytes of *real* padding instructions (leaq identity moves): the Nop
+  // Killer does not remove these, isolating the REDTEST effect from the
+  // NOPKILL effect on this structure.
+  line("leaq (%rbx), %rbx");
+  line("leaq (%rbx), %rbx");
+  line("leaq (%rbx), %rbx");
+  line("subl $16, %edi"); // 3 bytes
+  line("testl %edi, %edi"); // 2 bytes, redundant
+  line("je " + Skip);       // 2 bytes -> loop head lands at 9+3+2+2 = 16
+  label(Skip);
+  label(Head);
+  line("addl $1, " + r32(X));
+  line("addl " + r32(X) + ", " + r32(Y));
+  line("subl $1, %ecx");
+  line("jne " + Head);
+}
+
+/// Two oppositely-biased branches in *adjacent* PC>>5 buckets with only a
+/// few bytes of slack (paper Sec. III-C-g). Baseline layout (computed in
+/// bytes from a .p2align 5 anchor):
+///
+///   offset 17: .LOuter   movl $8, %ecx        (5)
+///   offset 22: .LInner   addl $1, rX          (3)
+///   offset 25:           subl $1, %ecx        (3)
+///   offset 28:           jne .LInner          (2)   <- bucket 0, biased T
+///   offset 30:           cmpl $0, %r14d       (4)
+///   offset 34:           jne .LNever          (2)   <- bucket 1, never T
+///   offset 36:           nop15 nop13          (28)
+///   offset 64:           subl $1, %r15d       (4)   <- bucket 2, biased T
+///   offset 68:           jne .LOuter          (2)
+///
+/// Any upstream insertion of 4..29 bytes (NOPIN, LOOP16 padding) or
+/// removal of 3..28 bytes (REDTEST, NOPKILL shrinkage) slides the first
+/// two branches into the *same* bucket, and the never-taken branch starts
+/// mispredicting on every outer iteration against the taken-trained
+/// counter. This fragility-by-construction is how the generator encodes
+/// 252.eon's and 253.perlbmk's pathological layout sensitivity.
+void WorkloadBuilder::emitBucketSensitivePair() {
+  std::string Outer = newLabel(), Split = newLabel(), Inner = newLabel();
+  std::string Never = newLabel(), Done = newLabel();
+  line("movl $" +
+       std::to_string(iterOr(Spec.PairOuterIterations,
+                             Spec.HotIterations / 4)) +
+       ", %r15d");
+  line(".p2align 5"); // Anchor: offsets below are mod-32 phases.
+  line("nop6");
+  label(Outer);               // 6
+  line("movl $2, %ecx");      // 6..10
+  label(Split);               // 11: the 8-byte loop straddles offset 16 —
+  line("addl $1, %eax");      //     this is the LOOP16 bait.
+  line("subl $1, %ecx");
+  line("jne " + Split);       // 17: bucket 0, taken-biased
+  line("movl $8, %ecx");      // 19..23
+  label(Inner);               // 24
+  line("addl $1, %ebx");
+  line("subl $1, %ecx");
+  line("jne " + Inner);       // 30: bucket 0, taken-biased (harmless share)
+  line("cmpl $0, %r14d");     // 32..35; %r14d is never zero
+  line("je " + Never);        // 36: bucket 1 alone, never taken
+  line("nop15");              // 38..52
+  line("nop11");              // 53..63
+  line("subl $1, %r15d");     // 64..67
+  line("jne " + Outer);       // 68: bucket 2 alone, taken-biased
+  line("jmp " + Done);
+  label(Never);
+  line("addl $7, %eax");
+  line("jmp " + Done);
+  label(Done);
+  // LOOP16 aligns the split loop with 5 bytes of padding; that slides the
+  // inner back branch to offset 35 and the never-taken branch to 41 — the
+  // same bucket — and the shared 2-bit counter starts thrashing. The 5%
+  // alignment gain is dwarfed by a 15-cycle mispredict per outer
+  // iteration: the pass degrades this code exactly the way LOOP16
+  // degraded 252.eon in the paper.
+}
+
+/// A decode-bound hot loop carrying four removable (redundant test +
+/// duplicated load) pairs per iteration. REDMOV/REDTEST shrink both the
+/// instruction count and the number of decode lines; on the 3-wide
+/// Opteron model the speedup is large (454.calculix's 20%).
+void WorkloadBuilder::emitDecodeBoundLoop() {
+  std::string Head = newLabel();
+  unsigned Iters = iterOr(Spec.DecodeLoopIterations, Spec.HotIterations);
+  line("movl $" + std::to_string(Iters) + ", %ecx");
+  line("movl $" + std::to_string(Iters * 5) + ", %esi");
+  alignDirective();
+  label(Head);
+  for (unsigned P = 0; P < 4; ++P) {
+    // disp32 loads: 8 encoded bytes each, so the duplicated load carries
+    // real decode-line weight that REDMOV's register-move rewrite removes.
+    std::string Off = std::to_string(0x80 + 8 * P);
+    line("movq " + Off + "(%r13), %rax");
+    line("movq " + Off + "(%r13), %rdx"); // Redundant load.
+    line("subl $1, %esi");
+    line("testl %esi, %esi"); // Redundant: flags dead, value just computed.
+  }
+  line("movabs $81985529216486895, %r12"); // 10-byte ballast instructions
+  line("movabs $81985529216486895, %r12"); // keep the loop line-bound.
+  line("subl $1, %ecx");
+  line("jne " + Head);
+}
+
+/// A loop placed to span five decode lines whose body fits four: LSDOPT
+/// re-aligns it (the Figs. 4/5 scenario).
+void WorkloadBuilder::emitLsdFixableLoop() {
+  std::string Head = newLabel();
+  line("movl $" + std::to_string(Spec.HotIterations) + ", %ecx");
+  line(".p2align 4");
+  line("nop9"); // Start at offset 9: 58-byte body spans 5 lines.
+  label(Head);
+  for (unsigned I = 0; I < 16; ++I) // 48 bytes of adds
+    line("addl $1, " + r32(I % PoolSize));
+  line("subl $1, %ecx"); // +3
+  line("jne " + Head);   // +2 -> 53-byte body + label phase
+  line("addl $1, %eax"); // padding instruction to stabilize sizes
+}
+
+/// The paper's Sec. III-F hashing shape: one producer feeding three
+/// independent consumers plus the critical shrl/xorl path.
+void WorkloadBuilder::emitSchedFanoutLoop() {
+  std::string Head = newLabel();
+  line("movl $" +
+       std::to_string(iterOr(Spec.SchedLoopIterations, Spec.HotIterations)) +
+       ", %ecx");
+  alignDirective();
+  label(Head);
+  line("xorl %edi, %ebx");
+  line("subl %ebx, %r8d");
+  line("subl %ebx, %edx");
+  line("movl %ebx, %esi");
+  line("shrl $12, %esi");
+  line("xorl %esi, %edx");
+  line("addl %edx, %eax");
+  line("subl $1, %ecx");
+  line("jne " + Head);
+}
+
+/// A latency-bound loop: four dependent multiplies dominate each
+/// iteration, so neither decode lines nor branch buckets matter. This is
+/// the workload's "everything else" time.
+void WorkloadBuilder::emitNeutralLoop() {
+  std::string Head = newLabel();
+  line("movl $" + std::to_string(Spec.NeutralIterations) + ", %ecx");
+  alignDirective();
+  label(Head);
+  line("imull $3, %eax, %eax");
+  line("imull $5, %eax, %eax");
+  line("imull $7, %eax, %eax");
+  line("imull $9, %eax, %eax");
+  line("subl $1, %ecx");
+  line("jne " + Head);
+}
+
+void WorkloadBuilder::emitFunction(unsigned Index) {
+  const std::string Name =
+      "fn" + std::to_string(Index) + "_" + std::to_string(Spec.Seed % 997);
+  line(".globl " + Name);
+  line(".type " + Name + ", @function");
+  label(Name);
+  line("pushq %rbp");
+  line("movq %rsp, %rbp");
+  line("pushq %rbx");
+  line("pushq %r12");
+  line("pushq %r13");
+  line("pushq %r14");
+  line("pushq %r15");
+
+  // Establish the function's data region and the guard register.
+  uint64_t Base = 0x100000 + 0x1000 * static_cast<uint64_t>(Index);
+  line("movq $" + std::to_string(Base) + ", %r13");
+  for (unsigned I = 0; I < 8; ++I)
+    line("movq $" + std::to_string(Rng.nextInRange(1, 1000)) + ", " +
+         std::to_string(8 * I) + "(%r13)");
+  for (unsigned I = 0; I < 8; ++I)
+    line("movq $" + std::to_string(Rng.nextInRange(1, 1000)) + ", " +
+         std::to_string(0x80 + 8 * I) + "(%r13)");
+  line("movl $7, %r14d");
+
+  // Interleave filler with the pattern and hot-loop budgets. Each
+  // function takes an equal share (the last one takes the remainder).
+  const unsigned Remaining = Spec.Functions - Index;
+  auto Take = [&](unsigned &Pool) {
+    unsigned Share = (Pool + Remaining - 1) / Remaining;
+    Pool -= Share;
+    return Share;
+  };
+
+  const unsigned Fill = Spec.FillerPerFunction;
+  emitFiller(Fill / 4);
+  for (unsigned I = Take(B.ZeroExt); I > 0; --I)
+    emitZeroExtPattern();
+  for (unsigned I = Take(B.RedTest); I > 0; --I)
+    emitRedundantTest();
+  emitFiller(Fill / 4);
+  for (unsigned I = Take(B.HarmlessTest); I > 0; --I)
+    emitHarmlessTest();
+  for (unsigned I = Take(B.RedLoad); I > 0; --I)
+    emitRedundantLoad();
+  for (unsigned I = Take(B.AddAdd); I > 0; --I)
+    emitAddAddPair();
+  emitFiller(Fill / 4);
+  for (unsigned I = Take(B.JumpTables); I > 0; --I)
+    emitJumpTable();
+
+  // Hot loops: split loops first so LOOP16's padding shifts everything
+  // downstream (including any bucket-sensitive pairs).
+  for (unsigned I = Take(B.Split); I > 0; --I)
+    emitShortLoop(/*Aligned=*/false);
+  for (unsigned I = Take(B.Aligned); I > 0; --I)
+    emitShortLoop(/*Aligned=*/true);
+  for (unsigned I = Take(B.Accidental); I > 0; --I)
+    emitAccidentallyAlignedLoop();
+  for (unsigned I = Take(B.Decode); I > 0; --I)
+    emitDecodeBoundLoop();
+  for (unsigned I = Take(B.Lsd); I > 0; --I)
+    emitLsdFixableLoop();
+  for (unsigned I = Take(B.Sched); I > 0; --I)
+    emitSchedFanoutLoop();
+  for (unsigned I = Take(B.Pairs); I > 0; --I)
+    emitBucketSensitivePair();
+  for (unsigned I = Take(B.Neutral); I > 0; --I)
+    emitNeutralLoop();
+  emitFiller(Fill / 4);
+
+  line("popq %r15");
+  line("popq %r14");
+  line("popq %r13");
+  line("popq %r12");
+  line("popq %rbx");
+  line("leave");
+  line("ret");
+  line(".size " + Name + ", .-" + Name);
+}
+
+std::string WorkloadBuilder::build() {
+  Out.clear();
+  line(".file \"" + Spec.Name + ".s\"");
+  line(".text");
+
+  B.ZeroExt = Spec.ZeroExtPatterns;
+  B.RedTest = Spec.RedundantTests;
+  B.HarmlessTest = Spec.HarmlessTests;
+  B.RedLoad = Spec.RedundantLoads;
+  B.AddAdd = Spec.AddAddPairs;
+  B.JumpTables = Spec.JumpTables;
+  B.Split = Spec.SplitShortLoops;
+  B.Aligned = Spec.AlignedShortLoops;
+  B.Accidental = Spec.AccidentallyAlignedLoops;
+  B.Pairs = Spec.BucketSensitivePairs;
+  B.Decode = Spec.DecodeBoundLoops;
+  B.Lsd = Spec.LsdFixableLoops;
+  B.Sched = Spec.SchedFanoutLoops;
+  B.Neutral = Spec.NeutralLoops;
+
+  for (unsigned I = 0; I < Spec.Functions; ++I)
+    emitFunction(I);
+
+  // The driver calling every function.
+  line(".globl bench_main");
+  line(".type bench_main, @function");
+  label("bench_main");
+  line("pushq %rbp");
+  line("movq %rsp, %rbp");
+  for (unsigned I = 0; I < Spec.Functions; ++I)
+    line("call fn" + std::to_string(I) + "_" +
+         std::to_string(Spec.Seed % 997));
+  line("movl $0, %eax");
+  line("leave");
+  line("ret");
+  line(".size bench_main, .-bench_main");
+  line(".ident \"MAO synthetic workload: " + Spec.Name + " (" + Spec.Lang +
+       ")\"");
+  return Out;
+}
+
+} // namespace
+
+std::string mao::generateWorkloadAssembly(const WorkloadSpec &Spec) {
+  WorkloadBuilder Builder(Spec);
+  return Builder.build();
+}

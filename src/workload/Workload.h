@@ -1,0 +1,113 @@
+//===- workload/Workload.h - Synthetic benchmark generator ------*- C++ -*-===//
+///
+/// \file
+/// The reproduction's substitute for SPEC CPU 2000/2006 assembly and the
+/// paper's "Google core library" corpus: a deterministic generator that
+/// emits GCC-4.4-style AT&T assembly with calibrated densities of exactly
+/// the patterns the paper's passes target, plus layout-sensitivity knobs
+/// that encode *why* each benchmark reacted to each pass:
+///
+///  - redundant zero extensions, redundant tests, duplicated loads and
+///    add/add chains at per-benchmark densities (pattern counts, Fig. 7)
+///  - short hot loops deliberately straddling a 16-byte decode line
+///    (LOOP16 improvement candidates)
+///  - hot loops whose alignment is an *accident* of preceding removable
+///    instructions or alignment directives (REDTEST / NOPKILL regressions
+///    on 252.eon and 454.calculix)
+///  - back-branch pairs with little slack inside a 32-byte predictor
+///    bucket (NOPIN / LOOP16 regressions via aliasing)
+///  - decode-bound hot loops carrying removable instructions (the large
+///    REDMOV/REDTEST wins on the Opteron model)
+///  - loops spanning five decode lines, fixable to four (LSD, Figs. 4/5)
+///  - single-producer/multi-consumer dependence shapes (SCHED)
+///
+/// Every generated program defines `bench_main`, is fully emulatable
+/// (modelled instructions only, no external calls) and terminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_WORKLOAD_WORKLOAD_H
+#define MAO_WORKLOAD_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mao {
+
+/// Generation parameters for one synthetic benchmark.
+struct WorkloadSpec {
+  std::string Name = "synthetic"; ///< e.g. "252.eon"
+  std::string Lang = "C";         ///< informational ("C", "C++", "F")
+  uint64_t Seed = 1;
+
+  // Static shape.
+  unsigned Functions = 4;          ///< Hot functions, each called once.
+  unsigned FillerPerFunction = 60; ///< Straight-line filler instructions.
+
+  // Peephole pattern counts (static occurrences across the whole file).
+  unsigned ZeroExtPatterns = 4;
+  unsigned RedundantTests = 6;
+  unsigned HarmlessTests = 12;  ///< Non-redundant tests (mov + test).
+  unsigned RedundantLoads = 5;
+  unsigned AddAddPairs = 3;
+
+  // Hot-loop structure (dynamic behaviour). A zero per-structure trip
+  // count falls back to HotIterations.
+  unsigned HotIterations = 2000; ///< Default trip count of each hot loop.
+  unsigned ShortLoopIterations = 0;  ///< Split/aligned/accidental loops.
+  unsigned DecodeLoopIterations = 0; ///< Decode-bound loops.
+  unsigned SchedLoopIterations = 0;  ///< Fan-out scheduling loops.
+  unsigned PairOuterIterations = 0;  ///< Outer trips of fragile pairs.
+  unsigned SplitShortLoops = 2;  ///< Small loops straddling a decode line.
+  unsigned AlignedShortLoops = 2; ///< Small loops currently aligned.
+  /// Hot loops whose 16-byte alignment exists only because a redundant
+  /// test sits in front of them: REDTEST/NOPKILL un-align them.
+  unsigned AccidentallyAlignedLoops = 0;
+  /// Pairs of short-running loops whose back branches sit in the same
+  /// PC>>5 bucket with almost no slack: any code shift risks aliasing.
+  unsigned BucketSensitivePairs = 0;
+  /// Longer decode-bound loops carrying a removable test + duplicated
+  /// load per iteration (REDMOV/REDTEST targets).
+  unsigned DecodeBoundLoops = 0;
+  /// Loops spanning five decode lines, fixable to four (LSDOPT targets).
+  unsigned LsdFixableLoops = 0;
+  /// Hot loops with a one-producer/three-consumer dependence shape.
+  unsigned SchedFanoutLoops = 0;
+  /// Latency-bound "neutral" hot loops (dependent multiply chains):
+  /// insensitive to layout, they model the bulk of benchmark runtime that
+  /// no micro-architectural pass can touch, diluting pass effects to the
+  /// paper's few-percent scale.
+  unsigned NeutralLoops = 1;
+  unsigned NeutralIterations = 20000;
+  /// Emit `.p2align 4` before decode-bound/aligned hot loops (NOPKILL
+  /// removes these; on alignment-sensitive benchmarks that regresses).
+  bool AlignDirectivesOnHotLoops = true;
+  /// Place jump tables (tests the CFG machinery inside workloads).
+  unsigned JumpTables = 0;
+};
+
+/// Generates the assembly text for \p Spec.
+std::string generateWorkloadAssembly(const WorkloadSpec &Spec);
+
+/// The SPEC CPU 2000 integer suite profiles used throughout the paper's
+/// evaluation (Fig. 7 rows).
+std::vector<WorkloadSpec> spec2000IntProfiles();
+
+/// The SPEC CPU 2006 benchmarks the paper reports on (Sec. V-B).
+std::vector<WorkloadSpec> spec2006Profiles();
+
+/// The "Google core library" corpus stand-in (paper Sec. III-B): a large
+/// file calibrated to the paper's absolute pattern counts (about 1000
+/// redundant zero extensions; 79763 test instructions of which 19272 are
+/// redundant; 13362 redundant loads). \p Scale in (0, 1] shrinks all
+/// counts proportionally for quick test runs.
+WorkloadSpec googleCorpusProfile(double Scale = 1.0);
+
+/// Looks up a profile by benchmark name in both SPEC suites; null when
+/// unknown.
+const WorkloadSpec *findBenchmarkProfile(const std::string &Name);
+
+} // namespace mao
+
+#endif // MAO_WORKLOAD_WORKLOAD_H

@@ -1,0 +1,50 @@
+//===- x86/Opcodes.cpp - Mnemonic table ------------------------------------==//
+
+#include "x86/Opcodes.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace mao;
+
+namespace {
+
+const OpcodeInfo OpcodeTable[] = {
+    {"<invalid>", EncKind::Opaque, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+#define MAO_MNEM(Enum, Name, Kind, FDef, FUse, IDef, IUse, EncA, EncB, Lat,   \
+                 Ports, Uops)                                                  \
+  {Name,                                                                       \
+   EncKind::Kind,                                                              \
+   static_cast<uint8_t>(FDef),                                                 \
+   static_cast<uint8_t>(FUse),                                                 \
+   static_cast<uint8_t>(IDef),                                                 \
+   static_cast<uint8_t>(IUse),                                                 \
+   EncA,                                                                       \
+   EncB,                                                                       \
+   Lat,                                                                        \
+   Ports,                                                                      \
+   Uops},
+#include "x86/Opcodes.def"
+};
+
+} // namespace
+
+const OpcodeInfo &mao::opcodeInfo(Mnemonic Mn) {
+  assert(Mn < Mnemonic::NumMnemonics && "mnemonic out of range");
+  return OpcodeTable[static_cast<unsigned>(Mn)];
+}
+
+Mnemonic mao::findMnemonicExact(const std::string &Name) {
+  static const std::unordered_map<std::string, Mnemonic> Map = [] {
+    std::unordered_map<std::string, Mnemonic> M;
+    for (unsigned I = 1; I < static_cast<unsigned>(Mnemonic::NumMnemonics);
+         ++I) {
+      // Later duplicates (e.g. MOVQX also spelled "movq") do not shadow the
+      // first entry; the parser disambiguates by operand kinds.
+      M.emplace(OpcodeTable[I].Name, static_cast<Mnemonic>(I));
+    }
+    return M;
+  }();
+  auto It = Map.find(Name);
+  return It == Map.end() ? Mnemonic::Invalid : It->second;
+}

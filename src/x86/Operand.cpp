@@ -1,0 +1,76 @@
+//===- x86/Operand.cpp - Instruction operand model -------------------------==//
+
+#include "x86/Operand.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace mao;
+
+static void appendInt(std::string &Out, int64_t Value) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%" PRId64, Value);
+  Out += Buffer;
+}
+
+/// Renders "sym", "sym+4", or "" / decimal displacement.
+static void appendSymPlusAddend(std::string &Out, const std::string &Sym,
+                                int64_t Addend, bool OmitZero) {
+  if (!Sym.empty()) {
+    Out += Sym;
+    if (Addend > 0) {
+      Out += '+';
+      appendInt(Out, Addend);
+    } else if (Addend < 0) {
+      appendInt(Out, Addend);
+    }
+    return;
+  }
+  if (Addend != 0 || !OmitZero)
+    appendInt(Out, Addend);
+}
+
+std::string Operand::toString() const {
+  std::string Out;
+  switch (Kind) {
+  case OperandKind::None:
+    return "<none>";
+  case OperandKind::Register:
+    if (IndirectStar)
+      Out += '*';
+    Out += '%';
+    Out += regName(R);
+    return Out;
+  case OperandKind::Immediate:
+    Out += '$';
+    appendSymPlusAddend(Out, Sym, Imm, /*OmitZero=*/false);
+    return Out;
+  case OperandKind::Symbol:
+    appendSymPlusAddend(Out, Sym, Imm, /*OmitZero=*/false);
+    return Out;
+  case OperandKind::Memory: {
+    if (IndirectStar)
+      Out += '*';
+    appendSymPlusAddend(Out, Mem.SymDisp, Mem.Disp, /*OmitZero=*/true);
+    if (Mem.Base == Reg::None && Mem.Index == Reg::None)
+      return Out;
+    Out += '(';
+    if (Mem.Base != Reg::None) {
+      Out += '%';
+      Out += regName(Mem.Base);
+    }
+    if (Mem.Index != Reg::None) {
+      assert(Mem.Index != Reg::RSP && "rsp cannot be an index register");
+      Out += ",%";
+      Out += regName(Mem.Index);
+      Out += ',';
+      Out += static_cast<char>('0' + Mem.Scale);
+    }
+    Out += ')';
+    return Out;
+  }
+  }
+  assert(false && "covered switch");
+  return Out;
+}

@@ -1,0 +1,104 @@
+//===- x86/Operand.h - Instruction operand model ----------------*- C++ -*-===//
+///
+/// \file
+/// Operand representation covering the x86-64 addressing modes that appear
+/// in compiler-generated AT&T assembly: registers, (symbolic) immediates,
+/// memory references `disp(base, index, scale)` including RIP-relative
+/// forms, and direct symbol targets for branches and calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_X86_OPERAND_H
+#define MAO_X86_OPERAND_H
+
+#include "x86/Registers.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mao {
+
+/// A memory reference: SymDisp+Disp(Base, Index, Scale).
+struct MemRef {
+  std::string SymDisp; ///< Optional symbolic displacement part.
+  int64_t Disp = 0;    ///< Constant displacement part.
+  Reg Base = Reg::None;  ///< Base register; may be Reg::RIP.
+  Reg Index = Reg::None; ///< Index register (never RSP).
+  uint8_t Scale = 1;     ///< 1, 2, 4 or 8.
+
+  bool hasSym() const { return !SymDisp.empty(); }
+  bool isRipRelative() const { return Base == Reg::RIP; }
+  bool operator==(const MemRef &O) const = default;
+};
+
+enum class OperandKind : uint8_t {
+  None,
+  Register,  ///< %reg (possibly an indirect '*%reg' branch target)
+  Immediate, ///< $imm or $sym+imm
+  Memory,    ///< disp(base,index,scale) (possibly an indirect '*mem' target)
+  Symbol,    ///< bare symbol: direct branch/call target or data reference
+};
+
+/// One instruction operand. A small tagged union; the active members depend
+/// on Kind. AT&T operand order is preserved: sources precede destinations.
+struct Operand {
+  OperandKind Kind = OperandKind::None;
+  Reg R = Reg::None;     ///< Register when Kind == Register.
+  int64_t Imm = 0;       ///< Immediate value / symbol addend.
+  std::string Sym;       ///< Symbol when Kind is Immediate or Symbol.
+  MemRef Mem;            ///< Memory reference when Kind == Memory.
+  bool IndirectStar = false; ///< '*' prefix on a jump/call target.
+
+  static Operand makeReg(Reg R) {
+    Operand Op;
+    Op.Kind = OperandKind::Register;
+    Op.R = R;
+    return Op;
+  }
+
+  static Operand makeImm(int64_t Value) {
+    Operand Op;
+    Op.Kind = OperandKind::Immediate;
+    Op.Imm = Value;
+    return Op;
+  }
+
+  static Operand makeImmSym(std::string Symbol, int64_t Addend = 0) {
+    Operand Op;
+    Op.Kind = OperandKind::Immediate;
+    Op.Sym = std::move(Symbol);
+    Op.Imm = Addend;
+    return Op;
+  }
+
+  static Operand makeMem(MemRef M) {
+    Operand Op;
+    Op.Kind = OperandKind::Memory;
+    Op.Mem = std::move(M);
+    return Op;
+  }
+
+  static Operand makeSymbol(std::string Symbol, int64_t Addend = 0) {
+    Operand Op;
+    Op.Kind = OperandKind::Symbol;
+    Op.Sym = std::move(Symbol);
+    Op.Imm = Addend;
+    return Op;
+  }
+
+  bool isReg() const { return Kind == OperandKind::Register; }
+  bool isImm() const { return Kind == OperandKind::Immediate; }
+  bool isMem() const { return Kind == OperandKind::Memory; }
+  bool isSymbol() const { return Kind == OperandKind::Symbol; }
+  bool isSymbolicImm() const { return isImm() && !Sym.empty(); }
+  bool isConstImm() const { return isImm() && Sym.empty(); }
+
+  bool operator==(const Operand &O) const = default;
+
+  /// Renders the operand in AT&T syntax ("%rax", "$5", "8(%rsp,%rcx,4)").
+  std::string toString() const;
+};
+
+} // namespace mao
+
+#endif // MAO_X86_OPERAND_H

@@ -1,0 +1,89 @@
+//===- x86/Registers.cpp - x86-64 register model ---------------------------==//
+
+#include "x86/Registers.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace mao;
+
+namespace {
+
+struct RegInfo {
+  const char *Name;
+  Width W;
+  uint8_t Encoding;
+  Reg Super;
+  bool NeedsRex;
+  bool HighByte;
+};
+
+const RegInfo RegTable[] = {
+    {"none", Width::None, 0, Reg::None, false, false},
+#define MAO_REG(Name, Att, W, Enc, Super, Rex, High)                           \
+  {Att, Width::W, Enc, Reg::Super, Rex != 0, High != 0},
+#include "x86/Registers.def"
+};
+
+const RegInfo &infoFor(Reg R) {
+  assert(R < Reg::NumRegs && "register out of range");
+  return RegTable[static_cast<unsigned>(R)];
+}
+
+} // namespace
+
+const char *mao::regName(Reg R) { return infoFor(R).Name; }
+
+Reg mao::parseRegName(const std::string &Name) {
+  static const std::unordered_map<std::string, Reg> Map = [] {
+    std::unordered_map<std::string, Reg> M;
+    for (unsigned I = 1; I < static_cast<unsigned>(Reg::NumRegs); ++I)
+      M.emplace(RegTable[I].Name, static_cast<Reg>(I));
+    return M;
+  }();
+  auto It = Map.find(Name);
+  return It == Map.end() ? Reg::None : It->second;
+}
+
+Width mao::regWidth(Reg R) { return infoFor(R).W; }
+
+unsigned mao::regEncoding(Reg R) { return infoFor(R).Encoding; }
+
+Reg mao::superReg(Reg R) { return infoFor(R).Super; }
+
+bool mao::regNeedsRex(Reg R) { return infoFor(R).NeedsRex; }
+
+bool mao::regIsHighByte(Reg R) { return infoFor(R).HighByte; }
+
+bool mao::regIsGpr(Reg R) {
+  return R >= Reg::RAX && R <= Reg::BH;
+}
+
+bool mao::regIsXmm(Reg R) { return R >= Reg::XMM0 && R <= Reg::XMM15; }
+
+Reg mao::gprWithWidth(Reg Super64, Width W) {
+  assert(Super64 >= Reg::RAX && Super64 <= Reg::R15 &&
+         "gprWithWidth needs a 64-bit super register");
+  unsigned Index = static_cast<unsigned>(Super64) -
+                   static_cast<unsigned>(Reg::RAX);
+  switch (W) {
+  case Width::Q:
+    return Super64;
+  case Width::L:
+    return static_cast<Reg>(static_cast<unsigned>(Reg::EAX) + Index);
+  case Width::W:
+    return static_cast<Reg>(static_cast<unsigned>(Reg::AX) + Index);
+  case Width::B:
+    return static_cast<Reg>(static_cast<unsigned>(Reg::AL) + Index);
+  case Width::None:
+    break;
+  }
+  assert(false && "invalid width for a GPR view");
+  return Reg::None;
+}
+
+unsigned mao::gprSuperIndex(Reg R) {
+  Reg Super = superReg(R);
+  assert(Super >= Reg::RAX && Super <= Reg::R15 && "not a GPR");
+  return static_cast<unsigned>(Super) - static_cast<unsigned>(Reg::RAX);
+}

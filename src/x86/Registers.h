@@ -1,0 +1,70 @@
+//===- x86/Registers.h - x86-64 register model ------------------*- C++ -*-===//
+///
+/// \file
+/// Register enumeration and queries. The dataflow framework reasons about
+/// *super registers*: every narrower view (AL, AX, EAX) aliases its 64-bit
+/// parent (RAX), and a write to a 32-bit view zero-extends, i.e. defines the
+/// whole 64-bit register. Byte and word writes merge, i.e. both define and
+/// use the super register.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_X86_REGISTERS_H
+#define MAO_X86_REGISTERS_H
+
+#include "x86/X86Defs.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mao {
+
+/// Every register MAO models, in Registers.def order.
+enum class Reg : uint8_t {
+  None = 0,
+#define MAO_REG(Name, Att, W, Enc, Super, Rex, High) Name,
+#include "x86/Registers.def"
+  NumRegs,
+};
+
+/// Number of distinct 64-bit GPR super registers (RAX..R15).
+constexpr unsigned NumGprSupers = 16;
+
+/// Returns the AT&T name without the '%' sigil ("rax").
+const char *regName(Reg R);
+
+/// Parses a register name without the '%' sigil; Reg::None when unknown.
+Reg parseRegName(const std::string &Name);
+
+/// Returns the register's natural width (Width::None for XMM).
+Width regWidth(Reg R);
+
+/// Returns the 4-bit hardware encoding (bit 3 belongs in a REX prefix).
+unsigned regEncoding(Reg R);
+
+/// Returns the canonical 64-bit super register (RAX for AL/AX/EAX/RAX).
+Reg superReg(Reg R);
+
+/// True for registers that require a REX prefix to be encodable.
+bool regNeedsRex(Reg R);
+
+/// True for AH/CH/DH/BH, which cannot appear in a REX-prefixed instruction.
+bool regIsHighByte(Reg R);
+
+/// True for any general-purpose register view (not RIP, not XMM).
+bool regIsGpr(Reg R);
+
+/// True for XMM registers.
+bool regIsXmm(Reg R);
+
+/// Returns the GPR view of \p Super64 with width \p W (e.g. RAX + L -> EAX).
+/// \p Super64 must be a 64-bit GPR; high-byte views are never returned.
+Reg gprWithWidth(Reg Super64, Width W);
+
+/// Returns a dense index in [0, NumGprSupers) for a GPR's super register,
+/// used by bitset-based dataflow.
+unsigned gprSuperIndex(Reg R);
+
+} // namespace mao
+
+#endif // MAO_X86_REGISTERS_H

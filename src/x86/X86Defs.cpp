@@ -1,0 +1,115 @@
+//===- x86/X86Defs.cpp - Core x86-64 definitions ---------------------------==//
+
+#include "x86/X86Defs.h"
+
+#include <unordered_map>
+
+using namespace mao;
+
+const char *mao::condCodeName(CondCode CC) {
+  switch (CC) {
+  case CondCode::O:
+    return "o";
+  case CondCode::NO:
+    return "no";
+  case CondCode::B:
+    return "b";
+  case CondCode::AE:
+    return "ae";
+  case CondCode::E:
+    return "e";
+  case CondCode::NE:
+    return "ne";
+  case CondCode::BE:
+    return "be";
+  case CondCode::A:
+    return "a";
+  case CondCode::S:
+    return "s";
+  case CondCode::NS:
+    return "ns";
+  case CondCode::P:
+    return "p";
+  case CondCode::NP:
+    return "np";
+  case CondCode::L:
+    return "l";
+  case CondCode::GE:
+    return "ge";
+  case CondCode::LE:
+    return "le";
+  case CondCode::G:
+    return "g";
+  case CondCode::None:
+    return "<none>";
+  }
+  assert(false && "covered switch");
+  return "<invalid>";
+}
+
+CondCode mao::parseCondCode(const std::string &Text) {
+  static const std::unordered_map<std::string, CondCode> Map = {
+      {"o", CondCode::O},    {"no", CondCode::NO},  {"b", CondCode::B},
+      {"c", CondCode::B},    {"nae", CondCode::B},  {"ae", CondCode::AE},
+      {"nb", CondCode::AE},  {"nc", CondCode::AE},  {"e", CondCode::E},
+      {"z", CondCode::E},    {"ne", CondCode::NE},  {"nz", CondCode::NE},
+      {"be", CondCode::BE},  {"na", CondCode::BE},  {"a", CondCode::A},
+      {"nbe", CondCode::A},  {"s", CondCode::S},    {"ns", CondCode::NS},
+      {"p", CondCode::P},    {"pe", CondCode::P},   {"np", CondCode::NP},
+      {"po", CondCode::NP},  {"l", CondCode::L},    {"nge", CondCode::L},
+      {"ge", CondCode::GE},  {"nl", CondCode::GE},  {"le", CondCode::LE},
+      {"ng", CondCode::LE},  {"g", CondCode::G},    {"nle", CondCode::G},
+  };
+  auto It = Map.find(Text);
+  return It == Map.end() ? CondCode::None : It->second;
+}
+
+uint8_t mao::condCodeFlagsUsed(CondCode CC) {
+  switch (CC) {
+  case CondCode::O:
+  case CondCode::NO:
+    return FlagOF;
+  case CondCode::B:
+  case CondCode::AE:
+    return FlagCF;
+  case CondCode::E:
+  case CondCode::NE:
+    return FlagZF;
+  case CondCode::BE:
+  case CondCode::A:
+    return FlagCF | FlagZF;
+  case CondCode::S:
+  case CondCode::NS:
+    return FlagSF;
+  case CondCode::P:
+  case CondCode::NP:
+    return FlagPF;
+  case CondCode::L:
+  case CondCode::GE:
+    return FlagSF | FlagOF;
+  case CondCode::LE:
+  case CondCode::G:
+    return FlagZF | FlagSF | FlagOF;
+  case CondCode::None:
+    return 0;
+  }
+  assert(false && "covered switch");
+  return 0;
+}
+
+std::string mao::flagMaskToString(uint8_t Mask) {
+  static const struct {
+    uint8_t Bit;
+    const char *Name;
+  } Bits[] = {{FlagCF, "CF"}, {FlagPF, "PF"}, {FlagAF, "AF"}, {FlagZF, "ZF"},
+              {FlagSF, "SF"}, {FlagOF, "OF"}, {FlagDF, "DF"}};
+  std::string Out;
+  for (const auto &B : Bits) {
+    if (!(Mask & B.Bit))
+      continue;
+    if (!Out.empty())
+      Out += '|';
+    Out += B.Name;
+  }
+  return Out.empty() ? "-" : Out;
+}

@@ -1,0 +1,219 @@
+//===- tests/DataflowTest.cpp - Liveness and reaching-defs tests -------------==//
+
+#include "analysis/Dataflow.h"
+#include "asm/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mao;
+
+namespace {
+
+MaoUnit parseOk(const std::string &Text) {
+  auto UnitOr = parseAssembly(Text);
+  EXPECT_TRUE(UnitOr.ok());
+  return std::move(*UnitOr);
+}
+
+std::string wrapFunction(const std::string &Body) {
+  return "\t.text\n\t.type f, @function\nf:\n" + Body + "\t.size f, .-f\n";
+}
+
+TEST(Liveness, DeadAfterOverwrite) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $1, %ecx
+	movl $2, %ecx
+	movl %ecx, %eax
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  LivenessResult Live = computeLiveness(G);
+  InsnLiveness IL = perInstructionLiveness(G, 0, Live);
+  // After the first movl $1, %ecx the register is immediately re-defined:
+  // it must not be live.
+  EXPECT_FALSE(IL.RegLiveAfter[0] & regMaskBit(Reg::RCX));
+  // After the second def it is live (used by the third instruction).
+  EXPECT_TRUE(IL.RegLiveAfter[1] & regMaskBit(Reg::RCX));
+  // RAX is live after the final move (return value).
+  EXPECT_TRUE(IL.RegLiveAfter[2] & regMaskBit(Reg::RAX));
+}
+
+TEST(Liveness, FlagsLiveBetweenCmpAndJcc) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	cmpl $0, %edi
+	movl $7, %eax
+	jne .LX
+	movl $9, %eax
+.LX:
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  LivenessResult Live = computeLiveness(G);
+  InsnLiveness IL = perInstructionLiveness(G, 0, Live);
+  // ZF is live after cmp (consumed by jne two instructions later).
+  EXPECT_TRUE(IL.FlagsLiveAfter[0] & FlagZF);
+  // mov does not kill flags.
+  EXPECT_TRUE(IL.FlagsLiveAfter[1] & FlagZF);
+  // After the jne, no status flags are consumed before ret.
+  EXPECT_FALSE(IL.FlagsLiveAfter[2] & FlagZF);
+}
+
+TEST(Liveness, LoopCarriesLiveness) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $0, %eax
+	movl $10, %ecx
+.LLOOP:
+	addl $1, %eax
+	subl $1, %ecx
+	jne .LLOOP
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  LivenessResult Live = computeLiveness(G);
+  unsigned LoopBlock = G.blockOfLabel(".LLOOP");
+  ASSERT_NE(LoopBlock, ~0u);
+  // The counter rcx is live into the loop block (used by subl and carried
+  // around the back edge).
+  EXPECT_TRUE(Live.RegLiveIn[LoopBlock] & regMaskBit(Reg::RCX));
+  EXPECT_TRUE(Live.RegLiveIn[LoopBlock] & regMaskBit(Reg::RAX));
+}
+
+TEST(Liveness, CallMakesArgumentsLive) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $1, %edi
+	call g
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  LivenessResult Live = computeLiveness(G);
+  InsnLiveness IL = perInstructionLiveness(G, 0, Live);
+  EXPECT_TRUE(IL.RegLiveAfter[0] & regMaskBit(Reg::RDI));
+}
+
+TEST(Liveness, UnresolvedIndirectIsConservative) {
+  MaoUnit Unit = parseOk(wrapFunction("\tmovl $1, %r13d\n\tjmp *%rax\n"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  LivenessResult Live = computeLiveness(G);
+  // Everything must be live-out of a block ending in an unresolved jump.
+  EXPECT_EQ(Live.RegLiveOut[0], ~RegMask(0));
+}
+
+TEST(ReachingDefs, SingleDefReaches) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $1, %ecx
+	cmpl $0, %edi
+	je .LX
+	movl $5, %eax
+.LX:
+	movl %ecx, %eax
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  ReachingDefs RD = ReachingDefs::compute(G);
+  unsigned XBlock = G.blockOfLabel(".LX");
+  auto Defs = RD.reachingBlockEntry(XBlock, regMaskBit(Reg::RCX));
+  ASSERT_EQ(Defs.size(), 1u);
+  EXPECT_EQ(Defs[0]->Insn->instruction().Mn, Mnemonic::MOV);
+}
+
+TEST(ReachingDefs, TwoDefsMerge) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	cmpl $0, %edi
+	je .LELSE
+	movl $1, %ecx
+	jmp .LX
+.LELSE:
+	movl $2, %ecx
+.LX:
+	movl %ecx, %eax
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  ReachingDefs RD = ReachingDefs::compute(G);
+  unsigned XBlock = G.blockOfLabel(".LX");
+  auto Defs = RD.reachingBlockEntry(XBlock, regMaskBit(Reg::RCX));
+  EXPECT_EQ(Defs.size(), 2u);
+}
+
+TEST(ReachingDefs, InBlockKill) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $1, %ecx
+	movl $2, %ecx
+	movl %ecx, %eax
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  ReachingDefs RD = ReachingDefs::compute(G);
+  auto Defs = RD.reachingInstruction(G, 0, 2, regMaskBit(Reg::RCX));
+  ASSERT_EQ(Defs.size(), 1u);
+  EXPECT_EQ(Defs[0]->InsnIdx, 1u);
+}
+
+// --- The paper's Tier-2 anecdote: cross-block jump-table load. -------------
+
+const char *CrossBlockTable = R"(	.text
+	.type f, @function
+f:
+	movl %edi, %eax
+	movq .LTBL(,%rax,8), %rax
+	cmpl $0, %esi
+	je .LDISPATCH
+	addl $1, %esi
+.LDISPATCH:
+	jmp *%rax
+.LA:
+	movl $1, %eax
+	ret
+.LB:
+	movl $2, %eax
+	ret
+	.size f, .-f
+	.section .rodata
+.LTBL:
+	.quad .LA
+	.quad .LB
+)";
+
+TEST(ReachingDefs, ResolvesCrossBlockJumpTable) {
+  MaoUnit Unit = parseOk(CrossBlockTable);
+  MaoFunction &Fn = Unit.functions()[0];
+  CFG G = CFG::build(Fn);
+  // Tier 1 (same block) must fail: the load is in a predecessor block.
+  EXPECT_TRUE(Fn.HasUnresolvedIndirect);
+  EXPECT_EQ(G.stats().ResolvedSameBlock, 0u);
+
+  // Tier 2 (reaching definitions) resolves it — the paper's "single
+  // pattern" that took 246/320 unresolved down to 4.
+  unsigned Resolved = resolveIndirectJumps(G);
+  EXPECT_EQ(Resolved, 1u);
+  EXPECT_FALSE(Fn.HasUnresolvedIndirect);
+  EXPECT_EQ(G.stats().ResolvedReachingDefs, 1u);
+  unsigned A = G.blockOfLabel(".LA");
+  unsigned Dispatch = G.blockOfLabel(".LDISPATCH");
+  const BasicBlock &DB = G.blocks()[Dispatch];
+  EXPECT_NE(std::find(DB.Succs.begin(), DB.Succs.end(), A), DB.Succs.end());
+}
+
+TEST(ReachingDefs, AmbiguousDefsStayUnresolved) {
+  // Two different table loads reach the jump: cannot resolve uniquely.
+  std::string S = R"(	.text
+	.type f, @function
+f:
+	cmpl $0, %esi
+	je .LELSE
+	movq .LT1(,%rdi,8), %rax
+	jmp .LDISP
+.LELSE:
+	movq .LT2(,%rdi,8), %rax
+.LDISP:
+	jmp *%rax
+.LA:
+	ret
+	.size f, .-f
+	.section .rodata
+.LT1:
+	.quad .LA
+.LT2:
+	.quad .LA
+)";
+  MaoUnit Unit = parseOk(S);
+  MaoFunction &Fn = Unit.functions()[0];
+  CFG G = CFG::build(Fn);
+  resolveIndirectJumps(G);
+  EXPECT_TRUE(Fn.HasUnresolvedIndirect);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+//===- tests/DetectTest.cpp - Parameter-detection framework tests ------------==//
+
+#include "detect/Detect.h"
+
+#include <gtest/gtest.h>
+
+using namespace mao;
+
+namespace {
+
+TEST(Sequences, CycleIsFullySerialized) {
+  DetectProcessor Proc(ProcessorConfig::core2());
+  RandomSource Rng(1);
+  InstructionSequence Seq(Proc);
+  Seq.setInstructionTemplate(InstructionTemplate::add());
+  Seq.setDagType(DagType::Cycle);
+  Seq.setLength(8);
+  Seq.generate(Rng);
+  ASSERT_EQ(Seq.instructions().size(), 8u);
+  // All instructions operate on a single register: a strict RAW ring.
+  for (const std::string &I : Seq.instructions())
+    EXPECT_EQ(I, Seq.instructions()[0]);
+}
+
+TEST(Sequences, ChainLinksDestToNextSource) {
+  DetectProcessor Proc(ProcessorConfig::core2());
+  RandomSource Rng(2);
+  InstructionSequence Seq(Proc);
+  Seq.setInstructionTemplate(InstructionTemplate::mov());
+  Seq.setDagType(DagType::Chain);
+  Seq.setLength(5);
+  Seq.generate(Rng);
+  const auto &Insns = Seq.instructions();
+  for (size_t I = 0; I + 1 < Insns.size(); ++I) {
+    // "movl %a, %b" -> next must read %b.
+    std::string Dst = Insns[I].substr(Insns[I].rfind('%'));
+    EXPECT_NE(Insns[I + 1].find(Dst + ","), std::string::npos)
+        << Insns[I] << " then " << Insns[I + 1];
+  }
+}
+
+TEST(Benchmark, ExecutesAndReportsEvents) {
+  DetectProcessor Proc(ProcessorConfig::core2());
+  RandomSource Rng(3);
+  InstructionSequence Seq(Proc);
+  Seq.setDagType(DagType::Disjoint);
+  Seq.setLength(6);
+  Seq.generate(Rng);
+  LoopSpec Loop;
+  Loop.Sequences.push_back(Seq);
+  Loop.TripCount = 100;
+  DetectBenchmark Bench({Loop});
+  auto Results = Bench.execute(
+      Proc, {DetectProcessor::CpuCycles, DetectProcessor::Instructions});
+  ASSERT_TRUE(Results.ok()) << Results.message();
+  EXPECT_GT((*Results)[DetectProcessor::CpuCycles], 100u);
+  EXPECT_GE((*Results)[DetectProcessor::Instructions], 800u);
+}
+
+TEST(Detect, LatenciesMatchOpcodeTable) {
+  DetectProcessor Proc(ProcessorConfig::core2());
+  auto Add = detectInstructionLatency(Proc, InstructionTemplate::add());
+  ASSERT_TRUE(Add.ok());
+  EXPECT_EQ(*Add, 1u);
+  auto Mul = detectInstructionLatency(Proc, InstructionTemplate::imul());
+  ASSERT_TRUE(Mul.ok());
+  EXPECT_EQ(*Mul, 3u);
+}
+
+TEST(Detect, RecoversCore2Parameters) {
+  DetectProcessor Proc(ProcessorConfig::core2());
+  auto Line = detectDecodeLineBytes(Proc);
+  ASSERT_TRUE(Line.ok());
+  EXPECT_EQ(*Line, 16u);
+  auto Lsd = detectLsdMaxLines(Proc);
+  ASSERT_TRUE(Lsd.ok());
+  EXPECT_EQ(*Lsd, 4u);
+  auto Shift = detectPredictorIndexShift(Proc);
+  ASSERT_TRUE(Shift.ok());
+  EXPECT_EQ(*Shift, 5u);
+  auto Fwd = detectForwardingBandwidth(Proc);
+  ASSERT_TRUE(Fwd.ok());
+  EXPECT_EQ(*Fwd, 2u);
+}
+
+TEST(Detect, RecoversOpteronParameters) {
+  DetectProcessor Proc(ProcessorConfig::opteron());
+  auto Lsd = detectLsdMaxLines(Proc);
+  ASSERT_TRUE(Lsd.ok());
+  EXPECT_EQ(*Lsd, 0u) << "the Opteron model has no LSD";
+  auto Shift = detectPredictorIndexShift(Proc);
+  ASSERT_TRUE(Shift.ok());
+  EXPECT_EQ(*Shift, 4u);
+  auto Fwd = detectForwardingBandwidth(Proc);
+  ASSERT_TRUE(Fwd.ok());
+  EXPECT_EQ(*Fwd, 3u);
+}
+
+} // namespace

@@ -1,0 +1,201 @@
+//===- tests/GasCrossTest.cpp - Cross-validation against GNU as --------------==//
+//
+// When the system assembler and objdump are installed, these tests assemble
+// reference programs with both MAO's encoder and GNU as and require
+// byte-identical .text output. Skipped on systems without binutils.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "asm/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace mao;
+
+namespace {
+
+bool haveBinutils() {
+  return std::system("which as > /dev/null 2>&1") == 0 &&
+         std::system("which objdump > /dev/null 2>&1") == 0;
+}
+
+/// Assembles \p Asm with GNU as and returns the .text bytes as hex, or ""
+/// on failure.
+std::string gasTextBytes(const std::string &Asm) {
+  char Dir[] = "/tmp/maogasXXXXXX";
+  if (!mkdtemp(Dir))
+    return "";
+  std::string Base = Dir;
+  std::string AsmPath = Base + "/t.s";
+  std::FILE *F = std::fopen(AsmPath.c_str(), "w");
+  if (!F)
+    return "";
+  std::fwrite(Asm.data(), 1, Asm.size(), F);
+  std::fclose(F);
+  std::string Cmd = "as --64 -o " + Base + "/t.o " + AsmPath +
+                    " 2>/dev/null && objdump -d -j .text " + Base +
+                    "/t.o | awk '/^[[:space:]]+[0-9a-f]+:/ {for (j=2; j<=NF; "
+                    "j++) { if ($j ~ /^[0-9a-f][0-9a-f]$/) printf \"%s\", "
+                    "$j; else break }}' > " +
+                    Base + "/bytes.txt";
+  if (std::system(Cmd.c_str()) != 0)
+    return "";
+  std::string Hex;
+  F = std::fopen((Base + "/bytes.txt").c_str(), "r");
+  if (!F)
+    return "";
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Hex.append(Buf, N);
+  std::fclose(F);
+  std::string Cleanup = "rm -rf " + Base;
+  (void)std::system(Cleanup.c_str());
+  return Hex;
+}
+
+std::string maoTextBytes(const std::string &Asm) {
+  auto UnitOr = parseAssembly(Asm);
+  if (!UnitOr.ok())
+    return "<parse error>";
+  auto BytesOr = assembleUnit(*UnitOr);
+  if (!BytesOr.ok())
+    return "<assemble error: " + BytesOr.message() + ">";
+  auto It = BytesOr->find(".text");
+  if (It == BytesOr->end())
+    return "";
+  std::string Hex;
+  char Buf[4];
+  for (uint8_t B : It->second) {
+    std::snprintf(Buf, sizeof(Buf), "%02x", B);
+    Hex += Buf;
+  }
+  return Hex;
+}
+
+void expectMatchesGas(const std::string &Asm) {
+  if (!haveBinutils())
+    GTEST_SKIP() << "binutils not installed";
+  std::string Gas = gasTextBytes(Asm);
+  ASSERT_FALSE(Gas.empty()) << "gas failed on:\n" << Asm;
+  EXPECT_EQ(maoTextBytes(Asm), Gas) << Asm;
+}
+
+TEST(GasCross, PaperRelaxationExampleShort) {
+  std::string S = "\t.text\nmain:\n"
+                  "\tpushq %rbp\n"
+                  "\tmovq %rsp, %rbp\n"
+                  "\tmovl $5, -4(%rbp)\n"
+                  "\tjmp .LTAIL\n"
+                  ".LBODY:\n";
+  for (int I = 0; I < 15; ++I)
+    S += "\taddl $1, -4(%rbp)\n\tsubl $1, -4(%rbp)\n";
+  S += ".LTAIL:\n\tcmpl $0, -4(%rbp)\n\tjne .LBODY\n\tret\n";
+  expectMatchesGas(S);
+}
+
+TEST(GasCross, PaperRelaxationExampleGrown) {
+  // The nop pushes the branch out of rel8 range: gas and MAO must both
+  // produce the grown encoding.
+  std::string S = "\t.text\nmain:\n"
+                  "\tpushq %rbp\n"
+                  "\tmovq %rsp, %rbp\n"
+                  "\tmovl $5, -4(%rbp)\n"
+                  "\tjmp .LTAIL\n"
+                  ".LBODY:\n";
+  for (int I = 0; I < 16; ++I)
+    S += "\taddl $1, -4(%rbp)\n\tsubl $1, -4(%rbp)\n";
+  S += "\tnop\n";
+  S += ".LTAIL:\n\tcmpl $0, -4(%rbp)\n\tjne .LBODY\n\tret\n";
+  expectMatchesGas(S);
+}
+
+TEST(GasCross, Mcf181LoopSnippet) {
+  // The paper's Fig. 1 loop (181.mcf) with the strategic nop.
+  std::string S = R"(	.text
+.L3:
+	movsbl 1(%rdi,%r8,4), %edx
+	movsbl (%rdi,%r8,4), %eax
+	addl %eax, %edx
+	movl %edx, (%rsi,%r8,4)
+	addq $1, %r8
+	nop
+.L5:
+	movsbl 1(%rdi,%r8,4), %edx
+	movsbl (%rdi,%r8,4), %eax
+	addl %eax, %edx
+	movl %edx, (%rsi,%r8,4)
+	addq $1, %r8
+	cmpl %r8d, %r9d
+	jg .L3
+)";
+  expectMatchesGas(S);
+}
+
+TEST(GasCross, BroadInstructionMix) {
+  std::string S = R"(	.text
+f:
+	pushq %rbp
+	movq %rsp, %rbp
+	subq $152, %rsp
+	movslq %edi, %rax
+	movzbl (%rdi), %ecx
+	leaq 8(%rsp,%rax,4), %rsi
+	imull $100, %ecx, %edx
+	shrl $12, %edi
+	xorl %edi, %ebx
+	subl %ebx, %ecx
+	cmovge %eax, %ebx
+	setne %dl
+	movsbl %dl, %edx
+	testq %rdi, %rdi
+	je .LX
+	negq %rdx
+	notl %eax
+	incl %eax
+	decq %rcx
+.LX:
+	movss (%rdi,%rax,4), %xmm0
+	addss %xmm0, %xmm0
+	movss %xmm0, (%rdi,%rax,4)
+	prefetchnta 64(%rsi)
+	leave
+	ret
+)";
+  expectMatchesGas(S);
+}
+
+TEST(GasCross, AlignmentDirectives) {
+  std::string S = R"(	.text
+f:
+	ret
+	.p2align 4,,15
+.LX:
+	movl $1, %eax
+	ret
+	.p2align 3
+.LY:
+	ret
+)";
+  expectMatchesGas(S);
+}
+
+TEST(GasCross, ColdPathWithBothBranchSizes) {
+  // A function whose first branch needs rel32 and second stays rel8.
+  std::string S = "\t.text\nf:\n\tcmpl $1, %edi\n\tje .LFAR\n";
+  S += "\tcmpl $2, %edi\n\tje .LNEAR\n";
+  for (int I = 0; I < 8; ++I)
+    S += "\taddl $1, %eax\n";
+  S += ".LNEAR:\n";
+  for (int I = 0; I < 40; ++I)
+    S += "\timull $3, %eax, %eax\n";
+  S += ".LFAR:\n\tret\n";
+  expectMatchesGas(S);
+}
+
+} // namespace

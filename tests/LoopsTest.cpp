@@ -1,0 +1,178 @@
+//===- tests/LoopsTest.cpp - Havlak loop recognition tests -------------------==//
+
+#include "analysis/Loops.h"
+#include "asm/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mao;
+
+namespace {
+
+MaoUnit parseOk(const std::string &Text) {
+  auto UnitOr = parseAssembly(Text);
+  EXPECT_TRUE(UnitOr.ok());
+  return std::move(*UnitOr);
+}
+
+std::string wrapFunction(const std::string &Body) {
+  return "\t.text\n\t.type f, @function\nf:\n" + Body + "\t.size f, .-f\n";
+}
+
+TEST(Loops, NoLoops) {
+  MaoUnit Unit = parseOk(wrapFunction("\tmovl $1, %eax\n\tret\n"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  LoopStructureGraph LSG = LoopStructureGraph::build(G);
+  EXPECT_EQ(LSG.loopCount(), 0u);
+  EXPECT_TRUE(LSG.root().IsRoot);
+}
+
+TEST(Loops, SingleLoop) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $0, %eax
+.LLOOP:
+	addl $1, %eax
+	cmpl $10, %eax
+	jne .LLOOP
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  LoopStructureGraph LSG = LoopStructureGraph::build(G);
+  ASSERT_EQ(LSG.loopCount(), 1u);
+  const Loop &L = LSG.loops()[1];
+  EXPECT_TRUE(L.IsReducible);
+  EXPECT_EQ(L.Header, G.blockOfLabel(".LLOOP"));
+  EXPECT_EQ(L.Depth, 1u);
+}
+
+TEST(Loops, TwoDeepNest) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $0, %ecx
+.LOUTER:
+	movl $0, %edx
+.LINNER:
+	addl $1, %edx
+	cmpl $2, %edx
+	jne .LINNER
+	addl $1, %ecx
+	cmpl $2, %ecx
+	jne .LOUTER
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  LoopStructureGraph LSG = LoopStructureGraph::build(G);
+  ASSERT_EQ(LSG.loopCount(), 2u);
+  const Loop *Inner = nullptr, *Outer = nullptr;
+  for (size_t I = 1; I < LSG.loops().size(); ++I) {
+    const Loop &L = LSG.loops()[I];
+    if (L.Header == G.blockOfLabel(".LINNER"))
+      Inner = &L;
+    if (L.Header == G.blockOfLabel(".LOUTER"))
+      Outer = &L;
+  }
+  ASSERT_NE(Inner, nullptr);
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_EQ(Inner->Parent, Outer->Index);
+  EXPECT_EQ(Inner->Depth, 2u);
+  EXPECT_EQ(Outer->Depth, 1u);
+  EXPECT_TRUE(Inner->IsReducible);
+  EXPECT_TRUE(Outer->IsReducible);
+}
+
+TEST(Loops, TwoSiblingLoops) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(.L1:
+	subl $1, %eax
+	jne .L1
+.L2:
+	subl $1, %ecx
+	jne .L2
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  LoopStructureGraph LSG = LoopStructureGraph::build(G);
+  ASSERT_EQ(LSG.loopCount(), 2u);
+  EXPECT_EQ(LSG.loops()[1].Depth, 1u);
+  EXPECT_EQ(LSG.loops()[2].Depth, 1u);
+  EXPECT_EQ(LSG.root().Children.size(), 2u);
+}
+
+TEST(Loops, IrreducibleDetected) {
+  // Two mutually-jumping blocks entered at both points: the classic
+  // irreducible ("spaghetti FORTRAN") shape.
+  MaoUnit Unit = parseOk(wrapFunction(R"(	cmpl $0, %edi
+	je .LB
+.LA:
+	subl $1, %eax
+	cmpl $0, %eax
+	je .LOUT
+	jmp .LB
+.LB:
+	subl $1, %ecx
+	cmpl $0, %ecx
+	je .LOUT
+	jmp .LA
+.LOUT:
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  LoopStructureGraph LSG = LoopStructureGraph::build(G);
+  ASSERT_GE(LSG.loopCount(), 1u);
+  bool AnyIrreducible = false;
+  for (size_t I = 1; I < LSG.loops().size(); ++I)
+    if (!LSG.loops()[I].IsReducible)
+      AnyIrreducible = true;
+  EXPECT_TRUE(AnyIrreducible);
+}
+
+TEST(Loops, SelfLoop) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(.LSELF:
+	subl $1, %eax
+	jne .LSELF
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  LoopStructureGraph LSG = LoopStructureGraph::build(G);
+  ASSERT_EQ(LSG.loopCount(), 1u);
+  EXPECT_EQ(LSG.loops()[1].Blocks.size(), 1u);
+}
+
+TEST(Loops, BlocksIncludingNested) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(.LOUTER:
+	movl $0, %edx
+.LINNER:
+	addl $1, %edx
+	jne .LINNER
+	subl $1, %ecx
+	jne .LOUTER
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  LoopStructureGraph LSG = LoopStructureGraph::build(G);
+  const Loop *Outer = nullptr;
+  for (size_t I = 1; I < LSG.loops().size(); ++I)
+    if (LSG.loops()[I].Header == G.blockOfLabel(".LOUTER"))
+      Outer = &LSG.loops()[I];
+  ASSERT_NE(Outer, nullptr);
+  std::vector<unsigned> All = LSG.blocksIncludingNested(Outer->Index);
+  // Outer loop body includes the inner loop's block.
+  unsigned InnerBlock = G.blockOfLabel(".LINNER");
+  EXPECT_NE(std::find(All.begin(), All.end(), InnerBlock), All.end());
+}
+
+TEST(Loops, LoopOfBlockMapsInnermost) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(.LOUTER:
+	movl $0, %edx
+.LINNER:
+	addl $1, %edx
+	jne .LINNER
+	subl $1, %ecx
+	jne .LOUTER
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  LoopStructureGraph LSG = LoopStructureGraph::build(G);
+  unsigned InnerBlock = G.blockOfLabel(".LINNER");
+  unsigned L = LSG.loopOfBlock(InnerBlock);
+  ASSERT_NE(L, 0u);
+  EXPECT_EQ(LSG.loops()[L].Header, InnerBlock);
+}
+
+} // namespace

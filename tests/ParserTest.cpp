@@ -1,0 +1,266 @@
+//===- tests/ParserTest.cpp - AT&T parser and round-trip tests --------------==//
+
+#include "asm/AsmEmitter.h"
+#include "asm/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mao;
+
+namespace {
+
+Instruction parse(const std::string &Line) {
+  return parseInstructionLine(Line);
+}
+
+TEST(Parser, SimpleMov) {
+  Instruction I = parse("movq %rsp, %rbp");
+  EXPECT_EQ(I.Mn, Mnemonic::MOV);
+  EXPECT_EQ(I.W, Width::Q);
+  ASSERT_EQ(I.Ops.size(), 2u);
+  EXPECT_EQ(I.Ops[0].R, Reg::RSP);
+  EXPECT_EQ(I.Ops[1].R, Reg::RBP);
+}
+
+TEST(Parser, WidthDeducedFromRegisters) {
+  Instruction I = parse("mov %eax, %ebx");
+  EXPECT_EQ(I.Mn, Mnemonic::MOV);
+  EXPECT_EQ(I.W, Width::L);
+}
+
+TEST(Parser, ImmediateForms) {
+  Instruction I = parse("addl $255, %eax");
+  EXPECT_EQ(I.Mn, Mnemonic::ADD);
+  EXPECT_TRUE(I.Ops[0].isConstImm());
+  EXPECT_EQ(I.Ops[0].Imm, 255);
+
+  Instruction Hex = parse("cmpl $0x12345678, %r10d");
+  EXPECT_EQ(Hex.Ops[0].Imm, 0x12345678);
+
+  Instruction Neg = parse("movl $-1, %ecx");
+  EXPECT_EQ(Neg.Ops[0].Imm, -1);
+
+  Instruction Sym = parse("movl $.LC0, %edi");
+  EXPECT_TRUE(Sym.Ops[0].isSymbolicImm());
+  EXPECT_EQ(Sym.Ops[0].Sym, ".LC0");
+}
+
+TEST(Parser, MemoryOperands) {
+  Instruction I = parse("movsbl 1(%rdi,%r8,4), %edx");
+  EXPECT_EQ(I.Mn, Mnemonic::MOVSX);
+  EXPECT_EQ(I.SrcW, Width::B);
+  EXPECT_EQ(I.W, Width::L);
+  const MemRef &M = I.Ops[0].Mem;
+  EXPECT_EQ(M.Disp, 1);
+  EXPECT_EQ(M.Base, Reg::RDI);
+  EXPECT_EQ(M.Index, Reg::R8);
+  EXPECT_EQ(M.Scale, 4);
+
+  Instruction NoBase = parse("movq .L4(,%rax,8), %rax");
+  const MemRef &M2 = NoBase.Ops[0].Mem;
+  EXPECT_EQ(M2.SymDisp, ".L4");
+  EXPECT_EQ(M2.Base, Reg::None);
+  EXPECT_EQ(M2.Index, Reg::RAX);
+  EXPECT_EQ(M2.Scale, 8);
+
+  Instruction Rip = parse("leaq .LC0(%rip), %rdi");
+  EXPECT_TRUE(Rip.Ops[0].Mem.isRipRelative());
+}
+
+TEST(Parser, CondJumpsAndAliases) {
+  EXPECT_EQ(parse("jne .L1").CC, CondCode::NE);
+  EXPECT_EQ(parse("jnz .L1").CC, CondCode::NE);
+  EXPECT_EQ(parse("jg .L3").CC, CondCode::G);
+  EXPECT_EQ(parse("jmp .L5").Mn, Mnemonic::JMP);
+}
+
+TEST(Parser, CmovAmbiguity) {
+  // "cmovl" is cmov-on-less, not a width-suffixed cmov.
+  Instruction I = parse("cmovl %edi, %esi");
+  EXPECT_EQ(I.Mn, Mnemonic::CMOVCC);
+  EXPECT_EQ(I.CC, CondCode::L);
+  EXPECT_EQ(I.W, Width::L);
+  // "cmovlq" is cmov-on-less with a 64-bit suffix.
+  Instruction Q = parse("cmovlq %rdi, %rsi");
+  EXPECT_EQ(Q.CC, CondCode::L);
+  EXPECT_EQ(Q.W, Width::Q);
+}
+
+TEST(Parser, SetccIsByte) {
+  Instruction I = parse("setg %al");
+  EXPECT_EQ(I.Mn, Mnemonic::SETCC);
+  EXPECT_EQ(I.CC, CondCode::G);
+  EXPECT_EQ(I.W, Width::B);
+}
+
+TEST(Parser, IndirectTargets) {
+  Instruction I = parse("jmp *%rax");
+  EXPECT_TRUE(I.hasIndirectTarget());
+  Instruction M = parse("call *8(%rbx)");
+  EXPECT_TRUE(M.hasIndirectTarget());
+  // Direct memory operand without '*' is not a valid branch target.
+  EXPECT_TRUE(parse("jmp 8(%rbx)").isOpaque());
+}
+
+TEST(Parser, MovqSseSelection) {
+  Instruction G = parse("movq %rax, %rbx");
+  EXPECT_EQ(G.Mn, Mnemonic::MOV);
+  Instruction X = parse("movq %rax, %xmm0");
+  EXPECT_EQ(X.Mn, Mnemonic::MOVQX);
+}
+
+TEST(Parser, ExplicitLengthNops) {
+  EXPECT_EQ(parse("nop").NopLength, 1);
+  Instruction N5 = parse("nop5");
+  EXPECT_EQ(N5.Mn, Mnemonic::NOP);
+  EXPECT_EQ(N5.NopLength, 5);
+  EXPECT_TRUE(parse("nop16").isOpaque());
+}
+
+TEST(Parser, UnknownBecomesOpaque) {
+  Instruction I = parse("lock cmpxchgq %rcx, (%rdx)");
+  EXPECT_TRUE(I.isOpaque());
+  EXPECT_EQ(I.RawText, "lock cmpxchgq %rcx, (%rdx)");
+  EXPECT_TRUE(parse("vfmadd231pd %ymm0, %ymm1, %ymm2").isOpaque());
+  EXPECT_TRUE(parse("rep movsb").isOpaque());
+}
+
+TEST(Parser, InstructionToStringRoundTrip) {
+  // parse -> print -> parse must be a fixpoint for modelled instructions.
+  const char *Lines[] = {
+      "movq %rsp, %rbp",
+      "movl $5, -4(%rbp)",
+      "movsbl 1(%rdi,%r8,4), %edx",
+      "movslq %edi, %rax",
+      "leaq 8(%rsp), %rsi",
+      "addq $1, %r8",
+      "subl $16, %r15d",
+      "testl %r15d, %r15d",
+      "cmpl %r8d, %r9d",
+      "jg .L3",
+      "jmp *%rax",
+      "call printf",
+      "shrl $12, %edi",
+      "sarl %cl, %ebx",
+      "imull $100, %ecx, %edx",
+      "pushq %rbp",
+      "popq %r12",
+      "setne %dl",
+      "cmovge %eax, %ebx",
+      "movss %xmm0, (%rdi,%rax,4)",
+      "prefetchnta (%rdi)",
+      "cltq",
+      "leave",
+      "ret",
+      "nop5",
+  };
+  for (const char *Line : Lines) {
+    Instruction First = parse(Line);
+    ASSERT_FALSE(First.isOpaque()) << Line;
+    Instruction Second = parse(First.toString());
+    ASSERT_FALSE(Second.isOpaque()) << First.toString();
+    EXPECT_EQ(First, Second) << Line << " vs " << First.toString();
+  }
+}
+
+// --- File-level parsing -----------------------------------------------------
+
+const char *SampleFile = R"(	.file	"test.c"
+	.text
+	.globl	f
+	.type	f, @function
+f:
+.LFB0:
+	pushq	%rbp	# prologue
+	movq	%rsp, %rbp
+	movl	$5, -4(%rbp)
+	jmp	.L2
+.L1:
+	addl	$1, -4(%rbp)
+.L2:
+	cmpl	$0, -4(%rbp)
+	jne	.L1
+	leave
+	ret
+	.size	f, .-f
+	.section	.rodata
+.LC0:
+	.string	"hello"
+	.text
+	.globl	g
+	.type	g, @function
+g:
+	ret
+	.size	g, .-g
+	.ident	"GCC: 4.4.3"
+)";
+
+TEST(Parser, FileStructure) {
+  ParseStats Stats;
+  auto UnitOr = parseAssembly(SampleFile, &Stats);
+  ASSERT_TRUE(UnitOr.ok());
+  MaoUnit &Unit = *UnitOr;
+  ASSERT_EQ(Unit.functions().size(), 2u);
+  EXPECT_EQ(Unit.functions()[0].name(), "f");
+  EXPECT_EQ(Unit.functions()[1].name(), "g");
+  EXPECT_EQ(Unit.functions()[0].countInstructions(), 9u);
+  EXPECT_EQ(Unit.functions()[1].countInstructions(), 1u);
+  EXPECT_EQ(Stats.OpaqueInstructions, 0u);
+  EXPECT_TRUE(Unit.labelMap().count(".L1"));
+  EXPECT_TRUE(Unit.labelMap().count(".LC0"));
+}
+
+TEST(Parser, CommentsStripped) {
+  auto UnitOr = parseAssembly("\tmovl $1, %eax # set return\n");
+  ASSERT_TRUE(UnitOr.ok());
+  const MaoEntry &E = UnitOr->entries().front();
+  ASSERT_TRUE(E.isInstruction());
+  EXPECT_FALSE(E.instruction().isOpaque());
+}
+
+TEST(Parser, HashInsideStringPreserved) {
+  auto UnitOr = parseAssembly("\t.string \"a#b\"\n");
+  ASSERT_TRUE(UnitOr.ok());
+  const MaoEntry &E = UnitOr->entries().front();
+  ASSERT_TRUE(E.isDirective(DirKind::String));
+  EXPECT_EQ(E.directive().arg(0), "\"a#b\"");
+}
+
+TEST(Parser, SplitFunctionAcrossSections) {
+  const char *Split = R"(	.text
+	.type	f, @function
+f:
+	movl	$1, %eax
+	.section	.rodata
+.LTBL:
+	.quad	.L1
+	.text
+.L1:
+	ret
+	.size	f, .-f
+)";
+  auto UnitOr = parseAssembly(Split);
+  ASSERT_TRUE(UnitOr.ok());
+  ASSERT_EQ(UnitOr->functions().size(), 1u);
+  MaoFunction &Fn = UnitOr->functions()[0];
+  // Two code ranges: the iterator must walk both transparently and not see
+  // the .rodata data in between.
+  EXPECT_EQ(Fn.ranges().size(), 2u);
+  EXPECT_EQ(Fn.countInstructions(), 2u);
+  bool SawTable = false;
+  for (auto It = Fn.begin(), E = Fn.end(); It != E; ++It)
+    if (It->isDirective(DirKind::Quad))
+      SawTable = true;
+  EXPECT_FALSE(SawTable) << "data section leaked into the function view";
+}
+
+TEST(Parser, EmitParseFixpoint) {
+  auto UnitOr = parseAssembly(SampleFile);
+  ASSERT_TRUE(UnitOr.ok());
+  std::string Once = emitAssembly(*UnitOr);
+  auto Again = parseAssembly(Once);
+  ASSERT_TRUE(Again.ok());
+  EXPECT_EQ(emitAssembly(*Again), Once);
+}
+
+} // namespace

@@ -1,0 +1,717 @@
+//===- tests/PassesTest.cpp - Optimization pass tests -------------------------==//
+//
+// Each transforming pass is tested two ways: the specific patterns from the
+// paper must be matched (and near-miss patterns must NOT be), and the
+// functional emulator must observe identical architectural results before
+// and after the pass (the reproduction's strengthening of the paper's
+// assemble-and-diff verification).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Relaxer.h"
+#include "asm/AsmEmitter.h"
+#include "asm/Parser.h"
+#include "pass/MaoPass.h"
+#include "sim/Emulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace mao;
+
+namespace {
+
+MaoUnit parseOk(const std::string &Text) {
+  auto UnitOr = parseAssembly(Text);
+  EXPECT_TRUE(UnitOr.ok());
+  return std::move(*UnitOr);
+}
+
+std::string wrapFunction(const std::string &Body) {
+  return "\t.text\n\t.type f, @function\nf:\n" + Body + "\t.size f, .-f\n";
+}
+
+/// Runs one pass over the unit; returns its transformation count.
+unsigned runPass(MaoUnit &Unit, const std::string &Name,
+                 MaoOptionMap Options = MaoOptionMap()) {
+  linkAllPasses();
+  PassRequest Req;
+  Req.PassName = Name;
+  Req.Options = std::move(Options);
+  PipelineResult R = runPasses(Unit, {Req});
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.Counts.empty() ? 0 : R.Counts[0].second;
+}
+
+size_t countInstructions(const MaoUnit &Unit) {
+  size_t N = 0;
+  for (const MaoEntry &E : Unit.entries())
+    if (E.isInstruction())
+      ++N;
+  return N;
+}
+
+/// Architectural-equivalence oracle: runs `f` before and after applying
+/// \p Pass and compares the registers in \p Check.
+void expectSemanticsPreserved(const std::string &Asm, const std::string &Pass,
+                              std::initializer_list<Reg> Check,
+                              MachineState Init = MachineState()) {
+  MaoUnit Before = parseOk(Asm);
+  MaoUnit After = parseOk(Asm);
+  runPass(After, Pass);
+
+  Emulator EmBefore(Before), EmAfter(After);
+  EmulationResult RB = EmBefore.run("f", Init);
+  EmulationResult RA = EmAfter.run("f", Init);
+  ASSERT_EQ(RB.Reason, StopReason::Returned) << RB.Message;
+  ASSERT_EQ(RA.Reason, StopReason::Returned) << RA.Message;
+  for (Reg R : Check)
+    EXPECT_EQ(RB.Final.gprValue(R), RA.Final.gprValue(R))
+        << "register " << regName(R) << " diverged after " << Pass;
+}
+
+// --- ZEE: redundant zero extension -----------------------------------------
+
+TEST(ZEE, RemovesPaperPattern) {
+  // "andl $255, %eax ; mov %eax, %eax" (paper Sec. III-B-a).
+  MaoUnit Unit = parseOk(wrapFunction(R"(	andl $255, %eax
+	movl %eax, %eax
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "ZEE"), 1u);
+  EXPECT_EQ(countInstructions(Unit), 2u);
+}
+
+TEST(ZEE, KeepsWhenPriorDefIs64Bit) {
+  // A 64-bit def does not zero-extend the upper half away: the mov is a
+  // real zero extension and must stay.
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movq $-1, %rax
+	movl %eax, %eax
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "ZEE"), 0u);
+  EXPECT_EQ(countInstructions(Unit), 3u);
+}
+
+TEST(ZEE, KeepsWhenDefInOtherBlock) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	andl $255, %eax
+	jmp .LX
+.LX:
+	movl %eax, %eax
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "ZEE"), 0u);
+}
+
+TEST(ZEE, KeepsAcrossCall) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	andl $255, %eax
+	call g
+	movl %eax, %eax
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "ZEE"), 0u);
+}
+
+TEST(ZEE, PreservesSemantics) {
+  MachineState Init;
+  Init.setGpr(Reg::RAX, 0xdeadbeefcafef00dULL);
+  expectSemanticsPreserved(wrapFunction(R"(	andl $255, %eax
+	movl %eax, %eax
+	addq $7, %rax
+	ret
+)"),
+                           "ZEE", {Reg::RAX}, Init);
+}
+
+// --- REDTEST: redundant test removal ----------------------------------------
+
+TEST(REDTEST, RemovesPaperPattern) {
+  // "subl $16, %r15d ; testl %r15d, %r15d" followed by an equality branch.
+  MaoUnit Unit = parseOk(wrapFunction(R"(	subl $16, %r15d
+	testl %r15d, %r15d
+	je .LZ
+	movl $1, %eax
+	ret
+.LZ:
+	movl $2, %eax
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "REDTEST"), 1u);
+}
+
+TEST(REDTEST, KeepsWhenCarryConsumed) {
+  // `ja` reads CF; sub computes CF but test would zero it: removing the
+  // test changes behaviour, so the pass must not fire.
+  MaoUnit Unit = parseOk(wrapFunction(R"(	subl $16, %r15d
+	testl %r15d, %r15d
+	ja .LZ
+	movl $1, %eax
+	ret
+.LZ:
+	movl $2, %eax
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "REDTEST"), 0u);
+}
+
+TEST(REDTEST, KeepsWhenRegisterChangedBetween) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	subl $16, %r15d
+	movl $3, %r15d
+	testl %r15d, %r15d
+	je .LZ
+	ret
+.LZ:
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "REDTEST"), 0u);
+}
+
+TEST(REDTEST, KeepsWhenPrecedingOpIsMove) {
+  // mov sets no flags; the test is live.
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl %edi, %r15d
+	testl %r15d, %r15d
+	je .LZ
+	ret
+.LZ:
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "REDTEST"), 0u);
+}
+
+TEST(REDTEST, KeepsOnWidthMismatch) {
+  // subq computes 64-bit flags; testl would compute 32-bit flags.
+  MaoUnit Unit = parseOk(wrapFunction(R"(	subq $16, %r15
+	testl %r15d, %r15d
+	je .LZ
+	ret
+.LZ:
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "REDTEST"), 0u);
+}
+
+TEST(REDTEST, PreservesSemanticsOnBothPaths) {
+  for (int64_t Input : {0, 5, 16, 17, -100}) {
+    MachineState Init;
+    Init.setGpr(Reg::R15D, static_cast<uint64_t>(Input));
+    expectSemanticsPreserved(wrapFunction(R"(	subl $16, %r15d
+	testl %r15d, %r15d
+	je .LZ
+	movl $1, %eax
+	ret
+.LZ:
+	movl $2, %eax
+	ret
+)"),
+                             "REDTEST", {Reg::RAX}, Init);
+  }
+}
+
+// --- REDMOV: redundant memory access ----------------------------------------
+
+TEST(REDMOV, RewritesPaperPattern) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movq 24(%rsp), %rdx
+	movq 24(%rsp), %rcx
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "REDMOV"), 1u);
+  // Second load must now be a register move.
+  std::string Text = emitAssembly(Unit);
+  EXPECT_NE(Text.find("movq\t%rdx, %rcx"), std::string::npos) << Text;
+}
+
+TEST(REDMOV, ForwardsThroughRewrittenValue) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movq 24(%rsp), %rdx
+	movq 24(%rsp), %rcx
+	movq 24(%rsp), %rsi
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "REDMOV"), 2u);
+}
+
+TEST(REDMOV, BlockedByStore) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movq 24(%rsp), %rdx
+	movq %rax, 24(%rsp)
+	movq 24(%rsp), %rcx
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "REDMOV"), 0u);
+}
+
+TEST(REDMOV, BlockedByBaseRedefinition) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movq 24(%rsp), %rdx
+	addq $8, %rsp
+	movq 24(%rsp), %rcx
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "REDMOV"), 0u);
+}
+
+TEST(REDMOV, BlockedByValueClobber) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movq 24(%rsp), %rdx
+	movq $0, %rdx
+	movq 24(%rsp), %rcx
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "REDMOV"), 0u);
+}
+
+TEST(REDMOV, BlockedByCall) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movq 24(%rsp), %rdx
+	call g
+	movq 24(%rsp), %rcx
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "REDMOV"), 0u);
+}
+
+TEST(REDMOV, PreservesSemantics) {
+  std::string Asm = wrapFunction(R"(	pushq %rbp
+	movq %rsp, %rbp
+	movq $1234567, -24(%rbp)
+	movq -24(%rbp), %rdx
+	movq -24(%rbp), %rcx
+	addq %rdx, %rcx
+	movq %rcx, %rax
+	leave
+	ret
+)");
+  expectSemanticsPreserved(Asm, "REDMOV", {Reg::RAX});
+}
+
+// --- ADDADD: add/add folding -------------------------------------------------
+
+TEST(ADDADD, FoldsPaperPattern) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	addq $8, %rdi
+	movl $1, %eax
+	addq $16, %rdi
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "ADDADD"), 1u);
+  std::string Text = emitAssembly(Unit);
+  EXPECT_NE(Text.find("addq\t$24, %rdi"), std::string::npos) << Text;
+}
+
+TEST(ADDADD, FoldsMixedAddSub) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	addq $8, %rdi
+	subq $3, %rdi
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "ADDADD"), 1u);
+  std::string Text = emitAssembly(Unit);
+  EXPECT_NE(Text.find("addq\t$5, %rdi"), std::string::npos) << Text;
+}
+
+TEST(ADDADD, BlockedByIntermediateUse) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	addq $8, %rdi
+	movq (%rdi), %rax
+	addq $16, %rdi
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "ADDADD"), 0u);
+}
+
+TEST(ADDADD, BlockedByFlagConsumer) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	addq $8, %rdi
+	je .LX
+	addq $16, %rdi
+.LX:
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "ADDADD"), 0u);
+}
+
+TEST(ADDADD, PreservesSemantics) {
+  MachineState Init;
+  Init.setGpr(Reg::RDI, 1000);
+  expectSemanticsPreserved(wrapFunction(R"(	addq $8, %rdi
+	movl $1, %eax
+	addq $16, %rdi
+	movq %rdi, %rax
+	ret
+)"),
+                           "ADDADD", {Reg::RAX}, Init);
+}
+
+// --- Scalar passes ------------------------------------------------------------
+
+TEST(DCE, RemovesUnreachableBlock) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $1, %eax
+	ret
+.LDEAD:
+	movl $2, %eax
+	addl $3, %eax
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "DCE"), 3u);
+  EXPECT_EQ(countInstructions(Unit), 2u);
+}
+
+TEST(DCE, SkipsFunctionWithUnresolvedIndirect) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	jmp *%rax
+.LMAYBE:
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "DCE"), 0u);
+}
+
+TEST(DCE, KeepsJumpTableTargets) {
+  std::string S = R"(	.text
+	.type f, @function
+f:
+	movl %edi, %eax
+	movq .LTBL(,%rax,8), %rax
+	jmp *%rax
+.LA:
+	movl $1, %eax
+	ret
+.LB:
+	movl $2, %eax
+	ret
+	.size f, .-f
+	.section .rodata
+.LTBL:
+	.quad .LA
+	.quad .LB
+)";
+  MaoUnit Unit = parseOk(S);
+  EXPECT_EQ(runPass(Unit, "DCE"), 0u);
+}
+
+TEST(CONSTFOLD, FoldsMovAdd) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $10, %eax
+	addl $32, %eax
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "CONSTFOLD"), 1u);
+  std::string Text = emitAssembly(Unit);
+  EXPECT_NE(Text.find("movl\t$42, %eax"), std::string::npos) << Text;
+}
+
+TEST(CONSTFOLD, FoldsChains) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $10, %eax
+	addl $30, %eax
+	xorl $2, %eax
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "CONSTFOLD"), 2u);
+  std::string Text = emitAssembly(Unit);
+  EXPECT_NE(Text.find("movl\t$42, %eax"), std::string::npos) << Text;
+}
+
+TEST(CONSTFOLD, BlockedWhenFlagsLive) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $10, %eax
+	addl $-10, %eax
+	je .LX
+	movl $1, %ebx
+.LX:
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "CONSTFOLD"), 0u);
+}
+
+// --- NOP passes ----------------------------------------------------------------
+
+TEST(NOPIN, DeterministicForSeed) {
+  std::string Asm = wrapFunction(R"(	movl $1, %eax
+	addl $2, %eax
+	addl $3, %eax
+	subl $1, %eax
+	ret
+)");
+  MaoUnit A = parseOk(Asm);
+  MaoUnit B = parseOk(Asm);
+  MaoOptionMap Opts;
+  Opts.set("seed", "123");
+  Opts.set("density", "50");
+  runPass(A, "NOPIN", Opts);
+  runPass(B, "NOPIN", Opts);
+  EXPECT_EQ(emitAssembly(A), emitAssembly(B));
+
+  MaoUnit C = parseOk(Asm);
+  MaoOptionMap Opts2;
+  Opts2.set("seed", "124");
+  Opts2.set("density", "50");
+  runPass(C, "NOPIN", Opts2);
+  // Different seed: almost surely a different placement.
+  EXPECT_NE(emitAssembly(A), emitAssembly(C));
+}
+
+TEST(NOPIN, PreservesSemantics) {
+  MaoOptionMap Opts;
+  Opts.set("seed", "7");
+  Opts.set("density", "60");
+  std::string Asm = wrapFunction(R"(	movl $0, %eax
+	movl $10, %ecx
+.LLOOP:
+	addl %ecx, %eax
+	subl $1, %ecx
+	jne .LLOOP
+	ret
+)");
+  MaoUnit Before = parseOk(Asm);
+  MaoUnit After = parseOk(Asm);
+  runPass(After, "NOPIN", Opts);
+  Emulator EB(Before), EA(After);
+  EXPECT_EQ(EB.run("f", MachineState()).Final.gprValue(Reg::EAX),
+            EA.run("f", MachineState()).Final.gprValue(Reg::EAX));
+}
+
+TEST(NOPKILL, RemovesAlignmentAndNops) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $1, %eax
+	.p2align 4,,15
+.LX:
+	nop
+	addl $2, %eax
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "NOPKILL"), 2u);
+  std::string Text = emitAssembly(Unit);
+  EXPECT_EQ(Text.find(".p2align"), std::string::npos);
+  EXPECT_EQ(Text.find("nop"), std::string::npos);
+}
+
+TEST(INSTRUMENT, InsertsEntryAndExitNops) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $1, %eax
+	je .LX
+	ret
+.LX:
+	movl $2, %eax
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "INSTRUMENT"), 3u); // entry + two rets
+  unsigned Nop5Count = 0;
+  for (const MaoEntry &E : Unit.entries())
+    if (E.isInstruction() && E.instruction().isNop() &&
+        E.instruction().NopLength == 5)
+      ++Nop5Count;
+  EXPECT_EQ(Nop5Count, 3u);
+}
+
+TEST(INSTRUMENT, NopsNeverCrossCacheLines) {
+  // A function long enough that naive placement would cross a 64-byte
+  // boundary somewhere.
+  std::string Body;
+  for (int I = 0; I < 30; ++I)
+    Body += "\taddl $1, %eax\n";
+  Body += "\tret\n";
+  for (int I = 0; I < 10; ++I)
+    Body += "\taddl $1, %eax\n";
+  Body += "\tret\n";
+  MaoUnit Unit = parseOk(wrapFunction(Body));
+  runPass(Unit, "INSTRUMENT");
+  relaxUnit(Unit);
+  for (const MaoEntry &E : Unit.entries()) {
+    if (!E.isInstruction() || !E.instruction().isNop() ||
+        E.instruction().NopLength != 5)
+      continue;
+    EXPECT_EQ(E.Address / 64, (E.Address + 4) / 64)
+        << "5-byte NOP at " << E.Address << " crosses a cache line";
+  }
+}
+
+// --- Alignment passes -----------------------------------------------------------
+
+TEST(LOOP16, AlignsSplitShortLoop) {
+  // 5-byte mov puts an 11-byte loop at offset 5: it straddles the 16-byte
+  // boundary, and the pass must pad it to 16.
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $100, %ecx
+.LLOOP:
+	addl $1, %eax
+	addl $1, %edx
+	addl $1, %esi
+	subl $1, %ecx
+	jne .LLOOP
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "LOOP16"), 1u);
+  RelaxationResult R = relaxUnit(Unit);
+  EXPECT_EQ(R.Labels.at(".LLOOP") % 16, 0);
+}
+
+TEST(LOOP16, LeavesAlignedLoopAlone) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $100, %ecx
+	nop11
+.LLOOP:
+	addl $1, %eax
+	subl $1, %ecx
+	jne .LLOOP
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "LOOP16"), 0u);
+}
+
+TEST(LOOP16, IgnoresLargeLoops) {
+  std::string Body = "\tmovl $100, %ecx\n.LLOOP:\n";
+  for (int I = 0; I < 10; ++I)
+    Body += "\taddl $1, %eax\n";
+  Body += "\tsubl $1, %ecx\n\tjne .LLOOP\n\tret\n";
+  MaoUnit Unit = parseOk(wrapFunction(Body));
+  EXPECT_EQ(runPass(Unit, "LOOP16"), 0u);
+}
+
+TEST(LSDOPT, PacksLoopIntoFourLines) {
+  // ~50 bytes of loop body placed to span 5 lines; after padding it fits 4.
+  std::string Body = "\tmovl $100, %ecx\n\tnop9\n.LLOOP:\n";
+  for (int I = 0; I < 16; ++I)
+    Body += "\taddl $1, %eax\n"; // 48 bytes; total body 53 -> 5 lines
+  Body += "\tsubl $1, %ecx\n\tjne .LLOOP\n\tret\n";
+  MaoUnit Unit = parseOk(wrapFunction(Body));
+  RelaxationResult Before = relaxUnit(Unit);
+  int64_t StartBefore = Before.Labels.at(".LLOOP");
+  EXPECT_NE(StartBefore % 16, 0);
+  EXPECT_EQ(runPass(Unit, "LSDOPT"), 1u);
+  RelaxationResult After = relaxUnit(Unit);
+  EXPECT_EQ(After.Labels.at(".LLOOP") % 16, 0);
+}
+
+TEST(LSDOPT, SkipsLoopsWithCalls) {
+  std::string Body = "\tmovl $100, %ecx\n\tnop9\n.LLOOP:\n";
+  for (int I = 0; I < 13; ++I)
+    Body += "\taddl $1, %eax\n";
+  Body += "\tcall g\n";
+  Body += "\tsubl $1, %ecx\n\tjne .LLOOP\n\tret\n";
+  MaoUnit Unit = parseOk(wrapFunction(Body));
+  EXPECT_EQ(runPass(Unit, "LSDOPT"), 0u);
+}
+
+TEST(BRALIGN, SeparatesAliasedBackBranches) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $8, %ecx
+	.p2align 5
+.LI1:
+	addl $1, %eax
+	subl $1, %ecx
+	jne .LI1
+	movl $8, %ecx
+.LI2:
+	addl $1, %edx
+	subl $1, %ecx
+	jne .LI2
+	ret
+)"));
+  EXPECT_EQ(runPass(Unit, "BRALIGN"), 1u);
+  // After the pass the two back branches are in different PC>>5 buckets.
+  relaxUnit(Unit);
+  std::vector<int64_t> BranchAddrs;
+  for (const MaoEntry &E : Unit.entries())
+    if (E.isInstruction() && E.instruction().isCondJump())
+      BranchAddrs.push_back(E.Address);
+  ASSERT_EQ(BranchAddrs.size(), 2u);
+  EXPECT_NE(BranchAddrs[0] >> 5, BranchAddrs[1] >> 5);
+}
+
+// --- SCHED ------------------------------------------------------------------
+
+TEST(SCHED, HoistsCriticalPath) {
+  // The paper's hashing sequence: the xorl feeds three consumers; critical
+  // path (shrl chain) should be prioritized. At minimum, dependences must
+  // be respected and something must move.
+  std::string Asm = wrapFunction(R"(	xorl %edi, %ebx
+	subl %ebx, %ecx
+	subl %ebx, %edx
+	movl %ebx, %edi
+	shrl $12, %edi
+	xorl %edi, %edx
+	ret
+)");
+  MaoUnit Unit = parseOk(Asm);
+  unsigned Moved = runPass(Unit, "SCHED");
+  EXPECT_GT(Moved, 0u);
+}
+
+TEST(SCHED, PreservesSemantics) {
+  MachineState Init;
+  Init.setGpr(Reg::EDI, 0x1234);
+  Init.setGpr(Reg::EBX, 0x5678);
+  Init.setGpr(Reg::ECX, 1000);
+  Init.setGpr(Reg::EDX, 2000);
+  expectSemanticsPreserved(wrapFunction(R"(	xorl %edi, %ebx
+	subl %ebx, %ecx
+	subl %ebx, %edx
+	movl %ebx, %edi
+	shrl $12, %edi
+	xorl %edi, %edx
+	movl %edx, %eax
+	ret
+)"),
+                           "SCHED", {Reg::RAX, Reg::RCX, Reg::RDX}, Init);
+}
+
+TEST(SCHED, KeepsBranchesLast) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl $10, %ecx
+.LLOOP:
+	addl $1, %eax
+	imull $3, %eax, %edx
+	subl $1, %ecx
+	jne .LLOOP
+	ret
+)"));
+  runPass(Unit, "SCHED");
+  // Every basic block must still end with its control transfer.
+  CFG G = CFG::build(Unit.functions()[0]);
+  for (const BasicBlock &BB : G.blocks()) {
+    for (size_t I = 0; I + 1 < BB.Insns.size(); ++I)
+      EXPECT_FALSE(BB.Insns[I]->instruction().isBranch());
+  }
+}
+
+TEST(SCHED, PreservesLoopSemantics) {
+  MachineState Init;
+  expectSemanticsPreserved(wrapFunction(R"(	movl $0, %eax
+	movl $20, %ecx
+.LLOOP:
+	leal 3(%rax), %edx
+	imull $5, %edx, %edx
+	addl %edx, %eax
+	subl $1, %ecx
+	jne .LLOOP
+	ret
+)"),
+                           "SCHED", {Reg::RAX}, Init);
+}
+
+// --- Pipeline / infrastructure ------------------------------------------------
+
+TEST(Pipeline, RunsMultiplePassesInOrder) {
+  linkAllPasses();
+  MaoUnit Unit = parseOk(wrapFunction(R"(	andl $255, %eax
+	movl %eax, %eax
+	subl $16, %r15d
+	testl %r15d, %r15d
+	je .LZ
+	ret
+.LZ:
+	ret
+)"));
+  std::vector<PassRequest> Requests;
+  MaoStatus S = parseMaoOption("ZEE:REDTEST", Requests);
+  ASSERT_TRUE(S.ok());
+  PipelineResult R = runPasses(Unit, Requests);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Counts.size(), 2u);
+  EXPECT_EQ(R.Counts[0], (std::pair<std::string, unsigned>("ZEE", 1)));
+  EXPECT_EQ(R.Counts[1], (std::pair<std::string, unsigned>("REDTEST", 1)));
+}
+
+TEST(Pipeline, UnknownPassFails) {
+  linkAllPasses();
+  MaoUnit Unit = parseOk(wrapFunction("\tret\n"));
+  PassRequest Req;
+  Req.PassName = "NOSUCHPASS";
+  PipelineResult R = runPasses(Unit, {Req});
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Options, PaperCommandLineParses) {
+  // "--mao=LFIND=trace[0]:ASM=o[/dev/null]" from paper Sec. III-A.
+  std::vector<PassRequest> Requests;
+  MaoStatus S = parseMaoOption("LFIND=trace[0]:ASM=o[/dev/null]", Requests);
+  ASSERT_TRUE(S.ok()) << S.message();
+  ASSERT_EQ(Requests.size(), 2u);
+  EXPECT_EQ(Requests[0].PassName, "LFIND");
+  EXPECT_EQ(Requests[0].Options.getInt("trace", -1), 0);
+  EXPECT_EQ(Requests[1].PassName, "ASM");
+  EXPECT_EQ(Requests[1].Options.getString("o"), "/dev/null");
+}
+
+} // namespace

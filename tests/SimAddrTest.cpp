@@ -1,0 +1,144 @@
+//===- tests/SimAddrTest.cpp - Forward/backward simulation tests -------------==//
+
+#include "asm/Parser.h"
+#include "passes/SimAddr.h"
+
+#include <gtest/gtest.h>
+
+using namespace mao;
+
+namespace {
+
+MaoUnit parseOk(const std::string &Text) {
+  auto UnitOr = parseAssembly(Text);
+  EXPECT_TRUE(UnitOr.ok());
+  return std::move(*UnitOr);
+}
+
+std::string wrapFunction(const std::string &Body) {
+  return "\t.text\n\t.type f, @function\nf:\n" + Body + "\t.size f, .-f\n";
+}
+
+/// Paper Sec. III-E-m's exact example:
+///   IP1: mov -0x08(%rbp), %edx
+///   IP2: mov %edx, (%rax)
+///   IP3: addl $0x1, -0x4(%rbp)
+const char *PaperExample = R"(	movl -8(%rbp), %edx
+	movl %edx, (%rax)
+	addl $1, -4(%rbp)
+	ret
+)";
+
+TEST(SimAddr, ForwardSimulationFromIP1) {
+  MaoUnit Unit = parseOk(wrapFunction(PaperExample));
+  CFG G = CFG::build(Unit.functions()[0]);
+  RegSnapshot S; // Sampled at IP1: we got %rax and %rbp.
+  S.set(Reg::RBP, 0x1000);
+  S.set(Reg::RAX, 0x2000);
+  auto Addresses = simulateAddresses(G.blocks()[0], 0, S);
+  // IP1's own address, IP2's store address (forward), IP3's address.
+  ASSERT_GE(Addresses.size(), 3u);
+  bool SawIP1 = false, SawIP2 = false, SawIP3 = false;
+  for (const RecoveredAddress &A : Addresses) {
+    if (A.Address == 0x1000 - 8 && A.FromSample)
+      SawIP1 = true;
+    if (A.Address == 0x2000)
+      SawIP2 = true;
+    if (A.Address == 0x1000 - 4)
+      SawIP3 = true;
+  }
+  EXPECT_TRUE(SawIP1) << "the sampled load's own address";
+  EXPECT_TRUE(SawIP2) << "IP2 via forward simulation (rax not killed)";
+  EXPECT_TRUE(SawIP3) << "IP3 via forward simulation";
+}
+
+TEST(SimAddr, BackwardSimulationFromIP3) {
+  MaoUnit Unit = parseOk(wrapFunction(PaperExample));
+  CFG G = CFG::build(Unit.functions()[0]);
+  RegSnapshot S; // Sampled at IP3: we still have %rax's value.
+  S.set(Reg::RBP, 0x1000);
+  S.set(Reg::RAX, 0x2000);
+  auto Addresses = simulateAddresses(G.blocks()[0], 2, S);
+  bool SawIP2 = false;
+  for (const RecoveredAddress &A : Addresses)
+    if (A.Address == 0x2000 && !A.FromSample)
+      SawIP2 = true;
+  EXPECT_TRUE(SawIP2)
+      << "IP2's address recovered by backward simulation (paper text)";
+}
+
+TEST(SimAddr, BackwardUndoesAddSub) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl (%rdi), %eax
+	addq $32, %rdi
+	movl (%rdi), %ecx
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  RegSnapshot S;
+  S.set(Reg::RDI, 0x5020); // Value at the *second* load.
+  auto Addresses = simulateAddresses(G.blocks()[0], 2, S);
+  bool SawFirst = false;
+  for (const RecoveredAddress &A : Addresses)
+    if (A.Address == 0x5000)
+      SawFirst = true; // 0x5020 - 32: the addq was reversed.
+  EXPECT_TRUE(SawFirst);
+}
+
+TEST(SimAddr, UnknownRegisterStopsRecovery) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movq (%rsi), %rdi
+	movl (%rdi), %eax
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  RegSnapshot S;
+  S.set(Reg::RSI, 0x3000);
+  auto Addresses = simulateAddresses(G.blocks()[0], 0, S);
+  // The loaded value of %rdi is unknown: the second address must NOT be
+  // fabricated.
+  for (const RecoveredAddress &A : Addresses)
+    EXPECT_TRUE(A.FromSample) << "fabricated address " << A.Address;
+}
+
+TEST(SimAddr, BarrierStopsSimulation) {
+  MaoUnit Unit = parseOk(wrapFunction(R"(	movl (%rdi), %eax
+	call g
+	movl 4(%rdi), %ecx
+	ret
+)"));
+  CFG G = CFG::build(Unit.functions()[0]);
+  RegSnapshot S;
+  S.set(Reg::RDI, 0x4000);
+  auto Addresses = simulateAddresses(G.blocks()[0], 0, S);
+  for (const RecoveredAddress &A : Addresses)
+    EXPECT_NE(A.Address, 0x4004) << "simulated across a call";
+}
+
+TEST(SimAddr, WindowBoundsTheWalk) {
+  std::string Body;
+  for (int I = 0; I < 20; ++I)
+    Body += "\tmovl " + std::to_string(4 * I) + "(%rdi), %eax\n";
+  Body += "\tret\n";
+  MaoUnit Unit = parseOk(wrapFunction(Body));
+  CFG G = CFG::build(Unit.functions()[0]);
+  RegSnapshot S;
+  S.set(Reg::RDI, 0x9000);
+  auto Bounded = simulateAddresses(G.blocks()[0], 10, S, /*Window=*/3);
+  auto Unbounded = simulateAddresses(G.blocks()[0], 10, S);
+  EXPECT_EQ(Bounded.size(), 7u); // sample + 3 forward + 3 backward
+  EXPECT_GT(Unbounded.size(), Bounded.size());
+}
+
+TEST(SimAddr, EffectiveAddressComputation) {
+  Instruction I = parseInstructionLine("movl 8(%rdi,%rcx,4), %eax");
+  RegSnapshot S;
+  S.set(Reg::RDI, 0x1000);
+  S.set(Reg::RCX, 3);
+  auto A = effectiveAddress(I, S);
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(*A, 0x1000 + 8 + 12);
+  RegSnapshot Missing;
+  Missing.set(Reg::RDI, 0x1000);
+  EXPECT_FALSE(effectiveAddress(I, Missing).has_value());
+}
+
+} // namespace

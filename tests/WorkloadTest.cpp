@@ -1,0 +1,130 @@
+//===- tests/WorkloadTest.cpp - Synthetic workload generator tests -----------==//
+
+#include "analysis/CFG.h"
+#include "asm/Parser.h"
+#include "pass/MaoPass.h"
+#include "sim/Emulator.h"
+#include "uarch/Runner.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace mao;
+
+namespace {
+
+TEST(Workload, GeneratesParseableAssembly) {
+  for (const WorkloadSpec &Spec : spec2000IntProfiles()) {
+    std::string Asm = generateWorkloadAssembly(Spec);
+    ParseStats Stats;
+    auto UnitOr = parseAssembly(Asm, &Stats);
+    ASSERT_TRUE(UnitOr.ok()) << Spec.Name;
+    EXPECT_EQ(Stats.OpaqueInstructions, 0u)
+        << Spec.Name << ": generator emitted unmodelled instructions";
+    EXPECT_GE(UnitOr->functions().size(), Spec.Functions)
+        << Spec.Name << ": missing functions";
+  }
+}
+
+TEST(Workload, DeterministicForSeed) {
+  const WorkloadSpec *Spec = findBenchmarkProfile("175.vpr");
+  ASSERT_NE(Spec, nullptr);
+  EXPECT_EQ(generateWorkloadAssembly(*Spec), generateWorkloadAssembly(*Spec));
+  WorkloadSpec Other = *Spec;
+  Other.Seed += 1;
+  EXPECT_NE(generateWorkloadAssembly(*Spec), generateWorkloadAssembly(Other));
+}
+
+TEST(Workload, EveryBenchmarkRunsToCompletion) {
+  linkAllPasses();
+  for (const char *Name : {"164.gzip", "181.mcf", "256.bzip2"}) {
+    const WorkloadSpec *Spec = findBenchmarkProfile(Name);
+    ASSERT_NE(Spec, nullptr) << Name;
+    std::string Asm = generateWorkloadAssembly(*Spec);
+    auto UnitOr = parseAssembly(Asm);
+    ASSERT_TRUE(UnitOr.ok());
+    MeasureOptions Options;
+    auto R = measureFunction(*UnitOr, "bench_main", Options);
+    ASSERT_TRUE(R.ok()) << Name << ": " << R.message();
+    EXPECT_GT(R->Pmu.InstRetired, 1000u);
+  }
+}
+
+TEST(Workload, PatternCountsMatchSpec) {
+  linkAllPasses();
+  WorkloadSpec Spec = googleCorpusProfile(0.01);
+  std::string Asm = generateWorkloadAssembly(Spec);
+  auto UnitOr = parseAssembly(Asm);
+  ASSERT_TRUE(UnitOr.ok());
+  std::vector<PassRequest> Requests;
+  parseMaoOption("ZEE:REDTEST", Requests);
+  PipelineResult Result = runPasses(*UnitOr, Requests);
+  ASSERT_TRUE(Result.Ok);
+  // Pass finds exactly as many patterns as the generator planted (the
+  // corpus carries no hot-loop structures that would add more).
+  EXPECT_EQ(Result.Counts[0].second, Spec.ZeroExtPatterns);
+  EXPECT_EQ(Result.Counts[1].second, Spec.RedundantTests);
+}
+
+TEST(Workload, JumpTablesResolve) {
+  WorkloadSpec Spec;
+  Spec.Name = "jt";
+  Spec.JumpTables = 3;
+  Spec.Functions = 1;
+  Spec.FillerPerFunction = 8;
+  Spec.NeutralLoops = 0;
+  Spec.SplitShortLoops = 0;
+  Spec.AlignedShortLoops = 0;
+  Spec.SchedFanoutLoops = 0;
+  std::string Asm = generateWorkloadAssembly(Spec);
+  auto UnitOr = parseAssembly(Asm);
+  ASSERT_TRUE(UnitOr.ok());
+  for (MaoFunction &Fn : UnitOr->functions()) {
+    if (Fn.name() == "bench_main")
+      continue;
+    CFG Graph = CFG::build(Fn);
+    EXPECT_FALSE(Fn.HasUnresolvedIndirect) << Fn.name();
+    EXPECT_EQ(Graph.stats().IndirectJumps, 3u);
+  }
+}
+
+TEST(Workload, PassPipelinePreservesSemantics) {
+  // End-to-end property: the full optimization pipeline must not change
+  // the architectural result of any benchmark program.
+  linkAllPasses();
+  for (const char *Name : {"164.gzip", "181.mcf"}) {
+    const WorkloadSpec *Spec = findBenchmarkProfile(Name);
+    std::string Asm = generateWorkloadAssembly(*Spec);
+    auto Base = parseAssembly(Asm);
+    auto Opt = parseAssembly(Asm);
+    ASSERT_TRUE(Base.ok() && Opt.ok());
+    std::vector<PassRequest> Requests;
+    parseMaoOption("ZEE:REDTEST:REDMOV:ADDADD:CONSTFOLD:LOOP16:SCHED:"
+                   "NOPIN=seed[3]",
+                   Requests);
+    ASSERT_TRUE(runPasses(*Opt, Requests).Ok);
+
+    Emulator E0(*Base), E1(*Opt);
+    EmulationResult R0 = E0.run("bench_main", MachineState());
+    EmulationResult R1 = E1.run("bench_main", MachineState());
+    ASSERT_EQ(R0.Reason, StopReason::Returned) << Name << R0.Message;
+    ASSERT_EQ(R1.Reason, StopReason::Returned) << Name << R1.Message;
+    // Architectural outcome: callee-saved registers and the return value.
+    for (Reg R : {Reg::RAX, Reg::RBX, Reg::RBP, Reg::RSP})
+      EXPECT_EQ(R0.Final.gpr(R), R1.Final.gpr(R))
+          << Name << ": " << regName(R) << " diverged";
+  }
+}
+
+TEST(Workload, ProfilesExistForPaperBenchmarks) {
+  for (const char *Name :
+       {"164.gzip", "175.vpr", "176.gcc", "181.mcf", "186.crafty",
+        "197.parser", "252.eon", "253.perlbmk", "254.gap", "255.vortex",
+        "256.bzip2", "300.twolf", "447.dealII", "454.calculix",
+        "410.bwaves", "434.zeusmp", "483.xalancbmk", "429.mcf",
+        "464.h264ref"})
+    EXPECT_NE(findBenchmarkProfile(Name), nullptr) << Name;
+  EXPECT_EQ(findBenchmarkProfile("999.nonexistent"), nullptr);
+}
+
+} // namespace
