@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_branch_alias.dir/bench_branch_alias.cpp.o"
+  "CMakeFiles/bench_branch_alias.dir/bench_branch_alias.cpp.o.d"
+  "bench_branch_alias"
+  "bench_branch_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_branch_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

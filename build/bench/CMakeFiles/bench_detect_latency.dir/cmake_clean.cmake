@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detect_latency.dir/bench_detect_latency.cpp.o"
+  "CMakeFiles/bench_detect_latency.dir/bench_detect_latency.cpp.o.d"
+  "bench_detect_latency"
+  "bench_detect_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detect_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mcf_nop.dir/bench_fig1_mcf_nop.cpp.o"
+  "CMakeFiles/bench_fig1_mcf_nop.dir/bench_fig1_mcf_nop.cpp.o.d"
+  "bench_fig1_mcf_nop"
+  "bench_fig1_mcf_nop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mcf_nop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

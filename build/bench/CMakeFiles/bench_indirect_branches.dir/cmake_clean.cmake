@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_indirect_branches.dir/bench_indirect_branches.cpp.o"
+  "CMakeFiles/bench_indirect_branches.dir/bench_indirect_branches.cpp.o.d"
+  "bench_indirect_branches"
+  "bench_indirect_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indirect_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loop16_core2.dir/bench_loop16_core2.cpp.o"
+  "CMakeFiles/bench_loop16_core2.dir/bench_loop16_core2.cpp.o.d"
+  "bench_loop16_core2"
+  "bench_loop16_core2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loop16_core2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loop16_opteron.dir/bench_loop16_opteron.cpp.o"
+  "CMakeFiles/bench_loop16_opteron.dir/bench_loop16_opteron.cpp.o.d"
+  "bench_loop16_opteron"
+  "bench_loop16_opteron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loop16_opteron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

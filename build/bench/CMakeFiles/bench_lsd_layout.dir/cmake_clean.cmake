@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsd_layout.dir/bench_lsd_layout.cpp.o"
+  "CMakeFiles/bench_lsd_layout.dir/bench_lsd_layout.cpp.o.d"
+  "bench_lsd_layout"
+  "bench_lsd_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsd_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

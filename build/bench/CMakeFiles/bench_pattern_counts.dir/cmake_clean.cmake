@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pattern_counts.dir/bench_pattern_counts.cpp.o"
+  "CMakeFiles/bench_pattern_counts.dir/bench_pattern_counts.cpp.o.d"
+  "bench_pattern_counts"
+  "bench_pattern_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pattern_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

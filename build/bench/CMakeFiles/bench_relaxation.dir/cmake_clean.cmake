@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_relaxation.dir/bench_relaxation.cpp.o"
+  "CMakeFiles/bench_relaxation.dir/bench_relaxation.cpp.o.d"
+  "bench_relaxation"
+  "bench_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_spec2006.dir/bench_sched_spec2006.cpp.o"
+  "CMakeFiles/bench_sched_spec2006.dir/bench_sched_spec2006.cpp.o.d"
+  "bench_sched_spec2006"
+  "bench_sched_spec2006.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_spec2006.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simaddr.dir/bench_simaddr.cpp.o"
+  "CMakeFiles/bench_simaddr.dir/bench_simaddr.cpp.o.d"
+  "bench_simaddr"
+  "bench_simaddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simaddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spec2000_eon.dir/bench_spec2000_eon.cpp.o"
+  "CMakeFiles/bench_spec2000_eon.dir/bench_spec2000_eon.cpp.o.d"
+  "bench_spec2000_eon"
+  "bench_spec2000_eon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spec2000_eon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_spec2000_eon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spec2006_redmov.dir/bench_spec2006_redmov.cpp.o"
+  "CMakeFiles/bench_spec2006_redmov.dir/bench_spec2006_redmov.cpp.o.d"
+  "bench_spec2006_redmov"
+  "bench_spec2006_redmov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spec2006_redmov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

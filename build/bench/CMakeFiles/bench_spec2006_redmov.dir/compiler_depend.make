@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_spec2006_redmov.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_latency.dir/detect_latency.cpp.o"
+  "CMakeFiles/detect_latency.dir/detect_latency.cpp.o.d"
+  "detect_latency"
+  "detect_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nop_experiment.dir/nop_experiment.cpp.o"
+  "CMakeFiles/nop_experiment.dir/nop_experiment.cpp.o.d"
+  "nop_experiment"
+  "nop_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nop_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

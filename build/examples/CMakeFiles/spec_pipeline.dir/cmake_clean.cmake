@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_pipeline.dir/spec_pipeline.cpp.o"
+  "CMakeFiles/spec_pipeline.dir/spec_pipeline.cpp.o.d"
+  "spec_pipeline"
+  "spec_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mao_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/mao_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/mao_analysis.dir/Dataflow.cpp.o"
+  "CMakeFiles/mao_analysis.dir/Dataflow.cpp.o.d"
+  "CMakeFiles/mao_analysis.dir/Loops.cpp.o"
+  "CMakeFiles/mao_analysis.dir/Loops.cpp.o.d"
+  "CMakeFiles/mao_analysis.dir/Relaxer.cpp.o"
+  "CMakeFiles/mao_analysis.dir/Relaxer.cpp.o.d"
+  "libmao_analysis.a"
+  "libmao_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mao_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asm/AsmEmitter.cpp" "src/asm/CMakeFiles/mao_asm.dir/AsmEmitter.cpp.o" "gcc" "src/asm/CMakeFiles/mao_asm.dir/AsmEmitter.cpp.o.d"
+  "/root/repo/src/asm/Assembler.cpp" "src/asm/CMakeFiles/mao_asm.dir/Assembler.cpp.o" "gcc" "src/asm/CMakeFiles/mao_asm.dir/Assembler.cpp.o.d"
+  "/root/repo/src/asm/Parser.cpp" "src/asm/CMakeFiles/mao_asm.dir/Parser.cpp.o" "gcc" "src/asm/CMakeFiles/mao_asm.dir/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mao_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mao_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/mao_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mao_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mao_asm.dir/AsmEmitter.cpp.o"
+  "CMakeFiles/mao_asm.dir/AsmEmitter.cpp.o.d"
+  "CMakeFiles/mao_asm.dir/Assembler.cpp.o"
+  "CMakeFiles/mao_asm.dir/Assembler.cpp.o.d"
+  "CMakeFiles/mao_asm.dir/Parser.cpp.o"
+  "CMakeFiles/mao_asm.dir/Parser.cpp.o.d"
+  "libmao_asm.a"
+  "libmao_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mao_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

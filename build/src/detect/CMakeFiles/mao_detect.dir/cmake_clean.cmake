@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mao_detect.dir/Detect.cpp.o"
+  "CMakeFiles/mao_detect.dir/Detect.cpp.o.d"
+  "libmao_detect.a"
+  "libmao_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mao_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmao_detect.a"
+)

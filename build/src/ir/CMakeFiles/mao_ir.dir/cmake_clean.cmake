@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mao_ir.dir/MaoUnit.cpp.o"
+  "CMakeFiles/mao_ir.dir/MaoUnit.cpp.o.d"
+  "libmao_ir.a"
+  "libmao_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mao_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mao_pass.dir/MaoPass.cpp.o"
+  "CMakeFiles/mao_pass.dir/MaoPass.cpp.o.d"
+  "libmao_pass.a"
+  "libmao_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mao_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

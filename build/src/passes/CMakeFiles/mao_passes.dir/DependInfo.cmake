@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/AlignPasses.cpp" "src/passes/CMakeFiles/mao_passes.dir/AlignPasses.cpp.o" "gcc" "src/passes/CMakeFiles/mao_passes.dir/AlignPasses.cpp.o.d"
+  "/root/repo/src/passes/AllPasses.cpp" "src/passes/CMakeFiles/mao_passes.dir/AllPasses.cpp.o" "gcc" "src/passes/CMakeFiles/mao_passes.dir/AllPasses.cpp.o.d"
+  "/root/repo/src/passes/InfraPasses.cpp" "src/passes/CMakeFiles/mao_passes.dir/InfraPasses.cpp.o" "gcc" "src/passes/CMakeFiles/mao_passes.dir/InfraPasses.cpp.o.d"
+  "/root/repo/src/passes/NopPasses.cpp" "src/passes/CMakeFiles/mao_passes.dir/NopPasses.cpp.o" "gcc" "src/passes/CMakeFiles/mao_passes.dir/NopPasses.cpp.o.d"
+  "/root/repo/src/passes/PeepholePasses.cpp" "src/passes/CMakeFiles/mao_passes.dir/PeepholePasses.cpp.o" "gcc" "src/passes/CMakeFiles/mao_passes.dir/PeepholePasses.cpp.o.d"
+  "/root/repo/src/passes/PrefetchPass.cpp" "src/passes/CMakeFiles/mao_passes.dir/PrefetchPass.cpp.o" "gcc" "src/passes/CMakeFiles/mao_passes.dir/PrefetchPass.cpp.o.d"
+  "/root/repo/src/passes/ScalarPasses.cpp" "src/passes/CMakeFiles/mao_passes.dir/ScalarPasses.cpp.o" "gcc" "src/passes/CMakeFiles/mao_passes.dir/ScalarPasses.cpp.o.d"
+  "/root/repo/src/passes/SchedPass.cpp" "src/passes/CMakeFiles/mao_passes.dir/SchedPass.cpp.o" "gcc" "src/passes/CMakeFiles/mao_passes.dir/SchedPass.cpp.o.d"
+  "/root/repo/src/passes/SimAddr.cpp" "src/passes/CMakeFiles/mao_passes.dir/SimAddr.cpp.o" "gcc" "src/passes/CMakeFiles/mao_passes.dir/SimAddr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pass/CMakeFiles/mao_pass.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mao_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/mao_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mao_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/mao_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mao_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

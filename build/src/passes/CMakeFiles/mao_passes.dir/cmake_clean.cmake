@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mao_passes.dir/AlignPasses.cpp.o"
+  "CMakeFiles/mao_passes.dir/AlignPasses.cpp.o.d"
+  "CMakeFiles/mao_passes.dir/AllPasses.cpp.o"
+  "CMakeFiles/mao_passes.dir/AllPasses.cpp.o.d"
+  "CMakeFiles/mao_passes.dir/InfraPasses.cpp.o"
+  "CMakeFiles/mao_passes.dir/InfraPasses.cpp.o.d"
+  "CMakeFiles/mao_passes.dir/NopPasses.cpp.o"
+  "CMakeFiles/mao_passes.dir/NopPasses.cpp.o.d"
+  "CMakeFiles/mao_passes.dir/PeepholePasses.cpp.o"
+  "CMakeFiles/mao_passes.dir/PeepholePasses.cpp.o.d"
+  "CMakeFiles/mao_passes.dir/PrefetchPass.cpp.o"
+  "CMakeFiles/mao_passes.dir/PrefetchPass.cpp.o.d"
+  "CMakeFiles/mao_passes.dir/ScalarPasses.cpp.o"
+  "CMakeFiles/mao_passes.dir/ScalarPasses.cpp.o.d"
+  "CMakeFiles/mao_passes.dir/SchedPass.cpp.o"
+  "CMakeFiles/mao_passes.dir/SchedPass.cpp.o.d"
+  "CMakeFiles/mao_passes.dir/SimAddr.cpp.o"
+  "CMakeFiles/mao_passes.dir/SimAddr.cpp.o.d"
+  "libmao_passes.a"
+  "libmao_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mao_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

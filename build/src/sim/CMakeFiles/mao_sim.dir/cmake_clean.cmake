@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mao_sim.dir/Emulator.cpp.o"
+  "CMakeFiles/mao_sim.dir/Emulator.cpp.o.d"
+  "libmao_sim.a"
+  "libmao_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mao_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mao_support.dir/Options.cpp.o"
+  "CMakeFiles/mao_support.dir/Options.cpp.o.d"
+  "CMakeFiles/mao_support.dir/Trace.cpp.o"
+  "CMakeFiles/mao_support.dir/Trace.cpp.o.d"
+  "libmao_support.a"
+  "libmao_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mao_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/enccheck.cpp" "src/tools/CMakeFiles/enccheck.dir/enccheck.cpp.o" "gcc" "src/tools/CMakeFiles/enccheck.dir/enccheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/mao_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mao_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/mao_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mao_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mao_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

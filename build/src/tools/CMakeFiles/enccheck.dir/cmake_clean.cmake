@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enccheck.dir/enccheck.cpp.o"
+  "CMakeFiles/enccheck.dir/enccheck.cpp.o.d"
+  "enccheck"
+  "enccheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enccheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mao.dir/mao.cpp.o"
+  "CMakeFiles/mao.dir/mao.cpp.o.d"
+  "mao"
+  "mao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mao.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mao_uarch.dir/Runner.cpp.o"
+  "CMakeFiles/mao_uarch.dir/Runner.cpp.o.d"
+  "CMakeFiles/mao_uarch.dir/UarchSim.cpp.o"
+  "CMakeFiles/mao_uarch.dir/UarchSim.cpp.o.d"
+  "libmao_uarch.a"
+  "libmao_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mao_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

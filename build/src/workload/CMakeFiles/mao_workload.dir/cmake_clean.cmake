@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mao_workload.dir/Profiles.cpp.o"
+  "CMakeFiles/mao_workload.dir/Profiles.cpp.o.d"
+  "CMakeFiles/mao_workload.dir/Workload.cpp.o"
+  "CMakeFiles/mao_workload.dir/Workload.cpp.o.d"
+  "libmao_workload.a"
+  "libmao_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mao_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/Encoder.cpp" "src/x86/CMakeFiles/mao_x86.dir/Encoder.cpp.o" "gcc" "src/x86/CMakeFiles/mao_x86.dir/Encoder.cpp.o.d"
+  "/root/repo/src/x86/Instruction.cpp" "src/x86/CMakeFiles/mao_x86.dir/Instruction.cpp.o" "gcc" "src/x86/CMakeFiles/mao_x86.dir/Instruction.cpp.o.d"
+  "/root/repo/src/x86/Opcodes.cpp" "src/x86/CMakeFiles/mao_x86.dir/Opcodes.cpp.o" "gcc" "src/x86/CMakeFiles/mao_x86.dir/Opcodes.cpp.o.d"
+  "/root/repo/src/x86/Operand.cpp" "src/x86/CMakeFiles/mao_x86.dir/Operand.cpp.o" "gcc" "src/x86/CMakeFiles/mao_x86.dir/Operand.cpp.o.d"
+  "/root/repo/src/x86/Registers.cpp" "src/x86/CMakeFiles/mao_x86.dir/Registers.cpp.o" "gcc" "src/x86/CMakeFiles/mao_x86.dir/Registers.cpp.o.d"
+  "/root/repo/src/x86/X86Defs.cpp" "src/x86/CMakeFiles/mao_x86.dir/X86Defs.cpp.o" "gcc" "src/x86/CMakeFiles/mao_x86.dir/X86Defs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mao_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

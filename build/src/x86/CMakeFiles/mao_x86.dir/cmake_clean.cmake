@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mao_x86.dir/Encoder.cpp.o"
+  "CMakeFiles/mao_x86.dir/Encoder.cpp.o.d"
+  "CMakeFiles/mao_x86.dir/Instruction.cpp.o"
+  "CMakeFiles/mao_x86.dir/Instruction.cpp.o.d"
+  "CMakeFiles/mao_x86.dir/Opcodes.cpp.o"
+  "CMakeFiles/mao_x86.dir/Opcodes.cpp.o.d"
+  "CMakeFiles/mao_x86.dir/Operand.cpp.o"
+  "CMakeFiles/mao_x86.dir/Operand.cpp.o.d"
+  "CMakeFiles/mao_x86.dir/Registers.cpp.o"
+  "CMakeFiles/mao_x86.dir/Registers.cpp.o.d"
+  "CMakeFiles/mao_x86.dir/X86Defs.cpp.o"
+  "CMakeFiles/mao_x86.dir/X86Defs.cpp.o.d"
+  "libmao_x86.a"
+  "libmao_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mao_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_cross_test.dir/GasCrossTest.cpp.o"
+  "CMakeFiles/gas_cross_test.dir/GasCrossTest.cpp.o.d"
+  "gas_cross_test"
+  "gas_cross_test.pdb"
+  "gas_cross_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_cross_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

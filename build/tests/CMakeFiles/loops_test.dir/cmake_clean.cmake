@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loops_test.dir/LoopsTest.cpp.o"
+  "CMakeFiles/loops_test.dir/LoopsTest.cpp.o.d"
+  "loops_test"
+  "loops_test.pdb"
+  "loops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

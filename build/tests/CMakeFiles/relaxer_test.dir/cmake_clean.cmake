@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relaxer_test.dir/RelaxerTest.cpp.o"
+  "CMakeFiles/relaxer_test.dir/RelaxerTest.cpp.o.d"
+  "relaxer_test"
+  "relaxer_test.pdb"
+  "relaxer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relaxer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

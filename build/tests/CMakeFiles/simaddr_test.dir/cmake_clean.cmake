@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simaddr_test.dir/SimAddrTest.cpp.o"
+  "CMakeFiles/simaddr_test.dir/SimAddrTest.cpp.o.d"
+  "simaddr_test"
+  "simaddr_test.pdb"
+  "simaddr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simaddr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/x86_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/relaxer_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_test[1]_include.cmake")
+include("/root/repo/build/tests/loops_test[1]_include.cmake")
+include("/root/repo/build/tests/gas_cross_test[1]_include.cmake")
+include("/root/repo/build/tests/emulator_test[1]_include.cmake")
+include("/root/repo/build/tests/uarch_test[1]_include.cmake")
+include("/root/repo/build/tests/passes_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_test[1]_include.cmake")
+include("/root/repo/build/tests/simaddr_test[1]_include.cmake")
+include("/root/repo/build/tests/identity_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
