@@ -52,7 +52,8 @@ void BM_MaoPipeline(benchmark::State &State) {
     if (!Unit.ok())
       State.SkipWithError("parse failed");
     std::vector<PassRequest> Requests;
-    parseMaoOption("ZEE:REDTEST:REDMOV:ADDADD:LOOP16:SCHED", Requests);
+    if (parseMaoOption("ZEE:REDTEST:REDMOV:ADDADD:LOOP16:SCHED", Requests))
+      State.SkipWithError("bad pass spec");
     PipelineResult R = runPasses(*Unit, Requests);
     if (!R.Ok)
       State.SkipWithError("pass failed");

@@ -68,8 +68,10 @@ int main() {
 
     // The paper's aggregate pipeline: alignment, peepholes, scheduling.
     std::vector<PassRequest> Requests;
-    parseMaoOption("LOOP16:REDMOV:REDTEST:SCHED:NOPIN=seed[7],density[10]",
-                   Requests);
+    if (parseMaoOption(
+            "LOOP16:REDMOV:REDTEST:SCHED:NOPIN=seed[7],density[10]",
+            Requests))
+      return 1;
     PipelineResult Result = runPasses(Opt, Requests);
     if (!Result.Ok) {
       std::fprintf(stderr, "%s: %s\n", Row.Name, Result.Error.c_str());

@@ -45,7 +45,8 @@ int main() {
 
   linkAllPasses();
   std::vector<PassRequest> Requests;
-  parseMaoOption("ZEE:REDTEST:REDMOV:ADDADD", Requests);
+  if (parseMaoOption("ZEE:REDTEST:REDMOV:ADDADD", Requests))
+    return 1;
   PipelineResult Result = runPasses(*UnitOr, Requests);
   if (!Result.Ok) {
     std::fprintf(stderr, "passes failed: %s\n", Result.Error.c_str());

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_overhead.dir/bench_pipeline_overhead.cpp.o"
+  "CMakeFiles/bench_pipeline_overhead.dir/bench_pipeline_overhead.cpp.o.d"
+  "bench_pipeline_overhead"
+  "bench_pipeline_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -138,10 +138,11 @@ examples/CMakeFiles/spec_pipeline.dir/spec_pipeline.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/support/Status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/pass/MaoPass.h /root/repo/src/support/Options.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/support/Diag.h \
+ /root/repo/src/support/Status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/pass/MaoPass.h \
+ /root/repo/src/ir/Verifier.h /root/repo/src/support/Options.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/Trace.h \

@@ -151,9 +151,9 @@ src/detect/CMakeFiles/mao_detect.dir/Detect.cpp.o: \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/asm/Parser.h /root/repo/src/uarch/Runner.h \
- /root/repo/src/sim/Emulator.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/asm/Parser.h /root/repo/src/support/Diag.h \
+ /root/repo/src/uarch/Runner.h /root/repo/src/sim/Emulator.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

@@ -9,12 +9,14 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/ir/MaoUnit.cpp" "src/ir/CMakeFiles/mao_ir.dir/MaoUnit.cpp.o" "gcc" "src/ir/CMakeFiles/mao_ir.dir/MaoUnit.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/mao_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/mao_ir.dir/Verifier.cpp.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/x86/CMakeFiles/mao_x86.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/mao_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mao_analysis.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

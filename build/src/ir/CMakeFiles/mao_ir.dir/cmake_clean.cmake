@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/mao_ir.dir/MaoUnit.cpp.o"
   "CMakeFiles/mao_ir.dir/MaoUnit.cpp.o.d"
+  "CMakeFiles/mao_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/mao_ir.dir/Verifier.cpp.o.d"
   "libmao_ir.a"
   "libmao_ir.pdb"
 )

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ir/CMakeFiles/mao_ir.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/mao_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mao_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/x86/CMakeFiles/mao_x86.dir/DependInfo.cmake"
   )
 

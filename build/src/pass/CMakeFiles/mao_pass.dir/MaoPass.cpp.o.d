@@ -138,7 +138,8 @@ src/pass/CMakeFiles/mao_pass.dir/MaoPass.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/support/Options.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/ir/Verifier.h \
+ /root/repo/src/support/Diag.h /root/repo/src/support/Options.h \
  /root/repo/src/support/Status.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/map \
@@ -221,4 +222,10 @@ src/pass/CMakeFiles/mao_pass.dir/MaoPass.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/support/FaultInjection.h /root/repo/src/support/Random.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

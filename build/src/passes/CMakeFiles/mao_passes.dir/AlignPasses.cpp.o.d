@@ -142,7 +142,8 @@ src/passes/CMakeFiles/mao_passes.dir/AlignPasses.cpp.o: \
  /root/repo/src/x86/Encoder.h /root/repo/src/support/Status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/pass/MaoPass.h /root/repo/src/support/Options.h \
+ /root/repo/src/pass/MaoPass.h /root/repo/src/ir/Verifier.h \
+ /root/repo/src/support/Diag.h /root/repo/src/support/Options.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/Trace.h \

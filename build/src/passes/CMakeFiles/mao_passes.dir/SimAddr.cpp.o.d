@@ -143,7 +143,8 @@ src/passes/CMakeFiles/mao_passes.dir/SimAddr.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/pass/MaoPass.h /root/repo/src/support/Options.h \
+ /root/repo/src/pass/MaoPass.h /root/repo/src/ir/Verifier.h \
+ /root/repo/src/support/Diag.h /root/repo/src/support/Options.h \
  /root/repo/src/support/Status.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/map \

@@ -8,6 +8,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Diag.cpp" "src/support/CMakeFiles/mao_support.dir/Diag.cpp.o" "gcc" "src/support/CMakeFiles/mao_support.dir/Diag.cpp.o.d"
+  "/root/repo/src/support/FaultInjection.cpp" "src/support/CMakeFiles/mao_support.dir/FaultInjection.cpp.o" "gcc" "src/support/CMakeFiles/mao_support.dir/FaultInjection.cpp.o.d"
   "/root/repo/src/support/Options.cpp" "src/support/CMakeFiles/mao_support.dir/Options.cpp.o" "gcc" "src/support/CMakeFiles/mao_support.dir/Options.cpp.o.d"
   "/root/repo/src/support/Trace.cpp" "src/support/CMakeFiles/mao_support.dir/Trace.cpp.o" "gcc" "src/support/CMakeFiles/mao_support.dir/Trace.cpp.o.d"
   )

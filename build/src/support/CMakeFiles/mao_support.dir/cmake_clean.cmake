@@ -1,4 +1,8 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/mao_support.dir/Diag.cpp.o"
+  "CMakeFiles/mao_support.dir/Diag.cpp.o.d"
+  "CMakeFiles/mao_support.dir/FaultInjection.cpp.o"
+  "CMakeFiles/mao_support.dir/FaultInjection.cpp.o.d"
   "CMakeFiles/mao_support.dir/Options.cpp.o"
   "CMakeFiles/mao_support.dir/Options.cpp.o.d"
   "CMakeFiles/mao_support.dir/Trace.cpp.o"

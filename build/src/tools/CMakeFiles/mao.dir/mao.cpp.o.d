@@ -140,7 +140,8 @@ src/tools/CMakeFiles/mao.dir/mao.cpp.o: /root/repo/src/tools/mao.cpp \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/support/Status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/asm/Parser.h /root/repo/src/pass/MaoPass.h \
+ /root/repo/src/asm/Parser.h /root/repo/src/support/Diag.h \
+ /root/repo/src/ir/Verifier.h /root/repo/src/pass/MaoPass.h \
  /root/repo/src/support/Options.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/Trace.h \
@@ -221,9 +222,10 @@ src/tools/CMakeFiles/mao.dir/mao.cpp.o: /root/repo/src/tools/mao.cpp \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/fstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/support/FaultInjection.h /root/repo/src/support/Random.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \

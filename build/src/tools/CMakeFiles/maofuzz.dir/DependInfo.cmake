@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/maofuzz.cpp" "src/tools/CMakeFiles/maofuzz.dir/maofuzz.cpp.o" "gcc" "src/tools/CMakeFiles/maofuzz.dir/maofuzz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mao_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/mao_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/pass/CMakeFiles/mao_pass.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/mao_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mao_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mao_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/mao_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mao_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

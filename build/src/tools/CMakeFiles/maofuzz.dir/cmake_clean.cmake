@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maofuzz.dir/maofuzz.cpp.o"
+  "CMakeFiles/maofuzz.dir/maofuzz.cpp.o.d"
+  "maofuzz"
+  "maofuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maofuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

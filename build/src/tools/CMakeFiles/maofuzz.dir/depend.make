@@ -1,0 +1,2 @@
+# Empty dependencies file for maofuzz.
+# This may be replaced when dependencies are built.

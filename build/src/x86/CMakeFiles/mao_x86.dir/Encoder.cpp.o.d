@@ -137,4 +137,6 @@ src/x86/CMakeFiles/mao_x86.dir/Encoder.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h
+ /usr/include/c++/12/bits/erase_if.h \
+ /root/repo/src/support/FaultInjection.h /root/repo/src/support/Random.h \
+ /usr/include/c++/12/array

@@ -145,7 +145,8 @@ tests/CMakeFiles/identity_test.dir/IdentityTest.cpp.o: \
  /root/repo/src/x86/Encoder.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/asm/Parser.h \
- /root/repo/src/pass/MaoPass.h /root/repo/src/support/Options.h \
+ /root/repo/src/support/Diag.h /root/repo/src/pass/MaoPass.h \
+ /root/repo/src/ir/Verifier.h /root/repo/src/support/Options.h \
  /root/repo/src/support/Trace.h /usr/include/c++/12/cstdarg \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/array \

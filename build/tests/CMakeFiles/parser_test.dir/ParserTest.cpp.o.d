@@ -141,9 +141,10 @@ tests/CMakeFiles/parser_test.dir/ParserTest.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/support/Status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/asm/Parser.h /root/miniconda/include/gtest/gtest.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/asm/Parser.h /root/repo/src/support/Diag.h \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/limits /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

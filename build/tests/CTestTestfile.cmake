@@ -19,3 +19,6 @@ include("/root/repo/build/tests/detect_test[1]_include.cmake")
 include("/root/repo/build/tests/simaddr_test[1]_include.cmake")
 include("/root/repo/build/tests/identity_test[1]_include.cmake")
 include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+add_test(fuzz_smoke "/root/repo/scripts/fuzz_smoke.sh" "/root/repo/build/src/tools/maofuzz" "500")
+set_tests_properties(fuzz_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;30;add_test;/root/repo/tests/CMakeLists.txt;0;")

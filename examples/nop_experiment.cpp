@@ -54,8 +54,9 @@ int main(int Argc, char **Argv) {
   for (unsigned Seed = 1; Seed <= Seeds; ++Seed) {
     auto Unit = parseAssembly(Asm);
     std::vector<PassRequest> Requests;
-    parseMaoOption("NOPIN=seed[" + std::to_string(Seed) + "],density[8]",
-                   Requests);
+    if (parseMaoOption("NOPIN=seed[" + std::to_string(Seed) + "],density[8]",
+                       Requests))
+      continue;
     PipelineResult PR = runPasses(*Unit, Requests);
     if (!PR.Ok)
       continue;

@@ -73,7 +73,8 @@ int main() {
 
   // 4. Run passes, exactly as `mao --mao=ZEE:REDTEST in.s` would.
   std::vector<PassRequest> Requests;
-  parseMaoOption("ZEE:REDTEST", Requests);
+  if (parseMaoOption("ZEE:REDTEST", Requests))
+    return 1;
   PipelineResult Result = runPasses(Unit, Requests);
   for (const auto &[Pass, Count] : Result.Counts)
     std::printf("pass %-8s removed %u redundant instruction(s)\n",

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Fuzz smoke test: run maofuzz over a fixed seed range on the clean path
+# (every property must hold) and a second range with faults injected at
+# every site (failures must be contained -- exit 0 means no crash and no
+# property violation). Invoked by ctest as `fuzz_smoke`; run standalone as
+#
+#   scripts/fuzz_smoke.sh path/to/maofuzz [seeds]
+#
+# The seed count defaults to 500, matching the acceptance criterion.
+set -e
+
+MAOFUZZ="${1:?usage: fuzz_smoke.sh path/to/maofuzz [seeds]}"
+SEEDS="${2:-500}"
+
+echo "fuzz_smoke: clean path, $SEEDS seeds"
+"$MAOFUZZ" --seeds="$SEEDS" --seed-base=1
+
+# Low per-site rates: the parser and encoder sites draw once per line /
+# per instruction, so even a few permille hits most seeds; higher rates
+# would fail every parse and never reach the pass runner.
+echo "fuzz_smoke: injected path (parser/encoder/pass faults), $SEEDS seeds"
+"$MAOFUZZ" --seeds="$SEEDS" --seed-base=1 \
+  --inject=parser:1,encoder:1,pass:50@7
+
+echo "fuzz_smoke: ok"

@@ -125,49 +125,86 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit) {
       Insn.BranchSize = 1;
   }
 
+  // Pre-compute the layout walk. Only two kinds of entry have an
+  // address- or iteration-dependent size — alignment pads and direct
+  // branches — so everything else is measured once here instead of being
+  // re-encoded on every relaxation round (instruction lengths dominate the
+  // cost of a round).
+  struct Slot {
+    MaoEntry *E;
+    unsigned StaticSize; ///< Valid when !Dynamic.
+    bool Dynamic;
+    bool IsLocalLabel;
+  };
+  std::vector<std::pair<SectionInfo *, std::vector<Slot>>> Walk;
+  for (SectionInfo &Sec : Unit.sections()) {
+    std::vector<Slot> Slots;
+    for (const MaoFunction::Range &R : Sec.Ranges)
+      for (EntryIter It = R.Begin; It != R.End; ++It) {
+        Slot S;
+        S.E = &*It;
+        S.Dynamic = false;
+        if (It->isInstruction()) {
+          const Instruction &Insn = It->instruction();
+          S.Dynamic = Insn.isBranch() && !Insn.hasIndirectTarget();
+        } else if (It->isDirective()) {
+          DirKind K = It->directive().Kind;
+          S.Dynamic = K == DirKind::P2Align || K == DirKind::Balign;
+        }
+        S.IsLocalLabel =
+            It->isLabel() && !Globals.count(It->labelName());
+        S.StaticSize = S.Dynamic ? 0 : entryLayoutSize(*It, 0);
+        Slots.push_back(S);
+      }
+    Walk.emplace_back(&Sec, std::move(Slots));
+  }
+
   for (unsigned Iter = 1; Iter <= RelaxationIterationLimit; ++Iter) {
     Result.Iterations = Iter;
 
     // Address-assignment round over every section.
     Result.Labels.clear();
     Result.SectionSizes.clear();
-    for (SectionInfo &Sec : Unit.sections()) {
+    for (auto &[Sec, Slots] : Walk) {
       int64_t Address = 0;
-      for (const MaoFunction::Range &R : Sec.Ranges) {
-        for (EntryIter It = R.Begin; It != R.End; ++It) {
-          It->Address = Address;
-          It->Size = entryLayoutSize(*It, Address);
-          if (It->isLabel() && !Globals.count(It->labelName()))
-            Result.Labels[It->labelName()] = Address;
-          Address += It->Size;
-        }
+      for (const Slot &S : Slots) {
+        MaoEntry &E = *S.E;
+        E.Address = Address;
+        E.Size = S.Dynamic ? entryLayoutSize(E, Address) : S.StaticSize;
+        if (S.IsLocalLabel)
+          Result.Labels[E.labelName()] = Address;
+        Address += E.Size;
       }
-      Result.SectionSizes[Sec.Name] = Address;
+      Result.SectionSizes[Sec->Name] = Address;
     }
 
     // Growth round: widen branches whose rel8 displacement no longer fits.
     bool Changed = false;
-    for (MaoEntry &E : Unit.entries()) {
-      if (!E.isInstruction())
-        continue;
-      Instruction &Insn = E.instruction();
-      if (!Insn.isBranch() || Insn.hasIndirectTarget() ||
-          Insn.BranchSize != 1)
-        continue;
-      const Operand *Target = Insn.branchTarget();
-      assert(Target && Target->isSymbol() && "direct branch without target");
-      auto LabelIt = Result.Labels.find(Target->Sym);
-      if (LabelIt == Result.Labels.end()) {
-        // External target: must use rel32 (linker-resolved).
-        Insn.BranchSize = 4;
-        Changed = true;
-        continue;
-      }
-      int64_t Disp =
-          LabelIt->second + Target->Imm - (E.Address + E.Size);
-      if (Disp < -128 || Disp > 127) {
-        Insn.BranchSize = 4;
-        Changed = true;
+    for (auto &[Sec, Slots] : Walk) {
+      (void)Sec;
+      for (const Slot &S : Slots) {
+        if (!S.Dynamic || !S.E->isInstruction())
+          continue;
+        MaoEntry &E = *S.E;
+        Instruction &Insn = E.instruction();
+        if (Insn.BranchSize != 1)
+          continue;
+        const Operand *Target = Insn.branchTarget();
+        assert(Target && Target->isSymbol() &&
+               "direct branch without target");
+        auto LabelIt = Result.Labels.find(Target->Sym);
+        if (LabelIt == Result.Labels.end()) {
+          // External target: must use rel32 (linker-resolved).
+          Insn.BranchSize = 4;
+          Changed = true;
+          continue;
+        }
+        int64_t Disp =
+            LabelIt->second + Target->Imm - (E.Address + E.Size);
+        if (Disp < -128 || Disp > 127) {
+          Insn.BranchSize = 4;
+          Changed = true;
+        }
       }
     }
 

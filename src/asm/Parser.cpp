@@ -2,6 +2,7 @@
 
 #include "asm/Parser.h"
 
+#include "support/FaultInjection.h"
 #include "x86/Encoder.h"
 
 #include <cassert>
@@ -523,8 +524,9 @@ Directive parseDirectiveLine(const std::string &Text) {
   return Dir;
 }
 
-/// Strips '#' comments outside of quoted strings.
-std::string stripComment(const std::string &Line) {
+/// Strips '#' comments outside of quoted strings. Sets \p Malformed when
+/// the line ends inside an unterminated string literal.
+std::string stripComment(const std::string &Line, bool &Malformed) {
   bool InString = false;
   for (size_t I = 0; I < Line.size(); ++I) {
     char C = Line[I];
@@ -537,28 +539,49 @@ std::string stripComment(const std::string &Line) {
     }
     if (C == '"')
       InString = true;
-    else if (C == '#')
+    else if (C == '#') {
+      Malformed = InString;
       return Line.substr(0, I);
+    }
   }
+  Malformed = InString;
   return Line;
 }
 
 } // namespace
 
 ErrorOr<MaoUnit> mao::parseAssembly(const std::string &Text,
-                                    ParseStats *Stats) {
+                                    ParseStats *Stats,
+                                    const std::string &Filename,
+                                    DiagEngine *Diags) {
   MaoUnit Unit;
   ParseStats LocalStats;
+
+  auto ParseError = [&](DiagCode Code,
+                        const std::string &Message) -> MaoStatus {
+    SourceLoc Loc{Filename, static_cast<unsigned>(LocalStats.Lines)};
+    if (Diags)
+      Diags->error(Code, Message, Loc);
+    return MaoStatus::error(Loc.File + ":" + std::to_string(Loc.Line) +
+                            ": " + Message);
+  };
 
   size_t LineStart = 0;
   while (LineStart <= Text.size()) {
     size_t LineEnd = Text.find('\n', LineStart);
     if (LineEnd == std::string::npos)
       LineEnd = Text.size();
+    bool Malformed = false;
     std::string Line =
-        stripComment(Text.substr(LineStart, LineEnd - LineStart));
+        stripComment(Text.substr(LineStart, LineEnd - LineStart), Malformed);
     LineStart = LineEnd + 1;
     ++LocalStats.Lines;
+    if (Malformed)
+      return ParseError(DiagCode::ParseUnterminatedString,
+                        "unterminated string literal");
+    if (FaultInjector::instance().shouldFail(FaultSite::Parser))
+      return ParseError(DiagCode::ParseInjectedFault,
+                        "injected parser fault");
 
     std::string Stmt = trim(Line);
     // Peel leading labels ("name: name2: insn").

@@ -18,6 +18,7 @@
 #define MAO_ASM_PARSER_H
 
 #include "ir/MaoUnit.h"
+#include "support/Diag.h"
 #include "support/Status.h"
 
 #include <string>
@@ -35,9 +36,14 @@ struct ParseStats {
 
 /// Parses \p Text into a fresh MaoUnit and builds its structure.
 /// Fails only on malformed file-level syntax (e.g. unterminated string);
-/// unknown instructions degrade to opaque entries instead.
+/// unknown instructions degrade to opaque entries instead. Error messages
+/// carry a "file:line:" prefix built from \p Filename and the 1-based line
+/// the error was found on; when \p Diags is non-null the same errors are
+/// also reported as structured diagnostics.
 ErrorOr<MaoUnit> parseAssembly(const std::string &Text,
-                               ParseStats *Stats = nullptr);
+                               ParseStats *Stats = nullptr,
+                               const std::string &Filename = "<input>",
+                               DiagEngine *Diags = nullptr);
 
 /// Parses a single instruction line (no label/directive). Exposed for
 /// tests and the detection framework. Falls back to an opaque instruction

@@ -41,6 +41,19 @@ size_t MaoFunction::countInstructions() const {
   return N;
 }
 
+MaoUnit MaoUnit::clone() const {
+  // Derived views are deliberately NOT rebuilt: a snapshot that is only
+  // ever restored (via move-assignment, which rebuilds) or discarded never
+  // needs them, and the rebuild would double the per-pass snapshot cost in
+  // the transactional pipeline. Callers that inspect the copy's sections,
+  // functions, or labels must call rebuildStructure() first.
+  MaoUnit Copy;
+  Copy.Entries = Entries;
+  Copy.NextEntryId = NextEntryId;
+  Copy.NextLabelId = NextLabelId;
+  return Copy;
+}
+
 EntryIter MaoUnit::append(MaoEntry Entry) {
   Entry.Id = nextId();
   return Entries.insert(Entries.end(), std::move(Entry));

@@ -154,6 +154,14 @@ public:
     return *this;
   }
 
+  /// Deep-copies the unit (entry list and label counters) WITHOUT
+  /// rebuilding the derived structure on the copy. Used by the
+  /// transactional pass runner to snapshot the IR before a pass so a
+  /// failing pass can be rolled back: restoring through move-assignment
+  /// rebuilds the views, and a discarded snapshot never needs them. Call
+  /// rebuildStructure() on the copy before reading its sections/functions.
+  MaoUnit clone() const;
+
   EntryList &entries() { return Entries; }
   const EntryList &entries() const { return Entries; }
 

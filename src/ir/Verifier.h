@@ -1,0 +1,90 @@
+//===- ir/Verifier.h - IR and layout consistency verifier -------*- C++ -*-===//
+///
+/// \file
+/// Consistency checking for a MaoUnit, runnable standalone (maofuzz, tests)
+/// and after every pass by the transactional pass runner. The invariants:
+///
+///  1. Structure: section and function entry chains are well-formed — every
+///     range endpoint is an entry of the unit (or end()), Begin precedes
+///     End, ranges are ordered and disjoint, every function starts at a
+///     label carrying its own name, and the label map agrees with the entry
+///     list.
+///  2. Labels: no local label (".L" prefix) is defined twice, and every
+///     local-label reference from an instruction operand resolves to a
+///     definition. (Non-local symbols may legitimately be external.)
+///  3. Encoding: every non-opaque instruction still encodes through the
+///     binary x86 encoder — a pass cannot have produced an operand
+///     combination the byte-level substrate cannot realize.
+///  4. Layout: repeated relaxation converges within the paper's iteration
+///     bound, and the resulting addresses/sizes are self-consistent:
+///     addresses accumulate monotonically from the annotated sizes with no
+///     gap or overlap, and every relaxed direct branch holds a valid
+///     rel8/rel32 choice that is a fixpoint (a rel8 branch's displacement
+///     actually fits) — the branch-displacement well-formedness conditions
+///     of Boender & Sacerdoti Coen.
+///
+/// verifyUnit() re-derives the structure (rebuildStructure) before the
+/// structure and layout checks, because passes legitimately mutate the
+/// entry list without rebuilding; the verifier checks the IR, not the
+/// staleness of cached views. The label and encoding checks walk the raw
+/// entry list and skip the rebuild. Layout checks re-run relaxation and
+/// therefore refresh the Address/Size annotations; textual emission is
+/// unaffected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_IR_VERIFIER_H
+#define MAO_IR_VERIFIER_H
+
+#include "ir/MaoUnit.h"
+#include "support/Diag.h"
+
+#include <string>
+#include <vector>
+
+namespace mao {
+
+struct VerifierOptions {
+  bool CheckStructure = true;
+  bool CheckLabels = true;
+  bool CheckEncodings = true;
+  bool CheckLayout = true;
+  /// Stop after this many issues (a corrupted unit fails fast).
+  unsigned MaxIssues = 16;
+
+  /// The cheap configuration: label invariants only, one allocation-free
+  /// walk over the entry list with no structure rebuild, no entry index,
+  /// no re-encoding, and no relaxation. This is what the pass runner uses
+  /// after every pass; drivers run the full configuration once at the end
+  /// of the pipeline, where the encoding and layout invariants are checked
+  /// a single time instead of once per pass.
+  static VerifierOptions fast() {
+    VerifierOptions Options;
+    Options.CheckStructure = false;
+    Options.CheckEncodings = false;
+    Options.CheckLayout = false;
+    return Options;
+  }
+};
+
+/// Result of one verification run.
+struct [[nodiscard]] VerifierReport {
+  std::vector<Diagnostic> Issues;
+
+  bool clean() const { return Issues.empty(); }
+  /// First issue rendered as text, or "" when clean.
+  std::string firstMessage() const {
+    return Issues.empty() ? std::string() : Issues.front().toString();
+  }
+};
+
+/// Verifies \p Unit against the invariants above. Issues are returned and,
+/// when \p Diags is non-null, also reported through the engine (with
+/// \p Context as the pass name attribution).
+VerifierReport verifyUnit(MaoUnit &Unit, const VerifierOptions &Options = {},
+                          DiagEngine *Diags = nullptr,
+                          const std::string &Context = {});
+
+} // namespace mao
+
+#endif // MAO_IR_VERIFIER_H

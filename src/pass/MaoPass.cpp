@@ -2,9 +2,15 @@
 
 #include "pass/MaoPass.h"
 
+#include "ir/Verifier.h"
+#include "support/FaultInjection.h"
+
 #include <cassert>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <exception>
+#include <stdexcept>
 
 using namespace mao;
 
@@ -69,39 +75,250 @@ std::vector<std::string> PassRegistry::allPassNames() const {
   return Names;
 }
 
-PipelineResult mao::runPasses(MaoUnit &Unit,
-                              const std::vector<PassRequest> &Requests) {
-  PipelineResult Result;
+const char *mao::passStatusName(PassStatus Status) {
+  switch (Status) {
+  case PassStatus::Ok:
+    return "ok";
+  case PassStatus::Failed:
+    return "failed";
+  case PassStatus::RolledBack:
+    return "rolled-back";
+  case PassStatus::Skipped:
+    return "skipped";
+  }
+  return "unknown";
+}
+
+unsigned PipelineResult::failureCount() const {
+  unsigned N = 0;
+  for (const PassOutcome &O : Outcomes)
+    if (O.Status != PassStatus::Ok)
+      ++N;
+  return N;
+}
+
+namespace {
+
+/// Thrown internally when a pass exceeds its wall-clock budget.
+struct PassTimeoutError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double elapsedMs(Clock::time_point Since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Since)
+      .count();
+}
+
+/// Runs one pass request over the unit; returns the transformation count.
+/// Throws PassTimeoutError / propagates pass exceptions; returns through
+/// \p FailedFn the function a function pass failed on (empty otherwise).
+ErrorOr<unsigned> executeRequest(MaoUnit &Unit, const PassRequest &Req,
+                                 const PipelineOptions &Options,
+                                 std::string &FailedFn) {
   PassRegistry &Registry = PassRegistry::instance();
+  MaoOptionMap PassOptions = Req.Options; // Mutable copy for the pass.
+  Clock::time_point Start = Clock::now();
+
+  if (FaultInjector::instance().shouldFail(FaultSite::PassRunner))
+    throw std::runtime_error("injected pass-runner fault");
+
+  auto CheckBudget = [&]() {
+    if (Options.PassTimeoutMs > 0 &&
+        elapsedMs(Start) > static_cast<double>(Options.PassTimeoutMs))
+      throw PassTimeoutError("pass " + Req.PassName +
+                             " exceeded its wall-clock budget of " +
+                             std::to_string(Options.PassTimeoutMs) + " ms");
+  };
+
+  unsigned Count = 0;
+  if (Registry.isUnitPass(Req.PassName)) {
+    auto Pass = Registry.makeUnitPass(Req.PassName, &PassOptions, &Unit);
+    bool Ok = Pass->go();
+    CheckBudget();
+    if (!Ok)
+      return MaoStatus::error("pass " + Req.PassName + " failed");
+    Count = Pass->transformationCount();
+  } else if (Registry.isFunctionPass(Req.PassName)) {
+    for (MaoFunction &Fn : Unit.functions()) {
+      auto Pass =
+          Registry.makeFunctionPass(Req.PassName, &PassOptions, &Unit, &Fn);
+      bool Ok = Pass->go();
+      Count += Pass->transformationCount();
+      CheckBudget();
+      if (!Ok) {
+        FailedFn = Fn.name();
+        return MaoStatus::error("pass " + Req.PassName +
+                                " failed on function " + Fn.name());
+      }
+    }
+  } else {
+    return MaoStatus::error("unknown pass: " + Req.PassName);
+  }
+  return Count;
+}
+
+} // namespace
+
+namespace {
+
+/// Restores \p Unit to the state after the last committed pass:
+/// materializes the pre-pipeline checkpoint (from the provider on first
+/// use, when one is configured), re-clones it, and re-runs the committed
+/// requests. The replayed passes are deterministic and already ran to a
+/// verified-clean state once, so the replay reproduces it exactly; fault
+/// injection is suspended and the wall-clock budget waived so the recovery
+/// path cannot itself fail artificially. Returns an error only if the
+/// provider or a replayed pass misbehaves on re-execution — a runner bug
+/// or a broken provider, not a pass failure.
+MaoStatus rollbackToCheckpoint(MaoUnit &Unit, MaoUnit &Checkpoint,
+                               bool &HaveCheckpoint,
+                               const std::vector<const PassRequest *> &Committed,
+                               const PipelineOptions &Options) {
+  FaultInjector::ScopedSuspend NoInjection;
+  if (!HaveCheckpoint) {
+    ErrorOr<MaoUnit> CheckpointOr = Options.CheckpointProvider();
+    if (!CheckpointOr.ok())
+      return MaoStatus::error("rollback checkpoint provider failed: " +
+                              CheckpointOr.message());
+    Checkpoint = std::move(*CheckpointOr);
+    HaveCheckpoint = true;
+  }
+  Unit = Checkpoint.clone();
+  PipelineOptions ReplayOptions = Options;
+  ReplayOptions.PassTimeoutMs = 0;
+  for (const PassRequest *Req : Committed) {
+    std::string FailedFn;
+    try {
+      ErrorOr<unsigned> CountOr =
+          executeRequest(Unit, *Req, ReplayOptions, FailedFn);
+      if (!CountOr.ok())
+        return MaoStatus::error("rollback replay of pass " + Req->PassName +
+                                " failed: " + CountOr.message());
+    } catch (const std::exception &E) {
+      return MaoStatus::error("rollback replay of pass " + Req->PassName +
+                              " threw: " + E.what());
+    }
+  }
+  return MaoStatus::success();
+}
+
+} // namespace
+
+PipelineResult mao::runPasses(MaoUnit &Unit,
+                              const std::vector<PassRequest> &Requests,
+                              const PipelineOptions &Options) {
+  PipelineResult Result;
+  const bool Transactional = Options.OnError == OnErrorPolicy::Rollback;
+
+  // Checkpoint-replay transaction scheme: one snapshot of the pre-pipeline
+  // unit plus the list of requests that committed since. See the runPasses
+  // contract in the header. With a CheckpointProvider the snapshot is not
+  // even taken until a rollback actually needs it.
+  MaoUnit Checkpoint;
+  bool HaveCheckpoint = false;
+  std::vector<const PassRequest *> Committed;
+  if (Transactional && !Requests.empty() && !Options.CheckpointProvider) {
+    Checkpoint = Unit.clone();
+    HaveCheckpoint = true;
+  }
+
   for (const PassRequest &Req : Requests) {
-    MaoOptionMap Options = Req.Options; // Mutable copy for the pass.
-    unsigned Count = 0;
-    if (Registry.isUnitPass(Req.PassName)) {
-      auto Pass = Registry.makeUnitPass(Req.PassName, &Options, &Unit);
-      if (!Pass->go()) {
+    PassOutcome Outcome;
+    Outcome.PassName = Req.PassName;
+
+    Clock::time_point Start = Clock::now();
+    std::string FailureDetail;
+    DiagCode FailureCode = DiagCode::PassFailed;
+    bool Failed = false;
+
+    std::string FailedFn;
+    try {
+      ErrorOr<unsigned> CountOr =
+          executeRequest(Unit, Req, Options, FailedFn);
+      if (CountOr.ok()) {
+        Outcome.Transformations = *CountOr;
+      } else {
+        Failed = true;
+        FailureDetail = CountOr.message();
+        if (!PassRegistry::instance().knows(Req.PassName))
+          FailureCode = DiagCode::PassUnknown;
+      }
+    } catch (const PassTimeoutError &E) {
+      Failed = true;
+      FailureDetail = E.what();
+      FailureCode = DiagCode::PassTimeout;
+    } catch (const std::exception &E) {
+      Failed = true;
+      FailureDetail =
+          "pass " + Req.PassName + " threw an exception: " + E.what();
+      FailureCode = DiagCode::PassException;
+    }
+    Outcome.WallMs = elapsedMs(Start);
+
+    // Post-pass consistency check: a pass that corrupted the IR counts as
+    // failed even if it reported success.
+    if (!Failed && Options.VerifyAfterEachPass) {
+      VerifierReport Report =
+          verifyUnit(Unit, Options.PerPassVerify, Options.Diags, Req.PassName);
+      if (!Report.clean()) {
+        Failed = true;
+        FailureDetail = "verifier failed after pass " + Req.PassName + ": " +
+                        Report.firstMessage();
+        FailureCode = Report.Issues.front().Code;
+      }
+    }
+
+    if (!Failed) {
+      if (Transactional)
+        Committed.push_back(&Req);
+      Outcome.Status = PassStatus::Ok;
+      Result.Counts.emplace_back(Req.PassName, Outcome.Transformations);
+      Result.Outcomes.push_back(std::move(Outcome));
+      continue;
+    }
+
+    Outcome.Detail = FailureDetail;
+    if (Options.Diags)
+      Options.Diags->error(FailureCode, FailureDetail, {}, Req.PassName);
+
+    switch (Options.OnError) {
+    case OnErrorPolicy::Abort:
+      Outcome.Status = PassStatus::Failed;
+      Result.Outcomes.push_back(std::move(Outcome));
+      Result.Ok = false;
+      Result.Error = FailureDetail;
+      return Result;
+    case OnErrorPolicy::Rollback: {
+      MaoStatus Restored = rollbackToCheckpoint(Unit, Checkpoint,
+                                                HaveCheckpoint, Committed,
+                                                Options);
+      if (!Restored.ok()) {
+        // A committed pass did not reproduce on replay; the transaction
+        // machinery cannot guarantee the unit's state, so stop hard.
+        Outcome.Status = PassStatus::Failed;
+        Outcome.Detail += "; " + Restored.message();
+        Result.Outcomes.push_back(std::move(Outcome));
         Result.Ok = false;
-        Result.Error = "pass " + Req.PassName + " failed";
+        Result.Error = Restored.message();
         return Result;
       }
-      Count = Pass->transformationCount();
-    } else if (Registry.isFunctionPass(Req.PassName)) {
-      for (MaoFunction &Fn : Unit.functions()) {
-        auto Pass =
-            Registry.makeFunctionPass(Req.PassName, &Options, &Unit, &Fn);
-        if (!Pass->go()) {
-          Result.Ok = false;
-          Result.Error = "pass " + Req.PassName + " failed on function " +
-                         Fn.name();
-          return Result;
-        }
-        Count += Pass->transformationCount();
-      }
-    } else {
-      Result.Ok = false;
-      Result.Error = "unknown pass: " + Req.PassName;
-      return Result;
+      Outcome.Status = PassStatus::RolledBack;
+      Outcome.Transformations = 0;
+      break;
     }
-    Result.Counts.emplace_back(Req.PassName, Count);
+    case OnErrorPolicy::Skip:
+      Outcome.Status = PassStatus::Skipped;
+      break;
+    }
+    Result.Counts.emplace_back(Req.PassName, Outcome.Transformations);
+    Result.Outcomes.push_back(std::move(Outcome));
   }
   return Result;
+}
+
+PipelineResult mao::runPasses(MaoUnit &Unit,
+                              const std::vector<PassRequest> &Requests) {
+  return runPasses(Unit, Requests, PipelineOptions());
 }

@@ -16,7 +16,10 @@
 #define MAO_PASS_MAOPASS_H
 
 #include "ir/MaoUnit.h"
+#include "ir/Verifier.h"
+#include "support/Diag.h"
 #include "support/Options.h"
+#include "support/Status.h"
 #include "support/Trace.h"
 
 #include <functional>
@@ -142,16 +145,101 @@ bool registerUnitPassImpl(const char *Name) {
   static const bool MaoRegisteredUnit_##CLASS [[maybe_unused]] =              \
       ::mao::registerUnitPassImpl<CLASS>(NAME);
 
+/// What the pipeline does when a pass fails (throws, returns false,
+/// produces verifier-invalid IR, or exceeds its wall-clock budget).
+enum class OnErrorPolicy : uint8_t {
+  Abort,    ///< Stop the pipeline (legacy behaviour).
+  Rollback, ///< Restore the pre-pass snapshot, run the remaining passes.
+  Skip,     ///< Keep whatever state the pass left, run the remaining passes.
+};
+
+/// How one pass invocation ended.
+enum class PassStatus : uint8_t {
+  Ok,         ///< Ran to completion, verifier clean (when enabled).
+  Failed,     ///< Failed under the Abort policy; pipeline stopped here.
+  RolledBack, ///< Failed; its edits were undone from the snapshot.
+  Skipped,    ///< Failed under the Skip policy; edits (if any) were kept.
+};
+
+const char *passStatusName(PassStatus Status);
+
+/// Per-pass outcome record (one per requested pass, in invocation order).
+struct PassOutcome {
+  std::string PassName;
+  PassStatus Status = PassStatus::Ok;
+  /// Transformations performed (0 when rolled back: the edits are gone).
+  unsigned Transformations = 0;
+  /// Wall-clock time spent in the pass, excluding snapshot/verify overhead.
+  double WallMs = 0.0;
+  /// Human-readable failure detail; empty on success.
+  std::string Detail;
+};
+
 /// Result of running a pass pipeline.
-struct PipelineResult {
+struct [[nodiscard]] PipelineResult {
   bool Ok = true;
   std::string Error;
   /// Pass name (in invocation order) -> total transformation count.
   std::vector<std::pair<std::string, unsigned>> Counts;
+  /// Detailed per-pass outcomes (same order as the requests).
+  std::vector<PassOutcome> Outcomes;
+
+  /// Number of passes that did not finish with PassStatus::Ok.
+  unsigned failureCount() const;
 };
 
-/// Runs the requested passes over \p Unit in command-line order. Function
-/// passes run over every function; unknown pass names abort with an error.
+/// Execution policy for runPasses.
+struct PipelineOptions {
+  OnErrorPolicy OnError = OnErrorPolicy::Abort;
+  /// Run the IR verifier after every pass; a verifier failure counts as a
+  /// pass failure and triggers the on-error policy.
+  bool VerifyAfterEachPass = false;
+  /// Verifier configuration for the per-pass check. Defaults to the cheap
+  /// label invariants (VerifierOptions::fast()) so per-pass verification
+  /// costs one entry-list walk; drivers run the full configuration once
+  /// after the pipeline, where encodability and layout are checked a
+  /// single time. Set to VerifierOptions() for full checking per pass.
+  VerifierOptions PerPassVerify = VerifierOptions::fast();
+  /// Per-pass wall-clock budget in milliseconds (0 = unlimited). Checked
+  /// after each function for function passes and after go() for unit
+  /// passes; a pass that exceeds it counts as failed. (A pass that never
+  /// returns cannot be preempted.)
+  long PassTimeoutMs = 0;
+  /// Structured diagnostics destination; may be null.
+  DiagEngine *Diags = nullptr;
+  /// Optional lazy checkpoint source for the rollback policy. When set,
+  /// the runner skips the eager pre-pipeline clone and obtains the
+  /// pre-pipeline unit from this callback on the first rollback instead —
+  /// drivers reconstruct it by re-parsing the source text, so the common
+  /// no-failure path pays no snapshot cost at all. The callback must
+  /// reproduce the exact unit runPasses was handed (re-parsing the same
+  /// text does: parsing is deterministic). When unset, the runner clones
+  /// the unit eagerly before the first pass.
+  std::function<ErrorOr<MaoUnit>()> CheckpointProvider;
+};
+
+/// Runs the requested passes over \p Unit in command-line order under the
+/// given execution policy. Function passes run over every function.
+///
+/// Under OnErrorPolicy::Rollback a failing pass (exception, go()==false,
+/// verifier failure, or timeout) has its edits undone — the unit is left
+/// byte-identical to its pre-pass state — and the remaining passes still
+/// run. Rollback is implemented as checkpoint + replay: the unit is cloned
+/// once before the first pass (or, with a CheckpointProvider, lazily
+/// reconstructed on the first failure), and restoring re-clones that
+/// checkpoint and re-runs the passes that committed since. Passes are
+/// deterministic (any
+/// randomness is seeded through pass options), so the replay reproduces
+/// the pre-pass state exactly, while the common all-passes-succeed path
+/// pays for one snapshot per pipeline instead of one per pass. Fault
+/// injection is suspended and the wall-clock budget waived during replay:
+/// the replayed passes already succeeded once, and re-injecting into the
+/// recovery path would make rollback itself fallible.
+PipelineResult runPasses(MaoUnit &Unit,
+                         const std::vector<PassRequest> &Requests,
+                         const PipelineOptions &Options);
+
+/// Legacy entry point: OnErrorPolicy::Abort, no verification.
 PipelineResult runPasses(MaoUnit &Unit,
                          const std::vector<PassRequest> &Requests);
 

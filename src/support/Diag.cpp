@@ -1,0 +1,131 @@
+//===- support/Diag.cpp - Structured diagnostics engine ----------------------==//
+
+#include "support/Diag.h"
+
+#include <cstdio>
+
+using namespace mao;
+
+const char *mao::diagCodeName(DiagCode Code) {
+  switch (Code) {
+  case DiagCode::None:
+    return "none";
+  case DiagCode::DriverUsage:
+    return "driver-usage";
+  case DiagCode::DriverFileError:
+    return "driver-file-error";
+  case DiagCode::ParseUnterminatedString:
+    return "parse-unterminated-string";
+  case DiagCode::ParseInjectedFault:
+    return "parse-injected-fault";
+  case DiagCode::PassUnknown:
+    return "pass-unknown";
+  case DiagCode::PassFailed:
+    return "pass-failed";
+  case DiagCode::PassException:
+    return "pass-exception";
+  case DiagCode::PassTimeout:
+    return "pass-timeout";
+  case DiagCode::VerifyUnresolvedLabel:
+    return "verify-unresolved-label";
+  case DiagCode::VerifyDuplicateLabel:
+    return "verify-duplicate-label";
+  case DiagCode::VerifyBadStructure:
+    return "verify-bad-structure";
+  case DiagCode::VerifyEncodingFailed:
+    return "verify-encoding-failed";
+  case DiagCode::VerifyLayoutInconsistent:
+    return "verify-layout-inconsistent";
+  case DiagCode::VerifyRelaxationDiverged:
+    return "verify-relaxation-diverged";
+  }
+  return "unknown";
+}
+
+const char *mao::diagSeverityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  case DiagSeverity::Fatal:
+    return "fatal";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::toString() const {
+  std::string Out;
+  if (Loc.valid()) {
+    Out += Loc.File;
+    if (Loc.Line != 0) {
+      Out += ':';
+      Out += std::to_string(Loc.Line);
+    }
+    Out += ": ";
+  }
+  Out += diagSeverityName(Severity);
+  Out += ": ";
+  Out += Message;
+  if (Code != DiagCode::None) {
+    Out += " [MAO-";
+    Out += diagCodeName(Code);
+    Out += ']';
+  }
+  if (!PassName.empty()) {
+    Out += " (pass ";
+    Out += PassName;
+    Out += ')';
+  }
+  return Out;
+}
+
+DiagSink::~DiagSink() = default;
+
+void StderrDiagSink::handle(const Diagnostic &D) {
+  std::fprintf(stderr, "mao: %s\n", D.toString().c_str());
+}
+
+void DiagEngine::report(Diagnostic D) {
+  bool IsError =
+      D.Severity == DiagSeverity::Error || D.Severity == DiagSeverity::Fatal;
+  if (IsError) {
+    if (errorLimitReached()) {
+      ++NumErrors;
+      if (!CapNoteEmitted) {
+        CapNoteEmitted = true;
+        Diagnostic Cap;
+        Cap.Severity = DiagSeverity::Note;
+        Cap.Message = "too many errors; suppressing further error output";
+        for (DiagSink *Sink : Sinks)
+          Sink->handle(Cap);
+      }
+      return;
+    }
+    ++NumErrors;
+  } else if (D.Severity == DiagSeverity::Warning) {
+    ++NumWarnings;
+  }
+  for (DiagSink *Sink : Sinks)
+    Sink->handle(D);
+}
+
+void DiagEngine::error(DiagCode Code, std::string Message, SourceLoc Loc,
+                       std::string PassName) {
+  report({DiagSeverity::Error, Code, std::move(Loc), std::move(PassName),
+          std::move(Message)});
+}
+
+void DiagEngine::warning(DiagCode Code, std::string Message, SourceLoc Loc,
+                         std::string PassName) {
+  report({DiagSeverity::Warning, Code, std::move(Loc), std::move(PassName),
+          std::move(Message)});
+}
+
+void DiagEngine::note(DiagCode Code, std::string Message, SourceLoc Loc,
+                      std::string PassName) {
+  report({DiagSeverity::Note, Code, std::move(Loc), std::move(PassName),
+          std::move(Message)});
+}

@@ -1,0 +1,121 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ------------==//
+
+#include "support/FaultInjection.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mao;
+
+const char *mao::faultSiteName(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::Parser:
+    return "parser";
+  case FaultSite::Encoder:
+    return "encoder";
+  case FaultSite::PassRunner:
+    return "pass";
+  }
+  return "unknown";
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector Injector;
+  return Injector;
+}
+
+void FaultInjector::reset() {
+  Armed = false;
+  for (SiteState &S : Sites)
+    S = SiteState();
+}
+
+static bool parseSiteName(const std::string &Name, FaultSite &Out) {
+  for (unsigned I = 0; I < NumFaultSites; ++I) {
+    FaultSite Site = static_cast<FaultSite>(I);
+    if (Name == faultSiteName(Site)) {
+      Out = Site;
+      return true;
+    }
+  }
+  return false;
+}
+
+MaoStatus FaultInjector::configure(const std::string &Spec, uint64_t Seed) {
+  reset();
+  if (Spec.empty())
+    return MaoStatus::success();
+
+  std::string::size_type Pos = 0;
+  while (Pos < Spec.size()) {
+    std::string::size_type End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Pair = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+
+    std::string::size_type Colon = Pair.find(':');
+    if (Colon == std::string::npos || Colon == 0 || Colon + 1 >= Pair.size())
+      return MaoStatus::error("malformed fault-injection pair '" + Pair +
+                              "' (want site:permille)");
+    FaultSite Site;
+    if (!parseSiteName(Pair.substr(0, Colon), Site))
+      return MaoStatus::error("unknown fault-injection site '" +
+                              Pair.substr(0, Colon) +
+                              "' (want parser, encoder, or pass)");
+    char *EndPtr = nullptr;
+    const std::string RateText = Pair.substr(Colon + 1);
+    long Rate = std::strtol(RateText.c_str(), &EndPtr, 10);
+    if (EndPtr == RateText.c_str() || *EndPtr != '\0' || Rate < 0 ||
+        Rate > 1000)
+      return MaoStatus::error("fault-injection rate must be 0..1000 "
+                              "per-mille, got '" +
+                              RateText + "'");
+
+    SiteState &S = Sites[static_cast<unsigned>(Site)];
+    S.Enabled = Rate > 0;
+    S.Permille = static_cast<uint64_t>(Rate);
+    // Independent per-site stream: decisions at one site do not depend on
+    // how often other sites draw.
+    S.Rng = RandomSource(Seed ^ (0x9e3779b97f4a7c15ULL *
+                                 (static_cast<uint64_t>(Site) + 1)));
+    Armed = Armed || S.Enabled;
+  }
+  return MaoStatus::success();
+}
+
+void FaultInjector::configureFromEnv() {
+  const char *Env = std::getenv("MAO_FAULT_INJECT");
+  if (!Env || !*Env)
+    return;
+  std::string Spec(Env);
+  uint64_t Seed = 1;
+  std::string::size_type At = Spec.find('@');
+  if (At != std::string::npos) {
+    Seed = std::strtoull(Spec.c_str() + At + 1, nullptr, 10);
+    Spec = Spec.substr(0, At);
+  }
+  if (MaoStatus S = configure(Spec, Seed))
+    std::fprintf(stderr, "mao: ignoring MAO_FAULT_INJECT: %s\n",
+                 S.message().c_str());
+}
+
+bool FaultInjector::shouldFail(FaultSite Site) {
+  if (!Armed || SuspendDepth > 0)
+    return false;
+  SiteState &S = Sites[static_cast<unsigned>(Site)];
+  if (!S.Enabled)
+    return false;
+  ++S.Draws;
+  bool Fail = S.Rng.nextChance(S.Permille, 1000);
+  if (Fail)
+    ++S.Failures;
+  return Fail;
+}
+
+unsigned FaultInjector::totalInjected() const {
+  unsigned Total = 0;
+  for (const SiteState &S : Sites)
+    Total += S.Failures;
+  return Total;
+}

@@ -1,0 +1,105 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+///
+/// \file
+/// A deterministic, seedable fault-injection facility used to exercise the
+/// robustness layer: injection points in the parser, the binary encoder,
+/// and the pass runner consult a process-wide FaultInjector and fail
+/// artificially with a configured per-mille probability.
+///
+/// Determinism contract: each site owns an independent SplitMix64 stream
+/// seeded from (seed ^ site), and draws from it once per shouldFail() call.
+/// Because streams are per-site, the k-th decision at a site depends only on
+/// the seed and k — not on how other sites interleave — so a run with the
+/// same seed and same inputs reproduces the same failures exactly (the
+/// property PipelineTest and maofuzz assert).
+///
+/// Configuration comes from an explicit configure() call (maofuzz, tests,
+/// the --mao-fault-inject driver flag) or from the MAO_FAULT_INJECT
+/// environment variable; the facility is disabled by default and costs one
+/// predicted branch per injection point when disabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_SUPPORT_FAULTINJECTION_H
+#define MAO_SUPPORT_FAULTINJECTION_H
+
+#include "support/Random.h"
+#include "support/Status.h"
+
+#include <array>
+#include <string>
+
+namespace mao {
+
+/// Instrumented components. Keep in sync with faultSiteName().
+enum class FaultSite : uint8_t { Parser = 0, Encoder = 1, PassRunner = 2 };
+constexpr unsigned NumFaultSites = 3;
+
+const char *faultSiteName(FaultSite Site);
+
+/// Process-wide injector. Sites draw deterministic pseudo-random decisions.
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Configures from a spec string: comma-separated "site:permille" pairs,
+  /// e.g. "parser:10,encoder:5,pass:100" (pass = pass runner). Unlisted
+  /// sites stay disabled. An empty spec disables everything.
+  MaoStatus configure(const std::string &Spec, uint64_t Seed);
+
+  /// Reads MAO_FAULT_INJECT ("spec@seed", e.g. "pass:100@42"; seed
+  /// defaults to 1). Silently leaves the injector disabled when unset.
+  void configureFromEnv();
+
+  /// Disables all sites and clears counters.
+  void reset();
+
+  bool anySiteEnabled() const { return Armed; }
+  bool siteEnabled(FaultSite Site) const {
+    return Sites[static_cast<unsigned>(Site)].Enabled;
+  }
+
+  /// Draws the next decision for \p Site. Always false when disabled
+  /// (without consuming randomness).
+  bool shouldFail(FaultSite Site);
+
+  /// RAII suspension: while at least one ScopedSuspend is alive,
+  /// shouldFail() returns false without drawing. The transactional pass
+  /// runner uses this during rollback replay — the replayed passes already
+  /// succeeded once under injection, and re-injecting into the recovery
+  /// path would make rollback itself fallible.
+  class ScopedSuspend {
+  public:
+    ScopedSuspend() { ++instance().SuspendDepth; }
+    ~ScopedSuspend() { --instance().SuspendDepth; }
+    ScopedSuspend(const ScopedSuspend &) = delete;
+    ScopedSuspend &operator=(const ScopedSuspend &) = delete;
+  };
+
+  bool suspended() const { return SuspendDepth > 0; }
+
+  unsigned drawCount(FaultSite Site) const {
+    return Sites[static_cast<unsigned>(Site)].Draws;
+  }
+  unsigned injectedCount(FaultSite Site) const {
+    return Sites[static_cast<unsigned>(Site)].Failures;
+  }
+  unsigned totalInjected() const;
+
+private:
+  struct SiteState {
+    bool Enabled = false;
+    uint64_t Permille = 0;
+    RandomSource Rng{0};
+    unsigned Draws = 0;
+    unsigned Failures = 0;
+  };
+
+  bool Armed = false;
+  unsigned SuspendDepth = 0;
+  std::array<SiteState, NumFaultSites> Sites;
+};
+
+} // namespace mao
+
+#endif // MAO_SUPPORT_FAULTINJECTION_H

@@ -113,10 +113,54 @@ ErrorOr<MaoCommandLine>
 mao::parseCommandLine(const std::vector<std::string> &Args) {
   MaoCommandLine Cmd;
   static const std::string Prefix = "--mao=";
+  static const std::string OnErrorPrefix = "--mao-on-error=";
+  static const std::string TimeoutPrefix = "--mao-pass-timeout-ms=";
+  static const std::string FaultPrefix = "--mao-fault-inject=";
   for (const std::string &Arg : Args) {
     if (Arg.rfind(Prefix, 0) == 0) {
       if (MaoStatus S = parseMaoOption(Arg.substr(Prefix.size()), Cmd.Passes))
         return S;
+      continue;
+    }
+    if (Arg.rfind(OnErrorPrefix, 0) == 0) {
+      std::string Policy = Arg.substr(OnErrorPrefix.size());
+      if (Policy != "abort" && Policy != "rollback" && Policy != "skip")
+        return MaoStatus::error("--mao-on-error expects abort, rollback, or "
+                                "skip; got '" +
+                                Policy + "'");
+      Cmd.OnError = Policy;
+      continue;
+    }
+    if (Arg == "--mao-verify") {
+      Cmd.Verify = true;
+      continue;
+    }
+    if (Arg.rfind(TimeoutPrefix, 0) == 0) {
+      std::string Value = Arg.substr(TimeoutPrefix.size());
+      char *End = nullptr;
+      long Ms = std::strtol(Value.c_str(), &End, 10);
+      if (End == Value.c_str() || *End != '\0' || Ms < 0)
+        return MaoStatus::error(
+            "--mao-pass-timeout-ms expects a non-negative integer; got '" +
+            Value + "'");
+      Cmd.PassTimeoutMs = Ms;
+      continue;
+    }
+    if (Arg.rfind(FaultPrefix, 0) == 0) {
+      std::string Spec = Arg.substr(FaultPrefix.size());
+      std::string::size_type At = Spec.find('@');
+      if (At != std::string::npos) {
+        std::string SeedText = Spec.substr(At + 1);
+        char *End = nullptr;
+        unsigned long long Seed = std::strtoull(SeedText.c_str(), &End, 10);
+        if (End == SeedText.c_str() || *End != '\0')
+          return MaoStatus::error(
+              "--mao-fault-inject seed must be an integer; got '" + SeedText +
+              "'");
+        Cmd.FaultSeed = Seed;
+        Spec = Spec.substr(0, At);
+      }
+      Cmd.FaultSpec = Spec;
       continue;
     }
     if (!Arg.empty() && Arg[0] == '-') {

@@ -19,6 +19,7 @@
 
 #include "support/Status.h"
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -59,7 +60,9 @@ struct PassRequest {
   MaoOptionMap Options;
 };
 
-/// The fully parsed driver command line.
+/// The fully parsed driver command line. Robustness flags mirror
+/// pass/MaoPass.h's PipelineOptions; the policy is kept as a string here so
+/// the support library stays independent of the pass layer.
 struct MaoCommandLine {
   /// Pass invocations in command-line order.
   std::vector<PassRequest> Passes;
@@ -67,6 +70,16 @@ struct MaoCommandLine {
   std::vector<std::string> Passthrough;
   /// Positional input files.
   std::vector<std::string> Inputs;
+  /// --mao-on-error={abort,rollback,skip}: what a failing pass does to the
+  /// rest of the pipeline.
+  std::string OnError = "abort";
+  /// --mao-verify: run the IR verifier after every pass even under abort.
+  bool Verify = false;
+  /// --mao-pass-timeout-ms=N: per-pass wall-clock budget (0 = unlimited).
+  long PassTimeoutMs = 0;
+  /// --mao-fault-inject=spec[@seed]: arm the fault injector.
+  std::string FaultSpec;
+  uint64_t FaultSeed = 1;
 };
 
 /// Parses one --mao= payload ("LFIND=trace[0]:ASM=o[/dev/null]") into pass

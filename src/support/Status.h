@@ -19,7 +19,7 @@
 namespace mao {
 
 /// Success-or-message result of a fallible operation.
-class MaoStatus {
+class [[nodiscard]] MaoStatus {
 public:
   static MaoStatus success() { return MaoStatus(); }
   static MaoStatus error(std::string Message) {
@@ -40,7 +40,7 @@ private:
 };
 
 /// Holds either a value of type T or an error message.
-template <typename T> class ErrorOr {
+template <typename T> class [[nodiscard]] ErrorOr {
 public:
   ErrorOr(T Value) : Storage(std::move(Value)) {}
   ErrorOr(MaoStatus Status) : Storage(std::move(Status)) {

@@ -11,11 +11,23 @@
 /// prefix would be passed to the downstream assembler (here: reported and
 /// ignored, since the reproduction assembles in-process).
 ///
+/// Robustness flags (see DESIGN.md "Robustness & verification"):
+///   --mao-on-error={abort,rollback,skip}  failing-pass policy
+///   --mao-verify                          verify IR after every pass
+///   --mao-pass-timeout-ms=N               per-pass wall-clock budget
+///   --mao-fault-inject=spec[@seed]        arm the fault injector
+///
+/// Exit codes: 0 success, 1 usage error, 2 parse/input error, 3
+/// pipeline or verifier error.
+///
 //===----------------------------------------------------------------------===//
 
 #include "asm/AsmEmitter.h"
 #include "asm/Parser.h"
+#include "ir/Verifier.h"
 #include "pass/MaoPass.h"
+#include "support/Diag.h"
+#include "support/FaultInjection.h"
 #include "support/Options.h"
 
 #include <cstdio>
@@ -26,9 +38,18 @@ using namespace mao;
 
 namespace {
 
+constexpr int ExitOk = 0;
+constexpr int ExitUsage = 1;
+constexpr int ExitParseError = 2;
+constexpr int ExitPipelineError = 3;
+
 void printUsage() {
   std::fprintf(stderr,
-               "usage: mao [--mao=PASS[=opt[val],...][:PASS...]] input.s\n"
+               "usage: mao [--mao=PASS[=opt[val],...][:PASS...]]\n"
+               "           [--mao-on-error={abort,rollback,skip}]\n"
+               "           [--mao-verify] [--mao-pass-timeout-ms=N]\n"
+               "           [--mao-fault-inject=site:permille[,...][@seed]]\n"
+               "           input.s\n"
                "\n"
                "example: mao --mao=LFIND=trace[0]:ASM=o[/dev/null] in.s\n"
                "\n"
@@ -37,44 +58,65 @@ void printUsage() {
     std::fprintf(stderr, "  %s\n", Name.c_str());
 }
 
+OnErrorPolicy policyFromString(const std::string &Name) {
+  if (Name == "rollback")
+    return OnErrorPolicy::Rollback;
+  if (Name == "skip")
+    return OnErrorPolicy::Skip;
+  return OnErrorPolicy::Abort;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   linkAllPasses();
 
+  DiagEngine Diags;
+  StderrDiagSink Stderr;
+  Diags.addSink(&Stderr);
+  Diags.setMaxErrors(64);
+
   std::vector<std::string> Args(Argv + 1, Argv + Argc);
   auto CmdOr = parseCommandLine(Args);
   if (!CmdOr.ok()) {
-    std::fprintf(stderr, "mao: %s\n", CmdOr.message().c_str());
-    return 1;
+    Diags.error(DiagCode::DriverUsage, CmdOr.message());
+    return ExitUsage;
   }
   MaoCommandLine &Cmd = *CmdOr;
   if (Cmd.Inputs.empty()) {
     printUsage();
-    return 1;
+    return ExitUsage;
   }
   if (Cmd.Inputs.size() > 1) {
-    std::fprintf(stderr, "mao: expected exactly one input file\n");
-    return 1;
+    Diags.error(DiagCode::DriverUsage, "expected exactly one input file");
+    return ExitUsage;
   }
   for (const std::string &Opt : Cmd.Passthrough)
     std::fprintf(stderr, "mao: passing through to assembler: %s\n",
                  Opt.c_str());
 
+  FaultInjector::instance().configureFromEnv();
+  if (!Cmd.FaultSpec.empty())
+    if (MaoStatus S = FaultInjector::instance().configure(Cmd.FaultSpec,
+                                                          Cmd.FaultSeed)) {
+      Diags.error(DiagCode::DriverUsage, S.message());
+      return ExitUsage;
+    }
+
   std::ifstream In(Cmd.Inputs[0]);
   if (!In) {
-    std::fprintf(stderr, "mao: cannot open %s\n", Cmd.Inputs[0].c_str());
-    return 1;
+    Diags.error(DiagCode::DriverFileError,
+                "cannot open input file", SourceLoc{Cmd.Inputs[0], 0});
+    return ExitParseError;
   }
   std::stringstream Buffer;
   Buffer << In.rdbuf();
+  const std::string Source = Buffer.str();
 
   ParseStats Stats;
-  auto UnitOr = parseAssembly(Buffer.str(), &Stats);
-  if (!UnitOr.ok()) {
-    std::fprintf(stderr, "mao: parse error: %s\n", UnitOr.message().c_str());
-    return 1;
-  }
+  auto UnitOr = parseAssembly(Source, &Stats, Cmd.Inputs[0], &Diags);
+  if (!UnitOr.ok())
+    return ExitParseError; // Already reported through the engine.
   std::fprintf(stderr,
                "mao: %zu lines, %zu instructions (%zu opaque), "
                "%zu functions\n",
@@ -86,20 +128,50 @@ int main(int Argc, char **Argv) {
     if (Req.PassName == "ASM")
       HasAsmPass = true;
 
-  PipelineResult Result = runPasses(*UnitOr, Cmd.Passes);
-  if (!Result.Ok) {
-    std::fprintf(stderr, "mao: %s\n", Result.Error.c_str());
-    return 1;
-  }
-  for (const auto &[Pass, Count] : Result.Counts)
-    if (Count > 0)
+  PipelineOptions Pipeline;
+  Pipeline.OnError = policyFromString(Cmd.OnError);
+  Pipeline.VerifyAfterEachPass =
+      Cmd.Verify || Pipeline.OnError != OnErrorPolicy::Abort;
+  // Policy-driven verification uses the cheap per-pass configuration (the
+  // final gate below still checks everything once); an explicit
+  // --mao-verify asks for thoroughness over speed, so check everything
+  // after every pass too.
+  if (Cmd.Verify)
+    Pipeline.PerPassVerify = VerifierOptions();
+  Pipeline.PassTimeoutMs = Cmd.PassTimeoutMs;
+  Pipeline.Diags = &Diags;
+  // Lazy rollback checkpoint: the source text is still in hand, so the
+  // pre-pipeline unit can be reconstructed by re-parsing when (and only
+  // when) a rollback happens, instead of cloning it up front.
+  Pipeline.CheckpointProvider = [&Source, &Cmd] {
+    return parseAssembly(Source, nullptr, Cmd.Inputs[0]);
+  };
+
+  PipelineResult Result = runPasses(*UnitOr, Cmd.Passes, Pipeline);
+  if (!Result.Ok)
+    return ExitPipelineError; // Failure already reported via Diags.
+  for (const PassOutcome &Outcome : Result.Outcomes) {
+    if (Outcome.Status != PassStatus::Ok)
+      std::fprintf(stderr, "mao: pass %s %s (%s)\n",
+                   Outcome.PassName.c_str(),
+                   passStatusName(Outcome.Status), Outcome.Detail.c_str());
+    else if (Outcome.Transformations > 0)
       std::fprintf(stderr, "mao: %s performed %u transformations\n",
-                   Pass.c_str(), Count);
+                   Outcome.PassName.c_str(), Outcome.Transformations);
+  }
+
+  // Final consistency gate when verification was requested: never emit
+  // assembly from a unit the verifier rejects.
+  if (Pipeline.VerifyAfterEachPass) {
+    VerifierReport Report = verifyUnit(*UnitOr, VerifierOptions(), &Diags);
+    if (!Report.clean())
+      return ExitPipelineError;
+  }
 
   if (!HasAsmPass)
     if (MaoStatus S = writeAssemblyFile(*UnitOr, "-")) {
-      std::fprintf(stderr, "mao: %s\n", S.message().c_str());
-      return 1;
+      Diags.error(DiagCode::DriverFileError, S.message());
+      return ExitPipelineError;
     }
-  return 0;
+  return ExitOk;
 }

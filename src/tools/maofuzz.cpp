@@ -1,0 +1,287 @@
+//===- tools/maofuzz.cpp - Pipeline fuzzing harness ---------------------------===//
+///
+/// \file
+/// Deterministic fuzzing harness for the MAO pipeline. Each seed derives a
+/// randomized-but-valid WorkloadSpec, generates assembly from it, and then
+/// exercises the whole stack:
+///
+///   1. parse the text into a MaoUnit,
+///   2. identity round-trip: emit -> reparse -> assemble both, the bytes
+///      must match (paper Sec. III-A's identity-verification workflow),
+///   3. run the IR verifier on the untouched unit,
+///   4. run a random subset of the registered passes in random order under
+///      the rollback policy with per-pass verification,
+///   5. verify the final unit again.
+///
+/// On the clean path every step must succeed. With --inject= the fault
+/// injector is armed (re-seeded per iteration, so any failure reproduces
+/// from its seed alone) and injected failures are expected and counted —
+/// the assertion weakens to "no crash, every failure is contained by the
+/// rollback machinery".
+///
+///   maofuzz [--seeds=N] [--seed-base=B] [--inject=spec[@seed]] [-v]
+///
+/// Exit codes: 0 all iterations clean (or contained), 1 at least one
+/// property violated, 2 usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "asm/AsmEmitter.h"
+#include "asm/Assembler.h"
+#include "asm/Parser.h"
+#include "ir/Verifier.h"
+#include "pass/MaoPass.h"
+#include "support/Diag.h"
+#include "support/FaultInjection.h"
+#include "support/Random.h"
+#include "workload/Workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace mao;
+
+namespace {
+
+struct FuzzConfig {
+  unsigned Seeds = 100;
+  uint64_t SeedBase = 1;
+  std::string InjectSpec;
+  uint64_t InjectSeed = 1;
+  bool Verbose = false;
+};
+
+/// Derives a small-but-varied workload from one fuzz seed. Every knob stays
+/// in a range the generator documents as valid, so failures downstream are
+/// always MAO bugs (or injected faults), never bad inputs.
+WorkloadSpec randomSpec(uint64_t Seed) {
+  RandomSource Rng(Seed * 0x9e3779b97f4a7c15ULL + 1);
+  WorkloadSpec Spec;
+  Spec.Name = "fuzz-" + std::to_string(Seed);
+  Spec.Seed = Seed;
+  Spec.Functions = 1 + static_cast<unsigned>(Rng.nextBelow(4));
+  Spec.FillerPerFunction = 8 + static_cast<unsigned>(Rng.nextBelow(60));
+  Spec.ZeroExtPatterns = static_cast<unsigned>(Rng.nextBelow(8));
+  Spec.RedundantTests = static_cast<unsigned>(Rng.nextBelow(8));
+  Spec.HarmlessTests = static_cast<unsigned>(Rng.nextBelow(12));
+  Spec.RedundantLoads = static_cast<unsigned>(Rng.nextBelow(8));
+  Spec.AddAddPairs = static_cast<unsigned>(Rng.nextBelow(6));
+  Spec.SplitShortLoops = static_cast<unsigned>(Rng.nextBelow(3));
+  Spec.AlignedShortLoops = static_cast<unsigned>(Rng.nextBelow(3));
+  Spec.AccidentallyAlignedLoops = static_cast<unsigned>(Rng.nextBelow(2));
+  Spec.BucketSensitivePairs = static_cast<unsigned>(Rng.nextBelow(2));
+  Spec.DecodeBoundLoops = static_cast<unsigned>(Rng.nextBelow(3));
+  Spec.LsdFixableLoops = static_cast<unsigned>(Rng.nextBelow(2));
+  Spec.SchedFanoutLoops = static_cast<unsigned>(Rng.nextBelow(3));
+  Spec.NeutralLoops = static_cast<unsigned>(Rng.nextBelow(2));
+  Spec.NeutralIterations = 100; // Never emulated here; keep loops small.
+  Spec.HotIterations = 50;
+  Spec.AlignDirectivesOnHotLoops = Rng.nextChance(1, 2);
+  Spec.JumpTables = static_cast<unsigned>(Rng.nextBelow(3));
+  return Spec;
+}
+
+/// Transform passes safe to run in any order. ASM is excluded (it writes
+/// files); the list is filtered against the registry so a renamed pass
+/// shows up as a loud failure, not silent no-coverage.
+const char *const CandidatePasses[] = {
+    "ZEE",    "REDTEST", "REDMOV", "ADDADD",  "CONSTFOLD", "DCE",
+    "LOOP16", "LSDOPT",  "BRALIGN", "SCHED",  "NOPIN",     "NOPKILL",
+    "LFIND",  "MAOPASS", "INSTRUMENT",
+};
+
+std::vector<PassRequest> randomPipeline(uint64_t Seed) {
+  RandomSource Rng(Seed * 0x517cc1b727220a95ULL + 2);
+  std::vector<std::string> Names(std::begin(CandidatePasses),
+                                 std::end(CandidatePasses));
+  // Fisher-Yates with the deterministic source (std::shuffle's ordering is
+  // implementation-defined; reproducibility across libstdc++ versions
+  // matters more than elegance here).
+  for (size_t I = Names.size(); I > 1; --I)
+    std::swap(Names[I - 1], Names[Rng.nextBelow(I)]);
+  size_t Take = 1 + Rng.nextBelow(Names.size());
+  Names.resize(Take);
+
+  std::vector<PassRequest> Requests;
+  for (const std::string &Name : Names) {
+    PassRequest Req;
+    Req.PassName = Name;
+    Req.Options.set("trace", "-1"); // Passes that narrate stay quiet here.
+    if (Name == "NOPIN") {
+      Req.Options.set("seed", std::to_string(1 + Rng.nextBelow(1000)));
+      Req.Options.set("density", std::to_string(1 + Rng.nextBelow(16)));
+    }
+    Requests.push_back(Req);
+  }
+  return Requests;
+}
+
+struct IterationResult {
+  bool PropertyViolated = false;
+  unsigned InjectedFailures = 0;
+};
+
+IterationResult runOne(uint64_t Seed, const FuzzConfig &Config) {
+  IterationResult R;
+  const bool Injecting = !Config.InjectSpec.empty();
+  CollectingDiagSink Collected;
+  DiagEngine Diags;
+  Diags.addSink(&Collected);
+
+  auto Violate = [&](const char *What, const std::string &Detail) {
+    std::fprintf(stderr, "maofuzz: seed %llu: %s: %s\n",
+                 static_cast<unsigned long long>(Seed), What, Detail.c_str());
+    R.PropertyViolated = true;
+  };
+
+  std::string Asm = generateWorkloadAssembly(randomSpec(Seed));
+
+  auto UnitOr = parseAssembly(Asm, nullptr, "fuzz.s", &Diags);
+  if (!UnitOr.ok()) {
+    // The generator emits valid assembly; a parse failure is only
+    // acceptable as a contained injected fault.
+    if (Injecting)
+      ++R.InjectedFailures;
+    else
+      Violate("parse failed", UnitOr.message());
+    return R;
+  }
+
+  if (!Injecting) {
+    // Identity round-trip on the untouched path: text -> IR -> text -> IR
+    // must assemble to the same bytes.
+    std::string Emitted = emitAssembly(*UnitOr);
+    auto Reparsed = parseAssembly(Emitted);
+    if (!Reparsed.ok()) {
+      Violate("round-trip reparse failed", Reparsed.message());
+      return R;
+    }
+    auto B0 = assembleUnit(*UnitOr);
+    auto B1 = assembleUnit(*Reparsed);
+    if (!B0.ok() || !B1.ok()) {
+      Violate("assembly failed", !B0.ok() ? B0.message() : B1.message());
+      return R;
+    }
+    if (*B0 != *B1) {
+      Violate("identity round-trip changed the binary", "byte mismatch");
+      return R;
+    }
+    VerifierReport Pre = verifyUnit(*UnitOr);
+    if (!Pre.clean()) {
+      Violate("verifier rejected untouched unit", Pre.firstMessage());
+      return R;
+    }
+  }
+
+  PipelineOptions Options;
+  Options.OnError = OnErrorPolicy::Rollback;
+  Options.VerifyAfterEachPass = true;
+  Options.Diags = &Diags;
+  // Lazy checkpoint, exactly as the mao driver configures it: the
+  // pre-pipeline unit is reconstructed by re-parsing on first rollback.
+  Options.CheckpointProvider = [&Asm] { return parseAssembly(Asm); };
+
+  std::vector<PassRequest> Requests = randomPipeline(Seed);
+  PipelineResult Result = runPasses(*UnitOr, Requests, Options);
+  if (!Result.Ok) {
+    // Under rollback the pipeline always completes; Ok=false means the
+    // runner itself misbehaved.
+    Violate("pipeline aborted under rollback policy", Result.Error);
+    return R;
+  }
+  unsigned Failures = Result.failureCount();
+  if (Failures > 0) {
+    if (Injecting) {
+      R.InjectedFailures += Failures;
+    } else {
+      for (const PassOutcome &Outcome : Result.Outcomes)
+        if (Outcome.Status != PassStatus::Ok)
+          Violate("pass failed on clean path",
+                  Outcome.PassName + ": " + Outcome.Detail);
+      return R;
+    }
+  }
+
+  VerifierReport Post = verifyUnit(*UnitOr);
+  if (!Post.clean()) {
+    if (Injecting)
+      ++R.InjectedFailures; // Verifier itself hit an injected encoder fault.
+    else
+      Violate("verifier rejected optimized unit", Post.firstMessage());
+    return R;
+  }
+
+  if (Config.Verbose)
+    std::fprintf(stderr,
+                 "maofuzz: seed %llu ok (%zu passes, %u contained faults)\n",
+                 static_cast<unsigned long long>(Seed), Requests.size(),
+                 R.InjectedFailures);
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  linkAllPasses();
+  FuzzConfig Config;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const std::string &Prefix) {
+      return Arg.substr(Prefix.size());
+    };
+    if (Arg.rfind("--seeds=", 0) == 0) {
+      Config.Seeds = static_cast<unsigned>(std::atoi(Value("--seeds=").c_str()));
+      if (Config.Seeds == 0) {
+        std::fprintf(stderr, "maofuzz: --seeds must be positive\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--seed-base=", 0) == 0) {
+      Config.SeedBase = std::strtoull(Value("--seed-base=").c_str(), nullptr, 10);
+    } else if (Arg.rfind("--inject=", 0) == 0) {
+      std::string Spec = Value("--inject=");
+      size_t At = Spec.rfind('@');
+      if (At != std::string::npos) {
+        Config.InjectSeed = std::strtoull(Spec.substr(At + 1).c_str(),
+                                          nullptr, 10);
+        Spec = Spec.substr(0, At);
+      }
+      Config.InjectSpec = Spec;
+    } else if (Arg == "-v" || Arg == "--verbose") {
+      Config.Verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: maofuzz [--seeds=N] [--seed-base=B] "
+                   "[--inject=site:permille,...[@seed]] [-v]\n");
+      return 2;
+    }
+  }
+
+  unsigned Violations = 0;
+  unsigned ContainedFaults = 0;
+  for (unsigned I = 0; I < Config.Seeds; ++I) {
+    uint64_t Seed = Config.SeedBase + I;
+    if (!Config.InjectSpec.empty()) {
+      // Re-arm per iteration so any failure reproduces from (spec, seed)
+      // alone, independent of how many faults earlier iterations drew.
+      if (MaoStatus S = FaultInjector::instance().configure(
+              Config.InjectSpec, Config.InjectSeed + I)) {
+        std::fprintf(stderr, "maofuzz: %s\n", S.message().c_str());
+        return 2;
+      }
+    }
+    IterationResult R = runOne(Seed, Config);
+    if (R.PropertyViolated)
+      ++Violations;
+    ContainedFaults += R.InjectedFailures;
+  }
+  FaultInjector::instance().reset();
+
+  std::printf("maofuzz: %u seeds, %u violations, %u contained injected "
+              "faults\n",
+              Config.Seeds, Violations, ContainedFaults);
+  return Violations == 0 ? 0 : 1;
+}

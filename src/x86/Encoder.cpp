@@ -2,6 +2,8 @@
 
 #include "x86/Encoder.h"
 
+#include "support/FaultInjection.h"
+
 #include <cassert>
 
 using namespace mao;
@@ -943,13 +945,18 @@ MaoStatus EncodingBuilder::run(std::vector<uint8_t> &Out) {
 MaoStatus mao::encodeInstruction(const Instruction &Insn, int64_t Address,
                                  const LabelAddressMap *Labels,
                                  std::vector<uint8_t> &Out) {
+  // Fault-injection point: only the fallible public entry is instrumented;
+  // instructionLength() below bypasses it because callers assert success.
+  if (FaultInjector::instance().shouldFail(FaultSite::Encoder))
+    return MaoStatus::error("injected encoder fault");
   EncodingBuilder Builder(Insn, Address, Labels);
   return Builder.run(Out);
 }
 
 unsigned mao::instructionLength(const Instruction &Insn) {
   std::vector<uint8_t> Bytes;
-  MaoStatus S = encodeInstruction(Insn, 0, nullptr, Bytes);
+  EncodingBuilder Builder(Insn, 0, nullptr);
+  MaoStatus S = Builder.run(Bytes);
   (void)S;
   assert(S.ok() && "instructionLength on an unencodable instruction");
   return static_cast<unsigned>(Bytes.size());

@@ -39,7 +39,7 @@ TEST(Identity, AnalysisOnlyRunPreservesBinary) {
     auto U2 = parseAssembly(A1);
     ASSERT_TRUE(U2.ok());
     std::vector<PassRequest> Requests;
-    parseMaoOption("LFIND:MAOPASS", Requests);
+    ASSERT_TRUE(parseMaoOption("LFIND:MAOPASS", Requests).ok());
     ASSERT_TRUE(runPasses(*U2, Requests).Ok);
     std::string A2 = emitAssembly(*U2);
     auto U2Re = parseAssembly(A2);

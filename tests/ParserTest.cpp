@@ -263,4 +263,22 @@ TEST(Parser, EmitParseFixpoint) {
   EXPECT_EQ(emitAssembly(*Again), Once);
 }
 
+TEST(Parser, ErrorsCarryFileAndLine) {
+  // Line 3 ends inside a string literal; the error must say where.
+  const std::string Bad = "\t.text\nf:\n\t.ascii \"unterminated\n\tret\n";
+  CollectingDiagSink Collected;
+  DiagEngine Diags;
+  Diags.addSink(&Collected);
+  auto UnitOr = parseAssembly(Bad, nullptr, "broken.s", &Diags);
+  ASSERT_FALSE(UnitOr.ok());
+  EXPECT_NE(UnitOr.message().find("broken.s:3:"), std::string::npos)
+      << UnitOr.message();
+  ASSERT_EQ(Collected.diagnostics().size(), 1u);
+  const Diagnostic &D = Collected.diagnostics()[0];
+  EXPECT_EQ(D.Code, DiagCode::ParseUnterminatedString);
+  EXPECT_EQ(D.Loc.File, "broken.s");
+  EXPECT_EQ(D.Loc.Line, 3u);
+  EXPECT_EQ(Diags.errorCount(), 1u);
+}
+
 } // namespace

@@ -57,7 +57,7 @@ TEST(Workload, PatternCountsMatchSpec) {
   auto UnitOr = parseAssembly(Asm);
   ASSERT_TRUE(UnitOr.ok());
   std::vector<PassRequest> Requests;
-  parseMaoOption("ZEE:REDTEST", Requests);
+  ASSERT_TRUE(parseMaoOption("ZEE:REDTEST", Requests).ok());
   PipelineResult Result = runPasses(*UnitOr, Requests);
   ASSERT_TRUE(Result.Ok);
   // Pass finds exactly as many patterns as the generator planted (the
@@ -99,9 +99,10 @@ TEST(Workload, PassPipelinePreservesSemantics) {
     auto Opt = parseAssembly(Asm);
     ASSERT_TRUE(Base.ok() && Opt.ok());
     std::vector<PassRequest> Requests;
-    parseMaoOption("ZEE:REDTEST:REDMOV:ADDADD:CONSTFOLD:LOOP16:SCHED:"
-                   "NOPIN=seed[3]",
-                   Requests);
+    ASSERT_TRUE(parseMaoOption("ZEE:REDTEST:REDMOV:ADDADD:CONSTFOLD:LOOP16:"
+                               "SCHED:NOPIN=seed[3]",
+                               Requests)
+                    .ok());
     ASSERT_TRUE(runPasses(*Opt, Requests).Ok);
 
     Emulator E0(*Base), E1(*Opt);
