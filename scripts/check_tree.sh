@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tree hygiene gate: fails when generated files are tracked by git.
+#
+# The repo once tracked its whole build/ directory (865 files of CMake
+# droppings and object code), which made every rebuild dirty the tree and
+# bloated diffs. This check keeps that from regressing; it runs as a ctest
+# entry (check_tree) and can be run standalone from anywhere inside the
+# repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "check_tree: not a git checkout; nothing to check" >&2
+  exit 0
+fi
+
+BAD=$(git ls-files -- 'build/*' 'build-*/*' '*.o' '*.a' | head -20)
+if [ -n "$BAD" ]; then
+  echo "check_tree: generated files are tracked by git:" >&2
+  echo "$BAD" >&2
+  echo "check_tree: run 'git rm -r --cached <path>' and commit" >&2
+  exit 1
+fi
+echo "check_tree: no generated files tracked"

@@ -2,8 +2,9 @@
 
 #include "analysis/Relaxer.h"
 
+#include "support/Diag.h"
+
 #include <cassert>
-#include <unordered_set>
 #include <cstdlib>
 
 using namespace mao;
@@ -104,16 +105,15 @@ unsigned mao::entryLayoutSize(const MaoEntry &Entry, int64_t Address) {
   }
 }
 
-RelaxationResult mao::relaxUnit(MaoUnit &Unit) {
-  RelaxationResult Result;
+const LabelAddressMap &
+RelaxationResult::sectionLabels(const std::string &SectionName) const {
+  static const LabelAddressMap Empty;
+  auto It = SectionLabels.find(SectionName);
+  return It == SectionLabels.end() ? Empty : It->second;
+}
 
-  // Global symbols are preemptible: references to them go through
-  // relocations (rel32, displacement 0), exactly as gas treats them. Only
-  // non-global labels participate in displacement resolution.
-  std::unordered_set<std::string> Globals;
-  for (const MaoEntry &E : Unit.entries())
-    if (E.isDirective(DirKind::Globl))
-      Globals.insert(E.directive().arg(0));
+RelaxationResult mao::relaxUnit(MaoUnit &Unit, DiagEngine *Diags) {
+  RelaxationResult Result;
 
   // Reset branch sizes optimistically: every direct jump starts rel8 and
   // grows as needed. (Calls are rel32 by construction.)
@@ -134,7 +134,7 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit) {
     MaoEntry *E;
     unsigned StaticSize; ///< Valid when !Dynamic.
     bool Dynamic;
-    bool IsLocalLabel;
+    bool IsLabel;
   };
   std::vector<std::pair<SectionInfo *, std::vector<Slot>>> Walk;
   for (SectionInfo &Sec : Unit.sections()) {
@@ -151,37 +151,52 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit) {
           DirKind K = It->directive().Kind;
           S.Dynamic = K == DirKind::P2Align || K == DirKind::Balign;
         }
-        S.IsLocalLabel =
-            It->isLabel() && !Globals.count(It->labelName());
+        // Every defined label participates in displacement resolution,
+        // global or not: a branch to a symbol defined in this very unit
+        // has a known distance, so pessimizing it to rel32 just because
+        // it is exported would leave relaxation over-conservative. Truly
+        // external symbols are simply absent from the maps.
+        S.IsLabel = It->isLabel();
         S.StaticSize = S.Dynamic ? 0 : entryLayoutSize(*It, 0);
         Slots.push_back(S);
       }
     Walk.emplace_back(&Sec, std::move(Slots));
   }
 
+  std::string LastGrowthSection;
   for (unsigned Iter = 1; Iter <= RelaxationIterationLimit; ++Iter) {
     Result.Iterations = Iter;
 
-    // Address-assignment round over every section.
+    // Address-assignment round over every section. Addresses restart at 0
+    // per section, so each section gets its own label map; the flat view
+    // is kept for same-section-aware callers.
     Result.Labels.clear();
+    Result.SectionLabels.clear();
     Result.SectionSizes.clear();
     for (auto &[Sec, Slots] : Walk) {
+      LabelAddressMap &SecLabels = Result.SectionLabels[Sec->Name];
       int64_t Address = 0;
       for (const Slot &S : Slots) {
         MaoEntry &E = *S.E;
         E.Address = Address;
         E.Size = S.Dynamic ? entryLayoutSize(E, Address) : S.StaticSize;
-        if (S.IsLocalLabel)
+        if (S.IsLabel) {
+          SecLabels[E.labelName()] = Address;
           Result.Labels[E.labelName()] = Address;
+        }
         Address += E.Size;
       }
       Result.SectionSizes[Sec->Name] = Address;
     }
 
     // Growth round: widen branches whose rel8 displacement no longer fits.
+    // Resolution is per section: a displacement between two sections would
+    // span unrelated address spaces, so cross-section targets — like truly
+    // external ones — are absent from the branch's map and force rel32
+    // (resolved by relocation, where the distance is actually known).
     bool Changed = false;
     for (auto &[Sec, Slots] : Walk) {
-      (void)Sec;
+      const LabelAddressMap &SecLabels = Result.SectionLabels[Sec->Name];
       for (const Slot &S : Slots) {
         if (!S.Dynamic || !S.E->isInstruction())
           continue;
@@ -192,11 +207,12 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit) {
         const Operand *Target = Insn.branchTarget();
         assert(Target && Target->isSymbol() &&
                "direct branch without target");
-        auto LabelIt = Result.Labels.find(Target->Sym);
-        if (LabelIt == Result.Labels.end()) {
-          // External target: must use rel32 (linker-resolved).
+        auto LabelIt = SecLabels.find(Target->Sym);
+        if (LabelIt == SecLabels.end()) {
+          // External or cross-section target: must use rel32.
           Insn.BranchSize = 4;
           Changed = true;
+          LastGrowthSection = Sec->Name;
           continue;
         }
         int64_t Disp =
@@ -204,6 +220,7 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit) {
         if (Disp < -128 || Disp > 127) {
           Insn.BranchSize = 4;
           Changed = true;
+          LastGrowthSection = Sec->Name;
         }
       }
     }
@@ -213,5 +230,14 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit) {
       return Result;
     }
   }
-  return Result; // Hit the iteration limit; addresses are best-effort.
+  // Hit the iteration limit; addresses are best-effort and must not be
+  // trusted silently — report which section was still growing, and let the
+  // verifier's layout check turn !Converged into a hard error.
+  if (Diags)
+    Diags->warning(DiagCode::RelaxIterationLimit,
+                   "relaxation of section " + LastGrowthSection +
+                       " did not converge within " +
+                       std::to_string(RelaxationIterationLimit) +
+                       " iterations; branch sizes are best-effort");
+  return Result;
 }

@@ -31,21 +31,41 @@
 
 namespace mao {
 
+class DiagEngine;
+
 /// Built-in iteration bound from the paper.
 constexpr unsigned RelaxationIterationLimit = 100;
 
 struct RelaxationResult {
   bool Converged = false;
   unsigned Iterations = 0;
-  /// Label -> address within its section.
+  /// Label -> address within its *defining* section. Every label defined
+  /// in the unit is present, including global ones. Addresses of different
+  /// sections are unrelated address spaces (each restarts at 0): this flat
+  /// view is for callers that already know the section context (data
+  /// directives resolving same-section differences, tests); displacement
+  /// computation must go through sectionLabels().
   LabelAddressMap Labels;
+  /// Section name -> the labels defined in that section. Branch
+  /// displacement resolution uses the branch's own section map, so a
+  /// cross-section target can never be mistaken for an in-section address;
+  /// targets absent from the branch's section map (truly external or
+  /// cross-section) take the rel32 path.
+  std::unordered_map<std::string, LabelAddressMap> SectionLabels;
   /// Section name -> total byte size.
   std::unordered_map<std::string, int64_t> SectionSizes;
+
+  /// The label map of \p SectionName (empty map when the section defines
+  /// no labels).
+  const LabelAddressMap &sectionLabels(const std::string &SectionName) const;
 };
 
 /// Relaxes every section of \p Unit. Requires rebuildStructure() to have
-/// run since the last structural change.
-RelaxationResult relaxUnit(MaoUnit &Unit);
+/// run since the last structural change. When the iteration limit is hit,
+/// a structured warning naming the offending section is emitted through
+/// \p Diags (when non-null) and Converged stays false — callers gate on it
+/// (the verifier turns it into a layout error).
+RelaxationResult relaxUnit(MaoUnit &Unit, DiagEngine *Diags = nullptr);
 
 /// Returns the layout size in bytes of a non-instruction entry at
 /// \p Address (alignment padding, data directive sizes; labels are 0).

@@ -4,6 +4,7 @@
 
 #include <cassert>
 #include <cstdlib>
+#include <unordered_set>
 
 using namespace mao;
 
@@ -160,8 +161,32 @@ MaoStatus emitDirective(const MaoEntry &Entry, const LabelAddressMap &Labels,
 ErrorOr<SectionBytes> mao::assembleUnit(MaoUnit &Unit,
                                         const RelaxationResult &Relax) {
   SectionBytes Result;
+  // Calls to global symbols go through PLT relocations even when the
+  // callee is defined in this unit (gas emits R_X86_64_PLT32 with a zero
+  // displacement field), so calls must not resolve such targets. Jumps are
+  // different: gas relaxes and resolves a jump to any defined same-section
+  // symbol regardless of binding, so they use the full section map.
+  std::unordered_set<std::string> Globals;
+  for (const MaoEntry &E : Unit.entries())
+    if (E.isDirective(DirKind::Globl))
+      Globals.insert(E.directive().arg(0));
   for (SectionInfo &Sec : Unit.sections()) {
     std::vector<uint8_t> &Bytes = Result[Sec.Name];
+    // Branch displacements resolve against the section's own label map:
+    // labels of other sections live in unrelated address spaces (each
+    // section restarts at 0), so the relaxer leaves cross-section targets
+    // at rel32 and they must stay unresolved here (relocation stand-in).
+    // Data directives keep the flat map — jump tables in .rodata emit
+    // .text label differences, which the flat view resolves.
+    const LabelAddressMap &SecLabels = Relax.sectionLabels(Sec.Name);
+    LabelAddressMap CallView;
+    const LabelAddressMap *CallLabels = &SecLabels;
+    if (!Globals.empty()) {
+      CallView = SecLabels;
+      for (const std::string &G : Globals)
+        CallView.erase(G);
+      CallLabels = &CallView;
+    }
     for (const MaoFunction::Range &R : Sec.Ranges) {
       for (EntryIter It = R.Begin; It != R.End; ++It) {
         const int64_t Expected = It->Address + It->Size;
@@ -171,7 +196,8 @@ ErrorOr<SectionBytes> mao::assembleUnit(MaoUnit &Unit,
             // Placeholder bytes, matching the size estimate.
             Bytes.insert(Bytes.end(), It->Size, 0xcc);
           } else if (MaoStatus S = encodeInstruction(
-                         Insn, It->Address, &Relax.Labels, Bytes)) {
+                         Insn, It->Address,
+                         Insn.isCall() ? CallLabels : &SecLabels, Bytes)) {
             return MaoStatus::error("cannot encode '" + Insn.toString() +
                                     "': " + S.message());
           }

@@ -54,23 +54,51 @@ MaoUnit MaoUnit::clone() const {
   return Copy;
 }
 
+thread_local ScopedShardIds::Alloc ScopedShardIds::Active{nullptr, 0, 0};
+
+ScopedShardIds::ScopedShardIds(MaoUnit &Unit, uint32_t Begin, uint32_t End)
+    : Saved(Active) {
+  Active = {&Unit, Begin, End};
+}
+
+ScopedShardIds::~ScopedShardIds() { Active = Saved; }
+
+uint32_t MaoUnit::nextId() {
+  ScopedShardIds::Alloc &A = ScopedShardIds::Active;
+  if (A.Unit == this && A.Next < A.End)
+    return A.Next++;
+  return NextEntryId++;
+}
+
+uint32_t MaoUnit::reserveIdBlocks(size_t Count, uint32_t BlockSize) {
+  uint32_t Base = NextEntryId;
+  NextEntryId += static_cast<uint32_t>(Count) * BlockSize;
+  return Base;
+}
+
 EntryIter MaoUnit::append(MaoEntry Entry) {
+  std::lock_guard<std::mutex> Lock(StructuralM);
   Entry.Id = nextId();
   return Entries.insert(Entries.end(), std::move(Entry));
 }
 
 EntryIter MaoUnit::insertBefore(EntryIter Pos, MaoEntry Entry) {
+  std::lock_guard<std::mutex> Lock(StructuralM);
   Entry.Id = nextId();
   return Entries.insert(Pos, std::move(Entry));
 }
 
 EntryIter MaoUnit::insertAfter(EntryIter Pos, MaoEntry Entry) {
   assert(Pos != Entries.end() && "cannot insert after end()");
+  std::lock_guard<std::mutex> Lock(StructuralM);
   Entry.Id = nextId();
   return Entries.insert(std::next(Pos), std::move(Entry));
 }
 
-EntryIter MaoUnit::erase(EntryIter Pos) { return Entries.erase(Pos); }
+EntryIter MaoUnit::erase(EntryIter Pos) {
+  std::lock_guard<std::mutex> Lock(StructuralM);
+  return Entries.erase(Pos);
+}
 
 MaoFunction *MaoUnit::findFunction(const std::string &Name) {
   for (MaoFunction &Fn : Functions)

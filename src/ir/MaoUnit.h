@@ -18,7 +18,9 @@
 
 #include "ir/MaoEntry.h"
 
+#include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -167,6 +169,14 @@ public:
 
   /// Appends an entry (used by the parser and the workload generator) and
   /// returns an iterator to it.
+  ///
+  /// append/insertBefore/insertAfter/erase are safe to call concurrently
+  /// from sharded function passes: std::list nodes at disjoint positions
+  /// are independent, but the list's size bookkeeping and the boundary
+  /// links between adjacent shards are shared, so all structural edits
+  /// serialize on one internal mutex. Concurrent *readers* of a shard's
+  /// own entries need no lock — a shard never touches another shard's
+  /// nodes (see DESIGN.md, "Sharded pass pipeline" for the full contract).
   EntryIter append(MaoEntry Entry);
 
   /// Inserts before \p Pos; returns an iterator to the inserted entry.
@@ -175,6 +185,20 @@ public:
   EntryIter insertAfter(EntryIter Pos, MaoEntry Entry);
   /// Removes \p Pos; returns the iterator following it.
   EntryIter erase(EntryIter Pos);
+
+  /// Entry-ID block size handed to each shard of a sharded function pass.
+  /// Generous: a shard exhausting its block falls back to the shared
+  /// counter, which stays correct but is no longer independent of shard
+  /// scheduling.
+  static constexpr uint32_t ShardIdBlockSize = 4096;
+
+  /// Reserves \p Count consecutive ID blocks of \p BlockSize and returns
+  /// the first ID of block 0. The sharded pass runner grants block i to
+  /// function i so that entry IDs are a function of (pass, function),
+  /// never of worker scheduling — IDs feed analysis output (e.g. SIMADDR
+  /// records), so they must be identical across --mao-jobs values. Not
+  /// thread-safe; call before the parallel region.
+  uint32_t reserveIdBlocks(size_t Count, uint32_t BlockSize);
 
   /// (Re)computes sections and functions from the entry list. Called after
   /// parsing; passes that restructure function boundaries re-invoke it.
@@ -200,7 +224,12 @@ public:
   std::string toString() const;
 
 private:
-  uint32_t nextId() { return NextEntryId++; }
+  friend class ScopedShardIds;
+
+  /// Next entry ID: from the calling thread's armed shard block when one
+  /// is active for this unit, else from the shared counter. Only called
+  /// with StructuralM held (all callers are the structural editors).
+  uint32_t nextId();
 
   EntryList Entries;
   std::vector<MaoFunction> Functions;
@@ -208,6 +237,33 @@ private:
   std::unordered_map<std::string, MaoEntry *> Labels;
   uint32_t NextEntryId = 1;
   uint32_t NextLabelId = 0;
+  /// Serializes structural edits (insert/erase/append). Deliberately not
+  /// moved by the move operations — a unit is never moved while shards
+  /// are running (whole-unit passes are pipeline barriers).
+  std::mutex StructuralM;
+};
+
+/// RAII guard arming a pre-reserved entry-ID range for the current thread:
+/// while alive, \p Unit's nextId() draws from [Begin, End) instead of the
+/// shared counter. The sharded pass runner wraps each shard in one of
+/// these so the IDs a shard assigns depend only on its function index.
+/// Nests (the previous allocator is restored on destruction).
+class ScopedShardIds {
+public:
+  ScopedShardIds(MaoUnit &Unit, uint32_t Begin, uint32_t End);
+  ~ScopedShardIds();
+  ScopedShardIds(const ScopedShardIds &) = delete;
+  ScopedShardIds &operator=(const ScopedShardIds &) = delete;
+
+private:
+  friend class MaoUnit;
+  struct Alloc {
+    MaoUnit *Unit;
+    uint32_t Next;
+    uint32_t End;
+  };
+  Alloc Saved;
+  static thread_local Alloc Active;
 };
 
 } // namespace mao

@@ -3,6 +3,8 @@
 #include "ir/Verifier.h"
 
 #include "analysis/Relaxer.h"
+#include "support/FaultInjection.h"
+#include "x86/EncodeCache.h"
 #include "x86/Encoder.h"
 
 #include <algorithm>
@@ -252,16 +254,34 @@ void Checker::checkLabels() {
 
 void Checker::checkEncodings() {
   std::vector<uint8_t> Bytes; // Reused across entries; cleared per encode.
+  EncodeCache &Cache = EncodeCache::instance();
   for (const MaoEntry &E : Unit.entries()) {
     if (full())
       return;
     if (!E.isInstruction() || E.instruction().isOpaque())
       continue;
-    Bytes.clear();
-    if (MaoStatus S = encodeInstruction(E.instruction(), 0, nullptr, Bytes))
+    const Instruction &Insn = E.instruction();
+    // The injection decision is drawn here, exactly once per instruction,
+    // regardless of the cache state — if the cache were allowed to swallow
+    // encodeInstruction()'s internal draw on a hit, a warm cache would
+    // shift the draw sequence of everything after it and in-process runs
+    // with the same seed would stop being deterministic.
+    if (FaultInjector::instance().shouldFail(FaultSite::Encoder)) {
       issue(DiagCode::VerifyEncodingFailed,
-            "instruction '" + E.instruction().toString() +
+            "instruction '" + Insn.toString() +
+                "' no longer encodes: injected encoder fault");
+      continue;
+    }
+    if (Cache.cachedLength(Insn))
+      continue; // Proved encodable when the length was first memoized.
+    Bytes.clear();
+    if (MaoStatus S = encodeInstructionNoInject(Insn, 0, nullptr, Bytes)) {
+      issue(DiagCode::VerifyEncodingFailed,
+            "instruction '" + Insn.toString() +
                 "' no longer encodes: " + S.message());
+      continue;
+    }
+    Cache.noteLength(Insn, static_cast<unsigned>(Bytes.size()));
   }
 }
 
@@ -300,41 +320,52 @@ void Checker::checkLayout() {
 
   // Relaxed branch sizes must be a fixpoint: rel8 only when the
   // displacement actually fits, rel32 for unknown/preemptible targets.
-  for (MaoEntry &E : Unit.entries()) {
-    if (full())
-      return;
-    if (!E.isInstruction())
-      continue;
-    const Instruction &Insn = E.instruction();
-    if (!Insn.isBranch() || Insn.hasIndirectTarget() || Insn.isOpaque())
-      continue;
-    if (Insn.BranchSize != 1 && Insn.BranchSize != 4) {
-      issue(DiagCode::VerifyLayoutInconsistent,
-            "direct branch '" + Insn.toString() +
-                "' has unrelaxed branch size " +
-                std::to_string(Insn.BranchSize));
-      continue;
+  // Resolution is per section — section addresses are unrelated address
+  // spaces, so a rel8 branch whose target lives in another section is a
+  // layout bug even if a same-named flat lookup would "resolve" it.
+  for (SectionInfo &Sec : Unit.sections()) {
+    const LabelAddressMap &SecLabels = Relax.sectionLabels(Sec.Name);
+    for (const MaoFunction::Range &R : Sec.Ranges) {
+      for (EntryIter It = R.Begin; It != R.End; ++It) {
+        if (full())
+          return;
+        if (!It->isInstruction())
+          continue;
+        const MaoEntry &E = *It;
+        const Instruction &Insn = E.instruction();
+        if (!Insn.isBranch() || Insn.hasIndirectTarget() || Insn.isOpaque())
+          continue;
+        if (Insn.BranchSize != 1 && Insn.BranchSize != 4) {
+          issue(DiagCode::VerifyLayoutInconsistent,
+                "direct branch '" + Insn.toString() +
+                    "' has unrelaxed branch size " +
+                    std::to_string(Insn.BranchSize));
+          continue;
+        }
+        if (Insn.BranchSize != 1)
+          continue;
+        const Operand *Target = Insn.branchTarget();
+        if (!Target || !Target->isSymbol()) {
+          issue(DiagCode::VerifyLayoutInconsistent,
+                "direct branch '" + Insn.toString() +
+                    "' has no symbol target");
+          continue;
+        }
+        auto LabelIt = SecLabels.find(Target->Sym);
+        if (LabelIt == SecLabels.end()) {
+          issue(DiagCode::VerifyLayoutInconsistent,
+                "rel8 branch '" + Insn.toString() +
+                    "' targets a symbol with no known address in section " +
+                    Sec.Name);
+          continue;
+        }
+        int64_t Disp = LabelIt->second + Target->Imm - (E.Address + E.Size);
+        if (Disp < -128 || Disp > 127)
+          issue(DiagCode::VerifyLayoutInconsistent,
+                "rel8 branch '" + Insn.toString() + "' has displacement " +
+                    std::to_string(Disp) + " outside [-128, 127]");
+      }
     }
-    if (Insn.BranchSize != 1)
-      continue;
-    const Operand *Target = Insn.branchTarget();
-    if (!Target || !Target->isSymbol()) {
-      issue(DiagCode::VerifyLayoutInconsistent,
-            "direct branch '" + Insn.toString() + "' has no symbol target");
-      continue;
-    }
-    auto LabelIt = Relax.Labels.find(Target->Sym);
-    if (LabelIt == Relax.Labels.end()) {
-      issue(DiagCode::VerifyLayoutInconsistent,
-            "rel8 branch '" + Insn.toString() +
-                "' targets a symbol with no known address");
-      continue;
-    }
-    int64_t Disp = LabelIt->second + Target->Imm - (E.Address + E.Size);
-    if (Disp < -128 || Disp > 127)
-      issue(DiagCode::VerifyLayoutInconsistent,
-            "rel8 branch '" + Insn.toString() + "' has displacement " +
-                std::to_string(Disp) + " outside [-128, 127]");
   }
 }
 

@@ -4,12 +4,16 @@
 
 #include "ir/Verifier.h"
 #include "support/FaultInjection.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <exception>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 
 using namespace mao;
@@ -19,6 +23,10 @@ MaoPass::~MaoPass() = default;
 void MaoPass::trace(int Level, const char *Fmt, ...) const {
   if (Level > Tracer.level())
     return;
+  // One trace line is three stdio calls; concurrent shards would
+  // interleave them mid-line without this lock.
+  static std::mutex TraceM;
+  std::lock_guard<std::mutex> Lock(TraceM);
   std::fprintf(stderr, "[%s] ", Name.c_str());
   va_list Args;
   va_start(Args, Fmt);
@@ -33,8 +41,9 @@ PassRegistry &PassRegistry::instance() {
 }
 
 void PassRegistry::registerFunctionPass(const std::string &Name,
-                                        FunctionPassFactory Factory) {
-  FunctionPasses[Name] = std::move(Factory);
+                                        FunctionPassFactory Factory,
+                                        bool Shardable) {
+  FunctionPasses[Name] = {std::move(Factory), Shardable};
 }
 
 void PassRegistry::registerUnitPass(const std::string &Name,
@@ -50,12 +59,17 @@ bool PassRegistry::isUnitPass(const std::string &Name) const {
   return UnitPasses.count(Name) != 0;
 }
 
+bool PassRegistry::isShardable(const std::string &Name) const {
+  auto It = FunctionPasses.find(Name);
+  return It != FunctionPasses.end() && It->second.Shardable;
+}
+
 std::unique_ptr<MaoFunctionPass>
 PassRegistry::makeFunctionPass(const std::string &Name, MaoOptionMap *Options,
                                MaoUnit *Unit, MaoFunction *Fn) const {
   auto It = FunctionPasses.find(Name);
   assert(It != FunctionPasses.end() && "unknown function pass");
-  return It->second(Options, Unit, Fn);
+  return It->second.Factory(Options, Unit, Fn);
 }
 
 std::unique_ptr<MaoUnitPass>
@@ -159,23 +173,138 @@ ErrorOr<unsigned> executeRequest(MaoUnit &Unit, const PassRequest &Req,
   return Count;
 }
 
+/// One failed shard of a sharded function pass: the function it ran over
+/// and why it failed. Collected in function-index order.
+struct ShardFailure {
+  size_t FnIndex;
+  std::string FnName;
+  std::string Detail;
+  DiagCode Code = DiagCode::PassFailed;
+};
+
+/// Runs one *shardable* function-pass request: every function is an
+/// independent shard, executed inline when \p Pool is null (or has one
+/// worker) and on the pool otherwise. Both paths are the same code over
+/// the same per-shard state, which is what makes the results bit-identical
+/// across worker counts: entry IDs come from the shard's pre-reserved
+/// block, transformation counts and failures are buffered per shard and
+/// merged in function order after the implicit barrier.
+///
+/// Unlike the sequential executor, a failing shard does not stop the
+/// request: all shards run, and failures come back through \p Failures so
+/// the caller can apply its on-error policy per function. Functions whose
+/// index is in \p SkipFns are not run at all (the partial-commit replay
+/// path). Throws PassTimeoutError when the wall-clock budget expires and
+/// runtime_error for an injected runner fault, mirroring executeRequest.
+unsigned executeSharded(MaoUnit &Unit, const PassRequest &Req,
+                        const PipelineOptions &Options, ThreadPool *Pool,
+                        const std::set<size_t> &SkipFns,
+                        std::vector<ShardFailure> &Failures) {
+  Clock::time_point Start = Clock::now();
+
+  if (FaultInjector::instance().shouldFail(FaultSite::PassRunner))
+    throw std::runtime_error("injected pass-runner fault");
+
+  auto BudgetExceeded = [&]() {
+    return Options.PassTimeoutMs > 0 &&
+           elapsedMs(Start) > static_cast<double>(Options.PassTimeoutMs);
+  };
+
+  std::vector<MaoFunction> &Fns = Unit.functions();
+  const size_t N = Fns.size();
+  const uint32_t IdBase = Unit.reserveIdBlocks(N, MaoUnit::ShardIdBlockSize);
+
+  struct Shard {
+    unsigned Count = 0;
+    bool Failed = false;
+    bool TimedOut = false;
+    std::string Detail;
+    DiagCode Code = DiagCode::PassFailed;
+  };
+  std::vector<Shard> Shards(N); // Disjoint per-index writes; no locking.
+
+  auto RunShard = [&](size_t I) {
+    if (SkipFns.count(I))
+      return;
+    Shard &S = Shards[I];
+    if (BudgetExceeded()) {
+      S.TimedOut = true; // Don't start new work past the budget.
+      return;
+    }
+    // Per-shard option map: passes read (and may cache into) their map,
+    // so sharing one copy across threads would race.
+    MaoOptionMap ShardOptions = Req.Options;
+    ScopedShardIds Ids(Unit, IdBase + I * MaoUnit::ShardIdBlockSize,
+                       IdBase + (I + 1) * MaoUnit::ShardIdBlockSize);
+    try {
+      auto Pass = PassRegistry::instance().makeFunctionPass(
+          Req.PassName, &ShardOptions, &Unit, &Fns[I]);
+      bool Ok = Pass->go();
+      S.Count = Pass->transformationCount();
+      if (!Ok) {
+        S.Failed = true;
+        S.Detail =
+            "pass " + Req.PassName + " failed on function " + Fns[I].name();
+      }
+    } catch (const std::exception &E) {
+      S.Failed = true;
+      S.Code = DiagCode::PassException;
+      S.Detail = "pass " + Req.PassName +
+                 " threw an exception on function " + Fns[I].name() + ": " +
+                 E.what();
+    }
+  };
+
+  if (Pool && Pool->workerCount() > 1)
+    Pool->parallelFor(N, RunShard);
+  else
+    for (size_t I = 0; I < N; ++I)
+      RunShard(I);
+
+  unsigned Count = 0;
+  bool TimedOut = false;
+  for (size_t I = 0; I < N; ++I) {
+    Count += Shards[I].Count;
+    TimedOut |= Shards[I].TimedOut;
+    if (Shards[I].Failed)
+      Failures.push_back(
+          {I, Fns[I].name(), Shards[I].Detail, Shards[I].Code});
+  }
+  if (TimedOut || BudgetExceeded())
+    throw PassTimeoutError("pass " + Req.PassName +
+                           " exceeded its wall-clock budget of " +
+                           std::to_string(Options.PassTimeoutMs) + " ms");
+  return Count;
+}
+
 } // namespace
 
 namespace {
 
+/// One committed request plus, for sharded passes that survived a partial
+/// failure, the function indices whose shards were rolled back — replay
+/// must skip exactly those to reproduce the partial commit.
+struct CommittedReq {
+  const PassRequest *Req;
+  std::set<size_t> SkipFns;
+};
+
 /// Restores \p Unit to the state after the last committed pass:
 /// materializes the pre-pipeline checkpoint (from the provider on first
 /// use, when one is configured), re-clones it, and re-runs the committed
-/// requests. The replayed passes are deterministic and already ran to a
-/// verified-clean state once, so the replay reproduces it exactly; fault
-/// injection is suspended and the wall-clock budget waived so the recovery
-/// path cannot itself fail artificially. Returns an error only if the
-/// provider or a replayed pass misbehaves on re-execution — a runner bug
-/// or a broken provider, not a pass failure.
+/// requests (sharded requests replay through the sharded executor with
+/// their recorded skip set, so partial commits reproduce exactly). The
+/// replayed passes are deterministic and already ran to a verified-clean
+/// state once, so the replay reproduces it exactly; fault injection is
+/// suspended and the wall-clock budget waived so the recovery path cannot
+/// itself fail artificially. Returns an error only if the provider or a
+/// replayed pass misbehaves on re-execution — a runner bug or a broken
+/// provider, not a pass failure.
 MaoStatus rollbackToCheckpoint(MaoUnit &Unit, MaoUnit &Checkpoint,
                                bool &HaveCheckpoint,
-                               const std::vector<const PassRequest *> &Committed,
-                               const PipelineOptions &Options) {
+                               const std::vector<CommittedReq> &Committed,
+                               const PipelineOptions &Options,
+                               ThreadPool *Pool) {
   FaultInjector::ScopedSuspend NoInjection;
   if (!HaveCheckpoint) {
     ErrorOr<MaoUnit> CheckpointOr = Options.CheckpointProvider();
@@ -188,14 +317,27 @@ MaoStatus rollbackToCheckpoint(MaoUnit &Unit, MaoUnit &Checkpoint,
   Unit = Checkpoint.clone();
   PipelineOptions ReplayOptions = Options;
   ReplayOptions.PassTimeoutMs = 0;
-  for (const PassRequest *Req : Committed) {
-    std::string FailedFn;
+  PassRegistry &Registry = PassRegistry::instance();
+  for (const CommittedReq &C : Committed) {
+    const PassRequest *Req = C.Req;
     try {
-      ErrorOr<unsigned> CountOr =
-          executeRequest(Unit, *Req, ReplayOptions, FailedFn);
-      if (!CountOr.ok())
-        return MaoStatus::error("rollback replay of pass " + Req->PassName +
-                                " failed: " + CountOr.message());
+      if (Registry.isShardable(Req->PassName)) {
+        std::vector<ShardFailure> ReFailures;
+        executeSharded(Unit, *Req, ReplayOptions, Pool, C.SkipFns,
+                       ReFailures);
+        if (!ReFailures.empty())
+          return MaoStatus::error("rollback replay of pass " +
+                                  Req->PassName + " failed: " +
+                                  ReFailures.front().Detail);
+      } else {
+        std::string FailedFn;
+        ErrorOr<unsigned> CountOr =
+            executeRequest(Unit, *Req, ReplayOptions, FailedFn);
+        if (!CountOr.ok())
+          return MaoStatus::error("rollback replay of pass " +
+                                  Req->PassName + " failed: " +
+                                  CountOr.message());
+      }
     } catch (const std::exception &E) {
       return MaoStatus::error("rollback replay of pass " + Req->PassName +
                               " threw: " + E.what());
@@ -211,6 +353,14 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
                               const PipelineOptions &Options) {
   PipelineResult Result;
   const bool Transactional = Options.OnError == OnErrorPolicy::Rollback;
+  PassRegistry &Registry = PassRegistry::instance();
+
+  // Worker pool for shardable passes. Only built when more than one worker
+  // is requested: with one worker the sharded executor runs its (identical)
+  // inline loop, so Jobs=1 costs no thread machinery at all.
+  std::unique_ptr<ThreadPool> Pool;
+  if (Options.Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Options.Jobs);
 
   // Checkpoint-replay transaction scheme: one snapshot of the pre-pipeline
   // unit plus the list of requests that committed since. See the runPasses
@@ -218,7 +368,7 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
   // even taken until a rollback actually needs it.
   MaoUnit Checkpoint;
   bool HaveCheckpoint = false;
-  std::vector<const PassRequest *> Committed;
+  std::vector<CommittedReq> Committed;
   if (Transactional && !Requests.empty() && !Options.CheckpointProvider) {
     Checkpoint = Unit.clone();
     HaveCheckpoint = true;
@@ -232,25 +382,48 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
     std::string FailureDetail;
     DiagCode FailureCode = DiagCode::PassFailed;
     bool Failed = false;
+    const bool Sharded = Registry.isShardable(Req.PassName);
+    std::vector<ShardFailure> ShardFailures;
 
     std::string FailedFn;
     try {
-      ErrorOr<unsigned> CountOr =
-          executeRequest(Unit, Req, Options, FailedFn);
-      if (CountOr.ok()) {
-        Outcome.Transformations = *CountOr;
+      if (Sharded) {
+        // Shardable pass: all functions run (inline or on the pool);
+        // failures are per shard and handled below, so a bad function
+        // cannot abort its siblings mid-request.
+        Outcome.Transformations = executeSharded(
+            Unit, Req, Options, Pool.get(), /*SkipFns=*/{}, ShardFailures);
+        if (!ShardFailures.empty()) {
+          Failed = true;
+          FailureDetail = "pass " + Req.PassName + " failed on " +
+                          std::to_string(ShardFailures.size()) +
+                          " function(s): ";
+          for (size_t I = 0; I < ShardFailures.size(); ++I) {
+            if (I)
+              FailureDetail += "; ";
+            FailureDetail += ShardFailures[I].FnName;
+          }
+        }
       } else {
-        Failed = true;
-        FailureDetail = CountOr.message();
-        if (!PassRegistry::instance().knows(Req.PassName))
-          FailureCode = DiagCode::PassUnknown;
+        ErrorOr<unsigned> CountOr =
+            executeRequest(Unit, Req, Options, FailedFn);
+        if (CountOr.ok()) {
+          Outcome.Transformations = *CountOr;
+        } else {
+          Failed = true;
+          FailureDetail = CountOr.message();
+          if (!Registry.knows(Req.PassName))
+            FailureCode = DiagCode::PassUnknown;
+        }
       }
     } catch (const PassTimeoutError &E) {
       Failed = true;
+      ShardFailures.clear(); // Timeout fails the whole request.
       FailureDetail = E.what();
       FailureCode = DiagCode::PassTimeout;
     } catch (const std::exception &E) {
       Failed = true;
+      ShardFailures.clear();
       FailureDetail =
           "pass " + Req.PassName + " threw an exception: " + E.what();
       FailureCode = DiagCode::PassException;
@@ -272,7 +445,7 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
 
     if (!Failed) {
       if (Transactional)
-        Committed.push_back(&Req);
+        Committed.push_back({&Req, {}});
       Outcome.Status = PassStatus::Ok;
       Result.Counts.emplace_back(Req.PassName, Outcome.Transformations);
       Result.Outcomes.push_back(std::move(Outcome));
@@ -280,8 +453,15 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
     }
 
     Outcome.Detail = FailureDetail;
-    if (Options.Diags)
-      Options.Diags->error(FailureCode, FailureDetail, {}, Req.PassName);
+    if (Options.Diags) {
+      // Shard failures were buffered by the workers; emit them here, on
+      // the orchestrating thread, in function order — diagnostics output
+      // is deterministic no matter how the shards were scheduled.
+      for (const ShardFailure &F : ShardFailures)
+        Options.Diags->error(F.Code, F.Detail, {}, Req.PassName);
+      if (ShardFailures.empty())
+        Options.Diags->error(FailureCode, FailureDetail, {}, Req.PassName);
+    }
 
     switch (Options.OnError) {
     case OnErrorPolicy::Abort:
@@ -291,21 +471,76 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
       Result.Error = FailureDetail;
       return Result;
     case OnErrorPolicy::Rollback: {
-      MaoStatus Restored = rollbackToCheckpoint(Unit, Checkpoint,
-                                                HaveCheckpoint, Committed,
-                                                Options);
-      if (!Restored.ok()) {
-        // A committed pass did not reproduce on replay; the transaction
-        // machinery cannot guarantee the unit's state, so stop hard.
+      auto HardStop = [&](const std::string &Why) {
+        // The transaction machinery cannot guarantee the unit's state
+        // (a committed pass did not reproduce, or the recovery re-run
+        // misbehaved), so stop hard.
         Outcome.Status = PassStatus::Failed;
-        Outcome.Detail += "; " + Restored.message();
+        Outcome.Detail += "; " + Why;
         Result.Outcomes.push_back(std::move(Outcome));
         Result.Ok = false;
-        Result.Error = Restored.message();
+        Result.Error = Why;
+      };
+      MaoStatus Restored =
+          rollbackToCheckpoint(Unit, Checkpoint, HaveCheckpoint, Committed,
+                               Options, Pool.get());
+      if (!Restored.ok()) {
+        HardStop(Restored.message());
         return Result;
       }
       Outcome.Status = PassStatus::RolledBack;
       Outcome.Transformations = 0;
+      if (!ShardFailures.empty()) {
+        // Partial commit: the failing functions' shards are gone with the
+        // rollback, but the surviving shards' edits should not be — re-run
+        // the request with the failed functions skipped. The surviving
+        // shards already succeeded once and passes are deterministic, so
+        // this reapplies exactly their edits; injection is suspended and
+        // the budget waived like any other replay.
+        std::set<size_t> SkipFns;
+        for (const ShardFailure &F : ShardFailures)
+          SkipFns.insert(F.FnIndex);
+        PipelineOptions ReRun = Options;
+        ReRun.PassTimeoutMs = 0;
+        unsigned Count = 0;
+        std::vector<ShardFailure> ReFailures;
+        try {
+          FaultInjector::ScopedSuspend NoInjection;
+          Count = executeSharded(Unit, Req, ReRun, Pool.get(), SkipFns,
+                                 ReFailures);
+        } catch (const std::exception &E) {
+          HardStop("partial re-run of pass " + Req.PassName +
+                   " threw: " + E.what());
+          return Result;
+        }
+        if (!ReFailures.empty()) {
+          HardStop("partial re-run of pass " + Req.PassName +
+                   " failed: " + ReFailures.front().Detail);
+          return Result;
+        }
+        bool PartialClean = true;
+        if (Options.VerifyAfterEachPass) {
+          VerifierReport Report = verifyUnit(Unit, Options.PerPassVerify,
+                                             Options.Diags, Req.PassName);
+          if (!Report.clean()) {
+            // The surviving shards only verified in combination with the
+            // failed ones before; alone they are invalid, so drop the
+            // whole pass.
+            PartialClean = false;
+            MaoStatus Dropped =
+                rollbackToCheckpoint(Unit, Checkpoint, HaveCheckpoint,
+                                     Committed, Options, Pool.get());
+            if (!Dropped.ok()) {
+              HardStop(Dropped.message());
+              return Result;
+            }
+          }
+        }
+        if (PartialClean) {
+          Committed.push_back({&Req, std::move(SkipFns)});
+          Outcome.Transformations = Count;
+        }
+      }
       break;
     }
     case OnErrorPolicy::Skip:

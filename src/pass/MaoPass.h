@@ -91,12 +91,21 @@ public:
 
   static PassRegistry &instance();
 
+  /// \p Shardable declares that the pass honours the sharding contract
+  /// (DESIGN.md, "Sharded pass pipeline"): it only edits entries strictly
+  /// inside its own function's ranges, never inserts at or before a range
+  /// begin, never calls rebuildStructure()/makeUniqueLabel(), and reads
+  /// unit-level tables only. Shardable passes run through the sharded
+  /// executor — inline for --mao-jobs=1, on the worker pool otherwise —
+  /// with per-function failure isolation in both cases.
   void registerFunctionPass(const std::string &Name,
-                            FunctionPassFactory Factory);
+                            FunctionPassFactory Factory,
+                            bool Shardable = false);
   void registerUnitPass(const std::string &Name, UnitPassFactory Factory);
 
   bool isFunctionPass(const std::string &Name) const;
   bool isUnitPass(const std::string &Name) const;
+  bool isShardable(const std::string &Name) const;
   bool knows(const std::string &Name) const {
     return isFunctionPass(Name) || isUnitPass(Name);
   }
@@ -113,16 +122,22 @@ public:
   std::vector<std::string> allPassNames() const;
 
 private:
-  std::map<std::string, FunctionPassFactory> FunctionPasses;
+  struct FunctionPassEntry {
+    FunctionPassFactory Factory;
+    bool Shardable = false;
+  };
+  std::map<std::string, FunctionPassEntry> FunctionPasses;
   std::map<std::string, UnitPassFactory> UnitPasses;
 };
 
 template <typename PassT>
-bool registerFunctionPassImpl(const char *Name) {
+bool registerFunctionPassImpl(const char *Name, bool Shardable = false) {
   PassRegistry::instance().registerFunctionPass(
-      Name, [](MaoOptionMap *Options, MaoUnit *Unit, MaoFunction *Fn) {
+      Name,
+      [](MaoOptionMap *Options, MaoUnit *Unit, MaoFunction *Fn) {
         return std::make_unique<PassT>(Options, Unit, Fn);
-      });
+      },
+      Shardable);
   return true;
 }
 
@@ -139,6 +154,13 @@ bool registerUnitPassImpl(const char *Name) {
 #define REGISTER_FUNC_PASS(NAME, CLASS)                                       \
   static const bool MaoRegisteredFunc_##CLASS [[maybe_unused]] =              \
       ::mao::registerFunctionPassImpl<CLASS>(NAME);
+
+/// Registers a function pass that honours the sharding contract and may
+/// run its per-function invocations concurrently (see
+/// PassRegistry::registerFunctionPass).
+#define REGISTER_SHARDED_FUNC_PASS(NAME, CLASS)                               \
+  static const bool MaoRegisteredFunc_##CLASS [[maybe_unused]] =              \
+      ::mao::registerFunctionPassImpl<CLASS>(NAME, /*Shardable=*/true);
 
 /// Registers a whole-IR pass under NAME.
 #define REGISTER_UNIT_PASS(NAME, CLASS)                                       \
@@ -205,6 +227,13 @@ struct PipelineOptions {
   /// passes; a pass that exceeds it counts as failed. (A pass that never
   /// returns cannot be preempted.)
   long PassTimeoutMs = 0;
+  /// Worker count for shardable function passes (>= 1). With N > 1 a
+  /// worker pool runs the per-function invocations of shardable passes
+  /// concurrently; unit passes and non-shardable function passes are
+  /// unaffected (they act as barriers). Results are bit-identical for
+  /// every value of Jobs: shardable passes take the same sharded code
+  /// path inline when Jobs == 1.
+  unsigned Jobs = 1;
   /// Structured diagnostics destination; may be null.
   DiagEngine *Diags = nullptr;
   /// Optional lazy checkpoint source for the rollback policy. When set,
@@ -219,7 +248,12 @@ struct PipelineOptions {
 };
 
 /// Runs the requested passes over \p Unit in command-line order under the
-/// given execution policy. Function passes run over every function.
+/// given execution policy. Function passes run over every function;
+/// shardable function passes run each function as an independent shard
+/// (concurrently when Jobs > 1) with failures isolated per function: one
+/// function's failure is rolled back or skipped without discarding the
+/// edits the other functions' shards made. Whole-unit passes and
+/// non-shardable function passes are barriers between sharded regions.
 ///
 /// Under OnErrorPolicy::Rollback a failing pass (exception, go()==false,
 /// verifier failure, or timeout) has its edits undone — the unit is left

@@ -60,7 +60,7 @@ public:
   }
 };
 
-REGISTER_FUNC_PASS("LFIND", LoopFinderPass)
+REGISTER_SHARDED_FUNC_PASS("LFIND", LoopFinderPass)
 
 /// The minimal pass of the paper's Fig. 3, verbatim in spirit: prints the
 /// name of every function via the standard tracing facility.
@@ -77,7 +77,7 @@ public:
   }
 };
 
-REGISTER_FUNC_PASS("MAOPASS", ExamplePass)
+REGISTER_SHARDED_FUNC_PASS("MAOPASS", ExamplePass)
 
 } // namespace
 

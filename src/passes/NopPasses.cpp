@@ -69,7 +69,7 @@ public:
   }
 };
 
-REGISTER_FUNC_PASS("NOPIN", NopinizerPass)
+REGISTER_SHARDED_FUNC_PASS("NOPIN", NopinizerPass)
 
 //===----------------------------------------------------------------------===//
 // NOPKILL: the Nop Killer.
@@ -100,7 +100,7 @@ public:
   }
 };
 
-REGISTER_FUNC_PASS("NOPKILL", NopKillerPass)
+REGISTER_SHARDED_FUNC_PASS("NOPKILL", NopKillerPass)
 
 //===----------------------------------------------------------------------===//
 // INSTRUMENT: dynamic instrumentation support.

@@ -80,7 +80,7 @@ private:
   }
 };
 
-REGISTER_FUNC_PASS("ZEE", ZeroExtentElimPass)
+REGISTER_SHARDED_FUNC_PASS("ZEE", ZeroExtentElimPass)
 
 //===----------------------------------------------------------------------===//
 // REDTEST: redundant test elimination.
@@ -156,7 +156,7 @@ private:
   }
 };
 
-REGISTER_FUNC_PASS("REDTEST", RedundantTestElimPass)
+REGISTER_SHARDED_FUNC_PASS("REDTEST", RedundantTestElimPass)
 
 //===----------------------------------------------------------------------===//
 // REDMOV: redundant memory access elimination.
@@ -241,7 +241,7 @@ private:
   }
 };
 
-REGISTER_FUNC_PASS("REDMOV", RedundantMemMovePass)
+REGISTER_SHARDED_FUNC_PASS("REDMOV", RedundantMemMovePass)
 
 //===----------------------------------------------------------------------===//
 // ADDADD: add/add sequence folding.
@@ -334,7 +334,7 @@ private:
   }
 };
 
-REGISTER_FUNC_PASS("ADDADD", AddAddElimPass)
+REGISTER_SHARDED_FUNC_PASS("ADDADD", AddAddElimPass)
 
 } // namespace
 

@@ -83,7 +83,7 @@ public:
   }
 };
 
-REGISTER_FUNC_PASS("INVPREF", InversePrefetchPass)
+REGISTER_SHARDED_FUNC_PASS("INVPREF", InversePrefetchPass)
 
 } // namespace
 

@@ -68,7 +68,7 @@ public:
   }
 };
 
-REGISTER_FUNC_PASS("DCE", UnreachableCodeElimPass)
+REGISTER_SHARDED_FUNC_PASS("DCE", UnreachableCodeElimPass)
 
 //===----------------------------------------------------------------------===//
 // CONSTFOLD: constant folding into register moves.
@@ -164,7 +164,7 @@ private:
   }
 };
 
-REGISTER_FUNC_PASS("CONSTFOLD", ConstantFoldPass)
+REGISTER_SHARDED_FUNC_PASS("CONSTFOLD", ConstantFoldPass)
 
 } // namespace
 

@@ -199,7 +199,7 @@ private:
   }
 };
 
-REGISTER_FUNC_PASS("SCHED", ListSchedulePass)
+REGISTER_SHARDED_FUNC_PASS("SCHED", ListSchedulePass)
 
 } // namespace
 

@@ -224,7 +224,7 @@ public:
   }
 };
 
-REGISTER_FUNC_PASS("SIMADDR", SimAddrPass)
+REGISTER_SHARDED_FUNC_PASS("SIMADDR", SimAddrPass)
 
 } // namespace
 

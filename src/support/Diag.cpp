@@ -26,6 +26,8 @@ const char *mao::diagCodeName(DiagCode Code) {
     return "pass-exception";
   case DiagCode::PassTimeout:
     return "pass-timeout";
+  case DiagCode::RelaxIterationLimit:
+    return "relax-iteration-limit";
   case DiagCode::VerifyUnresolvedLabel:
     return "verify-unresolved-label";
   case DiagCode::VerifyDuplicateLabel:

@@ -41,6 +41,8 @@ enum class DiagCode : uint16_t {
   PassFailed,
   PassException,
   PassTimeout,
+  // Analysis.
+  RelaxIterationLimit,
   // Verifier.
   VerifyUnresolvedLabel,
   VerifyDuplicateLabel,

@@ -106,6 +106,7 @@ bool FaultInjector::shouldFail(FaultSite Site) {
   SiteState &S = Sites[static_cast<unsigned>(Site)];
   if (!S.Enabled)
     return false;
+  std::lock_guard<std::mutex> Lock(DrawM);
   ++S.Draws;
   bool Fail = S.Rng.nextChance(S.Permille, 1000);
   if (Fail)

@@ -27,6 +27,7 @@
 #include "support/Status.h"
 
 #include <array>
+#include <mutex>
 #include <string>
 
 namespace mao {
@@ -98,6 +99,13 @@ private:
   bool Armed = false;
   unsigned SuspendDepth = 0;
   std::array<SiteState, NumFaultSites> Sites;
+  /// Guards the per-site RNG/counter state in shouldFail(): sites may be
+  /// consulted from pool workers when the sharded pipeline runs with
+  /// several jobs. The disabled fast path stays lock-free. (Note: draw
+  /// *order* at a site is only deterministic when that site is consulted
+  /// from one thread — which holds today: all draws happen on the
+  /// orchestrating thread, shards never draw.)
+  std::mutex DrawM;
 };
 
 } // namespace mao

@@ -115,6 +115,7 @@ mao::parseCommandLine(const std::vector<std::string> &Args) {
   static const std::string Prefix = "--mao=";
   static const std::string OnErrorPrefix = "--mao-on-error=";
   static const std::string TimeoutPrefix = "--mao-pass-timeout-ms=";
+  static const std::string JobsPrefix = "--mao-jobs=";
   static const std::string FaultPrefix = "--mao-fault-inject=";
   for (const std::string &Arg : Args) {
     if (Arg.rfind(Prefix, 0) == 0) {
@@ -144,6 +145,16 @@ mao::parseCommandLine(const std::vector<std::string> &Args) {
             "--mao-pass-timeout-ms expects a non-negative integer; got '" +
             Value + "'");
       Cmd.PassTimeoutMs = Ms;
+      continue;
+    }
+    if (Arg.rfind(JobsPrefix, 0) == 0) {
+      std::string Value = Arg.substr(JobsPrefix.size());
+      char *End = nullptr;
+      long Jobs = std::strtol(Value.c_str(), &End, 10);
+      if (End == Value.c_str() || *End != '\0' || Jobs < 1)
+        return MaoStatus::error(
+            "--mao-jobs expects a positive integer; got '" + Value + "'");
+      Cmd.Jobs = static_cast<unsigned>(Jobs);
       continue;
     }
     if (Arg.rfind(FaultPrefix, 0) == 0) {

@@ -77,6 +77,9 @@ struct MaoCommandLine {
   bool Verify = false;
   /// --mao-pass-timeout-ms=N: per-pass wall-clock budget (0 = unlimited).
   long PassTimeoutMs = 0;
+  /// --mao-jobs=N: worker count for shardable function passes (>= 1).
+  /// Output is bit-identical for every value; N only changes wall-clock.
+  unsigned Jobs = 1;
   /// --mao-fault-inject=spec[@seed]: arm the fault injector.
   std::string FaultSpec;
   uint64_t FaultSeed = 1;

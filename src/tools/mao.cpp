@@ -15,6 +15,7 @@
 ///   --mao-on-error={abort,rollback,skip}  failing-pass policy
 ///   --mao-verify                          verify IR after every pass
 ///   --mao-pass-timeout-ms=N               per-pass wall-clock budget
+///   --mao-jobs=N                          workers for shardable passes
 ///   --mao-fault-inject=spec[@seed]        arm the fault injector
 ///
 /// Exit codes: 0 success, 1 usage error, 2 parse/input error, 3
@@ -48,6 +49,7 @@ void printUsage() {
                "usage: mao [--mao=PASS[=opt[val],...][:PASS...]]\n"
                "           [--mao-on-error={abort,rollback,skip}]\n"
                "           [--mao-verify] [--mao-pass-timeout-ms=N]\n"
+               "           [--mao-jobs=N]\n"
                "           [--mao-fault-inject=site:permille[,...][@seed]]\n"
                "           input.s\n"
                "\n"
@@ -139,6 +141,7 @@ int main(int Argc, char **Argv) {
   if (Cmd.Verify)
     Pipeline.PerPassVerify = VerifierOptions();
   Pipeline.PassTimeoutMs = Cmd.PassTimeoutMs;
+  Pipeline.Jobs = Cmd.Jobs;
   Pipeline.Diags = &Diags;
   // Lazy rollback checkpoint: the source text is still in hand, so the
   // pre-pipeline unit can be reconstructed by re-parsing when (and only

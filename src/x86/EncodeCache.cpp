@@ -1,0 +1,130 @@
+//===- x86/EncodeCache.cpp - Encoding-length memoization ---------------------==//
+
+#include "x86/EncodeCache.h"
+
+#include "x86/Encoder.h"
+
+using namespace mao;
+
+EncodeCache &EncodeCache::instance() {
+  static EncodeCache Cache;
+  return Cache;
+}
+
+namespace {
+
+void appendU64(std::string &Key, uint64_t V) {
+  for (unsigned I = 0; I < 8; ++I)
+    Key.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void appendString(std::string &Key, const std::string &S) {
+  appendU64(Key, S.size());
+  Key.append(S);
+}
+
+void appendOperand(std::string &Key, const Operand &Op) {
+  Key.push_back(static_cast<char>(Op.Kind));
+  Key.push_back(static_cast<char>(Op.R));
+  Key.push_back(Op.IndirectStar ? 1 : 0);
+  appendU64(Key, static_cast<uint64_t>(Op.Imm));
+  appendString(Key, Op.Sym);
+  Key.push_back(static_cast<char>(Op.Mem.Base));
+  Key.push_back(static_cast<char>(Op.Mem.Index));
+  Key.push_back(static_cast<char>(Op.Mem.Scale));
+  appendU64(Key, static_cast<uint64_t>(Op.Mem.Disp));
+  appendString(Key, Op.Mem.SymDisp);
+}
+
+} // namespace
+
+std::string EncodeCache::makeKey(const Instruction &Insn) {
+  // Every field that encodeInstruction reads must be part of the key;
+  // symbol names matter because presence in a label map can change a
+  // displacement's *value* but never its width, while Mem.SymDisp presence
+  // toggles disp emission — serialize them all and stay exact.
+  std::string Key;
+  Key.reserve(32 + 32 * Insn.Ops.size());
+  appendU64(Key, static_cast<uint64_t>(Insn.Mn));
+  Key.push_back(static_cast<char>(Insn.W));
+  Key.push_back(static_cast<char>(Insn.SrcW));
+  Key.push_back(static_cast<char>(Insn.CC));
+  Key.push_back(static_cast<char>(Insn.NopLength));
+  Key.push_back(static_cast<char>(Insn.BranchSize));
+  appendU64(Key, Insn.Ops.size());
+  for (const Operand &Op : Insn.Ops)
+    appendOperand(Key, Op);
+  return Key;
+}
+
+EncodeCache::Shard &EncodeCache::shardFor(const std::string &Key) {
+  return Shards[std::hash<std::string>{}(Key) % NumShards];
+}
+
+const EncodeCache::Shard &EncodeCache::shardFor(const std::string &Key) const {
+  return Shards[std::hash<std::string>{}(Key) % NumShards];
+}
+
+unsigned EncodeCache::length(const Instruction &Insn) {
+  // Opaque instructions have a constant estimated size and unbounded raw
+  // text; memoizing them would bloat the cache for no reuse.
+  if (Insn.isOpaque())
+    return OpaqueInstructionSizeEstimate;
+  const std::string Key = makeKey(Insn);
+  Shard &S = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(Key);
+    if (It != S.Map.end()) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return It->second;
+    }
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  unsigned Length = instructionLengthUncached(Insn);
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Map.emplace(Key, Length);
+  return Length;
+}
+
+std::optional<unsigned> EncodeCache::cachedLength(const Instruction &Insn) const {
+  if (Insn.isOpaque())
+    return OpaqueInstructionSizeEstimate;
+  const std::string Key = makeKey(Insn);
+  const Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end())
+    return std::nullopt;
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return It->second;
+}
+
+void EncodeCache::noteLength(const Instruction &Insn, unsigned Length) {
+  if (Insn.isOpaque())
+    return;
+  const std::string Key = makeKey(Insn);
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Map.emplace(Key, Length);
+}
+
+void EncodeCache::clear() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Map.clear();
+  }
+  Hits.store(0);
+  Misses.store(0);
+}
+
+EncodeCache::Stats EncodeCache::stats() const {
+  Stats Result;
+  Result.Hits = Hits.load();
+  Result.Misses = Misses.load();
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Result.Entries += S.Map.size();
+  }
+  return Result;
+}

@@ -1,0 +1,90 @@
+//===- x86/EncodeCache.h - Encoding-length memoization ----------*- C++ -*-===//
+///
+/// \file
+/// A process-wide memoization cache for instruction encoding lengths, the
+/// dominant cost of a relaxation round: relaxation re-measures every
+/// non-branch instruction of a unit once per relaxUnit() call, and the
+/// alignment passes call relaxUnit() once per optimization round, so the
+/// same instruction content is measured many times over a pipeline.
+///
+/// Keys are the instruction's full serialized content (mnemonic, widths,
+/// condition code, NOP length, relaxed branch size, and every operand
+/// field) — not a hash of it — so two distinct instructions can never
+/// alias a cache entry and lengths stay exact; exactness is what the
+/// relaxer's correctness and the bit-identical-output guarantee of the
+/// sharded pipeline rest on. Lengths are position-independent (branch
+/// displacement *width* is part of the content via BranchSize), which is
+/// why a content-keyed cache is sound at all.
+///
+/// Only successful encodes are cached: a miss that fails to encode is not
+/// recorded, so fallible validation (the verifier) keeps re-checking bad
+/// instructions. The cache is sharded over independently locked buckets so
+/// parallel pass shards measuring lengths concurrently do not serialize.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_X86_ENCODECACHE_H
+#define MAO_X86_ENCODECACHE_H
+
+#include "x86/Instruction.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace mao {
+
+class EncodeCache {
+public:
+  static EncodeCache &instance();
+
+  /// Returns the encoded length of \p Insn, consulting the cache first.
+  /// On a miss the instruction is encoded once (asserting success, like
+  /// instructionLength) and the length is memoized.
+  unsigned length(const Instruction &Insn);
+
+  /// Lookup only: the memoized length if \p Insn was successfully encoded
+  /// before, std::nullopt otherwise. Never encodes.
+  std::optional<unsigned> cachedLength(const Instruction &Insn) const;
+
+  /// Records a successful encode of \p Insn with \p Length bytes.
+  void noteLength(const Instruction &Insn, unsigned Length);
+
+  /// Drops every entry (tests and benchmarks isolating cold behaviour).
+  void clear();
+
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    size_t Entries = 0;
+  };
+  Stats stats() const;
+
+  /// Serializes the content that determines \p Insn's encoded length into
+  /// a byte-exact key. Exposed for tests.
+  static std::string makeKey(const Instruction &Insn);
+
+private:
+  EncodeCache() = default;
+
+  static constexpr unsigned NumShards = 16;
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<std::string, unsigned> Map;
+  };
+
+  Shard &shardFor(const std::string &Key);
+  const Shard &shardFor(const std::string &Key) const;
+
+  std::array<Shard, NumShards> Shards;
+  mutable std::atomic<uint64_t> Hits{0};
+  mutable std::atomic<uint64_t> Misses{0};
+};
+
+} // namespace mao
+
+#endif // MAO_X86_ENCODECACHE_H

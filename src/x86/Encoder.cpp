@@ -3,6 +3,7 @@
 #include "x86/Encoder.h"
 
 #include "support/FaultInjection.h"
+#include "x86/EncodeCache.h"
 
 #include <cassert>
 
@@ -953,7 +954,19 @@ MaoStatus mao::encodeInstruction(const Instruction &Insn, int64_t Address,
   return Builder.run(Out);
 }
 
+MaoStatus mao::encodeInstructionNoInject(const Instruction &Insn,
+                                         int64_t Address,
+                                         const LabelAddressMap *Labels,
+                                         std::vector<uint8_t> &Out) {
+  EncodingBuilder Builder(Insn, Address, Labels);
+  return Builder.run(Out);
+}
+
 unsigned mao::instructionLength(const Instruction &Insn) {
+  return EncodeCache::instance().length(Insn);
+}
+
+unsigned mao::instructionLengthUncached(const Instruction &Insn) {
   std::vector<uint8_t> Bytes;
   EncodingBuilder Builder(Insn, 0, nullptr);
   MaoStatus S = Builder.run(Bytes);

@@ -42,10 +42,24 @@ MaoStatus encodeInstruction(const Instruction &Insn, int64_t Address,
                             const LabelAddressMap *Labels,
                             std::vector<uint8_t> &Out);
 
+/// Like encodeInstruction but without the fault-injection draw. For
+/// callers that draw the injection decision themselves (the verifier's
+/// cache-assisted encoding check) so the per-site draw sequence stays
+/// one-per-instruction regardless of cache state.
+MaoStatus encodeInstructionNoInject(const Instruction &Insn, int64_t Address,
+                                    const LabelAddressMap *Labels,
+                                    std::vector<uint8_t> &Out);
+
 /// Returns the encoded length in bytes (branches honour BranchSize).
 /// Asserts that the instruction is encodable; use encodeInstruction for
-/// fallible validation of parsed input.
+/// fallible validation of parsed input. Memoized through EncodeCache —
+/// lengths are position-independent, so repeated relaxation rounds hit
+/// the cache instead of re-encoding.
 unsigned instructionLength(const Instruction &Insn);
+
+/// The uncached measurement instructionLength is built on; EncodeCache
+/// calls this on a miss.
+unsigned instructionLengthUncached(const Instruction &Insn);
 
 } // namespace mao
 

@@ -4,6 +4,8 @@
 #include "asm/AsmEmitter.h"
 #include "asm/Assembler.h"
 #include "asm/Parser.h"
+#include "ir/Verifier.h"
+#include "support/Diag.h"
 
 #include <gtest/gtest.h>
 
@@ -175,6 +177,131 @@ TEST(Relaxer, ExternalTargetsUseRel32) {
   ASSERT_TRUE(R.Converged);
   const MaoEntry *Jmp = findInsn(Unit, Mnemonic::JMP);
   EXPECT_EQ(Jmp->instruction().BranchSize, 4);
+}
+
+TEST(Relaxer, ForwardRel8Boundary) {
+  // +127 is the last forward displacement rel8 can encode: a 2-byte jmp at
+  // 0 followed by 127 bytes of filler puts the target exactly at disp 127.
+  MaoUnit Fit = parseOk("\t.text\n\tjmp .LT\n\t.zero 127\n.LT:\n\tret\n");
+  RelaxationResult RF = relaxUnit(Fit);
+  ASSERT_TRUE(RF.Converged);
+  EXPECT_EQ(findInsn(Fit, Mnemonic::JMP)->instruction().BranchSize, 1);
+  EXPECT_EQ(findInsn(Fit, Mnemonic::JMP)->Size, 2u);
+
+  // One more byte (disp 128) crosses the cliff.
+  MaoUnit Grow = parseOk("\t.text\n\tjmp .LT\n\t.zero 128\n.LT:\n\tret\n");
+  RelaxationResult RG = relaxUnit(Grow);
+  ASSERT_TRUE(RG.Converged);
+  EXPECT_EQ(findInsn(Grow, Mnemonic::JMP)->instruction().BranchSize, 4);
+  EXPECT_EQ(findInsn(Grow, Mnemonic::JMP)->Size, 5u);
+}
+
+TEST(Relaxer, BackwardRel8Boundary) {
+  // -128 is the furthest backward displacement rel8 can encode: the 2-byte
+  // jmp ends at 128, so the target at 0 sits exactly at disp -128.
+  MaoUnit Fit = parseOk("\t.text\n.LT:\n\t.zero 126\n\tjmp .LT\n");
+  RelaxationResult RF = relaxUnit(Fit);
+  ASSERT_TRUE(RF.Converged);
+  EXPECT_EQ(findInsn(Fit, Mnemonic::JMP)->instruction().BranchSize, 1);
+
+  // One more filler byte (disp -129) forces rel32.
+  MaoUnit Grow = parseOk("\t.text\n.LT:\n\t.zero 127\n\tjmp .LT\n");
+  RelaxationResult RG = relaxUnit(Grow);
+  ASSERT_TRUE(RG.Converged);
+  EXPECT_EQ(findInsn(Grow, Mnemonic::JMP)->instruction().BranchSize, 4);
+}
+
+TEST(Relaxer, GlobalTargetDefinedLocallyStaysShort) {
+  // A .globl symbol defined in this unit has a known distance; exporting
+  // it must not pessimize nearby branches to rel32 (the pre-fix behavior
+  // excluded every global from the label map).
+  std::string S = "\t.text\n\t.globl g\n\tjmp g\n\t.zero 16\ng:\n\tret\n";
+  MaoUnit Unit = parseOk(S);
+  RelaxationResult R = relaxUnit(Unit);
+  ASSERT_TRUE(R.Converged);
+  EXPECT_EQ(findInsn(Unit, Mnemonic::JMP)->instruction().BranchSize, 1);
+  EXPECT_EQ(R.Labels.at("g"), 18);
+}
+
+TEST(Relaxer, CrossSectionTargetUsesRel32) {
+  // Section addresses restart at 0, so a displacement computed across
+  // sections would compare unrelated address spaces. The target must be
+  // absent from the branch's per-section map and the branch forced to
+  // rel32 (the linker knows the real distance via relocation).
+  std::string S = "\t.text\n\tjmp .LCOLD\n\tret\n";
+  S += "\t.section .text.unlikely\n.LCOLD:\n\tret\n";
+  MaoUnit Unit = parseOk(S);
+  RelaxationResult R = relaxUnit(Unit);
+  ASSERT_TRUE(R.Converged);
+  EXPECT_EQ(findInsn(Unit, Mnemonic::JMP)->instruction().BranchSize, 4);
+  EXPECT_EQ(R.sectionLabels(".text.unlikely").at(".LCOLD"), 0);
+  EXPECT_EQ(R.sectionLabels(".text").count(".LCOLD"), 0u);
+}
+
+/// Builds a chain of forward jumps where each relaxation round grows
+/// exactly one more branch: J_i targets .L_i, which sits right after
+/// J_{i+1}, across 125 filler bytes — disp_i = 125 + len(J_{i+1}), i.e. a
+/// rel8-fitting 127 until J_{i+1} grows to 5 bytes. The last jump's target
+/// is 128 bytes away, seeding the cascade. With \p Jumps >
+/// RelaxationIterationLimit the fixpoint cannot be reached in time.
+std::string growthCascade(unsigned Jumps) {
+  std::string S = "\t.text\n";
+  for (unsigned I = 1; I <= Jumps; ++I) {
+    S += "\tjmp .L" + std::to_string(I) + "\n";
+    if (I > 1)
+      S += ".L" + std::to_string(I - 1) + ":\n";
+    if (I < Jumps)
+      S += "\t.zero 125\n";
+  }
+  S += "\t.zero 128\n";
+  S += ".L" + std::to_string(Jumps) + ":\n";
+  S += "\tret\n";
+  return S;
+}
+
+TEST(Relaxer, IterationLimitEmitsDiagnostic) {
+  MaoUnit Unit = parseOk(growthCascade(RelaxationIterationLimit + 1));
+
+  DiagEngine Diags;
+  CollectingDiagSink Sink;
+  Diags.addSink(&Sink);
+  RelaxationResult R = relaxUnit(Unit, &Diags);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Iterations, RelaxationIterationLimit);
+
+  // The limit is reported as a structured warning naming the section that
+  // was still growing and the iteration budget.
+  ASSERT_EQ(Diags.warningCount(), 1u);
+  ASSERT_EQ(Sink.diagnostics().size(), 1u);
+  const Diagnostic &D = Sink.diagnostics()[0];
+  EXPECT_EQ(D.Severity, DiagSeverity::Warning);
+  EXPECT_EQ(D.Code, DiagCode::RelaxIterationLimit);
+  EXPECT_NE(D.Message.find(".text"), std::string::npos);
+  EXPECT_NE(D.Message.find(std::to_string(RelaxationIterationLimit)),
+            std::string::npos);
+
+  // Non-converged layout is a hard error in the verifier's layout check:
+  // best-effort addresses must never flow into emitted bytes silently.
+  VerifierReport Report = verifyUnit(Unit);
+  ASSERT_FALSE(Report.clean());
+  bool SawDiverged = false;
+  for (const Diagnostic &Issue : Report.Issues)
+    SawDiverged |= Issue.Code == DiagCode::VerifyRelaxationDiverged;
+  EXPECT_TRUE(SawDiverged);
+}
+
+TEST(Relaxer, CascadeJustUnderLimitConverges) {
+  // The same construction one jump shorter needs exactly
+  // RelaxationIterationLimit rounds and must still converge with every
+  // branch widened.
+  MaoUnit Unit = parseOk(growthCascade(RelaxationIterationLimit - 1));
+  RelaxationResult R = relaxUnit(Unit);
+  ASSERT_TRUE(R.Converged);
+  EXPECT_EQ(R.Iterations, RelaxationIterationLimit);
+  for (const MaoEntry &E : Unit.entries())
+    if (E.isInstruction() && E.instruction().Mn == Mnemonic::JMP) {
+      EXPECT_EQ(E.instruction().BranchSize, 4);
+    }
 }
 
 // --- Assembler integration --------------------------------------------------
