@@ -1,0 +1,26 @@
+# A lint-clean function pair: ABI-conformant argument use, an aligned call
+# site, flags written only where they are consumed, and no unreachable or
+# partially-written registers. `mao --lint examples/clean.s` exits 0.
+	.text
+	.globl	sum_clamped
+	.type	sum_clamped, @function
+sum_clamped:
+	pushq	%rbp
+	movq	%rsp, %rbp
+	movq	%rdi, %rax
+	addq	%rsi, %rax
+	jo	.Loverflow
+	popq	%rbp
+	ret
+.Loverflow:
+	call	saturate
+	popq	%rbp
+	ret
+	.size	sum_clamped, .-sum_clamped
+
+	.globl	saturate
+	.type	saturate, @function
+saturate:
+	movq	$0x7fffffffffffffff, %rax
+	ret
+	.size	saturate, .-saturate

@@ -1,0 +1,38 @@
+# A deliberately smelly input exercising the MaoCheck linter rules:
+#   - %r10 is read before any definition (not an argument register),
+#   - the flags of the final test are dead (nothing consumes them),
+#   - .Ldead is unreachable (no predecessor, not label/NOP-only),
+#   - the call site is misaligned (no odd push/sub before the call),
+#   - %rax is read at full width right after a byte-wide write (partial
+#     register stall), and the byte write itself carries a false
+#     dependency on the old %rax value,
+#   - the indirect jump target is unresolved (no reaching jump table).
+# `mao --lint examples/lint_demo.s` exits 1 and reports each finding;
+# adding --mao-sarif=FILE writes them as a SARIF 2.1.0 log.
+	.text
+	.globl	smelly
+	.type	smelly, @function
+smelly:
+	movq	%r10, %rcx
+	call	helper
+	movb	$1, %al
+	movq	%rax, %rdx
+	testq	%rdx, %rdx
+	ret
+.Ldead:
+	addq	$1, %rcx
+	ret
+	.size	smelly, .-smelly
+
+	.globl	dispatch
+	.type	dispatch, @function
+dispatch:
+	jmp	*%rdi
+	.size	dispatch, .-dispatch
+
+	.globl	helper
+	.type	helper, @function
+helper:
+	movq	$0, %rax
+	ret
+	.size	helper, .-helper

@@ -22,4 +22,15 @@ echo "fuzz_smoke: injected path (parser/encoder/pass faults), $SEEDS seeds"
 "$MAOFUZZ" --seeds="$SEEDS" --seed-base=1 \
   --inject=parser:1,encoder:1,pass:50@7
 
+# Lint/validation phase: the linter must survive the whole corpus without
+# internal errors and the semantic translation validator must report zero
+# divergences -- both against identity and across every pass of the random
+# pipelines (all candidate passes preserve semantics). A reduced seed count
+# keeps the added wall-clock modest; the clean-path properties above were
+# already covered at full width.
+LINT_SEEDS=$((SEEDS / 2))
+[ "$LINT_SEEDS" -ge 1 ] || LINT_SEEDS=1
+echo "fuzz_smoke: lint + semantic validation, $LINT_SEEDS seeds"
+"$MAOFUZZ" --seeds="$LINT_SEEDS" --seed-base=1 --lint
+
 echo "fuzz_smoke: ok"

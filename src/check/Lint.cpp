@@ -1,0 +1,521 @@
+//===- check/Lint.cpp - Rule-based assembly linter ------------------------===//
+
+#include "check/Lint.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dataflow.h"
+
+#include <array>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace mao;
+
+namespace {
+
+/// Shared state handed to every rule for one function.
+struct FnLintContext {
+  MaoFunction &Fn;
+  CFG &G;
+  const LivenessResult &Live;
+};
+
+/// Collects findings, applying the werror promotion and counting.
+class Emitter {
+public:
+  Emitter(const LintOptions &Options, DiagEngine &Diags, LintResult &Result)
+      : Options(Options), Diags(Diags), Result(Result) {}
+
+  void warn(DiagCode Code, std::string Message) {
+    SourceLoc Loc{Options.FileName, 0};
+    if (Options.WarningsAsErrors) {
+      ++Result.Errors;
+      Diags.error(Code, std::move(Message), Loc, "lint");
+    } else {
+      ++Result.Warnings;
+      Diags.warning(Code, std::move(Message), Loc, "lint");
+    }
+  }
+
+  void note(DiagCode Code, std::string Message) {
+    ++Result.Notes;
+    Diags.note(Code, std::move(Message), SourceLoc{Options.FileName, 0},
+               "lint");
+  }
+
+private:
+  const LintOptions &Options;
+  DiagEngine &Diags;
+  LintResult &Result;
+};
+
+std::string blockName(const BasicBlock &B) {
+  if (!B.Labels.empty())
+    return "'" + B.Labels.front() + "'";
+  return "#" + std::to_string(B.Index);
+}
+
+bool blockIsInert(const BasicBlock &B) {
+  for (EntryIter It : B.Insns)
+    if (It->isInstruction() && !It->instruction().isNop())
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// R1: registers/flags directly read by an instruction before any definition
+// reaches it, when the ABI does not define them at a call boundary (r10/r11
+// are caller-clobbered scratch, xmm8-15 are argument-free and
+// caller-clobbered, status flags are undefined). Computed as a forward
+// definite-assignment fixpoint over direct instruction reads rather than
+// backward liveness: an unresolved indirect jump makes liveness treat every
+// register as live-in, which would drown the rule in false positives.
+//===----------------------------------------------------------------------===//
+
+void ruleUseBeforeDef(const FnLintContext &C, Emitter &E) {
+  const std::vector<BasicBlock> &Blocks = C.G.blocks();
+  if (Blocks.empty())
+    return;
+  // Supers readable at entry without a prior def: the six argument
+  // registers, rax (vararg SSE count), rsp/rbp, the callee-saved set (a
+  // read is how they get saved), and xmm0-7 (argument registers).
+  static const RegMask EntryDefined =
+      regMaskBit(Reg::RAX) | regMaskBit(Reg::RCX) | regMaskBit(Reg::RDX) |
+      regMaskBit(Reg::RBX) | regMaskBit(Reg::RSP) | regMaskBit(Reg::RBP) |
+      regMaskBit(Reg::RSI) | regMaskBit(Reg::RDI) | regMaskBit(Reg::R8) |
+      regMaskBit(Reg::R9) | regMaskBit(Reg::R12) | regMaskBit(Reg::R13) |
+      regMaskBit(Reg::R14) | regMaskBit(Reg::R15) |
+      (0xffu << 16); // xmm0-7
+
+  // Definitely-defined masks at block entry; meet is intersection over
+  // predecessors, so the optimistic (all-defined) start descends to the
+  // maximal fixpoint. Entry-unreachable blocks stay at top and report
+  // nothing — the unreachable-block rule owns those.
+  std::vector<RegMask> RegIn(Blocks.size(), ~RegMask(0));
+  std::vector<uint8_t> FlagIn(Blocks.size(), FlagsAllStatus);
+  RegIn[0] = EntryDefined;
+  FlagIn[0] = 0;
+
+  auto Transfer = [](const BasicBlock &B, RegMask &Regs, uint8_t &Flags,
+                     RegMask *RegOffend, uint8_t *FlagOffend) {
+    for (const EntryIter &It : B.Insns) {
+      const InstructionEffects Eff = It->instruction().effects();
+      if (RegOffend)
+        *RegOffend |= Eff.RegUses & ~Regs;
+      if (FlagOffend)
+        *FlagOffend |= Eff.FlagsUse & FlagsAllStatus & static_cast<uint8_t>(~Flags);
+      Regs |= Eff.RegDefs;
+      Flags |= Eff.FlagsDef & FlagsAllStatus;
+      // Calls and opaque instructions leave every register in *some*
+      // state; treat everything as defined past them to stay quiet.
+      if (Eff.Barrier) {
+        Regs = ~RegMask(0);
+        Flags = FlagsAllStatus;
+      }
+    }
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const BasicBlock &B : Blocks) {
+      RegMask Regs = RegIn[B.Index];
+      uint8_t Flags = FlagIn[B.Index];
+      Transfer(B, Regs, Flags, nullptr, nullptr);
+      for (unsigned S : B.Succs) {
+        RegMask NewR = RegIn[S] & Regs;
+        uint8_t NewF = FlagIn[S] & Flags;
+        if (NewR != RegIn[S] || NewF != FlagIn[S]) {
+          RegIn[S] = NewR;
+          FlagIn[S] = NewF;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  RegMask RegOffenders = 0;
+  uint8_t FlagOffenders = 0;
+  for (const BasicBlock &B : Blocks) {
+    RegMask Regs = RegIn[B.Index];
+    uint8_t Flags = FlagIn[B.Index];
+    Transfer(B, Regs, Flags, &RegOffenders, &FlagOffenders);
+  }
+
+  for (unsigned I = 0; I < 32; ++I)
+    if (RegOffenders & (1u << I)) {
+      static const char *Names[] = {
+          "rax",  "rcx",  "rdx",  "rbx",  "rsp",   "rbp",   "rsi",   "rdi",
+          "r8",   "r9",   "r10",  "r11",  "r12",   "r13",   "r14",   "r15",
+          "xmm0", "xmm1", "xmm2", "xmm3", "xmm4",  "xmm5",  "xmm6",  "xmm7",
+          "xmm8", "xmm9", "xmm10", "xmm11", "xmm12", "xmm13", "xmm14",
+          "xmm15"};
+      E.warn(DiagCode::LintUseBeforeDef,
+             "function '" + C.Fn.name() + "': register %" +
+                 std::string(Names[I]) +
+                 " is read before any definition (not defined at function "
+                 "entry by the ABI)");
+    }
+  if (FlagOffenders)
+    E.warn(DiagCode::LintUseBeforeDef,
+           "function '" + C.Fn.name() +
+               "': status flags are read before any definition (flags: " +
+               flagMaskToString(FlagOffenders) + ")");
+}
+
+//===----------------------------------------------------------------------===//
+// R2: compare/test instructions whose flags nobody reads before the next
+// flag definition — pure wasted work.
+//===----------------------------------------------------------------------===//
+
+void ruleDeadFlagWrite(const FnLintContext &C, Emitter &E) {
+  for (const BasicBlock &B : C.G.blocks()) {
+    InsnLiveness IL = perInstructionLiveness(C.G, B.Index, C.Live);
+    for (size_t I = 0; I < B.Insns.size(); ++I) {
+      const Instruction &Insn = B.Insns[I]->instruction();
+      if (!Insn.writesFlagsOnly())
+        continue;
+      uint8_t Defs = Insn.effects().FlagsDef & FlagsAllStatus;
+      if (Defs && (Defs & IL.FlagsLiveAfter[I]) == 0)
+        E.warn(DiagCode::LintDeadFlagWrite,
+               "function '" + C.Fn.name() + "', block " + blockName(B) +
+                   ": '" + Insn.toString() +
+                   "' computes flags that are never read");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// R3: blocks no path from the entry reaches. Skipped when the function has
+// unresolved indirect branches (unknown edges could reach anything).
+//===----------------------------------------------------------------------===//
+
+void ruleUnreachable(const FnLintContext &C, Emitter &E) {
+  if (C.Fn.HasUnresolvedIndirect || C.G.blocks().empty())
+    return;
+  std::vector<bool> Seen(C.G.blocks().size(), false);
+  std::vector<unsigned> Work = {0};
+  Seen[0] = true;
+  while (!Work.empty()) {
+    unsigned B = Work.back();
+    Work.pop_back();
+    for (unsigned S : C.G.blocks()[B].Succs)
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Work.push_back(S);
+      }
+  }
+  for (const BasicBlock &B : C.G.blocks())
+    if (!Seen[B.Index] && !blockIsInert(B))
+      E.warn(DiagCode::LintUnreachableBlock,
+             "function '" + C.Fn.name() + "': block " + blockName(B) +
+                 " is unreachable");
+}
+
+//===----------------------------------------------------------------------===//
+// R4: call sites where the stack is provably misaligned. The SysV ABI makes
+// %rsp ≡ 8 (mod 16) at function entry (the call pushed the return address
+// onto an aligned stack) and requires %rsp ≡ 0 (mod 16) at every call, i.e.
+// a known push-depth ≡ 8 (mod 16). Depth tracking is abandoned (not
+// reported) at instructions that modify %rsp in unmodelled ways.
+//===----------------------------------------------------------------------===//
+
+/// Net bytes this instruction pushes onto the stack, or nullopt when the
+/// effect on %rsp is not statically known.
+std::optional<int64_t> stackDelta(const Instruction &Insn) {
+  const OpcodeInfo &Info = Insn.info();
+  switch (Info.Kind) {
+  case EncKind::Push:
+    return 8;
+  case EncKind::Pop:
+    return -8;
+  case EncKind::Call: // Balanced: callee pops the return address.
+  case EncKind::Ret:
+    return 0;
+  default:
+    break;
+  }
+  // Explicit %rsp adjustments: add/sub $imm, %rsp.
+  if (Info.Kind == EncKind::AluRMI && Insn.Ops.size() == 2 &&
+      Insn.Ops[1].isReg() && superReg(Insn.Ops[1].R) == Reg::RSP &&
+      Insn.Ops[0].isConstImm()) {
+    if (Insn.Mn == Mnemonic::SUB)
+      return Insn.Ops[0].Imm;
+    if (Insn.Mn == Mnemonic::ADD)
+      return -Insn.Ops[0].Imm;
+    return std::nullopt;
+  }
+  // Any other write to %rsp (mov, lea, leave, opaque) loses tracking.
+  if (Insn.effects().RegDefs & regMaskBit(Reg::RSP))
+    return std::nullopt;
+  return 0;
+}
+
+void ruleStackAlignment(const FnLintContext &C, Emitter &E) {
+  const auto &Blocks = C.G.blocks();
+  if (Blocks.empty())
+    return;
+  constexpr int64_t Unknown = INT64_MIN;
+  std::vector<int64_t> EntryDepth(Blocks.size(), INT64_MIN + 1); // unvisited
+  EntryDepth[0] = 0;
+  std::vector<unsigned> Work = {0};
+  while (!Work.empty()) {
+    unsigned BI = Work.back();
+    Work.pop_back();
+    int64_t Depth = EntryDepth[BI];
+    for (EntryIter It : Blocks[BI].Insns) {
+      if (!It->isInstruction())
+        continue;
+      const Instruction &Insn = It->instruction();
+      if (Depth != Unknown && Insn.isCall() && ((Depth % 16) + 16) % 16 != 8)
+        E.warn(DiagCode::LintStackMisaligned,
+               "function '" + C.Fn.name() + "', block " +
+                   blockName(Blocks[BI]) + ": call '" + Insn.toString() +
+                   "' with %rsp misaligned (push depth " +
+                   std::to_string(Depth) + " bytes, need ≡ 8 mod 16)");
+      if (Depth != Unknown) {
+        auto Delta = stackDelta(Insn);
+        Depth = Delta ? Depth + *Delta : Unknown;
+      }
+    }
+    for (unsigned S : Blocks[BI].Succs) {
+      if (EntryDepth[S] == INT64_MIN + 1) {
+        EntryDepth[S] = Depth;
+        Work.push_back(S);
+      } else if (EntryDepth[S] != Depth) {
+        // Conflicting depths at a join: stop checking downstream rather
+        // than guessing.
+        if (EntryDepth[S] != Unknown) {
+          EntryDepth[S] = Unknown;
+          Work.push_back(S);
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// R5/R6: partial-register hazards. A narrow (8/16-bit) register write
+// merges into the old super-register value; a following wider read stalls
+// on the merge (R5), and the merge itself carries a false dependency on the
+// previous producer of the register when nothing in the block defined it
+// (R6, informational).
+//===----------------------------------------------------------------------===//
+
+/// Explicit register operands this instruction writes, with their views.
+std::vector<Reg> writtenRegs(const Instruction &Insn) {
+  std::vector<Reg> Out;
+  const OpcodeInfo &Info = Insn.info();
+  auto AddIfReg = [&](const Operand &Op) {
+    if (Op.isReg())
+      Out.push_back(Op.R);
+  };
+  switch (Info.Kind) {
+  case EncKind::Mov:
+  case EncKind::Movx:
+  case EncKind::Lea:
+  case EncKind::Cmovcc:
+  case EncKind::SseMov:
+  case EncKind::SseCvtMov:
+  case EncKind::SseAlu:
+    if (Insn.Ops.size() >= 2)
+      AddIfReg(Insn.Ops[1]);
+    break;
+  case EncKind::AluRMI:
+    if (Insn.Mn != Mnemonic::CMP && Insn.Ops.size() >= 2)
+      AddIfReg(Insn.Ops[1]);
+    break;
+  case EncKind::ShiftRot:
+  case EncKind::ImulMulti:
+    if (!Insn.Ops.empty())
+      AddIfReg(Insn.Ops.back());
+    break;
+  case EncKind::UnaryRM:
+  case EncKind::Pop:
+  case EncKind::Setcc:
+  case EncKind::Bswap:
+    if (!Insn.Ops.empty())
+      AddIfReg(Insn.Ops[0]);
+    break;
+  case EncKind::Xchg:
+    for (const Operand &Op : Insn.Ops)
+      AddIfReg(Op);
+    break;
+  default:
+    break;
+  }
+  return Out;
+}
+
+/// True when the destination is written without reading its old explicit
+/// value (the cases where a zero-extending form would avoid the merge).
+bool destIsWriteOnly(const Instruction &Insn) {
+  switch (Insn.info().Kind) {
+  case EncKind::Mov:
+  case EncKind::Movx:
+  case EncKind::Lea:
+  case EncKind::Pop:
+  case EncKind::Setcc:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void rulePartialRegister(const FnLintContext &C, Emitter &E) {
+  for (const BasicBlock &B : C.G.blocks()) {
+    // Per super register: width of the last write in this block, or None.
+    std::array<Width, 16> LastWrite;
+    LastWrite.fill(Width::None);
+    std::array<bool, 16> Written{};
+    for (EntryIter It : B.Insns) {
+      if (!It->isInstruction())
+        continue;
+      const Instruction &Insn = It->instruction();
+      if (Insn.isOpaque() || Insn.isCall()) {
+        LastWrite.fill(Width::None);
+        Written.fill(Insn.isCall());
+        continue;
+      }
+      // Wide reads of a super last written narrowly -> stall (R5).
+      auto CheckRead = [&](Reg R, Width ReadW) {
+        if (!regIsGpr(R))
+          return;
+        unsigned S = gprSuperIndex(R);
+        Width WW = LastWrite[S];
+        if ((WW == Width::B || WW == Width::W) &&
+            (ReadW == Width::L || ReadW == Width::Q))
+          E.warn(DiagCode::LintPartialRegStall,
+                 "function '" + C.Fn.name() + "', block " + blockName(B) +
+                     ": '" + Insn.toString() + "' reads %" + regName(R) +
+                     " after a narrow write to the same register "
+                     "(partial-register stall)");
+      };
+      for (const Operand &Op : Insn.Ops) {
+        if (Op.isReg()) {
+          bool IsDest = !writtenRegs(Insn).empty() &&
+                        &Op == &Insn.Ops[Insn.Ops.size() - 1] &&
+                        destIsWriteOnly(Insn);
+          if (!IsDest)
+            CheckRead(Op.R, regWidth(Op.R));
+        } else if (Op.isMem()) {
+          if (Op.Mem.Base != Reg::None && Op.Mem.Base != Reg::RIP)
+            CheckRead(Op.Mem.Base, Width::Q);
+          if (Op.Mem.Index != Reg::None)
+            CheckRead(Op.Mem.Index, Width::Q);
+        }
+      }
+      for (Reg R : writtenRegs(Insn)) {
+        if (!regIsGpr(R))
+          continue;
+        unsigned S = gprSuperIndex(R);
+        Width WW = regWidth(R);
+        bool Narrow = WW == Width::B || WW == Width::W || regIsHighByte(R);
+        if (Narrow && !Written[S] && destIsWriteOnly(Insn))
+          E.note(DiagCode::LintFalseDependency,
+                 "function '" + C.Fn.name() + "', block " + blockName(B) +
+                     ": '" + Insn.toString() + "' merges into %" +
+                     regName(superReg(R)) +
+                     " without a prior full-width definition (false "
+                     "dependency; consider a zero-extending move)");
+        LastWrite[S] = regIsHighByte(R) ? Width::B : WW;
+        Written[S] = true;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// R7: unresolved-indirect-jump audit with per-function counts — the paper's
+// Sec. II resolution experiment as structured linter output.
+//===----------------------------------------------------------------------===//
+
+void ruleIndirectAudit(const FnLintContext &C, Emitter &E,
+                       LintResult &Result) {
+  const CFG::Stats &S = C.G.stats();
+  unsigned Unresolved = C.G.unresolvedJumps().size();
+  Result.IndirectTotal += S.IndirectJumps;
+  Result.IndirectUnresolved += Unresolved;
+  if (S.IndirectJumps == 0)
+    return;
+  if (Unresolved > 0)
+    E.warn(DiagCode::LintUnresolvedIndirect,
+           "function '" + C.Fn.name() + "': " + std::to_string(Unresolved) +
+               " of " + std::to_string(S.IndirectJumps) +
+               " indirect jumps unresolved (same-block: " +
+               std::to_string(S.ResolvedSameBlock) +
+               ", reaching-defs: " + std::to_string(S.ResolvedReachingDefs) +
+               ")");
+  else
+    E.note(DiagCode::LintUnresolvedIndirect,
+           "function '" + C.Fn.name() + "': all " +
+               std::to_string(S.IndirectJumps) +
+               " indirect jumps resolved (same-block: " +
+               std::to_string(S.ResolvedSameBlock) +
+               ", reaching-defs: " + std::to_string(S.ResolvedReachingDefs) +
+               ")");
+}
+
+} // namespace
+
+const std::vector<LintRuleInfo> &mao::lintRules() {
+  static const std::vector<LintRuleInfo> Rules = {
+      {"use-before-def", DiagCode::LintUseBeforeDef,
+       "register or flag read with no prior definition"},
+      {"dead-flag-write", DiagCode::LintDeadFlagWrite,
+       "compare/test result never consumed"},
+      {"unreachable-block", DiagCode::LintUnreachableBlock,
+       "basic block unreachable from the function entry"},
+      {"stack-misaligned", DiagCode::LintStackMisaligned,
+       "call site with %rsp not 16-byte aligned"},
+      {"partial-reg-stall", DiagCode::LintPartialRegStall,
+       "wide read after narrow write of the same register"},
+      {"false-dependency", DiagCode::LintFalseDependency,
+       "narrow merge-write without prior full-width definition"},
+      {"unresolved-indirect", DiagCode::LintUnresolvedIndirect,
+       "indirect-jump resolution audit (paper Sec. II)"},
+  };
+  return Rules;
+}
+
+LintResult mao::lintUnit(MaoUnit &Unit, const LintOptions &Options,
+                         DiagEngine &Diags) {
+  LintResult Result;
+  Emitter E(Options, Diags, Result);
+  try {
+    Unit.rebuildStructure();
+    for (MaoFunction &Fn : Unit.functions()) {
+      CFG G = CFG::build(Fn);
+      resolveIndirectJumps(G);
+      LivenessResult Live = computeLiveness(G);
+      FnLintContext C{Fn, G, Live};
+      ruleUseBeforeDef(C, E);
+      ruleDeadFlagWrite(C, E);
+      ruleUnreachable(C, E);
+      ruleStackAlignment(C, E);
+      rulePartialRegister(C, E);
+      ruleIndirectAudit(C, E, Result);
+    }
+    if (Result.IndirectTotal > 0)
+      E.note(DiagCode::LintUnresolvedIndirect,
+             "unit: " + std::to_string(Result.IndirectUnresolved) + " of " +
+                 std::to_string(Result.IndirectTotal) +
+                 " indirect jumps unresolved");
+  } catch (const std::exception &Ex) {
+    Result.InternalError = true;
+    Result.InternalDetail = Ex.what();
+  } catch (...) {
+    Result.InternalError = true;
+    Result.InternalDetail = "unknown exception";
+  }
+  return Result;
+}
+
+int mao::lintExitCode(const LintResult &Result) {
+  if (Result.InternalError)
+    return 2;
+  return Result.clean() ? 0 : 1;
+}

@@ -1,0 +1,237 @@
+//===- check/SymbolicEval.h - Symbolic per-block evaluator ------*- C++ -*-===//
+///
+/// \file
+/// A symbolic evaluator over the modelled x86-64 subset, the core of the
+/// MaoCheck translation validator (Minotaur-style, see PAPERS.md): every
+/// register, flag and stored value of one basic block is expressed as a
+/// node in a hash-consed expression DAG over the block's inputs. Two blocks
+/// are semantically equivalent when their observable outputs — live-out
+/// registers and flags, the ordered store/call/opaque event lists, and the
+/// terminator — map to the *same* node ids in a shared SymTable.
+///
+/// The node semantics mirror sim/Emulator instruction by instruction (the
+/// constant-folding paths are the emulator's scalar code), with one
+/// deliberate deviation: flags the ISA leaves undefined (and the opcode
+/// table models as clobbered, e.g. ZF after mul, all flags after a shift)
+/// are modelled as opaque deterministic functions of the operands rather
+/// than as pass-through of the previous value. That matches the liveness
+/// assumptions every pass is written against, so a pass exploiting
+/// "table says clobbered" is not flagged as a miscompile.
+///
+/// Simplification rules are chosen to prove exactly the rewrites MAO's
+/// peephole passes perform: known-zero-bit tracking discharges
+/// zero-extension elimination, `and(x,x) -> x` discharges redundant-test
+/// removal, constant reassociation discharges add/add collapsing and
+/// constant folding, and epoch-tagged load nodes discharge redundant-load
+/// elimination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_CHECK_SYMBOLICEVAL_H
+#define MAO_CHECK_SYMBOLICEVAL_H
+
+#include "x86/Instruction.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mao {
+
+using NodeId = uint32_t;
+
+/// Node kinds. Op carries a SymTag; the others are leaves.
+enum class SymKind : uint8_t {
+  Const,    ///< 64-bit constant (Value).
+  InitReg,  ///< Register A (dense index, 0-15 GPR supers, 16-31 XMM) at
+            ///< region entry.
+  InitFlag, ///< Flag bit A (FlagBit position) at region entry.
+  SymAddr,  ///< Address of symbol Aux (+ addend Value).
+  Unknown,  ///< Opaque fresh value keyed by (Aux, A, B): call results,
+            ///< post-opaque state.
+  Op,       ///< Operation Tag over Args (see SymTag).
+};
+
+/// Operation tags for SymKind::Op nodes. Value operations work on the full
+/// 64-bit domain (narrower widths are expressed by masking the inputs and
+/// the result); flag extractors return 0/1.
+enum class SymTag : uint16_t {
+  None,
+  // Integer value operations.
+  Add,    // a + b (commutative; constant canonicalized last)
+  Sub,    // a - b (sub-by-constant is normalized to Add)
+  Mul,    // low 64 bits of a * b
+  MulHiU, // A = width bits: high half of unsigned a * b at that width
+  MulHiS, // A = width bits: high half of signed a * b
+  DivQ,   // A = width bits: unsigned quotient of (hi:lo) / d, Args={hi,lo,d}
+  DivR,   // unsigned remainder, same shape
+  IDivQ,  // signed quotient
+  IDivR,  // signed remainder
+  And,    // a & b (commutative)
+  Or,     // a | b (commutative)
+  Xor,    // a ^ b (commutative)
+  Not,    // ~a
+  Neg,    // 0 - a
+  Shl,    // a << b (b already masked to the width's count range)
+  Shr,    // a >> b (logical; a pre-masked to width)
+  Sar,    // A = width bits: arithmetic shift right
+  Rol,    // A = width bits: rotate left
+  Ror,    // A = width bits: rotate right
+  Bswap,  // A = width bits: byte swap
+  SExt,   // A = source bits: sign-extend low A bits of a to 64
+  Select, // Args = {c, t, f}: c (0/1) ? t : f
+  Load,   // A = bytes, B = memory epoch, Args = {addr}; zero-extended
+  // Flag extractors (result is 0 or 1).
+  EqZero,  // a == 0 (ZF of a width-masked result)
+  SignBit, // A = width bits: bit A-1 of a (SF)
+  Par8,    // even parity of a's low byte (PF)
+  // Opaque-but-deterministic flag functions: flag A (FlagBit position) of
+  // operation B = (mnemonic | widthBits << 16) applied to Args. Folds to a
+  // constant when all Args are constants and the emulator defines the
+  // result; otherwise both sides of a comparison build the same node for
+  // the same inputs.
+  FlagFn,
+  // Scalar SSE value operations (bit-accurate float/double reinterpret).
+  FAdd32, FSub32, FMul32, FDiv32,
+  FAdd64, FSub64, FMul64, FDiv64,
+};
+
+/// One DAG node. Interned: equal structure implies equal NodeId.
+struct SymNode {
+  SymKind Kind = SymKind::Const;
+  SymTag Tag = SymTag::None;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint64_t Value = 0; ///< Constant value / SymAddr addend.
+  std::string Aux;    ///< Symbol name / unknown key / call target.
+  std::vector<NodeId> Args;
+  /// Bits known to be zero in every concrete evaluation; drives the
+  /// zero-extension simplifications.
+  uint64_t KnownZero = 0;
+
+  bool isConst() const { return Kind == SymKind::Const; }
+};
+
+/// Hash-consing table shared by the evaluations that are to be compared.
+class SymTable {
+public:
+  NodeId makeConst(uint64_t Value);
+  NodeId makeInitReg(unsigned DenseIndex);
+  NodeId makeInitFlag(unsigned FlagPos);
+  NodeId makeSymAddr(const std::string &Sym, int64_t Addend);
+  NodeId makeUnknown(const std::string &Aux, uint32_t A, uint32_t B);
+  /// Builds (and simplifies) an operation node.
+  NodeId makeOp(SymTag Tag, uint32_t A, uint32_t B,
+                std::vector<NodeId> Args);
+
+  const SymNode &node(NodeId Id) const { return Nodes[Id]; }
+  size_t size() const { return Nodes.size(); }
+
+  /// True when \p Id is the constant \p Value.
+  bool isConst(NodeId Id, uint64_t Value) const {
+    return Nodes[Id].isConst() && Nodes[Id].Value == Value;
+  }
+
+private:
+  NodeId intern(SymNode Node);
+  /// Strips And-masks subsumed by the low-ones mask \p M from a +,-,*
+  /// expression tree (carries only propagate upward).
+  NodeId stripLowMask(NodeId Id, uint64_t M);
+
+  std::vector<SymNode> Nodes;
+  std::map<std::string, NodeId> Interned;
+};
+
+/// One buffered store: the address/value expressions and the size.
+struct StoreEvent {
+  NodeId Addr = 0;
+  NodeId Value = 0;
+  uint8_t Bytes = 0;
+  bool operator==(const StoreEvent &O) const = default;
+};
+
+/// One call site: target plus the ABI-visible argument state.
+struct CallEvent {
+  std::string Target;
+  bool Indirect = false;
+  NodeId IndirectTarget = 0;
+  /// (dense register index, value) for every register in CallUsedMask.
+  std::vector<std::pair<uint8_t, NodeId>> Args;
+  bool operator==(const CallEvent &O) const = default;
+};
+
+/// One opaque instruction: raw text plus the full machine state it sees.
+struct OpaqueEvent {
+  std::string Text;
+  std::vector<NodeId> RegState;  ///< All 32 dense registers, in order.
+  std::vector<NodeId> FlagState; ///< The 6 status flags, in order.
+  bool operator==(const OpaqueEvent &O) const = default;
+};
+
+/// How the block ends.
+enum class TermKind : uint8_t {
+  Fallthrough,
+  Jump,
+  CondJump,
+  IndirectJump,
+  Return,
+};
+
+struct Terminator {
+  TermKind Kind = TermKind::Fallthrough;
+  std::string TargetLabel; ///< Jump / CondJump direct target.
+  NodeId Cond = 0;         ///< CondJump: 0/1 condition expression.
+  NodeId Target = 0;       ///< IndirectJump: target address expression.
+  /// Return: (dense register index, value) for the ABI return registers.
+  std::vector<std::pair<uint8_t, NodeId>> RetValues;
+};
+
+/// Everything observable about one evaluated block.
+struct BlockSummary {
+  bool Supported = true;
+  std::string UnsupportedWhy;
+  std::array<NodeId, 32> Regs{};  ///< Final value per dense register.
+  std::array<NodeId, 6> Flags{};  ///< Final CF,PF,AF,ZF,SF,OF (bit order).
+  std::vector<StoreEvent> Stores;
+  std::vector<CallEvent> Calls;
+  std::vector<OpaqueEvent> Opaques;
+  Terminator Term;
+};
+
+/// Number of dense register slots (16 GPR supers + 16 XMM).
+constexpr unsigned NumDenseRegs = 32;
+/// Number of tracked status flags (CF,PF,AF,ZF,SF,OF — FlagBit positions).
+constexpr unsigned NumStatusFlags = 6;
+
+/// Evaluates one straight-line instruction sequence into a BlockSummary.
+/// Reusable: every evaluate() call starts from the configured initial
+/// state. Two evaluators sharing one SymTable produce comparable node ids.
+class BlockEvaluator {
+public:
+  explicit BlockEvaluator(SymTable &Table);
+
+  /// Overrides the initial value of a register / flag (defaults are
+  /// InitReg / InitFlag leaves). Used by the differential tests to seed
+  /// concrete constants.
+  void setInitialReg(unsigned DenseIndex, NodeId Value);
+  void setInitialFlag(unsigned FlagPos, NodeId Value);
+
+  BlockSummary evaluate(const std::vector<const Instruction *> &Insns);
+
+private:
+  SymTable &T;
+  std::array<NodeId, NumDenseRegs> InitRegs{};
+  std::array<NodeId, NumStatusFlags> InitFlags{};
+};
+
+/// Dense register index for any register view; ~0u for RIP/None.
+unsigned denseRegIndex(Reg R);
+
+/// Renders a node as a compact s-expression (diagnostics and tests).
+std::string renderNode(const SymTable &T, NodeId Id);
+
+} // namespace mao
+
+#endif // MAO_CHECK_SYMBOLICEVAL_H

@@ -82,6 +82,7 @@ PassRegistry::makeUnitPass(const std::string &Name, MaoOptionMap *Options,
 
 std::vector<std::string> PassRegistry::allPassNames() const {
   std::vector<std::string> Names;
+  Names.reserve(FunctionPasses.size() + UnitPasses.size());
   for (const auto &[Name, Factory] : FunctionPasses)
     Names.push_back(Name);
   for (const auto &[Name, Factory] : UnitPasses)
@@ -378,6 +379,16 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
     PassOutcome Outcome;
     Outcome.PassName = Req.PassName;
 
+    // Pre-pass snapshot for the semantic validation hook. Taken per pass
+    // (unlike the rollback checkpoint, which is per pipeline) because the
+    // hook compares each pass's input against its output.
+    MaoUnit PrePass;
+    bool HavePrePass = false;
+    if (Options.SemanticCheck) {
+      PrePass = Unit.clone();
+      HavePrePass = true;
+    }
+
     Clock::time_point Start = Clock::now();
     std::string FailureDetail;
     DiagCode FailureCode = DiagCode::PassFailed;
@@ -440,6 +451,27 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
         FailureDetail = "verifier failed after pass " + Req.PassName + ": " +
                         Report.firstMessage();
         FailureCode = Report.Issues.front().Code;
+      }
+    }
+
+    // Semantic validation: prove the pass preserved observable behaviour.
+    // Runs after the structural verifier so the validator only ever sees
+    // structurally sound IR.
+    if (!Failed && Options.SemanticCheck && HavePrePass) {
+      try {
+        MaoStatus Check = Options.SemanticCheck(PrePass, Unit, Req.PassName);
+        if (!Check.ok()) {
+          Failed = true;
+          ShardFailures.clear();
+          FailureDetail = Check.message();
+          FailureCode = DiagCode::CheckSemanticDiverged;
+        }
+      } catch (const std::exception &E) {
+        Failed = true;
+        ShardFailures.clear();
+        FailureDetail = std::string("semantic validator threw after pass ") +
+                        Req.PassName + ": " + E.what();
+        FailureCode = DiagCode::CheckSemanticDiverged;
       }
     }
 

@@ -245,6 +245,17 @@ struct PipelineOptions {
   /// text does: parsing is deterministic). When unset, the runner clones
   /// the unit eagerly before the first pass.
   std::function<ErrorOr<MaoUnit>()> CheckpointProvider;
+  /// Optional per-pass semantic validation hook (--mao-validate=semantic,
+  /// implemented by check/SemanticValidator). When set, the runner snapshots
+  /// the unit before each pass and calls the hook with the pre-pass and
+  /// post-pass units after the pass (and the structural verifier, when
+  /// enabled) succeed. A non-ok status counts as a pass failure with
+  /// DiagCode::CheckSemanticDiverged and triggers the on-error policy, so a
+  /// semantics-changing pass is rolled back or skipped like any other
+  /// failure. The hook may rebuild both units' derived structure.
+  std::function<MaoStatus(MaoUnit &Before, MaoUnit &After,
+                          const std::string &PassName)>
+      SemanticCheck;
 };
 
 /// Runs the requested passes over \p Unit in command-line order under the

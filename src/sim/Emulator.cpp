@@ -396,6 +396,11 @@ Interp::Flow Interp::exec(const Instruction &Insn, std::string &Error) {
       S.setGpr(gprWithWidth(Reg::RDX, W),
                static_cast<uint64_t>(Prod >> Bits) & Mask);
       S.CF = S.OF = (Prod >> Bits) != 0;
+      // SF/ZF/AF/PF are architecturally undefined after MUL; the table
+      // declares them defined, so write deterministic operand-derived
+      // values (see DESIGN.md, "MaoCheck": undefined-flag modeling).
+      setResultFlags(static_cast<uint64_t>(Prod) & Mask, W);
+      S.AF = false;
       return Flow::Next;
     }
     case Mnemonic::DIV: {
@@ -410,10 +415,14 @@ Interp::Flow Interp::exec(const Instruction &Insn, std::string &Error) {
         Error = "division by zero";
         return Flow::Stop;
       }
-      S.setGpr(gprWithWidth(Reg::RAX, W),
-               static_cast<uint64_t>(Num / Den) & Mask);
+      uint64_t Quot = static_cast<uint64_t>(Num / Den) & Mask;
+      S.setGpr(gprWithWidth(Reg::RAX, W), Quot);
       S.setGpr(gprWithWidth(Reg::RDX, W),
                static_cast<uint64_t>(Num % Den) & Mask);
+      // All six status flags are undefined after DIV; write deterministic
+      // values so the table's full-status def claim holds.
+      S.CF = S.OF = S.AF = false;
+      setResultFlags(Quot, W);
       return Flow::Next;
     }
     case Mnemonic::IDIV: {
@@ -427,10 +436,12 @@ Interp::Flow Interp::exec(const Instruction &Insn, std::string &Error) {
                signExtend(S.gprValue(gprWithWidth(Reg::RDX, W)), W))
            << (widthBytes(W) * 8)) |
           (S.gprValue(gprWithWidth(Reg::RAX, W)) & Mask);
-      S.setGpr(gprWithWidth(Reg::RAX, W),
-               static_cast<uint64_t>(Num / Den) & Mask);
+      uint64_t Quot = static_cast<uint64_t>(Num / Den) & Mask;
+      S.setGpr(gprWithWidth(Reg::RAX, W), Quot);
       S.setGpr(gprWithWidth(Reg::RDX, W),
                static_cast<uint64_t>(Num % Den) & Mask);
+      S.CF = S.OF = S.AF = false;
+      setResultFlags(Quot, W);
       return Flow::Next;
     }
     default:
@@ -457,6 +468,10 @@ Interp::Flow Interp::exec(const Instruction &Insn, std::string &Error) {
                static_cast<uint64_t>(Prod >> Bits) & widthMask(W));
       __int128 Trunc = signExtend(static_cast<uint64_t>(Prod), W);
       S.CF = S.OF = Trunc != Prod;
+      // SF/ZF/AF/PF are undefined after one-operand IMUL; write
+      // deterministic operand-derived values to honor the table def.
+      setResultFlags(static_cast<uint64_t>(Prod) & widthMask(W), W);
+      S.AF = false;
       return Flow::Next;
     }
     int64_t A, B;
@@ -485,6 +500,7 @@ Interp::Flow Interp::exec(const Instruction &Insn, std::string &Error) {
     uint64_t R = static_cast<uint64_t>(Prod) & widthMask(W);
     S.CF = S.OF = signExtend(R, W) != Prod;
     setResultFlags(R, W);
+    S.AF = false; // Undefined after IMUL; deterministic per the table def.
     writeOperand(*DstOp, W, R);
     return Flow::Next;
   }
@@ -511,17 +527,22 @@ Interp::Flow Interp::exec(const Instruction &Insn, std::string &Error) {
     uint64_t Val = *V & Mask;
     uint64_t R = 0;
     switch (Insn.Mn) {
+    // AF is undefined after shifts, and SF/ZF/AF/PF/OF after rotates by
+    // more than one; the table declares the full status set defined, so
+    // write deterministic operand-derived values for the undefined ones.
     case Mnemonic::SHL:
       S.CF = Count <= Bits && ((Val >> (Bits - Count)) & 1);
       R = (Val << Count) & Mask;
       setResultFlags(R, W);
       S.OF = signBit(R, W) != S.CF;
+      S.AF = false;
       break;
     case Mnemonic::SHR:
       S.CF = (Val >> (Count - 1)) & 1;
       R = Val >> Count;
       setResultFlags(R, W);
       S.OF = signBit(Val, W);
+      S.AF = false;
       break;
     case Mnemonic::SAR: {
       int64_t SVal = signExtend(Val, W);
@@ -529,19 +550,28 @@ Interp::Flow Interp::exec(const Instruction &Insn, std::string &Error) {
       R = static_cast<uint64_t>(SVal >> Count) & Mask;
       setResultFlags(R, W);
       S.OF = false;
+      S.AF = false;
       break;
     }
     case Mnemonic::ROL:
       Count %= Bits;
       R = ((Val << Count) | (Val >> (Bits - Count))) & Mask;
-      if (Count)
+      if (Count) {
         S.CF = R & 1;
+        S.OF = signBit(R, W) != S.CF;
+        setResultFlags(R, W);
+        S.AF = false;
+      }
       break;
     case Mnemonic::ROR:
       Count %= Bits;
       R = ((Val >> Count) | (Val << (Bits - Count))) & Mask;
-      if (Count)
+      if (Count) {
         S.CF = signBit(R, W);
+        S.OF = S.CF != (((R >> (Bits - 2)) & 1) != 0);
+        setResultFlags(R, W);
+        S.AF = false;
+      }
       break;
     default:
       Error = "unexpected shift mnemonic";

@@ -45,6 +45,10 @@ struct MachineState {
   uint64_t &gpr(Reg R) { return Gpr[gprSuperIndex(R)]; }
   uint64_t gprValue(Reg R) const;   ///< Width-masked read of any GPR view.
   void setGpr(Reg R, uint64_t Value); ///< Width-correct write (merge/zext).
+
+  /// Whole-state comparison, used by the differential table-consistency
+  /// tests (check/ layer) to detect which flags an execution touched.
+  bool operator==(const MachineState &) const = default;
 };
 
 /// Why execution stopped.

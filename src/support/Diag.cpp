@@ -2,6 +2,7 @@
 
 #include "support/Diag.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace mao;
@@ -40,6 +41,24 @@ const char *mao::diagCodeName(DiagCode Code) {
     return "verify-layout-inconsistent";
   case DiagCode::VerifyRelaxationDiverged:
     return "verify-relaxation-diverged";
+  case DiagCode::CheckSemanticDiverged:
+    return "check-semantic-diverged";
+  case DiagCode::LintUseBeforeDef:
+    return "lint-use-before-def";
+  case DiagCode::LintDeadFlagWrite:
+    return "lint-dead-flag-write";
+  case DiagCode::LintUnreachableBlock:
+    return "lint-unreachable-block";
+  case DiagCode::LintStackMisaligned:
+    return "lint-stack-misaligned";
+  case DiagCode::LintPartialRegStall:
+    return "lint-partial-reg-stall";
+  case DiagCode::LintFalseDependency:
+    return "lint-false-dependency";
+  case DiagCode::LintUnresolvedIndirect:
+    return "lint-unresolved-indirect";
+  case DiagCode::LintInternalError:
+    return "lint-internal-error";
   }
   return "unknown";
 }
@@ -85,6 +104,139 @@ std::string Diagnostic::toString() const {
 }
 
 DiagSink::~DiagSink() = default;
+
+namespace {
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+const char *sarifLevel(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+  case DiagSeverity::Fatal:
+    return "error";
+  }
+  return "none";
+}
+
+} // namespace
+
+std::string SarifDiagSink::render() const {
+  // Collect the distinct rules actually used, preserving first-use order.
+  std::vector<DiagCode> Rules;
+  for (const Diagnostic &D : Diags)
+    if (std::find(Rules.begin(), Rules.end(), D.Code) == Rules.end())
+      Rules.push_back(D.Code);
+
+  std::string Out;
+  Out += "{\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"mao\",\n"
+         "          \"informationUri\": \"https://github.com/mao\",\n"
+         "          \"rules\": [\n";
+  for (size_t I = 0; I < Rules.size(); ++I) {
+    Out += "            {\"id\": \"MAO-";
+    Out += diagCodeName(Rules[I]);
+    Out += "\"}";
+    Out += I + 1 < Rules.size() ? ",\n" : "\n";
+  }
+  Out += "          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [\n";
+  for (size_t I = 0; I < Diags.size(); ++I) {
+    const Diagnostic &D = Diags[I];
+    Out += "        {\n";
+    Out += "          \"ruleId\": \"MAO-";
+    Out += diagCodeName(D.Code);
+    Out += "\",\n";
+    Out += "          \"level\": \"";
+    Out += sarifLevel(D.Severity);
+    Out += "\",\n";
+    Out += "          \"message\": {\"text\": \"";
+    Out += jsonEscape(D.Message);
+    Out += "\"}";
+    if (!D.PassName.empty()) {
+      Out += ",\n          \"properties\": {\"pass\": \"";
+      Out += jsonEscape(D.PassName);
+      Out += "\"}";
+    }
+    if (D.Loc.valid()) {
+      Out += ",\n          \"locations\": [\n"
+             "            {\n"
+             "              \"physicalLocation\": {\n"
+             "                \"artifactLocation\": {\"uri\": \"";
+      Out += jsonEscape(D.Loc.File);
+      Out += "\"}";
+      if (D.Loc.Line != 0) {
+        Out += ",\n                \"region\": {\"startLine\": ";
+        Out += std::to_string(D.Loc.Line);
+        Out += "}";
+      }
+      Out += "\n              }\n"
+             "            }\n"
+             "          ]";
+    }
+    Out += "\n        }";
+    Out += I + 1 < Diags.size() ? ",\n" : "\n";
+  }
+  Out += "      ]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+  return Out;
+}
+
+bool SarifDiagSink::writeTo(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Doc = render();
+  size_t Written = std::fwrite(Doc.data(), 1, Doc.size(), F);
+  bool Ok = Written == Doc.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  return Ok;
+}
 
 void StderrDiagSink::handle(const Diagnostic &D) {
   std::fprintf(stderr, "mao: %s\n", D.toString().c_str());

@@ -50,6 +50,17 @@ enum class DiagCode : uint16_t {
   VerifyEncodingFailed,
   VerifyLayoutInconsistent,
   VerifyRelaxationDiverged,
+  // MaoCheck semantic validator.
+  CheckSemanticDiverged,
+  // MaoCheck linter rules.
+  LintUseBeforeDef,
+  LintDeadFlagWrite,
+  LintUnreachableBlock,
+  LintStackMisaligned,
+  LintPartialRegStall,
+  LintFalseDependency,
+  LintUnresolvedIndirect,
+  LintInternalError,
 };
 
 /// Short stable name for a code ("parse-unterminated-string").
@@ -87,6 +98,26 @@ public:
 class StderrDiagSink : public DiagSink {
 public:
   void handle(const Diagnostic &D) override;
+};
+
+/// Buffers diagnostics and renders them as a SARIF 2.1.0 log (the static
+/// analysis interchange format consumed by code-review UIs and CI systems).
+/// Rule ids are "MAO-<code-name>"; each rule used is declared once in the
+/// tool.driver.rules array. Render with writeTo() after the run.
+class SarifDiagSink : public DiagSink {
+public:
+  void handle(const Diagnostic &D) override { Diags.push_back(D); }
+
+  /// Renders the buffered diagnostics as one SARIF document.
+  std::string render() const;
+
+  /// Writes render() to \p Path. Returns false on I/O failure.
+  bool writeTo(const std::string &Path) const;
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+private:
+  std::vector<Diagnostic> Diags;
 };
 
 /// Buffers diagnostics for inspection (tests, maofuzz).

@@ -117,6 +117,8 @@ mao::parseCommandLine(const std::vector<std::string> &Args) {
   static const std::string TimeoutPrefix = "--mao-pass-timeout-ms=";
   static const std::string JobsPrefix = "--mao-jobs=";
   static const std::string FaultPrefix = "--mao-fault-inject=";
+  static const std::string ValidatePrefix = "--mao-validate=";
+  static const std::string SarifPrefix = "--mao-sarif=";
   for (const std::string &Arg : Args) {
     if (Arg.rfind(Prefix, 0) == 0) {
       if (MaoStatus S = parseMaoOption(Arg.substr(Prefix.size()), Cmd.Passes))
@@ -172,6 +174,30 @@ mao::parseCommandLine(const std::vector<std::string> &Args) {
         Spec = Spec.substr(0, At);
       }
       Cmd.FaultSpec = Spec;
+      continue;
+    }
+    if (Arg.rfind(ValidatePrefix, 0) == 0) {
+      std::string Level = Arg.substr(ValidatePrefix.size());
+      if (Level != "off" && Level != "structural" && Level != "semantic")
+        return MaoStatus::error("--mao-validate expects off, structural, or "
+                                "semantic; got '" +
+                                Level + "'");
+      Cmd.Validate = Level;
+      continue;
+    }
+    if (Arg == "--lint") {
+      Cmd.Lint = true;
+      continue;
+    }
+    if (Arg == "--lint-werror") {
+      Cmd.LintWerror = true;
+      continue;
+    }
+    if (Arg.rfind(SarifPrefix, 0) == 0) {
+      std::string Path = Arg.substr(SarifPrefix.size());
+      if (Path.empty())
+        return MaoStatus::error("--mao-sarif expects a file path");
+      Cmd.SarifPath = Path;
       continue;
     }
     if (!Arg.empty() && Arg[0] == '-') {

@@ -83,6 +83,18 @@ struct MaoCommandLine {
   /// --mao-fault-inject=spec[@seed]: arm the fault injector.
   std::string FaultSpec;
   uint64_t FaultSeed = 1;
+  /// --mao-validate={off,structural,semantic}: per-pass validation level.
+  /// "structural" runs the IR verifier after every pass; "semantic"
+  /// additionally proves each pass preserved observable behaviour
+  /// (check/SemanticValidator).
+  std::string Validate = "off";
+  /// --lint: run the MaoCheck linter instead of the pass pipeline.
+  /// Exit codes: 0 clean, 1 findings, 2 internal error.
+  bool Lint = false;
+  /// --lint-werror: promote linter warnings to errors.
+  bool LintWerror = false;
+  /// --mao-sarif=FILE: also write diagnostics as a SARIF 2.1.0 log.
+  std::string SarifPath;
 };
 
 /// Parses one --mao= payload ("LFIND=trace[0]:ASM=o[/dev/null]") into pass

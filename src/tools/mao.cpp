@@ -14,17 +14,25 @@
 /// Robustness flags (see DESIGN.md "Robustness & verification"):
 ///   --mao-on-error={abort,rollback,skip}  failing-pass policy
 ///   --mao-verify                          verify IR after every pass
+///   --mao-validate={off,structural,semantic}  per-pass validation level
 ///   --mao-pass-timeout-ms=N               per-pass wall-clock budget
 ///   --mao-jobs=N                          workers for shardable passes
 ///   --mao-fault-inject=spec[@seed]        arm the fault injector
+///   --mao-sarif=FILE                      write diagnostics as SARIF 2.1.0
+///
+/// Static-analysis mode (see DESIGN.md "MaoCheck"):
+///   --lint [--lint-werror]                run the linter; no pipeline
 ///
 /// Exit codes: 0 success, 1 usage error, 2 parse/input error, 3
-/// pipeline or verifier error.
+/// pipeline or verifier error. Under --lint: 0 clean, 1 findings,
+/// 2 internal/input error.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "asm/AsmEmitter.h"
 #include "asm/Parser.h"
+#include "check/Lint.h"
+#include "check/SemanticValidator.h"
 #include "ir/Verifier.h"
 #include "pass/MaoPass.h"
 #include "support/Diag.h"
@@ -33,6 +41,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 using namespace mao;
@@ -49,8 +58,10 @@ void printUsage() {
                "usage: mao [--mao=PASS[=opt[val],...][:PASS...]]\n"
                "           [--mao-on-error={abort,rollback,skip}]\n"
                "           [--mao-verify] [--mao-pass-timeout-ms=N]\n"
-               "           [--mao-jobs=N]\n"
+               "           [--mao-validate={off,structural,semantic}]\n"
+               "           [--mao-jobs=N] [--mao-sarif=FILE]\n"
                "           [--mao-fault-inject=site:permille[,...][@seed]]\n"
+               "           [--lint] [--lint-werror]\n"
                "           input.s\n"
                "\n"
                "example: mao --mao=LFIND=trace[0]:ASM=o[/dev/null] in.s\n"
@@ -77,6 +88,7 @@ int main(int Argc, char **Argv) {
   StderrDiagSink Stderr;
   Diags.addSink(&Stderr);
   Diags.setMaxErrors(64);
+  SarifDiagSink Sarif;
 
   std::vector<std::string> Args(Argv + 1, Argv + Argc);
   auto CmdOr = parseCommandLine(Args);
@@ -85,14 +97,27 @@ int main(int Argc, char **Argv) {
     return ExitUsage;
   }
   MaoCommandLine &Cmd = *CmdOr;
+  const bool LintMode = Cmd.Lint;
   if (Cmd.Inputs.empty()) {
     printUsage();
-    return ExitUsage;
+    return LintMode ? 2 : ExitUsage;
   }
   if (Cmd.Inputs.size() > 1) {
     Diags.error(DiagCode::DriverUsage, "expected exactly one input file");
-    return ExitUsage;
+    return LintMode ? 2 : ExitUsage;
   }
+  if (!Cmd.SarifPath.empty())
+    Diags.addSink(&Sarif);
+  // Flush the SARIF log on every exit path once the sink is armed.
+  struct SarifFlusher {
+    const MaoCommandLine &Cmd;
+    SarifDiagSink &Sarif;
+    ~SarifFlusher() {
+      if (!Cmd.SarifPath.empty() && !Sarif.writeTo(Cmd.SarifPath))
+        std::fprintf(stderr, "mao: cannot write SARIF log to %s\n",
+                     Cmd.SarifPath.c_str());
+    }
+  } Flusher{Cmd, Sarif};
   for (const std::string &Opt : Cmd.Passthrough)
     std::fprintf(stderr, "mao: passing through to assembler: %s\n",
                  Opt.c_str());
@@ -118,7 +143,25 @@ int main(int Argc, char **Argv) {
   ParseStats Stats;
   auto UnitOr = parseAssembly(Source, &Stats, Cmd.Inputs[0], &Diags);
   if (!UnitOr.ok())
-    return ExitParseError; // Already reported through the engine.
+    return LintMode ? 2 : ExitParseError; // Reported through the engine.
+
+  if (LintMode) {
+    LintOptions Opts;
+    Opts.WarningsAsErrors = Cmd.LintWerror;
+    Opts.FileName = Cmd.Inputs[0];
+    LintResult Lint = lintUnit(*UnitOr, Opts, Diags);
+    if (Lint.InternalError)
+      Diags.error(DiagCode::LintInternalError,
+                  "linter internal error: " + Lint.InternalDetail,
+                  SourceLoc{Cmd.Inputs[0], 0}, "lint");
+    std::fprintf(stderr,
+                 "mao: lint: %u error(s), %u warning(s), %u note(s); "
+                 "indirect jumps: %u unresolved of %u\n",
+                 Lint.Errors, Lint.Warnings, Lint.Notes,
+                 Lint.IndirectUnresolved, Lint.IndirectTotal);
+    return lintExitCode(Lint);
+  }
+
   std::fprintf(stderr,
                "mao: %zu lines, %zu instructions (%zu opaque), "
                "%zu functions\n",
@@ -132,8 +175,18 @@ int main(int Argc, char **Argv) {
 
   PipelineOptions Pipeline;
   Pipeline.OnError = policyFromString(Cmd.OnError);
-  Pipeline.VerifyAfterEachPass =
-      Cmd.Verify || Pipeline.OnError != OnErrorPolicy::Abort;
+  Pipeline.VerifyAfterEachPass = Cmd.Verify ||
+                                 Pipeline.OnError != OnErrorPolicy::Abort ||
+                                 Cmd.Validate != "off";
+  if (Cmd.Validate == "semantic")
+    Pipeline.SemanticCheck = [](MaoUnit &Before, MaoUnit &After,
+                                const std::string &PassName) -> MaoStatus {
+      ValidationReport Report = validateSemantics(Before, After);
+      if (Report.Equivalent)
+        return MaoStatus::success();
+      return MaoStatus::error("pass " + PassName +
+                              " changed semantics: " + Report.firstMessage());
+    };
   // Policy-driven verification uses the cheap per-pass configuration (the
   // final gate below still checks everything once); an explicit
   // --mao-verify asks for thoroughness over speed, so check everything

@@ -19,7 +19,12 @@
 /// the assertion weakens to "no crash, every failure is contained by the
 /// rollback machinery".
 ///
-///   maofuzz [--seeds=N] [--seed-base=B] [--inject=spec[@seed]] [-v]
+///   maofuzz [--seeds=N] [--seed-base=B] [--inject=spec[@seed]] [--lint] [-v]
+///
+/// With --lint each clean iteration additionally runs the MaoCheck linter
+/// (which must never crash) and the semantic translation validator: the
+/// unit must validate against its own clone, and every pass in the random
+/// pipeline must preserve semantics.
 ///
 /// Exit codes: 0 all iterations clean (or contained), 1 at least one
 /// property violated, 2 usage error.
@@ -29,6 +34,8 @@
 #include "asm/AsmEmitter.h"
 #include "asm/Assembler.h"
 #include "asm/Parser.h"
+#include "check/Lint.h"
+#include "check/SemanticValidator.h"
 #include "ir/Verifier.h"
 #include "pass/MaoPass.h"
 #include "support/Diag.h"
@@ -52,6 +59,11 @@ struct FuzzConfig {
   std::string InjectSpec;
   uint64_t InjectSeed = 1;
   bool Verbose = false;
+  /// --lint: additionally run the MaoCheck linter over every generated
+  /// unit (it must never crash or report an internal error) and arm the
+  /// semantic validator: identity must validate as equivalent, and every
+  /// clean-path pass must report zero divergences.
+  bool Lint = false;
 };
 
 /// Derives a small-but-varied workload from one fuzz seed. Every knob stays
@@ -176,6 +188,25 @@ IterationResult runOne(uint64_t Seed, const FuzzConfig &Config) {
     }
   }
 
+  if (Config.Lint && !Injecting) {
+    // The linter may flag the generated code (its findings are advisory)
+    // but must never crash or report an internal error.
+    DiagEngine LintDiags; // No sink: findings are not interesting here.
+    LintResult Lint = lintUnit(*UnitOr, LintOptions(), LintDiags);
+    if (Lint.InternalError) {
+      Violate("linter internal error", Lint.InternalDetail);
+      return R;
+    }
+    // Identity must validate: a unit is semantically equivalent to its
+    // own clone, or the validator has a false positive.
+    MaoUnit Clone = UnitOr->clone();
+    ValidationReport Identity = validateSemantics(*UnitOr, Clone);
+    if (!Identity.Equivalent) {
+      Violate("semantic validator rejected identity", Identity.firstMessage());
+      return R;
+    }
+  }
+
   PipelineOptions Options;
   Options.OnError = OnErrorPolicy::Rollback;
   Options.VerifyAfterEachPass = true;
@@ -183,6 +214,19 @@ IterationResult runOne(uint64_t Seed, const FuzzConfig &Config) {
   // Lazy checkpoint, exactly as the mao driver configures it: the
   // pre-pipeline unit is reconstructed by re-parsing on first rollback.
   Options.CheckpointProvider = [&Asm] { return parseAssembly(Asm); };
+  if (Config.Lint && !Injecting)
+    // All candidate passes are semantics-preserving, so on the clean path
+    // a reported divergence is a validator false positive (or a real pass
+    // bug) — either way a property violation, surfaced below as a
+    // clean-path pass failure.
+    Options.SemanticCheck = [](MaoUnit &Before, MaoUnit &After,
+                               const std::string &PassName) -> MaoStatus {
+      ValidationReport Report = validateSemantics(Before, After);
+      if (Report.Equivalent)
+        return MaoStatus::success();
+      return MaoStatus::error("pass " + PassName +
+                              " changed semantics: " + Report.firstMessage());
+    };
 
   std::vector<PassRequest> Requests = randomPipeline(Seed);
   PipelineResult Result = runPasses(*UnitOr, Requests, Options);
@@ -250,12 +294,14 @@ int main(int Argc, char **Argv) {
         Spec = Spec.substr(0, At);
       }
       Config.InjectSpec = Spec;
+    } else if (Arg == "--lint") {
+      Config.Lint = true;
     } else if (Arg == "-v" || Arg == "--verbose") {
       Config.Verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: maofuzz [--seeds=N] [--seed-base=B] "
-                   "[--inject=site:permille,...[@seed]] [-v]\n");
+                   "[--inject=site:permille,...[@seed]] [--lint] [-v]\n");
       return 2;
     }
   }

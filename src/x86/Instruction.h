@@ -76,6 +76,13 @@ struct Instruction {
   bool isBranch() const { return isUncondJump() || isCondJump(); }
   /// True when straight-line execution cannot fall through this entry.
   bool endsStraightLine() const { return isUncondJump() || isReturn(); }
+  /// True for instructions whose only architectural effect is writing the
+  /// status flags (cmp/test/ucomis*): if the flags are dead, the whole
+  /// instruction is dead.
+  bool writesFlagsOnly() const {
+    return info().Kind == EncKind::Test || Mn == Mnemonic::CMP ||
+           Mn == Mnemonic::UCOMISS || Mn == Mnemonic::UCOMISD;
+  }
 
   /// For branches/calls: the target operand (Symbol for direct targets,
   /// Register/Memory for indirect ones). Null for other instructions.

@@ -1,0 +1,628 @@
+//===- tests/CheckTest.cpp - MaoCheck validator + linter tests ----------------==//
+//
+// Covers the static-analysis subsystem end to end:
+//  - the semantic translation validator (identity, real divergences, and the
+//    liveness gating that keeps dead-code removal validatable),
+//  - its wiring into the transactional pass runner (a deliberately broken
+//    pass is caught, rolled back, and reported with pass/function/block in
+//    both the text and SARIF sinks),
+//  - differential testing of the symbolic evaluator against sim/Emulator on
+//    constant-seeded straight-line code,
+//  - the linter rules and the SARIF rendering of their findings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "asm/AsmEmitter.h"
+#include "asm/Parser.h"
+#include "check/Lint.h"
+#include "check/SemanticValidator.h"
+#include "check/SymbolicEval.h"
+#include "pass/MaoPass.h"
+#include "sim/Emulator.h"
+#include "support/Diag.h"
+
+#include <gtest/gtest.h>
+
+using namespace mao;
+
+namespace {
+
+MaoUnit parseOk(const std::string &Text) {
+  linkAllPasses();
+  auto UnitOr = parseAssembly(Text);
+  EXPECT_TRUE(UnitOr.ok()) << UnitOr.message();
+  return std::move(*UnitOr);
+}
+
+std::string wrapFunction(const char *Name, const std::string &Body) {
+  std::string Out = "\t.text\n\t.globl\t";
+  Out += Name;
+  Out += "\n\t.type\t";
+  Out += Name;
+  Out += ", @function\n";
+  Out += Name;
+  Out += ":\n";
+  Out += Body;
+  Out += "\t.size\t";
+  Out += Name;
+  Out += ", .-";
+  Out += Name;
+  Out += "\n";
+  return Out;
+}
+
+/// All instructions of one function, in entry order (straight-line tests).
+std::vector<const Instruction *> functionInsns(const MaoFunction &Fn) {
+  std::vector<const Instruction *> Out;
+  for (auto It = Fn.begin(); It != Fn.end(); ++It)
+    if (It->isInstruction())
+      Out.push_back(&It->instruction());
+  return Out;
+}
+
+/// Erases the first instruction whose mnemonic is \p Mn from \p Unit.
+bool eraseFirst(MaoUnit &Unit, Mnemonic Mn) {
+  for (auto It = Unit.entries().begin(); It != Unit.entries().end(); ++It)
+    if (It->isInstruction() && It->instruction().Mn == Mn) {
+      Unit.erase(It);
+      return true;
+    }
+  return false;
+}
+
+// The REDTEST paper pattern plus an independent second function; gives the
+// validator two functions and a conditional branch to chew on.
+const char *const TwoFnAsm = R"(	.text
+	.type f, @function
+f:
+	movq %rdi, %rbx
+	addq $1, %rbx
+	testq %rbx, %rbx
+	je .L1
+	addq $2, %rax
+.L1:
+	movq %rbx, %rax
+	ret
+	.size f, .-f
+	.type g, @function
+g:
+	leaq 4(%rdi,%rsi,2), %rax
+	subq $3, %rax
+	ret
+	.size g, .-g
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Semantic validator: direct unit tests.
+//===----------------------------------------------------------------------===//
+
+TEST(SemanticValidator, IdentityIsEquivalent) {
+  MaoUnit Unit = parseOk(TwoFnAsm);
+  MaoUnit Clone = Unit.clone();
+  ValidationReport Report = validateSemantics(Unit, Clone);
+  EXPECT_TRUE(Report.Equivalent) << Report.firstMessage();
+  EXPECT_EQ(Report.FunctionsChecked, 2u);
+  EXPECT_GE(Report.BlocksChecked, 3u);
+  EXPECT_EQ(Report.BlocksFallback, 0u);
+}
+
+TEST(SemanticValidator, DetectsDroppedInstruction) {
+  MaoUnit Unit = parseOk(TwoFnAsm);
+  MaoUnit Broken = Unit.clone();
+  ASSERT_TRUE(eraseFirst(Broken, Mnemonic::SUB)); // g's subq $3, %rax
+  ValidationReport Report = validateSemantics(Unit, Broken);
+  ASSERT_FALSE(Report.Equivalent);
+  EXPECT_EQ(Report.Divergences[0].Function, "g");
+  EXPECT_NE(Report.firstMessage().find("rax"), std::string::npos)
+      << Report.firstMessage();
+}
+
+TEST(SemanticValidator, DetectsChangedImmediate) {
+  const std::string A = wrapFunction("f", "\tmovq %rdi, %rax\n"
+                                          "\taddq $8, %rax\n"
+                                          "\tret\n");
+  const std::string B = wrapFunction("f", "\tmovq %rdi, %rax\n"
+                                          "\taddq $9, %rax\n"
+                                          "\tret\n");
+  MaoUnit UA = parseOk(A);
+  MaoUnit UB = parseOk(B);
+  ValidationReport Report = validateSemantics(UA, UB);
+  ASSERT_FALSE(Report.Equivalent);
+  EXPECT_EQ(Report.Divergences[0].Function, "f");
+  EXPECT_EQ(Report.Divergences[0].Block, "f"); // Entry block, labelled f.
+}
+
+TEST(SemanticValidator, DetectsDroppedStore) {
+  const std::string A = wrapFunction("f", "\tmovq %rsi, (%rdi)\n"
+                                          "\tmovq $0, %rax\n"
+                                          "\tret\n");
+  const std::string B = wrapFunction("f", "\tmovq $0, %rax\n"
+                                          "\tret\n");
+  MaoUnit UA = parseOk(A);
+  MaoUnit UB = parseOk(B);
+  ValidationReport Report = validateSemantics(UA, UB);
+  ASSERT_FALSE(Report.Equivalent);
+  EXPECT_NE(Report.firstMessage().find("store"), std::string::npos)
+      << Report.firstMessage();
+}
+
+TEST(SemanticValidator, AcceptsEquivalentRewrites) {
+  // The rewrites MAO's peephole passes actually perform must be provable:
+  // add/add collapsing, redundant-test removal (the add already set the
+  // flags the test recomputes), and dead-store-to-register elimination.
+  const std::string A = wrapFunction("f", "\taddq $2, %rdi\n"
+                                          "\taddq $3, %rdi\n"
+                                          "\tmovq %rdi, %rax\n"
+                                          "\ttestq %rax, %rax\n"
+                                          "\tjne .Lx\n"
+                                          "\taddq $1, %rax\n"
+                                          ".Lx:\n"
+                                          "\tret\n");
+  const std::string B = wrapFunction("f", "\taddq $5, %rdi\n"
+                                          "\tmovq %rdi, %rax\n"
+                                          "\tjne .Lx\n"
+                                          "\taddq $1, %rax\n"
+                                          ".Lx:\n"
+                                          "\tret\n");
+  MaoUnit UA = parseOk(A);
+  MaoUnit UB = parseOk(B);
+  ValidationReport Report = validateSemantics(UA, UB);
+  EXPECT_TRUE(Report.Equivalent) << Report.firstMessage();
+}
+
+TEST(SemanticValidator, DetectsSwappedBranchTargets) {
+  const std::string A = wrapFunction("f", "\ttestq %rdi, %rdi\n"
+                                          "\tje .La\n"
+                                          "\tmovq $1, %rax\n"
+                                          "\tret\n"
+                                          ".La:\n"
+                                          "\tmovq $2, %rax\n"
+                                          "\tret\n");
+  const std::string B = wrapFunction("f", "\ttestq %rdi, %rdi\n"
+                                          "\tjne .La\n"
+                                          "\tmovq $1, %rax\n"
+                                          "\tret\n"
+                                          ".La:\n"
+                                          "\tmovq $2, %rax\n"
+                                          "\tret\n");
+  MaoUnit UA = parseOk(A);
+  MaoUnit UB = parseOk(B);
+  ValidationReport Report = validateSemantics(UA, UB);
+  ASSERT_FALSE(Report.Equivalent);
+  EXPECT_EQ(Report.Divergences[0].Function, "f");
+}
+
+TEST(SemanticValidator, ComparesOpaqueInstructionsAsEvents) {
+  // Unmodelled instructions are compared as ordered opaque events over the
+  // full machine state they observe: identical sequences are equivalent,
+  // differing raw text is a divergence.
+  const std::string A = wrapFunction("f", "\trdrand %rax\n"
+                                          "\tret\n");
+  MaoUnit UA = parseOk(A);
+  MaoUnit UB = UA.clone();
+  ValidationReport Report = validateSemantics(UA, UB);
+  EXPECT_TRUE(Report.Equivalent) << Report.firstMessage();
+
+  const std::string C = wrapFunction("f", "\trdseed %rax\n"
+                                          "\tret\n");
+  MaoUnit UC = parseOk(C);
+  MaoUnit UA2 = parseOk(A);
+  ValidationReport Diverged = validateSemantics(UA2, UC);
+  EXPECT_FALSE(Diverged.Equivalent);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline integration: a deliberately broken pass is caught and rolled
+// back, and the failure is reported through both sinks.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Structurally valid but semantically wrong: deletes the function's first
+/// ADD (a live computation in the test input). The IR verifier cannot see
+/// the problem; only the semantic validator can.
+class SemanticsBreakingPass : public MaoFunctionPass {
+public:
+  SemanticsBreakingPass(MaoOptionMap *Options, MaoUnit *Unit, MaoFunction *Fn)
+      : MaoFunctionPass("TESTSEMBREAK", Options, Unit, Fn) {}
+  bool go() override {
+    for (auto It = function().begin(); It != function().end(); ++It)
+      if (It->isInstruction() &&
+          It->instruction().Mn == Mnemonic::ADD) {
+        unit().erase(It.underlying());
+        countTransformation();
+        return true;
+      }
+    return true;
+  }
+};
+REGISTER_FUNC_PASS("TESTSEMBREAK", SemanticsBreakingPass)
+
+PipelineOptions semanticOptions(DiagEngine *Diags) {
+  PipelineOptions Options;
+  Options.OnError = OnErrorPolicy::Rollback;
+  Options.VerifyAfterEachPass = true;
+  Options.Diags = Diags;
+  Options.SemanticCheck = [](MaoUnit &Before, MaoUnit &After,
+                             const std::string &PassName) -> MaoStatus {
+    ValidationReport Report = validateSemantics(Before, After);
+    if (Report.Equivalent)
+      return MaoStatus::success();
+    return MaoStatus::error("pass " + PassName +
+                            " changed semantics: " + Report.firstMessage());
+  };
+  return Options;
+}
+
+std::vector<PassRequest> requests(std::initializer_list<const char *> Names) {
+  std::vector<PassRequest> Out;
+  for (const char *Name : Names) {
+    PassRequest Req;
+    Req.PassName = Name;
+    Out.push_back(Req);
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(CheckPipeline, BrokenPassIsCaughtAndRolledBack) {
+  CollectingDiagSink Collected;
+  SarifDiagSink Sarif;
+  DiagEngine Diags;
+  Diags.addSink(&Collected);
+  Diags.addSink(&Sarif);
+
+  MaoUnit Unit = parseOk(TwoFnAsm);
+  const std::string Before = emitAssembly(Unit);
+
+  PipelineResult Result = runPasses(Unit, requests({"TESTSEMBREAK"}),
+                                    semanticOptions(&Diags));
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  ASSERT_EQ(Result.Outcomes.size(), 1u);
+  EXPECT_EQ(Result.Outcomes[0].Status, PassStatus::RolledBack);
+
+  // The detail names the pass, the function, and the diverging block.
+  const std::string &Detail = Result.Outcomes[0].Detail;
+  EXPECT_NE(Detail.find("TESTSEMBREAK"), std::string::npos) << Detail;
+  EXPECT_NE(Detail.find("function 'f'"), std::string::npos) << Detail;
+  EXPECT_NE(Detail.find("block"), std::string::npos) << Detail;
+
+  // The unit is byte-identical to its pre-pass state.
+  EXPECT_EQ(emitAssembly(Unit), Before);
+
+  // The structured diagnostic carries the stable code and pass name...
+  bool Found = false;
+  for (const Diagnostic &D : Collected.diagnostics())
+    if (D.Code == DiagCode::CheckSemanticDiverged) {
+      Found = true;
+      EXPECT_EQ(D.PassName, "TESTSEMBREAK");
+      EXPECT_EQ(D.Severity, DiagSeverity::Error);
+    }
+  EXPECT_TRUE(Found);
+
+  // ...and the same finding reaches the SARIF sink with the rule id.
+  const std::string SarifText = Sarif.render();
+  EXPECT_NE(SarifText.find("MAO-check-semantic-diverged"), std::string::npos);
+  EXPECT_NE(SarifText.find("TESTSEMBREAK"), std::string::npos);
+}
+
+TEST(CheckPipeline, SkipPolicyAlsoContainsBrokenPass) {
+  DiagEngine Diags;
+  MaoUnit Unit = parseOk(TwoFnAsm);
+  PipelineOptions Options = semanticOptions(&Diags);
+  Options.OnError = OnErrorPolicy::Skip;
+  PipelineResult Result =
+      runPasses(Unit, requests({"TESTSEMBREAK"}), Options);
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_EQ(Result.Outcomes[0].Status, PassStatus::Skipped);
+}
+
+TEST(CheckPipeline, DefaultPipelineHasNoFalsePositives) {
+  // The acceptance bar: the full default pipeline over the corpus validates
+  // with zero divergences. Every outcome must be Ok (a RolledBack outcome
+  // here would be a validator false positive).
+  DiagEngine Diags;
+  MaoUnit Unit = parseOk(TwoFnAsm);
+  PipelineResult Result = runPasses(
+      Unit,
+      requests({"ZEE", "REDTEST", "REDMOV", "ADDADD", "CONSTFOLD", "DCE",
+                "LOOP16", "LSDOPT", "BRALIGN", "SCHED"}),
+      semanticOptions(&Diags));
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  for (const PassOutcome &Outcome : Result.Outcomes)
+    EXPECT_EQ(Outcome.Status, PassStatus::Ok)
+        << Outcome.PassName << ": " << Outcome.Detail;
+}
+
+//===----------------------------------------------------------------------===//
+// Differential testing: the symbolic evaluator against the emulator on
+// constant-seeded straight-line code. Everything the evaluator folds to a
+// constant must match the architectural interpreter exactly.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs \p Body both ways and compares every register/flag the evaluator
+/// resolved to a constant against the emulator's final state.
+void diffAgainstEmulator(const std::string &Body,
+                         const std::vector<std::pair<Reg, uint64_t>> &Seeds,
+                         unsigned MinConstRegs) {
+  MaoUnit Unit = parseOk(wrapFunction("f", Body));
+  MaoFunction *Fn = Unit.findFunction("f");
+  ASSERT_NE(Fn, nullptr);
+
+  SymTable Table;
+  BlockEvaluator Eval(Table);
+  MachineState Initial;
+  for (const auto &[R, Value] : Seeds) {
+    Eval.setInitialReg(denseRegIndex(R), Table.makeConst(Value));
+    Initial.setGpr(R, Value);
+  }
+  for (unsigned F = 0; F < NumStatusFlags; ++F)
+    Eval.setInitialFlag(F, Table.makeConst(0));
+
+  BlockSummary Summary = Eval.evaluate(functionInsns(*Fn));
+  ASSERT_TRUE(Summary.Supported) << Summary.UnsupportedWhy;
+  ASSERT_EQ(Summary.Term.Kind, TermKind::Return);
+
+  Emulator Emu(Unit);
+  EmulationResult Result = Emu.run("f", Initial);
+  ASSERT_EQ(Result.Reason, StopReason::Returned) << Result.Message;
+
+  static const char *const GprNames[16] = {
+      "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+      "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15"};
+  unsigned ConstRegs = 0;
+  for (unsigned I = 0; I < 16; ++I) {
+    if (I == 4)
+      continue; // rsp: the emulator starts it at its stack base.
+    const SymNode &N = Table.node(Summary.Regs[I]);
+    if (!N.isConst())
+      continue;
+    ++ConstRegs;
+    EXPECT_EQ(N.Value, Result.Final.Gpr[I]) << "%" << GprNames[I];
+  }
+  EXPECT_GE(ConstRegs, MinConstRegs);
+
+  const bool EmuFlags[6] = {Result.Final.CF, Result.Final.PF,
+                            Result.Final.AF, Result.Final.ZF,
+                            Result.Final.SF, Result.Final.OF};
+  static const char *const FlagNames[6] = {"CF", "PF", "AF",
+                                           "ZF", "SF", "OF"};
+  for (unsigned F = 0; F < NumStatusFlags; ++F) {
+    const SymNode &N = Table.node(Summary.Flags[F]);
+    if (N.isConst()) {
+      EXPECT_EQ(N.Value, EmuFlags[F] ? 1u : 0u) << FlagNames[F];
+    }
+  }
+}
+
+} // namespace
+
+TEST(Differential, AluAndShifts) {
+  diffAgainstEmulator("\tmovq $7, %rax\n"
+                      "\tmovq $9, %rcx\n"
+                      "\taddq %rcx, %rax\n"
+                      "\timulq $3, %rax, %rdx\n"
+                      "\tsubq $5, %rdx\n"
+                      "\txorq %rax, %rcx\n"
+                      "\tshlq $4, %rcx\n"
+                      "\tnegq %rdx\n"
+                      "\tret\n",
+                      {}, 3);
+}
+
+TEST(Differential, SeededWidthsAndExtensions) {
+  diffAgainstEmulator("\tmovq %rdi, %rax\n"
+                      "\taddl %esi, %eax\n"
+                      "\tmovzbl %al, %ecx\n"
+                      "\tmovsbq %al, %rdx\n"
+                      "\tleaq 3(%rax,%rcx,2), %r8\n"
+                      "\tnotl %ecx\n"
+                      "\tbswapq %rdx\n"
+                      "\tret\n",
+                      {{Reg::RDI, 0x1234567890abcdefULL},
+                       {Reg::RSI, 0x00000000fedcba98ULL}},
+                      5);
+}
+
+TEST(Differential, MulDivAndConditionals) {
+  diffAgainstEmulator("\tmovq $1000, %rax\n"
+                      "\tmovq $0, %rdx\n"
+                      "\tmovq $7, %rcx\n"
+                      "\tdivq %rcx\n"
+                      "\tmovq %rdx, %rbx\n"
+                      "\tcmpq $3, %rbx\n"
+                      "\tsete %sil\n"
+                      "\tcmovlq %rax, %rbx\n"
+                      "\tret\n",
+                      {{Reg::RSI, 0}}, 4);
+}
+
+//===----------------------------------------------------------------------===//
+// Linter rules.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+LintResult lintText(const std::string &Text, CollectingDiagSink *Sink,
+                    bool Werror = false) {
+  MaoUnit Unit = parseOk(Text);
+  DiagEngine Diags;
+  if (Sink)
+    Diags.addSink(Sink);
+  LintOptions Options;
+  Options.WarningsAsErrors = Werror;
+  Options.FileName = "test.s";
+  return lintUnit(Unit, Options, Diags);
+}
+
+bool hasCode(const CollectingDiagSink &Sink, DiagCode Code) {
+  for (const Diagnostic &D : Sink.diagnostics())
+    if (D.Code == Code)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Lint, CleanFunctionIsClean) {
+  // ABI-conformant: reads only argument registers, aligns the stack before
+  // the call, writes flags that are consumed.
+  CollectingDiagSink Sink;
+  LintResult Result = lintText(wrapFunction("f",
+                                            "\tpushq %rbp\n"
+                                            "\tmovq %rsp, %rbp\n"
+                                            "\tmovq %rdi, %rax\n"
+                                            "\tcall g\n"
+                                            "\ttestq %rax, %rax\n"
+                                            "\tje .L1\n"
+                                            "\taddq $1, %rax\n"
+                                            ".L1:\n"
+                                            "\tpopq %rbp\n"
+                                            "\tret\n") +
+                                   wrapFunction("g",
+                                                "\tmovq $0, %rax\n"
+                                                "\tret\n"),
+                               &Sink);
+  EXPECT_TRUE(Result.clean())
+      << (Sink.diagnostics().empty() ? "no diags"
+                                     : Sink.diagnostics()[0].toString());
+  EXPECT_EQ(lintExitCode(Result), 0);
+}
+
+TEST(Lint, DetectsUseBeforeDef) {
+  CollectingDiagSink Sink;
+  LintResult Result = lintText(
+      wrapFunction("f", "\tmovq %r10, %rax\n\tret\n"), &Sink);
+  EXPECT_GE(Result.Warnings, 1u);
+  EXPECT_TRUE(hasCode(Sink, DiagCode::LintUseBeforeDef));
+  EXPECT_EQ(lintExitCode(Result), 1);
+}
+
+TEST(Lint, DetectsFlagUseBeforeDef) {
+  CollectingDiagSink Sink;
+  LintResult Result = lintText(
+      wrapFunction("f", "\tje .L1\n\tmovq $1, %rax\n.L1:\n\tret\n"), &Sink);
+  EXPECT_TRUE(hasCode(Sink, DiagCode::LintUseBeforeDef));
+}
+
+TEST(Lint, DetectsDeadFlagWrite) {
+  // The test's flags are dead: nothing consumes them before ret.
+  CollectingDiagSink Sink;
+  LintResult Result = lintText(
+      wrapFunction("f", "\tmovq $1, %rax\n\ttestq %rax, %rax\n\tret\n"),
+      &Sink);
+  EXPECT_TRUE(hasCode(Sink, DiagCode::LintDeadFlagWrite));
+  EXPECT_EQ(lintExitCode(Result), 1);
+}
+
+TEST(Lint, DetectsUnreachableBlock) {
+  CollectingDiagSink Sink;
+  LintResult Result = lintText(
+      wrapFunction("f", "\tjmp .L2\n"
+                        ".L1:\n" // No predecessor, not inert.
+                        "\taddq $1, %rax\n"
+                        ".L2:\n"
+                        "\tret\n"),
+      &Sink);
+  EXPECT_TRUE(hasCode(Sink, DiagCode::LintUnreachableBlock));
+}
+
+TEST(Lint, DetectsCallSiteMisalignment) {
+  // At entry %rsp == 8 (mod 16); a call without an odd number of pushes
+  // (or equivalent) leaves the callee misaligned.
+  CollectingDiagSink Sink;
+  LintResult Result = lintText(
+      wrapFunction("f", "\tcall g\n\tret\n") +
+          wrapFunction("g", "\tret\n"),
+      &Sink);
+  EXPECT_TRUE(hasCode(Sink, DiagCode::LintStackMisaligned));
+
+  // One push (or subq $8) restores 16-byte alignment: no finding.
+  CollectingDiagSink CleanSink;
+  lintText(wrapFunction("f",
+                        "\tpushq %rbp\n\tcall g\n\tpopq %rbp\n\tret\n") +
+               wrapFunction("g", "\tret\n"),
+           &CleanSink);
+  EXPECT_FALSE(hasCode(CleanSink, DiagCode::LintStackMisaligned));
+}
+
+TEST(Lint, DetectsPartialRegisterStall) {
+  CollectingDiagSink Sink;
+  LintResult Result = lintText(
+      wrapFunction("f", "\tmovb $1, %al\n\tmovq %rax, %rbx\n\tret\n"),
+      &Sink);
+  EXPECT_TRUE(hasCode(Sink, DiagCode::LintPartialRegStall));
+}
+
+TEST(Lint, NotesFalseDependencyWithoutFailing) {
+  // A byte-width write-only def with no prior full-width def carries a
+  // false dependency on the old value; advisory only (a Note), so the
+  // result stays clean for exit-code purposes.
+  CollectingDiagSink Sink;
+  LintResult Result = lintText(
+      wrapFunction("f", "\tmovb $5, %r11b\n\tmovzbq %r11b, %rax\n\tret\n"),
+      &Sink);
+  EXPECT_TRUE(hasCode(Sink, DiagCode::LintFalseDependency));
+  EXPECT_GE(Result.Notes, 1u);
+}
+
+TEST(Lint, AuditsUnresolvedIndirectJumps) {
+  CollectingDiagSink Sink;
+  LintResult Result = lintText(
+      wrapFunction("f", "\tjmp *%rdi\n"), &Sink);
+  EXPECT_TRUE(hasCode(Sink, DiagCode::LintUnresolvedIndirect));
+  EXPECT_EQ(Result.IndirectTotal, 1u);
+  EXPECT_EQ(Result.IndirectUnresolved, 1u);
+}
+
+TEST(Lint, WerrorPromotesWarnings) {
+  LintResult Plain = lintText(
+      wrapFunction("f", "\tmovq %r10, %rax\n\tret\n"), nullptr);
+  EXPECT_GE(Plain.Warnings, 1u);
+  EXPECT_EQ(Plain.Errors, 0u);
+
+  LintResult Promoted = lintText(
+      wrapFunction("f", "\tmovq %r10, %rax\n\tret\n"), nullptr,
+      /*Werror=*/true);
+  EXPECT_EQ(Promoted.Warnings, 0u);
+  EXPECT_GE(Promoted.Errors, 1u);
+  EXPECT_EQ(lintExitCode(Promoted), 1);
+}
+
+TEST(Lint, RuleTableIsComplete) {
+  // Every registered rule has a distinct code and a non-empty name; the
+  // table drives the SARIF rules array and the documentation.
+  const std::vector<LintRuleInfo> &Rules = lintRules();
+  ASSERT_GE(Rules.size(), 7u);
+  for (size_t I = 0; I < Rules.size(); ++I) {
+    EXPECT_NE(Rules[I].Name[0], '\0');
+    EXPECT_NE(Rules[I].Summary[0], '\0');
+    for (size_t J = I + 1; J < Rules.size(); ++J)
+      EXPECT_NE(Rules[I].Code, Rules[J].Code);
+  }
+}
+
+TEST(Lint, FindingsRenderAsSarif) {
+  MaoUnit Unit = parseOk(wrapFunction("f", "\tmovq %r10, %rax\n\tret\n"));
+  SarifDiagSink Sarif;
+  DiagEngine Diags;
+  Diags.addSink(&Sarif);
+  LintOptions Options;
+  Options.FileName = "test.s";
+  lintUnit(Unit, Options, Diags);
+
+  const std::string Doc = Sarif.render();
+  EXPECT_NE(Doc.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"name\": \"mao\""), std::string::npos);
+  EXPECT_NE(Doc.find("MAO-lint-use-before-def"), std::string::npos);
+  EXPECT_NE(Doc.find("test.s"), std::string::npos);
+  // Rule declarations are unique even with repeated findings.
+  size_t First = Doc.find("\"rules\"");
+  ASSERT_NE(First, std::string::npos);
+}

@@ -9,9 +9,11 @@
 
 #include "asm/AsmEmitter.h"
 #include "asm/Parser.h"
+#include "check/Lint.h"
 #include "ir/Verifier.h"
 #include "pass/MaoPass.h"
 #include "support/FaultInjection.h"
+#include "support/Options.h"
 
 #include <gtest/gtest.h>
 
@@ -253,6 +255,71 @@ TEST(Pipeline, UnknownPassFollowsPolicy) {
   ASSERT_TRUE(Result.Ok) << Result.Error;
   EXPECT_EQ(Result.Outcomes[0].Status, PassStatus::RolledBack);
   EXPECT_EQ(Result.Outcomes[1].Status, PassStatus::Ok);
+}
+
+TEST(Pipeline, LintExitCodeContract) {
+  // The documented mao --lint contract: 0 clean, 1 findings (any warning
+  // or error), 2 internal error.
+  LintResult Clean;
+  EXPECT_EQ(lintExitCode(Clean), 0);
+
+  LintResult Warned;
+  Warned.Warnings = 1;
+  EXPECT_EQ(lintExitCode(Warned), 1);
+
+  LintResult Errored;
+  Errored.Errors = 2;
+  EXPECT_EQ(lintExitCode(Errored), 1);
+
+  LintResult NotesOnly;
+  NotesOnly.Notes = 3;
+  EXPECT_EQ(lintExitCode(NotesOnly), 0); // Notes are advisory.
+
+  LintResult Internal;
+  Internal.Warnings = 5; // Internal error dominates any findings.
+  Internal.InternalError = true;
+  EXPECT_EQ(lintExitCode(Internal), 2);
+}
+
+TEST(Pipeline, LintRunMatchesContract) {
+  DiagEngine Diags;
+
+  // Clean input -> 0.
+  MaoUnit Clean = parseOk("\t.text\n\t.type f, @function\nf:\n"
+                          "\tmovq %rdi, %rax\n\tret\n\t.size f, .-f\n");
+  EXPECT_EQ(lintExitCode(lintUnit(Clean, LintOptions(), Diags)), 0);
+
+  // A use-before-def finding -> 1; --lint-werror keeps it 1 but promotes
+  // the severity to Error.
+  const char *Dirty = "\t.text\n\t.type f, @function\nf:\n"
+                      "\tmovq %r10, %rax\n\tret\n\t.size f, .-f\n";
+  MaoUnit Warn = parseOk(Dirty);
+  LintResult Plain = lintUnit(Warn, LintOptions(), Diags);
+  EXPECT_EQ(lintExitCode(Plain), 1);
+  EXPECT_GE(Plain.Warnings, 1u);
+  EXPECT_EQ(Plain.Errors, 0u);
+
+  MaoUnit Werror = parseOk(Dirty);
+  LintOptions Opts;
+  Opts.WarningsAsErrors = true;
+  LintResult Promoted = lintUnit(Werror, Opts, Diags);
+  EXPECT_EQ(lintExitCode(Promoted), 1);
+  EXPECT_EQ(Promoted.Warnings, 0u);
+  EXPECT_GE(Promoted.Errors, 1u);
+}
+
+TEST(Pipeline, CommandLineParsesCheckFlags) {
+  auto CmdOr = parseCommandLine({"--lint", "--lint-werror",
+                                 "--mao-validate=semantic",
+                                 "--mao-sarif=out.sarif", "in.s"});
+  ASSERT_TRUE(CmdOr.ok()) << CmdOr.message();
+  EXPECT_TRUE(CmdOr->Lint);
+  EXPECT_TRUE(CmdOr->LintWerror);
+  EXPECT_EQ(CmdOr->Validate, "semantic");
+  EXPECT_EQ(CmdOr->SarifPath, "out.sarif");
+
+  EXPECT_FALSE(parseCommandLine({"--mao-validate=bogus", "in.s"}).ok());
+  EXPECT_FALSE(parseCommandLine({"--mao-sarif=", "in.s"}).ok());
 }
 
 TEST(Pipeline, FaultInjectionIsDeterministic) {
