@@ -1,0 +1,97 @@
+//===- bench/ApiBenchUtil.h - Facade-based bench plumbing -------*- C++ -*-===//
+///
+/// \file
+/// The BenchUtil.h helpers re-expressed over the public facade
+/// (mao/Mao.h). Benches ported to the facade include this instead of
+/// BenchUtil.h and exercise the same surface an external embedder would —
+/// they double as integration coverage for mao::api.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_BENCH_APIBENCHUTIL_H
+#define MAO_BENCH_APIBENCHUTIL_H
+
+#include "mao/Mao.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace maobench {
+
+/// Parses assembly through the facade, aborting the bench on failure.
+inline mao::api::Program parseOrDie(mao::api::Session &Session,
+                                    const std::string &Asm) {
+  mao::api::Program Program;
+  if (mao::api::Status S =
+          Session.parseText(Asm, "<bench>", Program);
+      !S.Ok) {
+    std::fprintf(stderr, "bench: parse error: %s\n", S.Message.c_str());
+    std::exit(1);
+  }
+  return Program;
+}
+
+/// Runs a classic ':'-separated pass line; returns total transformations.
+inline unsigned applyPasses(mao::api::Session &Session,
+                            mao::api::Program &Program,
+                            const std::string &PassLine) {
+  std::vector<mao::api::PassSpec> Pipeline;
+  if (mao::api::Status S =
+          mao::api::Session::parseClassicSpec(PassLine, Pipeline);
+      !S.Ok) {
+    std::fprintf(stderr, "bench: bad pass line '%s': %s\n", PassLine.c_str(),
+                 S.Message.c_str());
+    std::exit(1);
+  }
+  mao::api::OptimizeResult Result =
+      Session.optimize(Program, Pipeline, mao::api::OptimizeOptions());
+  if (!Result.Ok) {
+    std::fprintf(stderr, "bench: %s\n", Result.Error.c_str());
+    std::exit(1);
+  }
+  return Result.TotalTransformations;
+}
+
+/// Measures bench_main on the named machine model through the facade.
+inline mao::api::MeasureSummary measure(mao::api::Session &Session,
+                                        mao::api::Program &Program,
+                                        const std::string &Config,
+                                        const std::string &Entry =
+                                            "bench_main") {
+  mao::api::MeasureRequest Request;
+  Request.Function = Entry;
+  Request.Config = Config;
+  mao::api::MeasureSummary Summary;
+  if (mao::api::Status S = Session.measure(Program, Request, Summary);
+      !S.Ok) {
+    std::fprintf(stderr, "bench: measurement failed: %s\n",
+                 S.Message.c_str());
+    std::exit(1);
+  }
+  return Summary;
+}
+
+/// Percent improvement of Optimized over Base (positive = faster).
+inline double percentGain(uint64_t Base, uint64_t Optimized) {
+  if (Base == 0)
+    return 0.0;
+  return 100.0 *
+         (static_cast<double>(Base) - static_cast<double>(Optimized)) /
+         static_cast<double>(Base);
+}
+
+inline void printRow(const std::string &Label, double PaperPct,
+                     double MeasuredPct) {
+  std::printf("%-28s paper %+6.2f%%   measured %+6.2f%%\n", Label.c_str(),
+              PaperPct, MeasuredPct);
+}
+
+inline void printHeader(const std::string &Title) {
+  std::printf("== %s ==\n", Title.c_str());
+}
+
+} // namespace maobench
+
+#endif // MAO_BENCH_APIBENCHUTIL_H

@@ -6,9 +6,12 @@
 // NOP insertion ... speeds up a full image manipulation benchmark by 3%."
 // The BRALIGN pass automates the separation.
 //
+// This bench runs entirely through the public facade (mao/Mao.h): parse,
+// optimize, and measure are the same calls an external embedder makes.
+//
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "ApiBenchUtil.h"
 
 using namespace maobench;
 
@@ -58,18 +61,18 @@ std::string imageBenchmark(unsigned NeutralIters) {
 int main() {
   printHeader("E6: branch-predictor aliasing by PC>>5 and the BRALIGN "
               "pass (Core-2 model)");
-  ProcessorConfig Core2 = ProcessorConfig::core2();
+  mao::api::Session Session;
 
-  MaoUnit Before = parseOrDie(imageBenchmark(200000));
-  MaoUnit After = parseOrDie(imageBenchmark(200000));
-  unsigned Fixes = applyPasses(After, "BRALIGN");
+  mao::api::Program Before = parseOrDie(Session, imageBenchmark(200000));
+  mao::api::Program After = parseOrDie(Session, imageBenchmark(200000));
+  unsigned Fixes = applyPasses(Session, After, "BRALIGN");
 
-  PmuCounters P0 = measure(Before, Core2);
-  PmuCounters P1 = measure(After, Core2);
+  mao::api::MeasureSummary P0 = measure(Session, Before, "core2");
+  mao::api::MeasureSummary P1 = measure(Session, After, "core2");
   std::printf("BRALIGN separated %u colliding branch pair(s)\n", Fixes);
   std::printf("mispredicts: before %llu, after %llu\n",
-              (unsigned long long)P0.BrMispredicted,
-              (unsigned long long)P1.BrMispredicted);
-  printRow("image benchmark", 3.00, percentGain(P0.CpuCycles, P1.CpuCycles));
+              (unsigned long long)P0.BranchMispredicts,
+              (unsigned long long)P1.BranchMispredicts);
+  printRow("image benchmark", 3.00, percentGain(P0.Cycles, P1.Cycles));
   return 0;
 }

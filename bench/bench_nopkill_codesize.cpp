@@ -4,24 +4,27 @@
 // within noise on most benchmarks but "resulted in a code size improvement
 // of about 1%."
 //
+// This bench runs entirely through the public facade (mao/Mao.h): parse,
+// optimize, and assemble are the same calls an external embedder makes.
+//
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "ApiBenchUtil.h"
 
-#include "asm/Assembler.h"
+#include "workload/Workload.h"
 
 using namespace maobench;
 
 namespace {
 
-uint64_t textBytes(MaoUnit &Unit) {
-  auto Bytes = assembleUnit(Unit);
-  if (!Bytes.ok()) {
-    std::fprintf(stderr, "assemble failed: %s\n", Bytes.message().c_str());
+uint64_t textBytes(mao::api::Session &Session, mao::api::Program &Program) {
+  mao::api::AssembledBytes Bytes;
+  if (mao::api::Status S = Session.assemble(Program, Bytes); !S.Ok) {
+    std::fprintf(stderr, "assemble failed: %s\n", S.Message.c_str());
     std::exit(1);
   }
   uint64_t Total = 0;
-  for (const auto &[Section, Data] : *Bytes)
+  for (const auto &[Section, Data] : Bytes)
     if (Section.rfind(".text", 0) == 0)
       Total += Data.size();
   return Total;
@@ -32,18 +35,18 @@ uint64_t textBytes(MaoUnit &Unit) {
 int main() {
   printHeader("E17: NOPKILL code-size effect (paper: ~1% smaller, perf in "
               "the noise)");
-  linkAllPasses();
+  mao::api::Session Session;
 
   double TotalBase = 0, TotalKilled = 0;
   std::printf("%-14s %10s %10s %8s\n", "benchmark", "bytes", "killed",
               "saving");
-  for (const WorkloadSpec &Spec : spec2000IntProfiles()) {
-    std::string Asm = generateWorkloadAssembly(Spec);
-    MaoUnit Base = parseOrDie(Asm);
-    MaoUnit Killed = parseOrDie(Asm);
-    applyPasses(Killed, "NOPKILL");
-    uint64_t B0 = textBytes(Base);
-    uint64_t B1 = textBytes(Killed);
+  for (const mao::WorkloadSpec &Spec : mao::spec2000IntProfiles()) {
+    std::string Asm = mao::generateWorkloadAssembly(Spec);
+    mao::api::Program Base = parseOrDie(Session, Asm);
+    mao::api::Program Killed = parseOrDie(Session, Asm);
+    applyPasses(Session, Killed, "NOPKILL");
+    uint64_t B0 = textBytes(Session, Base);
+    uint64_t B1 = textBytes(Session, Killed);
     TotalBase += static_cast<double>(B0);
     TotalKilled += static_cast<double>(B1);
     std::printf("%-14s %10llu %10llu %+7.2f%%\n", Spec.Name.c_str(),

@@ -1,0 +1,45 @@
+# A bucket-sensitive branch pair (the 252.eon shape): an 8-byte loop
+# straddling offset 16 baits LOOP16 into aligning it, but the 5 bytes of
+# padding slide the never-taken guard branch into the same PC>>5 predictor
+# bucket as a taken-trained back branch — the default pipeline makes this
+# code SLOWER. `mao --tune` discovers that disabling LOOP16 here beats the
+# default, reproducing the paper's observation that a fixed heuristic
+# pipeline cannot be right for every program.
+	.text
+	.globl bench_main
+	.type bench_main, @function
+bench_main:
+	pushq %rbp
+	movq %rsp, %rbp
+	xorl %eax, %eax
+	xorl %ebx, %ebx
+	movl $7, %r14d
+	movl $400, %r15d
+	.p2align 5
+	nop6
+.LOuter:
+	movl $2, %ecx
+.LSplit:
+	addl $1, %eax
+	subl $1, %ecx
+	jne .LSplit
+	movl $8, %ecx
+.LInner:
+	addl $1, %ebx
+	subl $1, %ecx
+	jne .LInner
+	cmpl $0, %r14d
+	je .LNever
+	nop15
+	nop11
+	subl $1, %r15d
+	jne .LOuter
+	jmp .LDone
+.LNever:
+	addl $7, %eax
+	jmp .LDone
+.LDone:
+	movl $0, %eax
+	leave
+	ret
+	.size bench_main, .-bench_main

@@ -1,0 +1,39 @@
+# The Fig. 1 181.mcf loop (unrolled twice) WITHOUT the strategic NOP: the
+# loop back branch and the never-taken guard share a PC>>5 predictor
+# bucket on the Core-2 model. The default pipeline does not fix this;
+# `mao --tune` finds the directed NOP insertion (NOPIN at=N,pad=1) that
+# moves the back branch into the next bucket — the paper's 5% cliff.
+	.text
+	.globl bench_main
+	.type bench_main, @function
+bench_main:
+	pushq %rbp
+	movq %rsp, %rbp
+	movq $0x300000, %rdi
+	movq $0x340000, %rsi
+	xorq %r8, %r8
+	movl $600, %r9d
+	xorl %r10d, %r10d
+	.p2align 5
+	nop12
+.L3:
+	movsbl 1(%rdi,%r8,4), %edx
+	movsbl (%rdi,%r8,4), %eax
+	addl %eax, %edx
+	movl %edx, (%rsi,%r8,4)
+	addq $1, %r8
+	cmpl $1, %r10d
+	je .LEXIT
+.L5:
+	movsbl 1(%rdi,%r8,4), %edx
+	movsbl (%rdi,%r8,4), %eax
+	addl %eax, %edx
+	movl %edx, (%rsi,%r8,4)
+	addq $1, %r8
+	cmpl %r8d, %r9d
+	jg .L3
+.LEXIT:
+	movl $0, %eax
+	leave
+	ret
+	.size bench_main, .-bench_main

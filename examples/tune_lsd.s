@@ -1,0 +1,43 @@
+# The Figs. 4/5 Loop-Stream-Detector loop: three blocks, ~60 bytes,
+# deliberately placed at offset 15 so it spans six decode lines instead of
+# four. The default pipeline's LSDOPT(maxlines=4) recovers some of the
+# loss; `mao --tune` searches the alignment/padding knobs jointly and finds
+# a strictly better placement for this layout.
+	.text
+	.globl bench_main
+	.type bench_main, @function
+bench_main:
+	pushq %rbp
+	movq %rsp, %rbp
+	movl $600, %r10d
+	movl $0, %r8d
+	movl $1, %ecx
+	movl $2, %edx
+	.p2align 4
+	nop15
+.L0:
+	cmpl %ecx, %edx
+	jne .L1
+	addl $3, %r9d
+	jmp .L1
+.L1:
+	addl $7, %r9d
+	movl %ecx, %edx
+	addl $1, %esi
+	addl $2, %edi
+	addl $3, %r11d
+	addl $4, %esi
+	addl $5, %edi
+	addl $6, %r11d
+	addl $7, %esi
+	jmp .L2
+.L2:
+	addl $1, %r10d
+	addl $9, %r8d
+	addl $1, %esi
+	subl $2, %r10d
+	jne .L0
+	movl $0, %eax
+	leave
+	ret
+	.size bench_main, .-bench_main

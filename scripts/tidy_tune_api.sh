@@ -1,0 +1,43 @@
+#!/bin/sh
+# clang-tidy gate over the autotuner and public-facade sources (the
+# newest subsystems; the rest of the tree is covered by .clang-tidy on
+# developer machines). Uses the repo's .clang-tidy configuration and the
+# compile database from the build tree.
+#
+# The CI container does not ship clang-tidy; in that case the check is
+# SKIPPED (exit 77, ctest's skip code), not silently passed.
+#
+#   scripts/tidy_tune_api.sh <build-dir> [source-dir]
+set -u
+
+BUILD="${1:?usage: tidy_tune_api.sh build-dir [source-dir]}"
+SRC="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+TIDY=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+    clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    TIDY="$candidate"
+    break
+  fi
+done
+if [ -z "$TIDY" ]; then
+  echo "tidy_tune_api: clang-tidy not installed; skipping" >&2
+  exit 77
+fi
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "tidy_tune_api: no compile database in $BUILD; configure with" \
+       "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 77
+fi
+
+FAILED=0
+for file in "$SRC"/src/tune/*.cpp "$SRC"/src/mao/*.cpp; do
+  echo "tidy_tune_api: checking $file"
+  if ! "$TIDY" -p "$BUILD" --quiet --warnings-as-errors='*' "$file"; then
+    FAILED=1
+  fi
+done
+
+[ "$FAILED" -eq 0 ] && echo "tidy_tune_api: ok"
+exit "$FAILED"

@@ -1,0 +1,93 @@
+#!/bin/sh
+# Autotuner CLI gate: runs `mao --tune` over the tunable example kernels
+# and checks the documented contract:
+#
+#   - a small-budget tune run succeeds and emits assembly,
+#   - the --tune-report JSON is written and well-formed,
+#   - tuned_cycles <= default_cycles always (the default pipeline is in
+#     the round-0 candidate set, so the search can never do worse),
+#   - on the alias kernel the win is strict (the default pipeline
+#     degrades that code; see examples/tune_alias.s),
+#   - the whole report is byte-identical across --mao-jobs values (the
+#     determinism contract: jobs change wall-clock, nothing else).
+#
+# Registered as the ctest entry `tune_examples`; run standalone as
+#
+#   scripts/tune_examples.sh path/to/mao [examples-dir]
+set -u
+
+MAO="${1:?usage: tune_examples.sh path/to/mao [examples-dir]}"
+EXAMPLES="${2:-$(dirname "$0")/../examples}"
+TMPDIR="${TMPDIR:-/tmp}"
+REPORT="$TMPDIR/mao_tune_examples.$$.json"
+REPORT2="$TMPDIR/mao_tune_examples2.$$.json"
+FAILED=0
+
+fail() {
+  echo "tune_examples: FAIL: $1" >&2
+  FAILED=1
+}
+
+json_field() {
+  # json_field <file> <key>  -> numeric value of "key": N
+  sed -n "s/.*\"$2\": \([0-9][0-9]*\).*/\1/p" "$1" | head -n 1
+}
+
+for kernel in tune_fig1 tune_lsd tune_alias; do
+  rm -f "$REPORT" "$REPORT2"
+  if ! "$MAO" --tune --tune-budget=small "--tune-report=$REPORT" \
+      "$EXAMPLES/$kernel.s" >/dev/null 2>&1; then
+    fail "$kernel: tune run failed"
+    continue
+  fi
+  if [ ! -s "$REPORT" ]; then
+    fail "$kernel: tune report was not written"
+    continue
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+        "$REPORT" 2>/dev/null; then
+      fail "$kernel: tune report is not valid JSON"
+      continue
+    fi
+  fi
+  tuned=$(json_field "$REPORT" tuned_cycles)
+  default=$(json_field "$REPORT" default_cycles)
+  if [ -z "$tuned" ] || [ -z "$default" ]; then
+    fail "$kernel: report is missing tuned_cycles/default_cycles"
+    continue
+  fi
+  if [ "$tuned" -gt "$default" ]; then
+    fail "$kernel: tuned ($tuned) is worse than default ($default)"
+    continue
+  fi
+  echo "tune_examples: ok: $kernel tuned $tuned vs default $default cycles"
+
+  # Determinism: the report must be byte-identical for any --mao-jobs.
+  if ! "$MAO" --tune --tune-budget=small --mao-jobs=4 \
+      "--tune-report=$REPORT2" "$EXAMPLES/$kernel.s" >/dev/null 2>&1; then
+    fail "$kernel: tune run with --mao-jobs=4 failed"
+    continue
+  fi
+  if ! cmp -s "$REPORT" "$REPORT2"; then
+    fail "$kernel: report differs between --mao-jobs=1 and --mao-jobs=4"
+  else
+    echo "tune_examples: ok: $kernel report identical across jobs"
+  fi
+done
+
+# The alias kernel's win must be strict: its default pipeline is harmful.
+rm -f "$REPORT"
+"$MAO" --tune --tune-budget=small "--tune-report=$REPORT" \
+    "$EXAMPLES/tune_alias.s" >/dev/null 2>&1
+tuned=$(json_field "$REPORT" tuned_cycles)
+default=$(json_field "$REPORT" default_cycles)
+if [ -n "$tuned" ] && [ -n "$default" ] && [ "$tuned" -lt "$default" ]; then
+  echo "tune_examples: ok: alias kernel win is strict ($tuned < $default)"
+else
+  fail "alias kernel: expected a strict win, got tuned=$tuned default=$default"
+fi
+
+rm -f "$REPORT" "$REPORT2"
+[ "$FAILED" -eq 0 ] && echo "tune_examples: ok"
+exit "$FAILED"

@@ -1,0 +1,429 @@
+//===- mao/Mao.cpp - MAO public facade implementation ---------------------===//
+///
+/// \file
+/// Binds the stable mao::api surface to the internal layers. Everything
+/// here is translation: facade structs in, internal calls, facade structs
+/// out. No policy lives here that is not also reachable through the
+/// internal headers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mao/Mao.h"
+
+#include "asm/AsmEmitter.h"
+#include "asm/Assembler.h"
+#include "asm/Parser.h"
+#include "check/Lint.h"
+#include "check/SemanticValidator.h"
+#include "ir/Verifier.h"
+#include "pass/MaoPass.h"
+#include "support/Diag.h"
+#include "support/FaultInjection.h"
+#include "support/Options.h"
+#include "support/ThreadPool.h"
+#include "tune/Tuner.h"
+#include "uarch/ProcessorConfig.h"
+#include "uarch/Runner.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mao {
+namespace api {
+
+namespace {
+
+Status fromStatus(const MaoStatus &S) {
+  return S.ok() ? Status::success() : Status::error(S.message());
+}
+
+std::vector<PassRequest> toRequests(const std::vector<PassSpec> &Pipeline) {
+  std::vector<PassRequest> Requests;
+  Requests.reserve(Pipeline.size());
+  for (const PassSpec &Spec : Pipeline) {
+    PassRequest Req;
+    Req.PassName = Spec.Name;
+    for (const auto &KV : Spec.Options)
+      Req.Options.set(KV.first, KV.second);
+    Requests.push_back(std::move(Req));
+  }
+  return Requests;
+}
+
+std::vector<PassSpec> toSpecs(const std::vector<PassRequest> &Requests) {
+  std::vector<PassSpec> Specs;
+  Specs.reserve(Requests.size());
+  for (const PassRequest &Req : Requests) {
+    PassSpec Spec;
+    Spec.Name = Req.PassName;
+    for (const auto &KV : Req.Options.all())
+      Spec.Options.emplace_back(KV.first, KV.second);
+    Specs.push_back(std::move(Spec));
+  }
+  return Specs;
+}
+
+ErrorOr<ProcessorConfig> configByName(const std::string &Name) {
+  if (Name == "core2" || Name.empty())
+    return ProcessorConfig::core2();
+  if (Name == "opteron")
+    return ProcessorConfig::opteron();
+  return MaoStatus::error("unknown processor config '" + Name +
+                          "' (expected core2 or opteron)");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+struct Program::Impl {
+  MaoUnit Unit;
+  std::string Source; ///< Verbatim input text (lazy-checkpoint source).
+  std::string Name = "<input>";
+  bool Valid = false;
+};
+
+Program::Program() : I(std::make_unique<Impl>()) {}
+Program::~Program() = default;
+Program::Program(Program &&) noexcept = default;
+Program &Program::operator=(Program &&) noexcept = default;
+
+bool Program::valid() const { return I->Valid; }
+
+size_t Program::functionCount() const { return I->Unit.functions().size(); }
+
+Program Program::clone() const {
+  Program Copy;
+  Copy.I->Unit = I->Unit.clone();
+  Copy.I->Unit.rebuildStructure();
+  Copy.I->Source = I->Source;
+  Copy.I->Name = I->Name;
+  Copy.I->Valid = I->Valid;
+  return Copy;
+}
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+struct Session::Impl {
+  Config Cfg;
+  DiagEngine Diags;
+  StderrDiagSink Stderr;
+  SarifDiagSink Sarif;
+  bool SarifFlushed = false;
+
+  explicit Impl(Config C) : Cfg(std::move(C)) {
+    if (Cfg.StderrDiagnostics)
+      Diags.addSink(&Stderr);
+    Diags.setMaxErrors(Cfg.MaxErrors);
+    if (!Cfg.SarifPath.empty())
+      Diags.addSink(&Sarif);
+  }
+};
+
+Session::Session() : Session(Config()) {}
+
+Session::Session(Config C) : I(std::make_unique<Impl>(std::move(C))) {
+  linkAllPasses();
+}
+
+Session::~Session() {
+  if (I && !I->Cfg.SarifPath.empty() && !I->SarifFlushed)
+    (void)writeSarif();
+}
+
+Status Session::writeSarif() {
+  if (I->Cfg.SarifPath.empty())
+    return Status::success();
+  I->SarifFlushed = true;
+  if (!I->Sarif.writeTo(I->Cfg.SarifPath))
+    return Status::error("cannot write SARIF log to " + I->Cfg.SarifPath);
+  return Status::success();
+}
+
+Status Session::armFaultInjection(const std::string &Spec, uint64_t Seed) {
+  return fromStatus(FaultInjector::instance().configure(Spec, Seed));
+}
+
+void Session::armFaultInjectionFromEnv() {
+  FaultInjector::instance().configureFromEnv();
+}
+
+Status Session::parseFile(const std::string &Path, Program &Out,
+                          ParseInfo *Info) {
+  std::ifstream In(Path);
+  if (!In) {
+    I->Diags.error(DiagCode::DriverFileError, "cannot open input file",
+                   SourceLoc{Path, 0});
+    return Status::error("cannot open input file: " + Path);
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return parseText(Buffer.str(), Path, Out, Info);
+}
+
+Status Session::parseText(const std::string &Source, const std::string &Name,
+                          Program &Out, ParseInfo *Info) {
+  ParseStats Stats;
+  auto UnitOr = parseAssembly(Source, &Stats, Name, &I->Diags);
+  if (!UnitOr.ok())
+    return Status::error(UnitOr.message());
+  Out.I->Unit = std::move(*UnitOr);
+  Out.I->Source = Source;
+  Out.I->Name = Name;
+  Out.I->Valid = true;
+  if (Info) {
+    Info->Lines = Stats.Lines;
+    Info->Instructions = Stats.Instructions;
+    Info->OpaqueInstructions = Stats.OpaqueInstructions;
+    Info->Functions = Out.I->Unit.functions().size();
+  }
+  return Status::success();
+}
+
+OptimizeResult Session::optimize(Program &P,
+                                 const std::vector<PassSpec> &Pipeline,
+                                 const OptimizeOptions &Options) {
+  OptimizeResult Result;
+  if (!P.valid()) {
+    Result.Error = "program is not parsed";
+    return Result;
+  }
+
+  PipelineOptions Pipe;
+  if (Options.OnError == "rollback")
+    Pipe.OnError = OnErrorPolicy::Rollback;
+  else if (Options.OnError == "skip")
+    Pipe.OnError = OnErrorPolicy::Skip;
+  else if (Options.OnError != "abort" && !Options.OnError.empty()) {
+    Result.Error = "unknown on-error policy '" + Options.OnError +
+                   "' (expected abort, rollback, or skip)";
+    return Result;
+  }
+  if (Options.Validate != "off" && Options.Validate != "structural" &&
+      Options.Validate != "semantic" && !Options.Validate.empty()) {
+    Result.Error = "unknown validation level '" + Options.Validate +
+                   "' (expected off, structural, or semantic)";
+    return Result;
+  }
+  // Any recovery or validation policy needs the per-pass verifier; an
+  // explicit request additionally upgrades it from the cheap configuration
+  // to the thorough one (the driver's --mao-verify contract).
+  Pipe.VerifyAfterEachPass = Options.VerifyAfterEachPass ||
+                             Pipe.OnError != OnErrorPolicy::Abort ||
+                             (Options.Validate != "off" &&
+                              !Options.Validate.empty());
+  if (Options.VerifyAfterEachPass)
+    Pipe.PerPassVerify = VerifierOptions();
+  if (Options.Validate == "semantic")
+    Pipe.SemanticCheck = [](MaoUnit &Before, MaoUnit &After,
+                            const std::string &PassName) -> MaoStatus {
+      ValidationReport Report = validateSemantics(Before, After);
+      if (Report.Equivalent)
+        return MaoStatus::success();
+      return MaoStatus::error("pass " + PassName +
+                              " changed semantics: " + Report.firstMessage());
+    };
+  Pipe.PassTimeoutMs = Options.PassTimeoutMs;
+  Pipe.Jobs = Options.Jobs == 0 ? hardwareJobs() : Options.Jobs;
+  Pipe.Diags = &I->Diags;
+  if (Options.LazyCheckpoint && !P.I->Source.empty()) {
+    const std::string Source = P.I->Source;
+    const std::string Name = P.I->Name;
+    Pipe.CheckpointProvider = [Source, Name] {
+      return parseAssembly(Source, nullptr, Name);
+    };
+  }
+
+  PipelineResult Run = runPasses(P.I->Unit, toRequests(Pipeline), Pipe);
+  Result.Ok = Run.Ok;
+  Result.Error = Run.Error;
+  Result.Failures = Run.failureCount();
+  for (const PassOutcome &Outcome : Run.Outcomes) {
+    PassOutcomeInfo Info;
+    Info.Pass = Outcome.PassName;
+    Info.Status = passStatusName(Outcome.Status);
+    Info.Transformations = Outcome.Transformations;
+    Info.Detail = Outcome.Detail;
+    Result.TotalTransformations += Outcome.Transformations;
+    Result.Outcomes.push_back(std::move(Info));
+  }
+  return Result;
+}
+
+Status Session::verify(Program &P) {
+  if (!P.valid())
+    return Status::error("program is not parsed");
+  VerifierReport Report = verifyUnit(P.I->Unit, VerifierOptions(), &I->Diags);
+  if (!Report.clean())
+    return Status::error("verifier found " +
+                         std::to_string(Report.Issues.size()) +
+                         " issue(s): " + Report.firstMessage());
+  return Status::success();
+}
+
+Status Session::emitToFile(Program &P, const std::string &Path) {
+  if (!P.valid())
+    return Status::error("program is not parsed");
+  return fromStatus(writeAssemblyFile(P.I->Unit, Path));
+}
+
+std::string Session::emitToString(Program &P) {
+  return P.valid() ? emitAssembly(P.I->Unit) : std::string();
+}
+
+Status Session::assemble(Program &P, AssembledBytes &Out) {
+  if (!P.valid())
+    return Status::error("program is not parsed");
+  auto BytesOr = assembleUnit(P.I->Unit);
+  if (!BytesOr.ok())
+    return Status::error(BytesOr.message());
+  Out = std::move(*BytesOr);
+  return Status::success();
+}
+
+LintSummary Session::lint(Program &P, const LintRequest &Request) {
+  LintSummary Summary;
+  if (!P.valid()) {
+    Summary.InternalError = true;
+    Summary.InternalDetail = "program is not parsed";
+    Summary.ExitCode = 2;
+    return Summary;
+  }
+  LintOptions Opts;
+  Opts.WarningsAsErrors = Request.WarningsAsErrors;
+  Opts.FileName = Request.FileName.empty() ? P.I->Name : Request.FileName;
+  LintResult Result = lintUnit(P.I->Unit, Opts, I->Diags);
+  Summary.Errors = Result.Errors;
+  Summary.Warnings = Result.Warnings;
+  Summary.Notes = Result.Notes;
+  Summary.IndirectUnresolved = Result.IndirectUnresolved;
+  Summary.IndirectTotal = Result.IndirectTotal;
+  Summary.InternalError = Result.InternalError;
+  Summary.InternalDetail = Result.InternalDetail;
+  Summary.ExitCode = lintExitCode(Result);
+  if (Result.InternalError)
+    I->Diags.error(DiagCode::LintInternalError,
+                   "linter internal error: " + Result.InternalDetail,
+                   SourceLoc{Opts.FileName, 0}, "lint");
+  return Summary;
+}
+
+Status Session::validateEquivalence(Program &A, Program &B) {
+  if (!A.valid() || !B.valid())
+    return Status::error("program is not parsed");
+  ValidationReport Report = validateSemantics(A.I->Unit, B.I->Unit);
+  if (!Report.Equivalent)
+    return Status::error(Report.firstMessage());
+  return Status::success();
+}
+
+Status Session::measure(Program &P, const MeasureRequest &Request,
+                        MeasureSummary &Out) {
+  if (!P.valid())
+    return Status::error("program is not parsed");
+  auto ConfigOr = configByName(Request.Config);
+  if (!ConfigOr.ok())
+    return Status::error(ConfigOr.message());
+  MeasureOptions Opts;
+  Opts.Config = *ConfigOr;
+  Opts.MaxSteps = Request.MaxSteps;
+  auto ResultOr = measureFunction(P.I->Unit, Request.Function, Opts);
+  if (!ResultOr.ok())
+    return Status::error(ResultOr.message());
+  const PmuCounters &Pmu = ResultOr->Pmu;
+  Out.Cycles = Pmu.CpuCycles;
+  Out.Instructions = Pmu.InstRetired;
+  Out.Uops = Pmu.UopsRetired;
+  Out.DecodeLines = Pmu.DecodeLines;
+  Out.LsdUops = Pmu.LsdUops;
+  Out.CondBranches = Pmu.BrCondRetired;
+  Out.BranchMispredicts = Pmu.BrMispredicted;
+  Out.RsFullStalls = Pmu.RsFullStalls;
+  return Status::success();
+}
+
+Status Session::tune(Program &P, const TuneRequest &Request,
+                     TuneSummary &Out) {
+  if (!P.valid())
+    return Status::error("program is not parsed");
+  TuneOptions Opts;
+  Opts.Entry = Request.Entry;
+  Opts.Config = Request.Config;
+  Opts.Seed = Request.Seed;
+  Opts.Budget = tuneBudgetFromString(Request.Budget);
+  Opts.Jobs = Request.Jobs == 0 ? hardwareJobs() : Request.Jobs;
+  auto ResultOr = tuneUnit(P.I->Unit, Opts);
+  if (!ResultOr.ok())
+    return Status::error(ResultOr.message());
+  const TuneResult &R = *ResultOr;
+  Out.BaselineCycles = R.BaselineCycles;
+  Out.DefaultCycles = R.DefaultCycles;
+  Out.TunedCycles = R.TunedCycles;
+  Out.TunedPipeline = R.TunedPipeline;
+  Out.Evaluations = R.Evaluations;
+  Out.Restarts = R.Restarts;
+  Out.ScoreCacheHits = R.ScoreCacheHits;
+  Out.ScoreCacheMisses = R.ScoreCacheMisses;
+  Out.ReportJson = tuneReportJson(R);
+  if (!Request.ReportPath.empty())
+    if (MaoStatus S = writeTuneReport(R, Request.ReportPath))
+      return Status::error(S.message());
+  return Status::success();
+}
+
+std::vector<PassCatalogEntry> Session::listPasses() {
+  linkAllPasses();
+  std::vector<PassCatalogEntry> Catalog;
+  for (const PassRegistry::PassInfo &Info :
+       PassRegistry::instance().listPasses()) {
+    PassCatalogEntry Entry;
+    Entry.Name = Info.Name;
+    switch (Info.Kind) {
+    case PassRegistry::PassKind::Function:
+      Entry.Kind = "function";
+      break;
+    case PassRegistry::PassKind::ShardedFunction:
+      Entry.Kind = "sharded-function";
+      break;
+    case PassRegistry::PassKind::Unit:
+      Entry.Kind = "unit";
+      break;
+    }
+    Catalog.push_back(std::move(Entry));
+  }
+  return Catalog;
+}
+
+Status Session::parsePipelineSpec(const std::string &Spec,
+                                  std::vector<PassSpec> &Out) {
+  linkAllPasses();
+  std::vector<PassRequest> Requests;
+  if (MaoStatus S = PassRegistry::instance().parsePipeline(Spec, Requests))
+    return Status::error(S.message());
+  std::vector<PassSpec> Specs = toSpecs(Requests);
+  Out.insert(Out.end(), std::make_move_iterator(Specs.begin()),
+             std::make_move_iterator(Specs.end()));
+  return Status::success();
+}
+
+Status Session::parseClassicSpec(const std::string &Payload,
+                                 std::vector<PassSpec> &Out) {
+  std::vector<PassRequest> Requests;
+  if (MaoStatus S = parseMaoOption(Payload, Requests))
+    return Status::error(S.message());
+  std::vector<PassSpec> Specs = toSpecs(Requests);
+  Out.insert(Out.end(), std::make_move_iterator(Specs.begin()),
+             std::make_move_iterator(Specs.end()));
+  return Status::success();
+}
+
+std::string Session::driverHelp() { return driverOptionHelp(); }
+
+unsigned Session::hardwareJobs() { return ThreadPool::defaultWorkerCount(); }
+
+} // namespace api
+} // namespace mao

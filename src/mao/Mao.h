@@ -1,0 +1,262 @@
+//===- mao/Mao.h - MAO public facade ----------------------------*- C++ -*-===//
+///
+/// \file
+/// The one header an embedder needs: Parse → Optimize → Emit over stable
+/// value types, with measurement, linting, validation, and autotuning
+/// behind the same surface. It includes only the C++ standard library —
+/// the IR, pass, simulator, and diagnostics layers stay internal, and the
+/// types here are plain structs that do not leak internal headers into
+/// client builds. tools/mao.cpp, tools/maofuzz.cpp, and the benches are
+/// themselves clients of this facade.
+///
+/// Shape of a client:
+///
+///   mao::api::Session S;
+///   mao::api::Program P;
+///   if (!S.parseFile("in.s", P).Ok) ...;
+///   std::vector<mao::api::PassSpec> Pipeline;
+///   mao::api::Session::parsePipelineSpec("zee,sched(window=8)", Pipeline);
+///   mao::api::OptimizeResult R = S.optimize(P, Pipeline, {});
+///   S.emitToFile(P, "-");
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_MAO_H
+#define MAO_MAO_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mao {
+namespace api {
+
+/// Success-or-message outcome of a facade call.
+struct Status {
+  bool Ok = true;
+  std::string Message;
+  static Status success() { return {}; }
+  static Status error(std::string M) { return {false, std::move(M)}; }
+  explicit operator bool() const { return Ok; }
+};
+
+/// One pass invocation: registry name plus (option, value) pairs.
+struct PassSpec {
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Options;
+};
+
+/// One row of the pass catalogue.
+struct PassCatalogEntry {
+  std::string Name;
+  std::string Kind; ///< "function", "sharded-function", or "unit".
+};
+
+/// Parse statistics.
+struct ParseInfo {
+  size_t Lines = 0;
+  size_t Instructions = 0;
+  size_t OpaqueInstructions = 0;
+  size_t Functions = 0;
+};
+
+/// Execution policy for Session::optimize.
+struct OptimizeOptions {
+  std::string OnError = "abort";  ///< "abort", "rollback", or "skip".
+  std::string Validate = "off";   ///< "off", "structural", or "semantic".
+  bool VerifyAfterEachPass = false; ///< Thorough verification per pass.
+  long PassTimeoutMs = 0;
+  unsigned Jobs = 1; ///< 0 = all hardware threads.
+  /// Reconstruct the pre-pipeline unit by re-parsing the program's source
+  /// on first rollback instead of cloning eagerly.
+  bool LazyCheckpoint = true;
+};
+
+/// Per-pass outcome of an optimize run.
+struct PassOutcomeInfo {
+  std::string Pass;
+  std::string Status; ///< "ok", "failed", "rolled-back", "skipped".
+  unsigned Transformations = 0;
+  std::string Detail;
+};
+
+/// Result of Session::optimize.
+struct OptimizeResult {
+  bool Ok = false;
+  std::string Error;
+  std::vector<PassOutcomeInfo> Outcomes;
+  unsigned Failures = 0;
+  unsigned TotalTransformations = 0;
+};
+
+/// Options for Session::lint.
+struct LintRequest {
+  bool WarningsAsErrors = false;
+  std::string FileName;
+};
+
+/// Summary of a lint run (mirrors check/Lint.h's LintResult).
+struct LintSummary {
+  unsigned Errors = 0;
+  unsigned Warnings = 0;
+  unsigned Notes = 0;
+  unsigned IndirectUnresolved = 0;
+  unsigned IndirectTotal = 0;
+  bool InternalError = false;
+  std::string InternalDetail;
+  int ExitCode = 0; ///< 0 clean, 1 findings, 2 internal error.
+};
+
+/// Options for Session::measure.
+struct MeasureRequest {
+  std::string Function = "bench_main";
+  std::string Config = "core2"; ///< "core2" or "opteron".
+  uint64_t MaxSteps = 50'000'000;
+};
+
+/// PMU counters of a measured run (mirrors uarch PmuCounters).
+struct MeasureSummary {
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t Uops = 0;
+  uint64_t DecodeLines = 0;
+  uint64_t LsdUops = 0;
+  uint64_t CondBranches = 0;
+  uint64_t BranchMispredicts = 0;
+  uint64_t RsFullStalls = 0;
+};
+
+/// Options for Session::tune (see DESIGN.md, "Autotuning").
+struct TuneRequest {
+  std::string Entry;            ///< Empty: bench_main, else first function.
+  std::string Config = "core2"; ///< Processor model scoring candidates.
+  std::string Budget = "medium"; ///< "small", "medium", "large", or a count.
+  uint64_t Seed = 1;
+  unsigned Jobs = 1; ///< 0 = all hardware threads.
+  std::string ReportPath; ///< When set, the JSON report is written here.
+};
+
+/// Summary of a tuning run.
+struct TuneSummary {
+  uint64_t BaselineCycles = 0;
+  uint64_t DefaultCycles = 0;
+  uint64_t TunedCycles = 0;
+  std::string TunedPipeline; ///< --mao-passes spelling of the winner.
+  unsigned Evaluations = 0;
+  unsigned Restarts = 0;
+  uint64_t ScoreCacheHits = 0;
+  uint64_t ScoreCacheMisses = 0;
+  std::string ReportJson; ///< The full machine-readable report.
+};
+
+/// Section name -> assembled bytes.
+using AssembledBytes = std::map<std::string, std::vector<uint8_t>>;
+
+/// A parsed program (pimpl over the internal IR). Move-only; clone() is
+/// the explicit deep copy.
+class Program {
+public:
+  Program();
+  ~Program();
+  Program(Program &&) noexcept;
+  Program &operator=(Program &&) noexcept;
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+
+  /// True once a parse succeeded into this program.
+  bool valid() const;
+  size_t functionCount() const;
+  /// Deep copy (for before/after comparisons).
+  Program clone() const;
+
+private:
+  friend class Session;
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// An optimizer session: owns diagnostics configuration and provides the
+/// Parse → Optimize → Emit operations plus measurement, linting, semantic
+/// validation, and tuning. Sessions are independent; fault injection is
+/// process-global (the injector is a singleton).
+class Session {
+public:
+  struct Config {
+    bool StderrDiagnostics = true;
+    unsigned MaxErrors = 64;
+    /// When set, diagnostics are also collected as SARIF and flushed to
+    /// this path by writeSarif() / the destructor.
+    std::string SarifPath;
+  };
+
+  Session();
+  explicit Session(Config C);
+  ~Session();
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Flushes the SARIF log now (also runs on destruction).
+  Status writeSarif();
+
+  /// Arms the deterministic fault injector ("site:permille[,...]").
+  Status armFaultInjection(const std::string &Spec, uint64_t Seed);
+  /// Applies MAO_FAULT_INJECT from the environment, if set.
+  void armFaultInjectionFromEnv();
+
+  // Parse.
+  Status parseFile(const std::string &Path, Program &Out,
+                   ParseInfo *Info = nullptr);
+  Status parseText(const std::string &Source, const std::string &Name,
+                   Program &Out, ParseInfo *Info = nullptr);
+
+  // Optimize.
+  OptimizeResult optimize(Program &P, const std::vector<PassSpec> &Pipeline,
+                          const OptimizeOptions &Options);
+
+  /// Runs the full IR verifier (the final consistency gate).
+  Status verify(Program &P);
+
+  // Emit.
+  Status emitToFile(Program &P, const std::string &Path); ///< "-" = stdout.
+  std::string emitToString(Program &P);
+  /// Assembles to raw section bytes (identity-comparison workflows).
+  Status assemble(Program &P, AssembledBytes &Out);
+
+  // Analysis.
+  LintSummary lint(Program &P, const LintRequest &Request);
+  /// Proves A and B observably equivalent (translation validation).
+  Status validateEquivalence(Program &A, Program &B);
+  Status measure(Program &P, const MeasureRequest &Request,
+                 MeasureSummary &Out);
+
+  /// Autotuning: searches pass parameterizations, applies the winner to
+  /// \p P, and reports the scores. Deterministic in (program, seed,
+  /// budget, config) for every Jobs value.
+  Status tune(Program &P, const TuneRequest &Request, TuneSummary &Out);
+
+  // Catalogue and spec parsing (registry-backed).
+  static std::vector<PassCatalogEntry> listPasses();
+  /// Parses "a,b(c=1)" with name validation and did-you-mean errors.
+  static Status parsePipelineSpec(const std::string &Spec,
+                                  std::vector<PassSpec> &Out);
+  /// Parses the classic "PASS=opt[val]:PASS2" spelling (names not
+  /// validated, matching the historical --mao= contract).
+  static Status parseClassicSpec(const std::string &Payload,
+                                 std::vector<PassSpec> &Out);
+  /// The generated --mao-help flag reference.
+  static std::string driverHelp();
+  /// hardware_concurrency with the >= 1 guarantee.
+  static unsigned hardwareJobs();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace api
+} // namespace mao
+
+#endif // MAO_MAO_H

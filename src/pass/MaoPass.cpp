@@ -4,9 +4,12 @@
 
 #include "ir/Verifier.h"
 #include "support/FaultInjection.h"
+#include "support/OptionRegistry.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cctype>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
@@ -87,7 +90,69 @@ std::vector<std::string> PassRegistry::allPassNames() const {
     Names.push_back(Name);
   for (const auto &[Name, Factory] : UnitPasses)
     Names.push_back(Name);
+  std::sort(Names.begin(), Names.end());
   return Names;
+}
+
+std::vector<PassRegistry::PassInfo> PassRegistry::listPasses() const {
+  std::vector<PassInfo> Out;
+  Out.reserve(FunctionPasses.size() + UnitPasses.size());
+  for (const auto &[Name, Entry] : FunctionPasses)
+    Out.push_back({Name, Entry.Shardable ? PassKind::ShardedFunction
+                                         : PassKind::Function});
+  for (const auto &[Name, Factory] : UnitPasses)
+    Out.push_back({Name, PassKind::Unit});
+  std::sort(Out.begin(), Out.end(),
+            [](const PassInfo &A, const PassInfo &B) { return A.Name < B.Name; });
+  return Out;
+}
+
+MaoStatus PassRegistry::validate(const std::string &Name) const {
+  if (knows(Name))
+    return MaoStatus::success();
+  std::string Message = "unknown pass '" + Name + "'";
+  std::string Suggestion = suggestNearest(Name, allPassNames());
+  if (!Suggestion.empty())
+    Message += "; did you mean '" + Suggestion + "'?";
+  return MaoStatus::error(Message);
+}
+
+ErrorOr<std::unique_ptr<MaoPass>>
+PassRegistry::create(const std::string &Name, const MaoOptionMap &Params,
+                     MaoUnit *Unit, MaoFunction *Fn) const {
+  if (MaoStatus S = validate(Name))
+    return S;
+  // Factories take a mutable pointer for historical reasons; the pass copies
+  // the map in its constructor, so handing out Scratch's address is safe.
+  MaoOptionMap Scratch = Params;
+  if (isUnitPass(Name))
+    return ErrorOr<std::unique_ptr<MaoPass>>(
+        makeUnitPass(Name, &Scratch, Unit));
+  if (!Fn)
+    return MaoStatus::error("pass '" + Name +
+                            "' is a function pass; create() needs a function");
+  return ErrorOr<std::unique_ptr<MaoPass>>(
+      makeFunctionPass(Name, &Scratch, Unit, Fn));
+}
+
+MaoStatus PassRegistry::parsePipeline(const std::string &Spec,
+                                      std::vector<PassRequest> &Out) const {
+  std::vector<PassRequest> Parsed;
+  if (MaoStatus S = parsePassListSyntax(Spec, Parsed))
+    return S;
+  for (PassRequest &Req : Parsed) {
+    // Pass names are canonically uppercase; the registry spelling is
+    // case-insensitive, so fold before validating — unknown names then
+    // get did-you-mean suggestions in canonical case too.
+    std::transform(Req.PassName.begin(), Req.PassName.end(),
+                   Req.PassName.begin(),
+                   [](unsigned char C) { return std::toupper(C); });
+    if (MaoStatus S = validate(Req.PassName))
+      return S;
+  }
+  Out.insert(Out.end(), std::make_move_iterator(Parsed.begin()),
+             std::make_move_iterator(Parsed.end()));
+  return MaoStatus::success();
 }
 
 const char *mao::passStatusName(PassStatus Status) {

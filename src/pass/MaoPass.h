@@ -31,8 +31,12 @@ namespace mao {
 /// Base class of all passes.
 class MaoPass {
 public:
-  MaoPass(const char *Name, MaoOptionMap *Options, MaoUnit *Unit)
-      : Name(Name), Options(Options), Unit(Unit),
+  /// The pass copies \p Options: a constructed pass is self-contained and
+  /// outlives the map it was created from (PassRegistry::create hands out
+  /// passes whose request maps are temporaries, and sharded execution gets
+  /// its per-shard isolation for free).
+  MaoPass(const char *Name, const MaoOptionMap *Options, MaoUnit *Unit)
+      : Name(Name), Options(Options ? *Options : MaoOptionMap()), Unit(Unit),
         Tracer(Name, Options ? static_cast<int>(Options->getInt("trace", 0))
                              : 0) {}
   virtual ~MaoPass();
@@ -42,7 +46,7 @@ public:
 
   const std::string &name() const { return Name; }
   MaoUnit &unit() { return *Unit; }
-  MaoOptionMap &options() { return *Options; }
+  MaoOptionMap &options() { return Options; }
 
   /// Standard tracing facility (level filtered by the "trace" option).
   void trace(int Level, const char *Fmt, ...) const
@@ -56,7 +60,7 @@ protected:
 
 private:
   std::string Name;
-  MaoOptionMap *Options;
+  MaoOptionMap Options;
   MaoUnit *Unit;
   TraceContext Tracer;
   unsigned Transformations = 0;
@@ -65,7 +69,7 @@ private:
 /// A pass invoked once per identified function.
 class MaoFunctionPass : public MaoPass {
 public:
-  MaoFunctionPass(const char *Name, MaoOptionMap *Options, MaoUnit *Unit,
+  MaoFunctionPass(const char *Name, const MaoOptionMap *Options, MaoUnit *Unit,
                   MaoFunction *Fn)
       : MaoPass(Name, Options, Unit), Fn(Fn) {}
 
@@ -120,6 +124,41 @@ public:
 
   /// Names of all registered passes, sorted.
   std::vector<std::string> allPassNames() const;
+
+  /// What a registered pass is, for listPasses() consumers.
+  enum class PassKind : uint8_t { Function, ShardedFunction, Unit };
+
+  /// One row of the public pass catalogue.
+  struct PassInfo {
+    std::string Name;
+    PassKind Kind = PassKind::Function;
+  };
+
+  /// The full pass catalogue, sorted by name. This is the discovery half of
+  /// the programmatic construction API: everything create() accepts is
+  /// listed here with its execution kind.
+  std::vector<PassInfo> listPasses() const;
+
+  /// Validates a pass request against the registry: unknown names get a
+  /// did-you-mean error (computed over allPassNames()). This is the single
+  /// name-resolution point for --mao-passes, the tuner, and the facade.
+  MaoStatus validate(const std::string &Name) const;
+
+  /// Programmatic pass construction: builds the named pass over \p Unit
+  /// (and \p Fn for function passes; create() with Fn == nullptr is only
+  /// valid for unit passes). The pass copies \p Params, so the map may be a
+  /// temporary. Unknown names produce the validate() error.
+  ErrorOr<std::unique_ptr<MaoPass>> create(const std::string &Name,
+                                           const MaoOptionMap &Params,
+                                           MaoUnit *Unit,
+                                           MaoFunction *Fn = nullptr) const;
+
+  /// Parses the registry-validated pipeline spelling "a,b(c=1,d=2)" into
+  /// pass requests appended to \p Out. Syntax errors come from
+  /// parsePassListSyntax; name errors from validate(). Pass names are
+  /// case-insensitive here (the classic --mao= spelling is exact).
+  MaoStatus parsePipeline(const std::string &Spec,
+                          std::vector<PassRequest> &Out) const;
 
 private:
   struct FunctionPassEntry {

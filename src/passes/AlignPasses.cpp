@@ -287,6 +287,85 @@ public:
 
 REGISTER_FUNC_PASS("BRALIGN", BranchAlignPass)
 
+//===----------------------------------------------------------------------===//
+// ALIGNSEL: explicit .p2align selection.
+//===----------------------------------------------------------------------===//
+
+/// Replaces a function's alignment directives with an explicit choice:
+/// `pow=N` aligns the function entry to 1<<N bytes (pow=0 strips entry
+/// alignment without adding one), and `loops[=N]` does the same for every
+/// innermost loop header. Compilers emit one fixed heuristic alignment;
+/// this pass makes the choice a parameter so the tuner can search it —
+/// over-aligning costs fetch bandwidth on the NOPs, under-aligning risks
+/// the decode-line splits LOOP16/LSDOPT exist to fix, and the best answer
+/// depends on the loop body (paper Sec. III-C).
+class AlignSelectPass : public MaoFunctionPass {
+public:
+  AlignSelectPass(MaoOptionMap *Options, MaoUnit *Unit, MaoFunction *Fn)
+      : MaoFunctionPass("ALIGNSEL", Options, Unit, Fn) {}
+
+  bool go() override {
+    const std::string Only = options().getString("func", "");
+    if (!Only.empty() && Only != function().name())
+      return true;
+    const long EntryPow = options().getInt("pow", -1);
+    const long LoopPow = options().getInt("loops", -1);
+
+    if (EntryPow >= 0) {
+      // Drop existing alignment immediately before the function's leading
+      // labels, then install the chosen one.
+      EntryIter First = beforeLeadingLabels(unit(), function().begin().underlying());
+      while (First != unit().entries().begin()) {
+        EntryIter Prev = std::prev(First);
+        if (!Prev->isDirective(DirKind::P2Align) &&
+            !Prev->isDirective(DirKind::Balign))
+          break;
+        unit().erase(Prev);
+        countTransformation();
+      }
+      if (EntryPow > 0) {
+        insertP2Align(First, EntryPow);
+        countTransformation();
+      }
+    }
+
+    if (LoopPow > 0) {
+      relaxUnit(unit());
+      CFG Graph = CFG::build(function());
+      resolveIndirectJumps(Graph);
+      LoopStructureGraph LSG = LoopStructureGraph::build(Graph);
+      for (size_t L = 1; L < LSG.loops().size(); ++L) {
+        if (!LSG.loops()[L].Children.empty())
+          continue; // Innermost loops only.
+        const unsigned Header = LSG.loops()[L].Header;
+        const BasicBlock &BB = Graph.blocks()[Header];
+        if (BB.empty())
+          continue;
+        EntryIter Pos = beforeLeadingLabels(unit(), BB.Insns.front());
+        if (Pos != unit().entries().begin() &&
+            std::prev(Pos)->isDirective(DirKind::P2Align))
+          continue; // Already explicitly aligned.
+        insertP2Align(Pos, LoopPow);
+        countTransformation();
+      }
+    }
+    trace(1, "func %s: %u alignment edits", function().name().c_str(),
+          transformationCount());
+    return true;
+  }
+
+private:
+  void insertP2Align(EntryIter Pos, long Pow) {
+    Directive Dir;
+    Dir.Kind = DirKind::P2Align;
+    Dir.Name = ".p2align";
+    Dir.Args = {std::to_string(Pow)};
+    unit().insertBefore(Pos, MaoEntry::makeDirective(std::move(Dir)));
+  }
+};
+
+REGISTER_FUNC_PASS("ALIGNSEL", AlignSelectPass)
+
 } // namespace
 
 namespace mao {

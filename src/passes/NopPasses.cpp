@@ -43,17 +43,49 @@ public:
         static_cast<uint64_t>(options().getInt("seed", 42));
     const long Density = options().getInt("density", 10); // percent
     const long MaxLen = options().getInt("maxlen", 1);    // NOPs per site
+    // func=NAME restricts the pass to one function; the tuner uses this to
+    // give every function its own insertion decision.
+    const std::string Only = options().getString("func", "");
+    if (!Only.empty() && Only != function().name())
+      return true;
+
+    std::vector<EntryIter> Sites;
+    for (auto It = function().begin(), E = function().end(); It != E; ++It)
+      if (It->isInstruction())
+        Sites.push_back(It.underlying());
+
+    // Directed mode: at=N, pad=BYTES places one deterministic NOP pad of
+    // BYTES bytes before candidate site N (instruction index in layout
+    // order) instead of sampling sites randomly. This is the tuner's
+    // search axis — the Fig. 1 experiment done on purpose: a specific pad
+    // at a specific site to shift a branch out of a predictor conflict.
+    if (options().has("at")) {
+      const long At = options().getInt("at", 0);
+      long Pad = options().getInt("pad", 1);
+      if (Pad < 1)
+        Pad = 1;
+      if (At < 0 || static_cast<size_t>(At) >= Sites.size())
+        return true; // Site index out of range: structurally a no-op.
+      EntryIter Site = Sites[static_cast<size_t>(At)];
+      long Remaining = Pad;
+      while (Remaining > 0) {
+        const long Chunk = Remaining > 15 ? 15 : Remaining;
+        unit().insertBefore(
+            Site, MaoEntry::makeInstruction(makeNop(static_cast<unsigned>(Chunk))));
+        Remaining -= Chunk;
+      }
+      countTransformation(static_cast<unsigned>((Pad + 14) / 15));
+      trace(1, "func %s: directed pad of %ld bytes before site %ld",
+            function().name().c_str(), Pad, At);
+      return true;
+    }
+
     // Derive a per-function stream so results do not depend on function
     // processing order.
     uint64_t FnSalt = 0xcbf29ce484222325ULL;
     for (char C : function().name())
       FnSalt = (FnSalt ^ static_cast<unsigned char>(C)) * 0x100000001b3ULL;
     RandomSource Rng(Seed ^ FnSalt);
-
-    std::vector<EntryIter> Sites;
-    for (auto It = function().begin(), E = function().end(); It != E; ++It)
-      if (It->isInstruction())
-        Sites.push_back(It.underlying());
 
     for (EntryIter Site : Sites) {
       if (!Rng.nextChance(static_cast<uint64_t>(Density), 100))

@@ -134,15 +134,37 @@ public:
       : MaoFunctionPass("SCHED", Options, Unit, Fn) {}
 
   bool go() override {
+    // window=N restricts reordering to chunks of N consecutive
+    // instructions (0 = whole block). Small windows trade schedule quality
+    // for locality; the tuner searches over this knob because the best
+    // setting is workload-dependent (a tight window can avoid pulling a
+    // long-latency op in front of a loop-carried chain).
+    long Window = options().getInt("window", 0);
+    if (Window < 0)
+      Window = 0;
     FunctionAnalysis FA(function());
     for (BasicBlock &BB : FA.Graph.blocks()) {
       if (BB.Insns.size() < 3)
         continue;
       if (containsOpaque(BB))
         continue;
-      scheduleBlock(BB,
-                    (FA.Liveness.FlagsLiveOut[BB.Index] & FlagsAllStatus) !=
-                        0);
+      const bool FlagsLiveOut =
+          (FA.Liveness.FlagsLiveOut[BB.Index] & FlagsAllStatus) != 0;
+      if (Window == 0 || static_cast<size_t>(Window) >= BB.Insns.size()) {
+        scheduleRange(BB.Insns, FlagsLiveOut);
+        continue;
+      }
+      // Chunked scheduling: each window is an independent sub-schedule.
+      // Non-final chunks treat flags as live-out (a later chunk may read
+      // them), which is conservative and keeps every chunk sound.
+      for (size_t Begin = 0; Begin < BB.Insns.size();
+           Begin += static_cast<size_t>(Window)) {
+        size_t End = std::min(Begin + static_cast<size_t>(Window),
+                              BB.Insns.size());
+        std::vector<EntryIter> Chunk(BB.Insns.begin() + Begin,
+                                     BB.Insns.begin() + End);
+        scheduleRange(Chunk, End == BB.Insns.size() ? FlagsLiveOut : true);
+      }
     }
     trace(1, "func %s: moved %u instructions", function().name().c_str(),
           transformationCount());
@@ -157,9 +179,9 @@ private:
     return false;
   }
 
-  void scheduleBlock(BasicBlock &BB, bool FlagsLiveOut) {
-    const size_t N = BB.Insns.size();
-    DepDag Dag = buildDag(BB.Insns, FlagsLiveOut);
+  void scheduleRange(std::vector<EntryIter> &Insns, bool FlagsLiveOut) {
+    const size_t N = Insns.size();
+    DepDag Dag = buildDag(Insns, FlagsLiveOut);
 
     // Greedy list scheduling: repeatedly take the ready instruction with
     // the highest critical-path priority; break ties by original order so
@@ -187,13 +209,13 @@ private:
     // (entries, and thus their IDs and list positions, stay put).
     std::vector<Instruction> Old;
     Old.reserve(N);
-    for (EntryIter It : BB.Insns)
+    for (EntryIter It : Insns)
       Old.push_back(It->instruction());
     unsigned Moved = 0;
     for (size_t Slot = 0; Slot < N; ++Slot) {
       if (Order[Slot] != Slot)
         ++Moved;
-      BB.Insns[Slot]->instruction() = std::move(Old[Order[Slot]]);
+      Insns[Slot]->instruction() = std::move(Old[Order[Slot]]);
     }
     countTransformation(Moved);
   }

@@ -2,6 +2,9 @@
 
 #include "support/Options.h"
 
+#include "support/OptionRegistry.h"
+#include "support/ThreadPool.h"
+
 #include <cstdlib>
 
 using namespace mao;
@@ -109,102 +112,198 @@ MaoStatus mao::parseMaoOption(const std::string &Payload,
   return MaoStatus::success();
 }
 
+MaoStatus mao::parsePassListSyntax(const std::string &Payload,
+                                   std::vector<PassRequest> &Out) {
+  // Pass items separated by ',' at paren depth zero; each item is NAME or
+  // NAME(opt=value,opt=value,...). Values may not contain ',' or ')'.
+  std::string::size_type Pos = 0;
+  if (Payload.empty())
+    return MaoStatus::error("empty pass list");
+  while (Pos <= Payload.size()) {
+    std::string::size_type End = Pos;
+    int Depth = 0;
+    while (End < Payload.size() && (Depth > 0 || Payload[End] != ',')) {
+      if (Payload[End] == '(')
+        ++Depth;
+      else if (Payload[End] == ')')
+        --Depth;
+      ++End;
+    }
+    if (Depth != 0)
+      return MaoStatus::error("unbalanced '(' in pass list: " + Payload);
+    std::string Item = Payload.substr(Pos, End - Pos);
+    if (Item.empty())
+      return MaoStatus::error("empty pass item in pass list: " + Payload);
+
+    PassRequest Req;
+    std::string::size_type Paren = Item.find('(');
+    if (Paren == std::string::npos) {
+      Req.PassName = Item;
+    } else {
+      if (Item.back() != ')')
+        return MaoStatus::error("malformed pass parameters in: " + Item);
+      Req.PassName = Item.substr(0, Paren);
+      std::string Params = Item.substr(Paren + 1, Item.size() - Paren - 2);
+      std::string::size_type P = 0;
+      while (P < Params.size()) {
+        std::string::size_type Comma = Params.find(',', P);
+        std::string Param = Params.substr(
+            P, Comma == std::string::npos ? std::string::npos : Comma - P);
+        if (Param.empty())
+          return MaoStatus::error("empty parameter in pass item: " + Item);
+        std::string::size_type Eq = Param.find('=');
+        if (Eq == std::string::npos)
+          Req.Options.set(Param, ""); // Bare parameter: boolean true.
+        else
+          Req.Options.set(Param.substr(0, Eq), Param.substr(Eq + 1));
+        if (Comma == std::string::npos)
+          break;
+        P = Comma + 1;
+        if (P == Params.size())
+          return MaoStatus::error("trailing ',' in pass parameters: " + Item);
+      }
+    }
+    if (Req.PassName.empty())
+      return MaoStatus::error("pass item missing a pass name: " + Payload);
+    Out.push_back(std::move(Req));
+    if (End >= Payload.size())
+      break;
+    Pos = End + 1;
+    if (Pos == Payload.size())
+      return MaoStatus::error("trailing ',' in pass list: " + Payload);
+  }
+  return MaoStatus::success();
+}
+
+unsigned MaoCommandLine::effectiveJobs() const {
+  return Jobs == 0 ? ThreadPool::defaultWorkerCount() : Jobs;
+}
+
+namespace {
+
+/// Builds the declarative flag table for the driver surface over \p Cmd.
+/// THE single definition site: parseCommandLine and driverOptionHelp both
+/// render from here.
+OptionRegistry buildDriverOptions(MaoCommandLine &Cmd) {
+  OptionRegistry R;
+  R.addCustom(
+      "--mao",
+      [&Cmd](const std::string &Payload) {
+        return parseMaoOption(Payload, Cmd.Passes);
+      },
+      "pass pipeline, classic spelling: PASS[=opt[val],...][:PASS...]");
+  R.addCustom(
+      "--mao-passes",
+      [&Cmd](const std::string &Payload) {
+        std::vector<PassRequest> Probe; // Syntax check now, resolve later.
+        if (MaoStatus S = parsePassListSyntax(Payload, Probe))
+          return S;
+        Cmd.PassSpecs.push_back(Payload);
+        return MaoStatus::success();
+      },
+      "pass pipeline, registry spelling: a,b(c=1,d=2); names are validated "
+      "against the pass registry with did-you-mean suggestions");
+  R.addFlag("--mao-help", &Cmd.Help,
+            "print this generated flag reference and exit");
+  R.addEnum("--mao-on-error", &Cmd.OnError, {"abort", "rollback", "skip"},
+            "what a failing pass does to the rest of the pipeline");
+  R.addFlag("--mao-verify", &Cmd.Verify,
+            "run the full IR verifier after every pass");
+  R.addEnum("--mao-validate", &Cmd.Validate, {"off", "structural", "semantic"},
+            "per-pass validation level (semantic proves behaviour preserved)");
+  R.addInt("--mao-pass-timeout-ms", &Cmd.PassTimeoutMs, 0,
+           "per-pass wall-clock budget in ms (0 = unlimited)");
+  R.addUint("--mao-jobs", &Cmd.Jobs, 0,
+            "workers for shardable passes and tuner candidates "
+            "(0 = all hardware threads); output is identical for every N");
+  R.addCustom(
+      "--mao-fault-inject",
+      [&Cmd](const std::string &Payload) {
+        std::string Spec = Payload;
+        std::string::size_type At = Spec.find('@');
+        if (At != std::string::npos) {
+          std::string SeedText = Spec.substr(At + 1);
+          char *End = nullptr;
+          unsigned long long Seed = std::strtoull(SeedText.c_str(), &End, 10);
+          if (End == SeedText.c_str() || *End != '\0')
+            return MaoStatus::error(
+                "--mao-fault-inject seed must be an integer; got '" +
+                SeedText + "'");
+          Cmd.FaultSeed = Seed;
+          Spec = Spec.substr(0, At);
+        }
+        Cmd.FaultSpec = Spec;
+        return MaoStatus::success();
+      },
+      "arm the deterministic fault injector: site:permille[,...][@seed]");
+  R.addCustom(
+      "--mao-sarif",
+      [&Cmd](const std::string &Path) {
+        if (Path.empty())
+          return MaoStatus::error("--mao-sarif expects a file path");
+        Cmd.SarifPath = Path;
+        return MaoStatus::success();
+      },
+      "also write diagnostics as a SARIF 2.1.0 log to FILE");
+  R.addFlag("--lint", &Cmd.Lint,
+            "run the MaoCheck linter instead of the pass pipeline");
+  R.addFlag("--lint-werror", &Cmd.LintWerror,
+            "promote linter warnings to errors");
+  R.addFlag("--tune", &Cmd.Tune,
+            "search pass parameterizations with the uarch simulator as the "
+            "objective (see DESIGN.md, \"Autotuning\")");
+  R.addCustom(
+      "--tune-budget",
+      [&Cmd](const std::string &Value) {
+        if (Value != "small" && Value != "medium" && Value != "large") {
+          char *End = nullptr;
+          long N = std::strtol(Value.c_str(), &End, 10);
+          if (End == Value.c_str() || *End != '\0' || N < 1)
+            return MaoStatus::error("--tune-budget expects small, medium, "
+                                    "large, or a positive candidate count; "
+                                    "got '" +
+                                    Value + "'");
+        }
+        Cmd.TuneBudget = Value;
+        return MaoStatus::success();
+      },
+      "candidate-evaluation budget: small, medium, large, or a count");
+  R.addString("--tune-report", &Cmd.TuneReport,
+              "write the machine-readable JSON tuning report to FILE");
+  R.addCustom(
+      "--tune-seed",
+      [&Cmd](const std::string &Value) {
+        char *End = nullptr;
+        unsigned long long Seed = std::strtoull(Value.c_str(), &End, 10);
+        if (End == Value.c_str() || *End != '\0')
+          return MaoStatus::error("--tune-seed expects an integer; got '" +
+                                  Value + "'");
+        Cmd.TuneSeed = Seed;
+        return MaoStatus::success();
+      },
+      "search seed; runs are deterministic in (input, seed, budget, config)");
+  R.addEnum("--tune-config", &Cmd.TuneConfig, {"core2", "opteron"},
+            "processor model scoring tuner candidates");
+  R.addString("--tune-entry", &Cmd.TuneEntry,
+              "function to emulate and score (default: bench_main, else the "
+              "first function)");
+  R.setPassthrough(&Cmd.Passthrough);
+  R.setPositionals(&Cmd.Inputs);
+  return R;
+}
+
+} // namespace
+
 ErrorOr<MaoCommandLine>
 mao::parseCommandLine(const std::vector<std::string> &Args) {
   MaoCommandLine Cmd;
-  static const std::string Prefix = "--mao=";
-  static const std::string OnErrorPrefix = "--mao-on-error=";
-  static const std::string TimeoutPrefix = "--mao-pass-timeout-ms=";
-  static const std::string JobsPrefix = "--mao-jobs=";
-  static const std::string FaultPrefix = "--mao-fault-inject=";
-  static const std::string ValidatePrefix = "--mao-validate=";
-  static const std::string SarifPrefix = "--mao-sarif=";
-  for (const std::string &Arg : Args) {
-    if (Arg.rfind(Prefix, 0) == 0) {
-      if (MaoStatus S = parseMaoOption(Arg.substr(Prefix.size()), Cmd.Passes))
-        return S;
-      continue;
-    }
-    if (Arg.rfind(OnErrorPrefix, 0) == 0) {
-      std::string Policy = Arg.substr(OnErrorPrefix.size());
-      if (Policy != "abort" && Policy != "rollback" && Policy != "skip")
-        return MaoStatus::error("--mao-on-error expects abort, rollback, or "
-                                "skip; got '" +
-                                Policy + "'");
-      Cmd.OnError = Policy;
-      continue;
-    }
-    if (Arg == "--mao-verify") {
-      Cmd.Verify = true;
-      continue;
-    }
-    if (Arg.rfind(TimeoutPrefix, 0) == 0) {
-      std::string Value = Arg.substr(TimeoutPrefix.size());
-      char *End = nullptr;
-      long Ms = std::strtol(Value.c_str(), &End, 10);
-      if (End == Value.c_str() || *End != '\0' || Ms < 0)
-        return MaoStatus::error(
-            "--mao-pass-timeout-ms expects a non-negative integer; got '" +
-            Value + "'");
-      Cmd.PassTimeoutMs = Ms;
-      continue;
-    }
-    if (Arg.rfind(JobsPrefix, 0) == 0) {
-      std::string Value = Arg.substr(JobsPrefix.size());
-      char *End = nullptr;
-      long Jobs = std::strtol(Value.c_str(), &End, 10);
-      if (End == Value.c_str() || *End != '\0' || Jobs < 1)
-        return MaoStatus::error(
-            "--mao-jobs expects a positive integer; got '" + Value + "'");
-      Cmd.Jobs = static_cast<unsigned>(Jobs);
-      continue;
-    }
-    if (Arg.rfind(FaultPrefix, 0) == 0) {
-      std::string Spec = Arg.substr(FaultPrefix.size());
-      std::string::size_type At = Spec.find('@');
-      if (At != std::string::npos) {
-        std::string SeedText = Spec.substr(At + 1);
-        char *End = nullptr;
-        unsigned long long Seed = std::strtoull(SeedText.c_str(), &End, 10);
-        if (End == SeedText.c_str() || *End != '\0')
-          return MaoStatus::error(
-              "--mao-fault-inject seed must be an integer; got '" + SeedText +
-              "'");
-        Cmd.FaultSeed = Seed;
-        Spec = Spec.substr(0, At);
-      }
-      Cmd.FaultSpec = Spec;
-      continue;
-    }
-    if (Arg.rfind(ValidatePrefix, 0) == 0) {
-      std::string Level = Arg.substr(ValidatePrefix.size());
-      if (Level != "off" && Level != "structural" && Level != "semantic")
-        return MaoStatus::error("--mao-validate expects off, structural, or "
-                                "semantic; got '" +
-                                Level + "'");
-      Cmd.Validate = Level;
-      continue;
-    }
-    if (Arg == "--lint") {
-      Cmd.Lint = true;
-      continue;
-    }
-    if (Arg == "--lint-werror") {
-      Cmd.LintWerror = true;
-      continue;
-    }
-    if (Arg.rfind(SarifPrefix, 0) == 0) {
-      std::string Path = Arg.substr(SarifPrefix.size());
-      if (Path.empty())
-        return MaoStatus::error("--mao-sarif expects a file path");
-      Cmd.SarifPath = Path;
-      continue;
-    }
-    if (!Arg.empty() && Arg[0] == '-') {
-      Cmd.Passthrough.push_back(Arg);
-      continue;
-    }
-    Cmd.Inputs.push_back(Arg);
-  }
+  OptionRegistry R = buildDriverOptions(Cmd);
+  if (MaoStatus S = R.parse(Args))
+    return S;
   return Cmd;
+}
+
+std::string mao::driverOptionHelp() {
+  MaoCommandLine Scratch;
+  return buildDriverOptions(Scratch).help();
 }

@@ -63,13 +63,24 @@ struct PassRequest {
 /// The fully parsed driver command line. Robustness flags mirror
 /// pass/MaoPass.h's PipelineOptions; the policy is kept as a string here so
 /// the support library stays independent of the pass layer.
+///
+/// Every flag is declared exactly once, in buildDriverOptions() — the same
+/// declarative table parses the command line, renders `--mao-help`, and
+/// produces did-you-mean suggestions for unknown flags.
 struct MaoCommandLine {
-  /// Pass invocations in command-line order.
+  /// Pass invocations in command-line order (from --mao=).
   std::vector<PassRequest> Passes;
+  /// --mao-passes=a,b(c=1) payloads, in command-line order. The syntax is
+  /// the registry-validated pipeline spelling; the driver resolves these
+  /// through PassRegistry::parsePipeline (the support layer cannot name
+  /// passes) and appends them after the --mao= requests.
+  std::vector<std::string> PassSpecs;
   /// Non---mao= options, passed through to the assembler layer.
   std::vector<std::string> Passthrough;
   /// Positional input files.
   std::vector<std::string> Inputs;
+  /// --mao-help: print the generated flag reference and exit.
+  bool Help = false;
   /// --mao-on-error={abort,rollback,skip}: what a failing pass does to the
   /// rest of the pipeline.
   std::string OnError = "abort";
@@ -77,8 +88,10 @@ struct MaoCommandLine {
   bool Verify = false;
   /// --mao-pass-timeout-ms=N: per-pass wall-clock budget (0 = unlimited).
   long PassTimeoutMs = 0;
-  /// --mao-jobs=N: worker count for shardable function passes (>= 1).
-  /// Output is bit-identical for every value; N only changes wall-clock.
+  /// --mao-jobs=N: worker count for shardable function passes and tuner
+  /// candidate evaluation. 0 means "all hardware threads" (resolved by
+  /// effectiveJobs()); output is bit-identical for every value, N only
+  /// changes wall-clock.
   unsigned Jobs = 1;
   /// --mao-fault-inject=spec[@seed]: arm the fault injector.
   std::string FaultSpec;
@@ -95,6 +108,26 @@ struct MaoCommandLine {
   bool LintWerror = false;
   /// --mao-sarif=FILE: also write diagnostics as a SARIF 2.1.0 log.
   std::string SarifPath;
+
+  // Autotuning mode (see DESIGN.md "Autotuning" and src/tune).
+  /// --tune: search pass parameterizations with the uarch simulator as the
+  /// objective instead of running a fixed pipeline.
+  bool Tune = false;
+  /// --tune-budget=N|small|medium|large: candidate-evaluation budget.
+  std::string TuneBudget = "medium";
+  /// --tune-report=FILE: write the machine-readable JSON tuning report.
+  std::string TuneReport;
+  /// --tune-seed=N: search seed; the whole run is a deterministic function
+  /// of (input, seed, budget, config) for every --mao-jobs value.
+  uint64_t TuneSeed = 1;
+  /// --tune-config={core2,opteron}: processor model scoring candidates.
+  std::string TuneConfig = "core2";
+  /// --tune-entry=NAME: function to emulate/score (default: bench_main,
+  /// falling back to the first function in the unit).
+  std::string TuneEntry;
+
+  /// Worker count with the 0-means-hardware-concurrency rule applied.
+  unsigned effectiveJobs() const;
 };
 
 /// Parses one --mao= payload ("LFIND=trace[0]:ASM=o[/dev/null]") into pass
@@ -102,8 +135,19 @@ struct MaoCommandLine {
 MaoStatus parseMaoOption(const std::string &Payload,
                          std::vector<PassRequest> &Out);
 
+/// Parses one comma-spelling pipeline payload ("zee,sched(window=8)") into
+/// pass requests appended to \p Out. Pure syntax: pass names are not
+/// validated here (the support layer does not know them); use
+/// PassRegistry::parsePipeline for the validating front end.
+MaoStatus parsePassListSyntax(const std::string &Payload,
+                              std::vector<PassRequest> &Out);
+
 /// Parses a full argv-style command line (excluding argv[0]).
 ErrorOr<MaoCommandLine> parseCommandLine(const std::vector<std::string> &Args);
+
+/// Renders the generated flag reference for the driver surface (the
+/// `--mao-help` body): every registered flag with its help text.
+std::string driverOptionHelp();
 
 } // namespace mao
 

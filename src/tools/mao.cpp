@@ -4,47 +4,32 @@
 /// The standalone assembly-to-assembly optimizer (paper Sec. III-A):
 ///
 ///   mao --mao=LFIND=trace[0]:ASM=o[/dev/null] in.s
+///   mao --mao-passes=zee,sched(window=8) in.s
 ///
 /// Pass order on the command line is the invocation order; reading/parsing
 /// the input is implicitly the first pass, and when no ASM pass is named
-/// the optimized assembly goes to stdout. Options without the --mao=
+/// the optimized assembly goes to stdout. Options without the --mao
 /// prefix would be passed to the downstream assembler (here: reported and
 /// ignored, since the reproduction assembles in-process).
 ///
-/// Robustness flags (see DESIGN.md "Robustness & verification"):
-///   --mao-on-error={abort,rollback,skip}  failing-pass policy
-///   --mao-verify                          verify IR after every pass
-///   --mao-validate={off,structural,semantic}  per-pass validation level
-///   --mao-pass-timeout-ms=N               per-pass wall-clock budget
-///   --mao-jobs=N                          workers for shardable passes
-///   --mao-fault-inject=spec[@seed]        arm the fault injector
-///   --mao-sarif=FILE                      write diagnostics as SARIF 2.1.0
-///
-/// Static-analysis mode (see DESIGN.md "MaoCheck"):
-///   --lint [--lint-werror]                run the linter; no pipeline
+/// The driver is a client of the public facade (mao/Mao.h) — it parses
+/// flags with the declarative option registry (support/Options.h) and
+/// forwards everything else through mao::api::Session. `--mao-help`
+/// prints the full generated flag reference; see DESIGN.md for the
+/// robustness flags and the "Autotuning" section for `--tune`.
 ///
 /// Exit codes: 0 success, 1 usage error, 2 parse/input error, 3
-/// pipeline or verifier error. Under --lint: 0 clean, 1 findings,
+/// pipeline, tuner, or verifier error. Under --lint: 0 clean, 1 findings,
 /// 2 internal/input error.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "asm/AsmEmitter.h"
-#include "asm/Parser.h"
-#include "check/Lint.h"
-#include "check/SemanticValidator.h"
-#include "ir/Verifier.h"
-#include "pass/MaoPass.h"
-#include "support/Diag.h"
-#include "support/FaultInjection.h"
+#include "mao/Mao.h"
 #include "support/Options.h"
 
 #include <cstdio>
-#include <fstream>
-#include <memory>
-#include <sstream>
-
-using namespace mao;
+#include <string>
+#include <vector>
 
 namespace {
 
@@ -56,177 +41,178 @@ constexpr int ExitPipelineError = 3;
 void printUsage() {
   std::fprintf(stderr,
                "usage: mao [--mao=PASS[=opt[val],...][:PASS...]]\n"
+               "           [--mao-passes=pass(opt=val,...),pass2,...]\n"
                "           [--mao-on-error={abort,rollback,skip}]\n"
                "           [--mao-verify] [--mao-pass-timeout-ms=N]\n"
                "           [--mao-validate={off,structural,semantic}]\n"
                "           [--mao-jobs=N] [--mao-sarif=FILE]\n"
                "           [--mao-fault-inject=site:permille[,...][@seed]]\n"
                "           [--lint] [--lint-werror]\n"
+               "           [--tune] [--tune-budget={small,medium,large,N}]\n"
+               "           [--tune-report=FILE] [--tune-seed=N]\n"
+               "           [--tune-config={core2,opteron}] [--tune-entry=F]\n"
                "           input.s\n"
                "\n"
                "example: mao --mao=LFIND=trace[0]:ASM=o[/dev/null] in.s\n"
+               "run `mao --mao-help` for the full flag reference\n"
                "\n"
                "available passes:\n");
-  for (const std::string &Name : PassRegistry::instance().allPassNames())
-    std::fprintf(stderr, "  %s\n", Name.c_str());
-}
-
-OnErrorPolicy policyFromString(const std::string &Name) {
-  if (Name == "rollback")
-    return OnErrorPolicy::Rollback;
-  if (Name == "skip")
-    return OnErrorPolicy::Skip;
-  return OnErrorPolicy::Abort;
+  for (const mao::api::PassCatalogEntry &Entry :
+       mao::api::Session::listPasses())
+    std::fprintf(stderr, "  %-10s (%s)\n", Entry.Name.c_str(),
+                 Entry.Kind.c_str());
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  linkAllPasses();
-
-  DiagEngine Diags;
-  StderrDiagSink Stderr;
-  Diags.addSink(&Stderr);
-  Diags.setMaxErrors(64);
-  SarifDiagSink Sarif;
-
   std::vector<std::string> Args(Argv + 1, Argv + Argc);
-  auto CmdOr = parseCommandLine(Args);
+  auto CmdOr = mao::parseCommandLine(Args);
   if (!CmdOr.ok()) {
-    Diags.error(DiagCode::DriverUsage, CmdOr.message());
+    std::fprintf(stderr, "mao: error: %s\n", CmdOr.message().c_str());
     return ExitUsage;
   }
-  MaoCommandLine &Cmd = *CmdOr;
+  mao::MaoCommandLine &Cmd = *CmdOr;
+  if (Cmd.Help) {
+    std::fputs(mao::api::Session::driverHelp().c_str(), stdout);
+    return ExitOk;
+  }
   const bool LintMode = Cmd.Lint;
   if (Cmd.Inputs.empty()) {
     printUsage();
     return LintMode ? 2 : ExitUsage;
   }
   if (Cmd.Inputs.size() > 1) {
-    Diags.error(DiagCode::DriverUsage, "expected exactly one input file");
+    std::fprintf(stderr, "mao: error: expected exactly one input file\n");
     return LintMode ? 2 : ExitUsage;
   }
-  if (!Cmd.SarifPath.empty())
-    Diags.addSink(&Sarif);
-  // Flush the SARIF log on every exit path once the sink is armed.
-  struct SarifFlusher {
-    const MaoCommandLine &Cmd;
-    SarifDiagSink &Sarif;
-    ~SarifFlusher() {
-      if (!Cmd.SarifPath.empty() && !Sarif.writeTo(Cmd.SarifPath))
-        std::fprintf(stderr, "mao: cannot write SARIF log to %s\n",
-                     Cmd.SarifPath.c_str());
-    }
-  } Flusher{Cmd, Sarif};
   for (const std::string &Opt : Cmd.Passthrough)
     std::fprintf(stderr, "mao: passing through to assembler: %s\n",
                  Opt.c_str());
 
-  FaultInjector::instance().configureFromEnv();
-  if (!Cmd.FaultSpec.empty())
-    if (MaoStatus S = FaultInjector::instance().configure(Cmd.FaultSpec,
-                                                          Cmd.FaultSeed)) {
-      Diags.error(DiagCode::DriverUsage, S.message());
+  // Resolve the pipeline up front so a typo fails before any work: the
+  // classic --mao= requests (already parsed) first, then the
+  // registry-validated --mao-passes specs in command-line order.
+  std::vector<mao::api::PassSpec> Pipeline;
+  for (const mao::PassRequest &Req : Cmd.Passes) {
+    mao::api::PassSpec Spec;
+    Spec.Name = Req.PassName;
+    for (const auto &KV : Req.Options.all())
+      Spec.Options.emplace_back(KV.first, KV.second);
+    Pipeline.push_back(std::move(Spec));
+  }
+  for (const std::string &SpecText : Cmd.PassSpecs)
+    if (mao::api::Status S =
+            mao::api::Session::parsePipelineSpec(SpecText, Pipeline);
+        !S.Ok) {
+      std::fprintf(stderr, "mao: error: %s\n", S.Message.c_str());
       return ExitUsage;
     }
 
-  std::ifstream In(Cmd.Inputs[0]);
-  if (!In) {
-    Diags.error(DiagCode::DriverFileError,
-                "cannot open input file", SourceLoc{Cmd.Inputs[0], 0});
-    return ExitParseError;
-  }
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
-  const std::string Source = Buffer.str();
+  mao::api::Session::Config Config;
+  Config.SarifPath = Cmd.SarifPath;
+  mao::api::Session Session(Config);
 
-  ParseStats Stats;
-  auto UnitOr = parseAssembly(Source, &Stats, Cmd.Inputs[0], &Diags);
-  if (!UnitOr.ok())
-    return LintMode ? 2 : ExitParseError; // Reported through the engine.
+  Session.armFaultInjectionFromEnv();
+  if (!Cmd.FaultSpec.empty())
+    if (mao::api::Status S =
+            Session.armFaultInjection(Cmd.FaultSpec, Cmd.FaultSeed);
+        !S.Ok) {
+      std::fprintf(stderr, "mao: error: %s\n", S.Message.c_str());
+      return ExitUsage;
+    }
+
+  mao::api::Program Program;
+  mao::api::ParseInfo Parse;
+  if (!Session.parseFile(Cmd.Inputs[0], Program, &Parse).Ok)
+    return LintMode ? 2 : ExitParseError; // Reported through diagnostics.
 
   if (LintMode) {
-    LintOptions Opts;
-    Opts.WarningsAsErrors = Cmd.LintWerror;
-    Opts.FileName = Cmd.Inputs[0];
-    LintResult Lint = lintUnit(*UnitOr, Opts, Diags);
-    if (Lint.InternalError)
-      Diags.error(DiagCode::LintInternalError,
-                  "linter internal error: " + Lint.InternalDetail,
-                  SourceLoc{Cmd.Inputs[0], 0}, "lint");
+    mao::api::LintRequest Request;
+    Request.WarningsAsErrors = Cmd.LintWerror;
+    Request.FileName = Cmd.Inputs[0];
+    mao::api::LintSummary Lint = Session.lint(Program, Request);
     std::fprintf(stderr,
                  "mao: lint: %u error(s), %u warning(s), %u note(s); "
                  "indirect jumps: %u unresolved of %u\n",
                  Lint.Errors, Lint.Warnings, Lint.Notes,
                  Lint.IndirectUnresolved, Lint.IndirectTotal);
-    return lintExitCode(Lint);
+    return Lint.ExitCode;
   }
 
   std::fprintf(stderr,
                "mao: %zu lines, %zu instructions (%zu opaque), "
                "%zu functions\n",
-               Stats.Lines, Stats.Instructions, Stats.OpaqueInstructions,
-               UnitOr->functions().size());
+               Parse.Lines, Parse.Instructions, Parse.OpaqueInstructions,
+               Parse.Functions);
+
+  if (Cmd.Tune) {
+    mao::api::TuneRequest Request;
+    Request.Entry = Cmd.TuneEntry;
+    Request.Config = Cmd.TuneConfig;
+    Request.Budget = Cmd.TuneBudget;
+    Request.Seed = Cmd.TuneSeed;
+    Request.Jobs = Cmd.Jobs;
+    Request.ReportPath = Cmd.TuneReport;
+    mao::api::TuneSummary Tune;
+    if (mao::api::Status S = Session.tune(Program, Request, Tune); !S.Ok) {
+      std::fprintf(stderr, "mao: tune: %s\n", S.Message.c_str());
+      return ExitPipelineError;
+    }
+    std::fprintf(stderr,
+                 "mao: tune: baseline %llu, default pipeline %llu, tuned "
+                 "%llu cycles over %u evaluations (%llu cache hits)\n",
+                 static_cast<unsigned long long>(Tune.BaselineCycles),
+                 static_cast<unsigned long long>(Tune.DefaultCycles),
+                 static_cast<unsigned long long>(Tune.TunedCycles),
+                 Tune.Evaluations,
+                 static_cast<unsigned long long>(Tune.ScoreCacheHits));
+    std::fprintf(stderr, "mao: tune: winner: --mao-passes=%s\n",
+                 Tune.TunedPipeline.c_str());
+    // The tuned unit is already applied; fall through to verify + emit.
+  }
 
   bool HasAsmPass = false;
-  for (const PassRequest &Req : Cmd.Passes)
-    if (Req.PassName == "ASM")
+  for (const mao::api::PassSpec &Spec : Pipeline)
+    if (Spec.Name == "ASM")
       HasAsmPass = true;
 
-  PipelineOptions Pipeline;
-  Pipeline.OnError = policyFromString(Cmd.OnError);
-  Pipeline.VerifyAfterEachPass = Cmd.Verify ||
-                                 Pipeline.OnError != OnErrorPolicy::Abort ||
-                                 Cmd.Validate != "off";
-  if (Cmd.Validate == "semantic")
-    Pipeline.SemanticCheck = [](MaoUnit &Before, MaoUnit &After,
-                                const std::string &PassName) -> MaoStatus {
-      ValidationReport Report = validateSemantics(Before, After);
-      if (Report.Equivalent)
-        return MaoStatus::success();
-      return MaoStatus::error("pass " + PassName +
-                              " changed semantics: " + Report.firstMessage());
-    };
-  // Policy-driven verification uses the cheap per-pass configuration (the
-  // final gate below still checks everything once); an explicit
-  // --mao-verify asks for thoroughness over speed, so check everything
-  // after every pass too.
-  if (Cmd.Verify)
-    Pipeline.PerPassVerify = VerifierOptions();
-  Pipeline.PassTimeoutMs = Cmd.PassTimeoutMs;
-  Pipeline.Jobs = Cmd.Jobs;
-  Pipeline.Diags = &Diags;
-  // Lazy rollback checkpoint: the source text is still in hand, so the
-  // pre-pipeline unit can be reconstructed by re-parsing when (and only
-  // when) a rollback happens, instead of cloning it up front.
-  Pipeline.CheckpointProvider = [&Source, &Cmd] {
-    return parseAssembly(Source, nullptr, Cmd.Inputs[0]);
-  };
-
-  PipelineResult Result = runPasses(*UnitOr, Cmd.Passes, Pipeline);
-  if (!Result.Ok)
-    return ExitPipelineError; // Failure already reported via Diags.
-  for (const PassOutcome &Outcome : Result.Outcomes) {
-    if (Outcome.Status != PassStatus::Ok)
-      std::fprintf(stderr, "mao: pass %s %s (%s)\n",
-                   Outcome.PassName.c_str(),
-                   passStatusName(Outcome.Status), Outcome.Detail.c_str());
-    else if (Outcome.Transformations > 0)
-      std::fprintf(stderr, "mao: %s performed %u transformations\n",
-                   Outcome.PassName.c_str(), Outcome.Transformations);
-  }
-
-  // Final consistency gate when verification was requested: never emit
-  // assembly from a unit the verifier rejects.
-  if (Pipeline.VerifyAfterEachPass) {
-    VerifierReport Report = verifyUnit(*UnitOr, VerifierOptions(), &Diags);
-    if (!Report.clean())
+  bool VerifiedPerPass = false;
+  if (!Pipeline.empty() || !Cmd.Tune) {
+    mao::api::OptimizeOptions Options;
+    Options.OnError = Cmd.OnError;
+    Options.Validate = Cmd.Validate;
+    Options.VerifyAfterEachPass = Cmd.Verify;
+    Options.PassTimeoutMs = Cmd.PassTimeoutMs;
+    Options.Jobs = Cmd.Jobs;
+    mao::api::OptimizeResult Result =
+        Session.optimize(Program, Pipeline, Options);
+    if (!Result.Ok) {
+      if (!Result.Error.empty())
+        std::fprintf(stderr, "mao: error: %s\n", Result.Error.c_str());
       return ExitPipelineError;
+    }
+    for (const mao::api::PassOutcomeInfo &Outcome : Result.Outcomes) {
+      if (Outcome.Status != "ok")
+        std::fprintf(stderr, "mao: pass %s %s (%s)\n", Outcome.Pass.c_str(),
+                     Outcome.Status.c_str(), Outcome.Detail.c_str());
+      else if (Outcome.Transformations > 0)
+        std::fprintf(stderr, "mao: %s performed %u transformations\n",
+                     Outcome.Pass.c_str(), Outcome.Transformations);
+    }
+    VerifiedPerPass = Cmd.Verify || Cmd.OnError != "abort" ||
+                      Cmd.Validate != "off";
   }
+
+  // Final consistency gate when verification was requested or the tuner
+  // rewrote the unit: never emit assembly the verifier rejects.
+  if (VerifiedPerPass || Cmd.Tune)
+    if (!Session.verify(Program).Ok)
+      return ExitPipelineError;
 
   if (!HasAsmPass)
-    if (MaoStatus S = writeAssemblyFile(*UnitOr, "-")) {
-      Diags.error(DiagCode::DriverFileError, S.message());
+    if (mao::api::Status S = Session.emitToFile(Program, "-"); !S.Ok) {
+      std::fprintf(stderr, "mao: error: %s\n", S.Message.c_str());
       return ExitPipelineError;
     }
   return ExitOk;

@@ -3,15 +3,16 @@
 /// \file
 /// Deterministic fuzzing harness for the MAO pipeline. Each seed derives a
 /// randomized-but-valid WorkloadSpec, generates assembly from it, and then
-/// exercises the whole stack:
+/// exercises the whole stack through the public facade (mao/Mao.h) — the
+/// fuzzer sees exactly the surface an external embedder sees:
 ///
-///   1. parse the text into a MaoUnit,
+///   1. parse the text into a program,
 ///   2. identity round-trip: emit -> reparse -> assemble both, the bytes
 ///      must match (paper Sec. III-A's identity-verification workflow),
-///   3. run the IR verifier on the untouched unit,
+///   3. run the IR verifier on the untouched program,
 ///   4. run a random subset of the registered passes in random order under
 ///      the rollback policy with per-pass verification,
-///   5. verify the final unit again.
+///   5. verify the final program again.
 ///
 /// On the clean path every step must succeed. With --inject= the fault
 /// injector is armed (re-seeded per iteration, so any failure reproduces
@@ -23,27 +24,18 @@
 ///
 /// With --lint each clean iteration additionally runs the MaoCheck linter
 /// (which must never crash) and the semantic translation validator: the
-/// unit must validate against its own clone, and every pass in the random
-/// pipeline must preserve semantics.
+/// program must validate against its own clone, and every pass in the
+/// random pipeline must preserve semantics.
 ///
 /// Exit codes: 0 all iterations clean (or contained), 1 at least one
 /// property violated, 2 usage error.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "asm/AsmEmitter.h"
-#include "asm/Assembler.h"
-#include "asm/Parser.h"
-#include "check/Lint.h"
-#include "check/SemanticValidator.h"
-#include "ir/Verifier.h"
-#include "pass/MaoPass.h"
-#include "support/Diag.h"
-#include "support/FaultInjection.h"
+#include "mao/Mao.h"
 #include "support/Random.h"
 #include "workload/Workload.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -105,7 +97,7 @@ const char *const CandidatePasses[] = {
     "LFIND",  "MAOPASS", "INSTRUMENT",
 };
 
-std::vector<PassRequest> randomPipeline(uint64_t Seed) {
+std::vector<api::PassSpec> randomPipeline(uint64_t Seed) {
   RandomSource Rng(Seed * 0x517cc1b727220a95ULL + 2);
   std::vector<std::string> Names(std::begin(CandidatePasses),
                                  std::end(CandidatePasses));
@@ -117,18 +109,20 @@ std::vector<PassRequest> randomPipeline(uint64_t Seed) {
   size_t Take = 1 + Rng.nextBelow(Names.size());
   Names.resize(Take);
 
-  std::vector<PassRequest> Requests;
+  std::vector<api::PassSpec> Pipeline;
   for (const std::string &Name : Names) {
-    PassRequest Req;
-    Req.PassName = Name;
-    Req.Options.set("trace", "-1"); // Passes that narrate stay quiet here.
+    api::PassSpec Spec;
+    Spec.Name = Name;
+    Spec.Options.emplace_back("trace", "-1"); // Narrating passes stay quiet.
     if (Name == "NOPIN") {
-      Req.Options.set("seed", std::to_string(1 + Rng.nextBelow(1000)));
-      Req.Options.set("density", std::to_string(1 + Rng.nextBelow(16)));
+      Spec.Options.emplace_back("seed",
+                                std::to_string(1 + Rng.nextBelow(1000)));
+      Spec.Options.emplace_back("density",
+                                std::to_string(1 + Rng.nextBelow(16)));
     }
-    Requests.push_back(Req);
+    Pipeline.push_back(Spec);
   }
-  return Requests;
+  return Pipeline;
 }
 
 struct IterationResult {
@@ -139,9 +133,11 @@ struct IterationResult {
 IterationResult runOne(uint64_t Seed, const FuzzConfig &Config) {
   IterationResult R;
   const bool Injecting = !Config.InjectSpec.empty();
-  CollectingDiagSink Collected;
-  DiagEngine Diags;
-  Diags.addSink(&Collected);
+  // Quiet session: findings and diagnostics are not interesting per
+  // iteration, only property violations are.
+  api::Session::Config SessionConfig;
+  SessionConfig.StderrDiagnostics = false;
+  api::Session Session(SessionConfig);
 
   auto Violate = [&](const char *What, const std::string &Detail) {
     std::fprintf(stderr, "maofuzz: seed %llu: %s: %s\n",
@@ -151,39 +147,40 @@ IterationResult runOne(uint64_t Seed, const FuzzConfig &Config) {
 
   std::string Asm = generateWorkloadAssembly(randomSpec(Seed));
 
-  auto UnitOr = parseAssembly(Asm, nullptr, "fuzz.s", &Diags);
-  if (!UnitOr.ok()) {
+  api::Program Program;
+  if (api::Status S = Session.parseText(Asm, "fuzz.s", Program); !S.Ok) {
     // The generator emits valid assembly; a parse failure is only
     // acceptable as a contained injected fault.
     if (Injecting)
       ++R.InjectedFailures;
     else
-      Violate("parse failed", UnitOr.message());
+      Violate("parse failed", S.Message);
     return R;
   }
 
   if (!Injecting) {
     // Identity round-trip on the untouched path: text -> IR -> text -> IR
     // must assemble to the same bytes.
-    std::string Emitted = emitAssembly(*UnitOr);
-    auto Reparsed = parseAssembly(Emitted);
-    if (!Reparsed.ok()) {
-      Violate("round-trip reparse failed", Reparsed.message());
+    std::string Emitted = Session.emitToString(Program);
+    api::Program Reparsed;
+    if (api::Status S = Session.parseText(Emitted, "fuzz2.s", Reparsed);
+        !S.Ok) {
+      Violate("round-trip reparse failed", S.Message);
       return R;
     }
-    auto B0 = assembleUnit(*UnitOr);
-    auto B1 = assembleUnit(*Reparsed);
-    if (!B0.ok() || !B1.ok()) {
-      Violate("assembly failed", !B0.ok() ? B0.message() : B1.message());
+    api::AssembledBytes B0, B1;
+    api::Status S0 = Session.assemble(Program, B0);
+    api::Status S1 = Session.assemble(Reparsed, B1);
+    if (!S0.Ok || !S1.Ok) {
+      Violate("assembly failed", !S0.Ok ? S0.Message : S1.Message);
       return R;
     }
-    if (*B0 != *B1) {
+    if (B0 != B1) {
       Violate("identity round-trip changed the binary", "byte mismatch");
       return R;
     }
-    VerifierReport Pre = verifyUnit(*UnitOr);
-    if (!Pre.clean()) {
-      Violate("verifier rejected untouched unit", Pre.firstMessage());
+    if (api::Status S = Session.verify(Program); !S.Ok) {
+      Violate("verifier rejected untouched unit", S.Message);
       return R;
     }
   }
@@ -191,77 +188,61 @@ IterationResult runOne(uint64_t Seed, const FuzzConfig &Config) {
   if (Config.Lint && !Injecting) {
     // The linter may flag the generated code (its findings are advisory)
     // but must never crash or report an internal error.
-    DiagEngine LintDiags; // No sink: findings are not interesting here.
-    LintResult Lint = lintUnit(*UnitOr, LintOptions(), LintDiags);
+    api::LintSummary Lint = Session.lint(Program, api::LintRequest());
     if (Lint.InternalError) {
       Violate("linter internal error", Lint.InternalDetail);
       return R;
     }
     // Identity must validate: a unit is semantically equivalent to its
     // own clone, or the validator has a false positive.
-    MaoUnit Clone = UnitOr->clone();
-    ValidationReport Identity = validateSemantics(*UnitOr, Clone);
-    if (!Identity.Equivalent) {
-      Violate("semantic validator rejected identity", Identity.firstMessage());
+    api::Program Clone = Program.clone();
+    if (api::Status S = Session.validateEquivalence(Program, Clone); !S.Ok) {
+      Violate("semantic validator rejected identity", S.Message);
       return R;
     }
   }
 
-  PipelineOptions Options;
-  Options.OnError = OnErrorPolicy::Rollback;
-  Options.VerifyAfterEachPass = true;
-  Options.Diags = &Diags;
-  // Lazy checkpoint, exactly as the mao driver configures it: the
-  // pre-pipeline unit is reconstructed by re-parsing on first rollback.
-  Options.CheckpointProvider = [&Asm] { return parseAssembly(Asm); };
-  if (Config.Lint && !Injecting)
-    // All candidate passes are semantics-preserving, so on the clean path
-    // a reported divergence is a validator false positive (or a real pass
-    // bug) — either way a property violation, surfaced below as a
-    // clean-path pass failure.
-    Options.SemanticCheck = [](MaoUnit &Before, MaoUnit &After,
-                               const std::string &PassName) -> MaoStatus {
-      ValidationReport Report = validateSemantics(Before, After);
-      if (Report.Equivalent)
-        return MaoStatus::success();
-      return MaoStatus::error("pass " + PassName +
-                              " changed semantics: " + Report.firstMessage());
-    };
+  api::OptimizeOptions Options;
+  Options.OnError = "rollback";
+  Options.VerifyAfterEachPass = false; // Rollback policy verifies per pass.
+  // Clean-path + --lint: all candidate passes are semantics-preserving, so
+  // a reported divergence is a validator false positive (or a real pass
+  // bug) — either way a property violation, surfaced below as a clean-path
+  // pass failure.
+  Options.Validate = (Config.Lint && !Injecting) ? "semantic" : "off";
 
-  std::vector<PassRequest> Requests = randomPipeline(Seed);
-  PipelineResult Result = runPasses(*UnitOr, Requests, Options);
+  std::vector<api::PassSpec> Pipeline = randomPipeline(Seed);
+  api::OptimizeResult Result = Session.optimize(Program, Pipeline, Options);
   if (!Result.Ok) {
     // Under rollback the pipeline always completes; Ok=false means the
     // runner itself misbehaved.
     Violate("pipeline aborted under rollback policy", Result.Error);
     return R;
   }
-  unsigned Failures = Result.failureCount();
-  if (Failures > 0) {
+  if (Result.Failures > 0) {
     if (Injecting) {
-      R.InjectedFailures += Failures;
+      R.InjectedFailures += Result.Failures;
     } else {
-      for (const PassOutcome &Outcome : Result.Outcomes)
-        if (Outcome.Status != PassStatus::Ok)
+      for (const api::PassOutcomeInfo &Outcome : Result.Outcomes)
+        if (Outcome.Status != "ok")
           Violate("pass failed on clean path",
-                  Outcome.PassName + ": " + Outcome.Detail);
+                  Outcome.Pass + ": " + Outcome.Detail);
       return R;
     }
   }
 
-  VerifierReport Post = verifyUnit(*UnitOr);
-  if (!Post.clean()) {
+  if (api::Status S = Session.verify(Program); !S.Ok) {
     if (Injecting)
       ++R.InjectedFailures; // Verifier itself hit an injected encoder fault.
     else
-      Violate("verifier rejected optimized unit", Post.firstMessage());
+      Violate("verifier rejected optimized unit", S.Message);
     return R;
   }
 
   if (Config.Verbose)
     std::fprintf(stderr,
                  "maofuzz: seed %llu ok (%zu passes, %u contained faults)\n",
-                 static_cast<unsigned long long>(Seed), Requests.size(),
+                 static_cast<unsigned long long>(Seed), Pipeline.size(),
                  R.InjectedFailures);
   return R;
 }
@@ -269,7 +250,6 @@ IterationResult runOne(uint64_t Seed, const FuzzConfig &Config) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  linkAllPasses();
   FuzzConfig Config;
 
   for (int I = 1; I < Argc; ++I) {
@@ -313,9 +293,11 @@ int main(int Argc, char **Argv) {
     if (!Config.InjectSpec.empty()) {
       // Re-arm per iteration so any failure reproduces from (spec, seed)
       // alone, independent of how many faults earlier iterations drew.
-      if (MaoStatus S = FaultInjector::instance().configure(
-              Config.InjectSpec, Config.InjectSeed + I)) {
-        std::fprintf(stderr, "maofuzz: %s\n", S.message().c_str());
+      api::Session ArmSession;
+      if (api::Status S = ArmSession.armFaultInjection(Config.InjectSpec,
+                                                       Config.InjectSeed + I);
+          !S.Ok) {
+        std::fprintf(stderr, "maofuzz: %s\n", S.Message.c_str());
         return 2;
       }
     }
@@ -324,7 +306,6 @@ int main(int Argc, char **Argv) {
       ++Violations;
     ContainedFaults += R.InjectedFailures;
   }
-  FaultInjector::instance().reset();
 
   std::printf("maofuzz: %u seeds, %u violations, %u contained injected "
               "faults\n",

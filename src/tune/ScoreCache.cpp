@@ -1,0 +1,51 @@
+//===- tune/ScoreCache.cpp - Candidate score memoization ----------------------==//
+
+#include "tune/ScoreCache.h"
+
+using namespace mao;
+
+namespace {
+
+constexpr uint64_t FnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+uint64_t fnvMix(uint64_t Hash, const void *Data, size_t Size) {
+  const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Size; ++I)
+    Hash = (Hash ^ Bytes[I]) * FnvPrime;
+  return Hash;
+}
+
+} // namespace
+
+uint64_t ScoreCache::keyFor(const SectionBytes &Bytes) const {
+  uint64_t Hash = fnvMix(FnvOffset, ConfigName.data(), ConfigName.size());
+  for (const auto &[Name, Data] : Bytes) {
+    Hash = fnvMix(Hash, Name.data(), Name.size());
+    const uint64_t Size = Data.size();
+    Hash = fnvMix(Hash, &Size, sizeof(Size));
+    Hash = fnvMix(Hash, Data.data(), Data.size());
+  }
+  return Hash;
+}
+
+std::optional<uint64_t> ScoreCache::lookup(uint64_t Key) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Misses;
+    return std::nullopt;
+  }
+  ++Hits;
+  return It->second;
+}
+
+void ScoreCache::insert(uint64_t Key, uint64_t Cycles) {
+  std::lock_guard<std::mutex> Lock(M);
+  Map.emplace(Key, Cycles);
+}
+
+ScoreCache::Stats ScoreCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return {Hits, Misses, Map.size()};
+}

@@ -1,0 +1,251 @@
+//===- tune/SearchSpace.cpp - Tuner parameterization model --------------------==//
+
+#include "tune/SearchSpace.h"
+
+#include <algorithm>
+
+using namespace mao;
+
+namespace {
+
+PassRequest makeRequest(const char *Name,
+                        std::vector<std::pair<std::string, std::string>> Opts = {}) {
+  PassRequest Req;
+  Req.PassName = Name;
+  for (auto &[K, V] : Opts)
+    Req.Options.set(K, V);
+  return Req;
+}
+
+} // namespace
+
+std::vector<PassRequest> TuneParams::toRequests() const {
+  std::vector<PassRequest> Out;
+  // Canonical order: strip compiler alignment first (so ALIGNSEL owns the
+  // layout), run the peepholes (they shrink code, changing addresses),
+  // schedule, then place explicit layout, and let the alignment-fitting
+  // passes clean up whatever is left.
+  if (NopKill)
+    Out.push_back(makeRequest("NOPKILL"));
+  if (Zee)
+    Out.push_back(makeRequest("ZEE"));
+  if (RedTest)
+    Out.push_back(makeRequest("REDTEST"));
+  if (RedMov)
+    Out.push_back(makeRequest("REDMOV"));
+  if (AddAdd)
+    Out.push_back(makeRequest("ADDADD"));
+  if (SchedWindow != kOff)
+    Out.push_back(makeRequest(
+        "SCHED", {{"window", std::to_string(SchedWindow)}}));
+  for (const FunctionTuneParams &F : PerFunction) {
+    if (F.AlignPow >= 0)
+      Out.push_back(makeRequest("ALIGNSEL", {{"func", F.Function},
+                                             {"pow", std::to_string(F.AlignPow)}}));
+    if (F.NopSite >= 0)
+      Out.push_back(makeRequest("NOPIN", {{"func", F.Function},
+                                          {"at", std::to_string(F.NopSite)},
+                                          {"pad", std::to_string(F.NopPad)}}));
+  }
+  if (Loop16Max >= 0)
+    Out.push_back(makeRequest("LOOP16", {{"maxsize", std::to_string(Loop16Max)}}));
+  if (LsdMaxLines >= 0)
+    Out.push_back(makeRequest("LSDOPT", {{"maxlines", std::to_string(LsdMaxLines)}}));
+  if (BralignShift >= 0)
+    Out.push_back(makeRequest("BRALIGN", {{"shift", std::to_string(BralignShift)}}));
+  return Out;
+}
+
+std::string TuneParams::toString() const {
+  std::string Out;
+  for (const PassRequest &Req : toRequests()) {
+    if (!Out.empty())
+      Out += ",";
+    Out += Req.PassName;
+    if (!Req.Options.all().empty()) {
+      Out += "(";
+      bool First = true;
+      for (const auto &[K, V] : Req.Options.all()) {
+        if (!First)
+          Out += ",";
+        First = false;
+        Out += K + "=" + V;
+      }
+      Out += ")";
+    }
+  }
+  return Out;
+}
+
+SearchSpace::SearchSpace(const MaoUnit &Unit, unsigned MaxSites,
+                         unsigned MaxFunctions) {
+  for (const MaoFunction &Fn : Unit.functions()) {
+    if (Functions.size() >= MaxFunctions)
+      break;
+    FunctionAxis Axis;
+    Axis.Name = Fn.name();
+    Axis.Sites = static_cast<unsigned>(
+        std::min<size_t>(Fn.countInstructions(), MaxSites));
+    Functions.push_back(std::move(Axis));
+  }
+}
+
+TuneParams SearchSpace::defaultParams() const {
+  TuneParams P;
+  for (const FunctionAxis &Axis : Functions)
+    P.PerFunction.push_back({Axis.Name, -1, -1, 1});
+  return P;
+}
+
+TuneParams SearchSpace::baselineParams() const {
+  TuneParams P;
+  P.Zee = P.RedTest = P.RedMov = P.AddAdd = P.NopKill = false;
+  P.SchedWindow = TuneParams::kOff;
+  P.Loop16Max = P.LsdMaxLines = P.BralignShift = -1;
+  for (const FunctionAxis &Axis : Functions)
+    P.PerFunction.push_back({Axis.Name, -1, -1, 1});
+  return P;
+}
+
+namespace {
+
+const int SchedChoices[] = {TuneParams::kOff, 0, 4, 8};
+const int Loop16Choices[] = {-1, 8, 16, 32};
+const int LsdChoices[] = {-1, 3, 4, 5};
+const int BralignChoices[] = {-1, 4, 5, 6};
+const int AlignPowChoices[] = {-1, 0, 2, 4, 5, 6};
+const int PadChoices[] = {1, 2, 3, 4, 6, 8, 12, 15};
+
+template <size_t N>
+int pickOther(const int (&Choices)[N], int Current, RandomSource &Rng) {
+  int Choice;
+  do {
+    Choice = Choices[Rng.nextBelow(N)];
+  } while (Choice == Current && N > 1);
+  return Choice;
+}
+
+template <size_t N> int pickAny(const int (&Choices)[N], RandomSource &Rng) {
+  return Choices[Rng.nextBelow(N)];
+}
+
+} // namespace
+
+TuneParams SearchSpace::randomParams(RandomSource &Rng) const {
+  TuneParams P;
+  P.Zee = Rng.nextChance(1, 2);
+  P.RedTest = Rng.nextChance(1, 2);
+  P.RedMov = Rng.nextChance(1, 2);
+  P.AddAdd = Rng.nextChance(1, 2);
+  P.NopKill = Rng.nextChance(1, 2);
+  P.SchedWindow = pickAny(SchedChoices, Rng);
+  P.Loop16Max = pickAny(Loop16Choices, Rng);
+  P.LsdMaxLines = pickAny(LsdChoices, Rng);
+  P.BralignShift = pickAny(BralignChoices, Rng);
+  for (const FunctionAxis &Axis : Functions) {
+    FunctionTuneParams F;
+    F.Function = Axis.Name;
+    F.AlignPow = pickAny(AlignPowChoices, Rng);
+    // Directed NOPs are the sharpest axis; start them disabled half the
+    // time so random restarts do not drown in pad placements.
+    if (Axis.Sites > 0 && Rng.nextChance(1, 2)) {
+      F.NopSite = static_cast<int>(Rng.nextBelow(Axis.Sites));
+      F.NopPad = pickAny(PadChoices, Rng);
+    }
+    P.PerFunction.push_back(std::move(F));
+  }
+  return P;
+}
+
+TuneParams SearchSpace::mutate(const TuneParams &P, RandomSource &Rng) const {
+  // A single axis draw can be invisible in canonical form: a NopPad move
+  // while the pad is disabled, a site step pinned at a range boundary, or
+  // a site axis on a function with no sites. Redraw until the neighbour is
+  // observably different; the sequence is still a pure function of the RNG
+  // state, so determinism is preserved.
+  const std::string Canon = P.toString();
+  TuneParams Q = P;
+  for (int Attempt = 0; Attempt != 64; ++Attempt) {
+    Q = mutateOnce(P, Rng);
+    if (Q.toString() != Canon)
+      break;
+  }
+  return Q;
+}
+
+TuneParams SearchSpace::mutateOnce(const TuneParams &P,
+                                   RandomSource &Rng) const {
+  TuneParams Q = P;
+  // Axis inventory: 9 global + 3 per function.
+  const size_t GlobalAxes = 9;
+  const size_t TotalAxes = GlobalAxes + 3 * Functions.size();
+  const size_t Axis = Rng.nextBelow(TotalAxes);
+  switch (Axis) {
+  case 0:
+    Q.Zee = !Q.Zee;
+    return Q;
+  case 1:
+    Q.RedTest = !Q.RedTest;
+    return Q;
+  case 2:
+    Q.RedMov = !Q.RedMov;
+    return Q;
+  case 3:
+    Q.AddAdd = !Q.AddAdd;
+    return Q;
+  case 4:
+    Q.NopKill = !Q.NopKill;
+    return Q;
+  case 5:
+    Q.SchedWindow = pickOther(SchedChoices, Q.SchedWindow, Rng);
+    return Q;
+  case 6:
+    Q.Loop16Max = pickOther(Loop16Choices, Q.Loop16Max, Rng);
+    return Q;
+  case 7:
+    Q.LsdMaxLines = pickOther(LsdChoices, Q.LsdMaxLines, Rng);
+    return Q;
+  case 8:
+    Q.BralignShift = pickOther(BralignChoices, Q.BralignShift, Rng);
+    return Q;
+  default:
+    break;
+  }
+  const size_t FnIdx = (Axis - GlobalAxes) / 3;
+  const size_t Sub = (Axis - GlobalAxes) % 3;
+  const FunctionAxis &Info = Functions[FnIdx];
+  FunctionTuneParams &F = Q.PerFunction[FnIdx];
+  switch (Sub) {
+  case 0:
+    F.AlignPow = pickOther(AlignPowChoices, F.AlignPow, Rng);
+    break;
+  case 1:
+    // Site moves: disable, or step/jump within range.
+    if (Info.Sites == 0)
+      break;
+    if (F.NopSite < 0) {
+      F.NopSite = static_cast<int>(Rng.nextBelow(Info.Sites));
+    } else {
+      switch (Rng.nextBelow(4)) {
+      case 0:
+        F.NopSite = -1; // Drop the pad.
+        break;
+      case 1:
+        F.NopSite = std::max(0, F.NopSite - 1);
+        break;
+      case 2:
+        F.NopSite = std::min<int>(static_cast<int>(Info.Sites) - 1,
+                                  F.NopSite + 1);
+        break;
+      default:
+        F.NopSite = static_cast<int>(Rng.nextBelow(Info.Sites));
+        break;
+      }
+    }
+    break;
+  default:
+    F.NopPad = pickOther(PadChoices, F.NopPad, Rng);
+    break;
+  }
+  return Q;
+}

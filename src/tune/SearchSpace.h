@@ -1,0 +1,110 @@
+//===- tune/SearchSpace.h - Tuner parameterization model --------*- C++ -*-===//
+///
+/// \file
+/// The space the autotuner searches: one TuneParams value is a complete,
+/// deterministic parameterization of the optimization pipeline — which
+/// peepholes run, the scheduler window, the alignment passes' thresholds,
+/// and per-function layout decisions (explicit `.p2align` choice, one
+/// directed NOP pad at a chosen instruction site). A TuneParams lowers to
+/// an ordinary pass-request pipeline via toRequests(), so a tuned result
+/// is reproducible with `--mao-passes=<tuned_pipeline string>` and nothing
+/// in the tuner bypasses the registry.
+///
+/// The axes mirror the paper's experiments: the NOP site/pad axis is
+/// Fig. 1's nopinizer sweep done on purpose, the alignment-power axis is
+/// Sec. III-C's cliffs, and the toggles expose the phase-ordering freedom
+/// the paper observes between relaxation-coupled passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_TUNE_SEARCHSPACE_H
+#define MAO_TUNE_SEARCHSPACE_H
+
+#include "ir/MaoUnit.h"
+#include "support/Options.h"
+#include "support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace mao {
+
+/// Per-function layout knobs.
+struct FunctionTuneParams {
+  std::string Function;
+  /// ALIGNSEL entry alignment: -1 leaves alignment untouched, 0 strips
+  /// existing directives, 2..6 installs `.p2align N`.
+  int AlignPow = -1;
+  /// NOPIN directed site: -1 disables, otherwise the instruction index the
+  /// pad is inserted before.
+  int NopSite = -1;
+  /// Directed pad length in bytes (1..15); meaningful when NopSite >= 0.
+  int NopPad = 1;
+};
+
+/// One point in the search space. Defaults describe the repo's default
+/// optimization pipeline, so TuneParams() == defaultParams() of a space
+/// with no per-function overrides.
+struct TuneParams {
+  bool Zee = true;
+  bool RedTest = true;
+  bool RedMov = true;
+  bool AddAdd = true;
+  bool NopKill = false;
+  /// SCHED window: kOff disables the pass, 0 schedules whole blocks, N > 0
+  /// restricts reordering to N-instruction chunks.
+  static constexpr int kOff = -2;
+  int SchedWindow = kOff;
+  int Loop16Max = 16;   ///< LOOP16 maxsize; -1 disables the pass.
+  int LsdMaxLines = 4;  ///< LSDOPT maxlines; -1 disables the pass.
+  int BralignShift = 5; ///< BRALIGN shift; -1 disables the pass.
+  std::vector<FunctionTuneParams> PerFunction;
+
+  /// Lowers to the pass pipeline this parameterization denotes, in the
+  /// fixed canonical order (strip alignment, peepholes, schedule, explicit
+  /// layout, alignment fitting).
+  std::vector<PassRequest> toRequests() const;
+
+  /// Canonical rendering in the --mao-passes spelling; equal strings mean
+  /// equal parameterizations, and the string round-trips through
+  /// PassRegistry::parsePipeline. Empty for the all-off baseline.
+  std::string toString() const;
+};
+
+/// The searchable axes for one unit, derived from its function inventory.
+class SearchSpace {
+public:
+  /// \p MaxSites caps the directed-NOP site axis per function and
+  /// \p MaxFunctions caps how many functions get per-function axes (both
+  /// keep neighbourhoods bounded on large units; axes are assigned to
+  /// functions in unit order, which is deterministic).
+  explicit SearchSpace(const MaoUnit &Unit, unsigned MaxSites = 32,
+                       unsigned MaxFunctions = 8);
+
+  /// The repo's default pipeline as a point in this space.
+  TuneParams defaultParams() const;
+
+  /// The all-passes-off baseline.
+  TuneParams baselineParams() const;
+
+  /// A uniformly random point (restart seeds).
+  TuneParams randomParams(RandomSource &Rng) const;
+
+  /// A neighbour of \p P: one axis moved to a different admissible value.
+  /// The result's toString() always differs from P's (single-draw moves
+  /// that are invisible in canonical form are redrawn).
+  TuneParams mutate(const TuneParams &P, RandomSource &Rng) const;
+
+private:
+  TuneParams mutateOnce(const TuneParams &P, RandomSource &Rng) const;
+
+  struct FunctionAxis {
+    std::string Name;
+    unsigned Sites = 0; ///< Directed-NOP site count (capped).
+  };
+  std::vector<FunctionAxis> Functions;
+};
+
+} // namespace mao
+
+#endif // MAO_TUNE_SEARCHSPACE_H

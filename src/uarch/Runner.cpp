@@ -3,6 +3,7 @@
 #include "uarch/Runner.h"
 
 #include "analysis/Relaxer.h"
+#include "support/ThreadPool.h"
 
 using namespace mao;
 
@@ -62,4 +63,37 @@ ErrorOr<MeasureResult> mao::measureFunction(MaoUnit &Unit,
                             Result.Emulation.Message);
   Result.Pmu = Sim.finish();
   return Result;
+}
+
+ErrorOr<uint64_t> mao::scoreFunctionCycles(MaoUnit &Unit,
+                                           const std::string &Function,
+                                           const MeasureOptions &Options) {
+  ErrorOr<MeasureResult> R = measureFunction(Unit, Function, Options);
+  if (!R.ok())
+    return MaoStatus::error(R.message());
+  return R->Pmu.CpuCycles;
+}
+
+std::vector<BatchScore> mao::scoreBatch(const std::vector<MaoUnit *> &Units,
+                                        const std::string &Function,
+                                        const MeasureOptions &Options,
+                                        unsigned Jobs) {
+  std::vector<BatchScore> Scores(Units.size());
+  auto ScoreOne = [&](size_t I) {
+    ErrorOr<uint64_t> Cycles = scoreFunctionCycles(*Units[I], Function, Options);
+    if (Cycles.ok()) {
+      Scores[I].Ok = true;
+      Scores[I].Cycles = *Cycles;
+    } else {
+      Scores[I].Error = Cycles.message();
+    }
+  };
+  if (Jobs <= 1 || Units.size() <= 1) {
+    for (size_t I = 0; I < Units.size(); ++I)
+      ScoreOne(I);
+    return Scores;
+  }
+  ThreadPool Pool(Jobs);
+  Pool.parallelFor(Units.size(), ScoreOne);
+  return Scores;
 }

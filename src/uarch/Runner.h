@@ -47,6 +47,30 @@ ErrorOr<MeasureResult> measureFunction(MaoUnit &Unit,
                                        const std::string &Function,
                                        const MeasureOptions &Options);
 
+/// One slot of a scoreBatch result; default-constructible so the batch can
+/// be filled in by index from worker threads.
+struct BatchScore {
+  bool Ok = false;
+  uint64_t Cycles = 0;
+  std::string Error;
+};
+
+/// Convenience wrapper reducing measureFunction to its cycle count — the
+/// tuner's objective function.
+ErrorOr<uint64_t> scoreFunctionCycles(MaoUnit &Unit,
+                                      const std::string &Function,
+                                      const MeasureOptions &Options);
+
+/// Batch scoring API: measures every unit's \p Function under the same
+/// options, fanning out over a ThreadPool with \p Jobs workers (>= 1).
+/// Each unit is relaxed and simulated independently (units must be
+/// distinct objects; relaxation writes addresses into them). Results are
+/// positionally aligned with \p Units and independent of Jobs.
+std::vector<BatchScore> scoreBatch(const std::vector<MaoUnit *> &Units,
+                                   const std::string &Function,
+                                   const MeasureOptions &Options,
+                                   unsigned Jobs);
+
 } // namespace mao
 
 #endif // MAO_UARCH_RUNNER_H

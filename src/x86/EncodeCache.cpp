@@ -109,6 +109,15 @@ void EncodeCache::noteLength(const Instruction &Insn, unsigned Length) {
   S.Map.emplace(Key, Length);
 }
 
+bool EncodeCache::invalidate(const Instruction &Insn) {
+  if (Insn.isOpaque())
+    return false;
+  const std::string Key = makeKey(Insn);
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  return S.Map.erase(Key) != 0;
+}
+
 void EncodeCache::clear() {
   for (Shard &S : Shards) {
     std::lock_guard<std::mutex> Lock(S.M);

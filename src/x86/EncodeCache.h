@@ -54,6 +54,16 @@ public:
   /// Records a successful encode of \p Insn with \p Length bytes.
   void noteLength(const Instruction &Insn, unsigned Length);
 
+  /// Drops the entry for \p Insn's *current* content, if present, and
+  /// returns whether one was dropped. Callers that mutate an instruction
+  /// in place (the tuner's NOP-resize scratch protocol) invalidate the
+  /// pre-mutation content explicitly before rewriting it: content-keying
+  /// keeps mutation *correct* without this, but every transient length the
+  /// search touches would otherwise stay resident for the process
+  /// lifetime. Invalidate before mutating — afterwards the old key is no
+  /// longer reachable from the instruction.
+  bool invalidate(const Instruction &Insn);
+
   /// Drops every entry (tests and benchmarks isolating cold behaviour).
   void clear();
 
