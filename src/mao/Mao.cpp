@@ -20,11 +20,17 @@
 #include "support/Diag.h"
 #include "support/FaultInjection.h"
 #include "support/Options.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Timeline.h"
+#include "support/Trace.h"
 #include "tune/Tuner.h"
 #include "uarch/ProcessorConfig.h"
 #include "uarch/Runner.h"
+#include "x86/EncodeCache.h"
 
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -114,6 +120,10 @@ struct Session::Impl {
   StderrDiagSink Stderr;
   SarifDiagSink Sarif;
   bool SarifFlushed = false;
+  Timeline Tl;
+  bool TraceActive = false;
+  bool TraceFlushed = false;
+  RunReport Report;
 
   explicit Impl(Config C) : Cfg(std::move(C)) {
     if (Cfg.StderrDiagnostics)
@@ -121,6 +131,13 @@ struct Session::Impl {
     Diags.setMaxErrors(Cfg.MaxErrors);
     if (!Cfg.SarifPath.empty())
       Diags.addSink(&Sarif);
+    if (!Cfg.TraceOutPath.empty()) {
+      // The collector hook is process-global (spans fire deep inside the
+      // pass runner and simulator); the last session configured for
+      // tracing wins, like any global sink.
+      Timeline::setActive(&Tl);
+      TraceActive = true;
+    }
   }
 };
 
@@ -133,6 +150,22 @@ Session::Session(Config C) : I(std::make_unique<Impl>(std::move(C))) {
 Session::~Session() {
   if (I && !I->Cfg.SarifPath.empty() && !I->SarifFlushed)
     (void)writeSarif();
+  if (I && I->TraceActive) {
+    if (Timeline::active() == &I->Tl)
+      Timeline::setActive(nullptr);
+    if (!I->TraceFlushed)
+      (void)writeTrace();
+  }
+}
+
+Status Session::writeTrace() {
+  if (I->Cfg.TraceOutPath.empty())
+    return Status::success();
+  I->TraceFlushed = true;
+  if (!I->Tl.writeTo(I->Cfg.TraceOutPath))
+    return Status::error("cannot write trace timeline to " +
+                         I->Cfg.TraceOutPath);
+  return Status::success();
 }
 
 Status Session::writeSarif() {
@@ -175,6 +208,15 @@ Status Session::parseText(const std::string &Source, const std::string &Name,
   Out.I->Source = Source;
   Out.I->Name = Name;
   Out.I->Valid = true;
+  I->Report.Input = Name;
+  I->Report.Parse.Lines = Stats.Lines;
+  I->Report.Parse.Instructions = Stats.Instructions;
+  I->Report.Parse.OpaqueInstructions = Stats.OpaqueInstructions;
+  I->Report.Parse.Functions = Out.I->Unit.functions().size();
+  StatsRegistry::instance().gauge("input.functions")
+      .set(static_cast<int64_t>(I->Report.Parse.Functions));
+  StatsRegistry::instance().gauge("input.instructions")
+      .set(static_cast<int64_t>(Stats.Instructions));
   if (Info) {
     Info->Lines = Stats.Lines;
     Info->Instructions = Stats.Instructions;
@@ -230,6 +272,7 @@ OptimizeResult Session::optimize(Program &P,
   Pipe.PassTimeoutMs = Options.PassTimeoutMs;
   Pipe.Jobs = Options.Jobs == 0 ? hardwareJobs() : Options.Jobs;
   Pipe.Diags = &I->Diags;
+  Pipe.CollectStats = Options.CollectStats;
   if (Options.LazyCheckpoint && !P.I->Source.empty()) {
     const std::string Source = P.I->Source;
     const std::string Name = P.I->Name;
@@ -238,7 +281,12 @@ OptimizeResult Session::optimize(Program &P,
     };
   }
 
+  const auto Start = std::chrono::steady_clock::now();
   PipelineResult Run = runPasses(P.I->Unit, toRequests(Pipeline), Pipe);
+  const double ElapsedMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - Start)
+          .count();
   Result.Ok = Run.Ok;
   Result.Error = Run.Error;
   Result.Failures = Run.failureCount();
@@ -247,10 +295,32 @@ OptimizeResult Session::optimize(Program &P,
     Info.Pass = Outcome.PassName;
     Info.Status = passStatusName(Outcome.Status);
     Info.Transformations = Outcome.Transformations;
+    Info.InstructionDelta = Outcome.InstructionDelta;
+    Info.ByteDelta = Outcome.ByteDelta;
+    Info.WallMs = Outcome.WallMs;
+    Info.VerifyMs = Outcome.VerifyMs;
+    Info.ValidateMs = Outcome.ValidateMs;
     Info.Detail = Outcome.Detail;
     Result.TotalTransformations += Outcome.Transformations;
+    switch (Outcome.Status) {
+    case PassStatus::Ok:
+      break;
+    case PassStatus::Failed:
+      ++I->Report.Failures;
+      break;
+    case PassStatus::RolledBack:
+      ++I->Report.Rollbacks;
+      break;
+    case PassStatus::Skipped:
+      ++I->Report.Skips;
+      break;
+    }
+    I->Report.TotalTransformations += Outcome.Transformations;
+    I->Report.Passes.push_back(Info);
     Result.Outcomes.push_back(std::move(Info));
   }
+  I->Report.Jobs = Pipe.Jobs;
+  I->Report.TotalMs += ElapsedMs;
   return Result;
 }
 
@@ -356,7 +426,16 @@ Status Session::tune(Program &P, const TuneRequest &Request,
   Opts.Seed = Request.Seed;
   Opts.Budget = tuneBudgetFromString(Request.Budget);
   Opts.Jobs = Request.Jobs == 0 ? hardwareJobs() : Request.Jobs;
-  auto ResultOr = tuneUnit(P.I->Unit, Opts);
+  const auto Start = std::chrono::steady_clock::now();
+  ErrorOr<TuneResult> ResultOr = [&] {
+    TimelineSpan Span("tune", "search:" + (Request.Entry.empty()
+                                               ? std::string("bench_main")
+                                               : Request.Entry));
+    return tuneUnit(P.I->Unit, Opts);
+  }();
+  I->Report.TotalMs += std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - Start)
+                           .count();
   if (!ResultOr.ok())
     return Status::error(ResultOr.message());
   const TuneResult &R = *ResultOr;
@@ -369,10 +448,271 @@ Status Session::tune(Program &P, const TuneRequest &Request,
   Out.ScoreCacheHits = R.ScoreCacheHits;
   Out.ScoreCacheMisses = R.ScoreCacheMisses;
   Out.ReportJson = tuneReportJson(R);
+  I->Report.Tuned = true;
+  I->Report.Tune = Out;
   if (!Request.ReportPath.empty())
     if (MaoStatus S = writeTuneReport(R, Request.ReportPath))
       return Status::error(S.message());
   return Status::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Observability
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string reportEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void appendKeyU64(std::string &Out, const char *Key, uint64_t V,
+                  bool Comma = true) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "\"%s\":%llu%s", Key,
+                (unsigned long long)V, Comma ? "," : "");
+  Out += Buf;
+}
+
+void appendKeyI64(std::string &Out, const char *Key, long long V,
+                  bool Comma = true) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "\"%s\":%lld%s", Key, V, Comma ? "," : "");
+  Out += Buf;
+}
+
+void appendKeyMs(std::string &Out, const char *Key, double V,
+                 bool Comma = true) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "\"%s\":%.3f%s", Key, V, Comma ? "," : "");
+  Out += Buf;
+}
+
+} // namespace
+
+RunReport Session::lastReport() const {
+  RunReport R = I->Report;
+  const EncodeCache::Stats CS = EncodeCache::instance().stats();
+  R.EncodeCache = {CS.Hits, CS.Misses, CS.Entries};
+  R.Counters.clear();
+  R.TimeCounters.clear();
+  R.Gauges.clear();
+  R.Histograms.clear();
+  const StatsSnapshot Snap = StatsRegistry::instance().snapshot();
+  for (const auto &[Name, V] : Snap.Counters) {
+    if (Name.rfind("time.", 0) == 0)
+      R.TimeCounters.emplace_back(Name, V);
+    else
+      R.Counters.emplace_back(Name, V);
+  }
+  for (const auto &[Name, V] : Snap.Gauges)
+    R.Gauges.emplace_back(Name, V);
+  for (const auto &[Name, H] : Snap.Histograms)
+    R.Histograms.emplace_back(Name,
+                              HistogramInfo{H.Count, H.Sum, H.Min, H.Max});
+  return R;
+}
+
+std::string Session::reportJson(const RunReport &R, bool IncludeTimings) {
+  std::string Out = "{\n";
+  Out += "\"version\":1,\n";
+
+  Out += "\"input\":{\"name\":\"" + reportEscape(R.Input) + "\",";
+  appendKeyU64(Out, "lines", R.Parse.Lines);
+  appendKeyU64(Out, "instructions", R.Parse.Instructions);
+  appendKeyU64(Out, "opaque_instructions", R.Parse.OpaqueInstructions);
+  appendKeyU64(Out, "functions", R.Parse.Functions, /*Comma=*/false);
+  Out += "},\n";
+
+  Out += "\"pipeline\":{\"passes\":[";
+  for (size_t I = 0; I < R.Passes.size(); ++I) {
+    const PassOutcomeInfo &P = R.Passes[I];
+    Out += I ? ",\n" : "\n";
+    Out += "{\"pass\":\"" + reportEscape(P.Pass) + "\",\"status\":\"" +
+           reportEscape(P.Status) + "\",";
+    appendKeyU64(Out, "transformations", P.Transformations);
+    appendKeyI64(Out, "instruction_delta", P.InstructionDelta);
+    appendKeyI64(Out, "byte_delta", P.ByteDelta, /*Comma=*/false);
+    Out += "}";
+  }
+  Out += "\n],";
+  appendKeyU64(Out, "failures", R.Failures);
+  appendKeyU64(Out, "rollbacks", R.Rollbacks);
+  appendKeyU64(Out, "skips", R.Skips);
+  appendKeyU64(Out, "transformations", R.TotalTransformations,
+               /*Comma=*/false);
+  Out += "},\n";
+
+  Out += "\"caches\":{\"encode\":{";
+  appendKeyU64(Out, "hits", R.EncodeCache.Hits);
+  appendKeyU64(Out, "misses", R.EncodeCache.Misses);
+  appendKeyU64(Out, "entries", R.EncodeCache.Entries, /*Comma=*/false);
+  Out += "}},\n";
+
+  Out += "\"counters\":{";
+  for (size_t I = 0; I < R.Counters.size(); ++I) {
+    Out += I ? ",\n" : "\n";
+    appendKeyU64(Out, R.Counters[I].first.c_str(), R.Counters[I].second,
+                 /*Comma=*/false);
+  }
+  Out += R.Counters.empty() ? "},\n" : "\n},\n";
+
+  Out += "\"gauges\":{";
+  for (size_t I = 0; I < R.Gauges.size(); ++I) {
+    Out += I ? ",\n" : "\n";
+    appendKeyI64(Out, R.Gauges[I].first.c_str(), R.Gauges[I].second,
+                 /*Comma=*/false);
+  }
+  Out += R.Gauges.empty() ? "},\n" : "\n},\n";
+
+  Out += "\"histograms\":{";
+  for (size_t I = 0; I < R.Histograms.size(); ++I) {
+    const HistogramInfo &H = R.Histograms[I].second;
+    Out += I ? ",\n" : "\n";
+    Out += "\"" + reportEscape(R.Histograms[I].first) + "\":{";
+    appendKeyU64(Out, "count", H.Count);
+    appendKeyU64(Out, "sum", H.Sum);
+    appendKeyU64(Out, "min", H.Min);
+    appendKeyU64(Out, "max", H.Max, /*Comma=*/false);
+    Out += "}";
+  }
+  Out += R.Histograms.empty() ? "}" : "\n}";
+
+  if (R.Tuned) {
+    Out += ",\n\"tune\":{";
+    appendKeyU64(Out, "baseline_cycles", R.Tune.BaselineCycles);
+    appendKeyU64(Out, "default_cycles", R.Tune.DefaultCycles);
+    appendKeyU64(Out, "tuned_cycles", R.Tune.TunedCycles);
+    Out += "\"tuned_pipeline\":\"" + reportEscape(R.Tune.TunedPipeline) +
+           "\",";
+    appendKeyU64(Out, "evaluations", R.Tune.Evaluations);
+    appendKeyU64(Out, "restarts", R.Tune.Restarts);
+    appendKeyU64(Out, "score_cache_hits", R.Tune.ScoreCacheHits);
+    appendKeyU64(Out, "score_cache_misses", R.Tune.ScoreCacheMisses,
+                 /*Comma=*/false);
+    Out += "}";
+  }
+
+  if (IncludeTimings) {
+    Out += ",\n\"timings\":{";
+    appendKeyU64(Out, "jobs", R.Jobs);
+    appendKeyMs(Out, "total_ms", R.TotalMs);
+    Out += "\"passes\":[";
+    for (size_t I = 0; I < R.Passes.size(); ++I) {
+      const PassOutcomeInfo &P = R.Passes[I];
+      Out += I ? ",\n" : "\n";
+      Out += "{\"pass\":\"" + reportEscape(P.Pass) + "\",";
+      appendKeyMs(Out, "wall_ms", P.WallMs);
+      appendKeyMs(Out, "verify_ms", P.VerifyMs);
+      appendKeyMs(Out, "validate_ms", P.ValidateMs, /*Comma=*/false);
+      Out += "}";
+    }
+    Out += R.Passes.empty() ? "]," : "\n],";
+    Out += "\"counters_us\":{";
+    for (size_t I = 0; I < R.TimeCounters.size(); ++I) {
+      Out += I ? ",\n" : "\n";
+      appendKeyU64(Out, R.TimeCounters[I].first.c_str(),
+                   R.TimeCounters[I].second, /*Comma=*/false);
+    }
+    Out += R.TimeCounters.empty() ? "}" : "\n}";
+    Out += "}";
+  }
+
+  Out += "\n}\n";
+  return Out;
+}
+
+std::string Session::lastReportJson(bool IncludeTimings) const {
+  return reportJson(lastReport(), IncludeTimings);
+}
+
+Status Session::writeReport(const std::string &Path) const {
+  const std::string Json = lastReportJson();
+  if (Path == "-") {
+    std::fwrite(Json.data(), 1, Json.size(), stdout);
+    return Status::success();
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return Status::error("cannot write run report to " + Path);
+  const bool Ok = std::fwrite(Json.data(), 1, Json.size(), F) == Json.size();
+  if (std::fclose(F) != 0 || !Ok)
+    return Status::error("cannot write run report to " + Path);
+  return Status::success();
+}
+
+std::string Session::statsTable() const {
+  const RunReport R = lastReport();
+  std::string Out = "mao run statistics\n";
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "  input: %s (%zu lines, %zu instructions, %zu functions)\n",
+                R.Input.empty() ? "<none>" : R.Input.c_str(), R.Parse.Lines,
+                R.Parse.Instructions, R.Parse.Functions);
+  Out += Buf;
+  if (!R.Passes.empty()) {
+    std::snprintf(Buf, sizeof(Buf), "  %-12s %-11s %10s %9s %9s %9s\n",
+                  "pass", "status", "transforms", "d-insns", "d-bytes",
+                  "wall-ms");
+    Out += Buf;
+    for (const PassOutcomeInfo &P : R.Passes) {
+      std::snprintf(Buf, sizeof(Buf), "  %-12s %-11s %10u %9ld %9ld %9.3f\n",
+                    P.Pass.c_str(), P.Status.c_str(), P.Transformations,
+                    P.InstructionDelta, P.ByteDelta, P.WallMs);
+      Out += Buf;
+    }
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "  encode cache: %llu hits, %llu misses, %llu entries\n",
+                (unsigned long long)R.EncodeCache.Hits,
+                (unsigned long long)R.EncodeCache.Misses,
+                (unsigned long long)R.EncodeCache.Entries);
+  Out += Buf;
+  if (R.Tuned) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  tune: %u candidates, winner '%s' (%llu -> %llu cycles)\n",
+                  R.Tune.Evaluations, R.Tune.TunedPipeline.c_str(),
+                  (unsigned long long)R.Tune.BaselineCycles,
+                  (unsigned long long)R.Tune.TunedCycles);
+    Out += Buf;
+  }
+  Out += renderStatsTable(StatsRegistry::instance().snapshot());
+  return Out;
+}
+
+void Session::setTraceLevel(int Level) {
+  TraceContext::global().setLevel(Level);
+}
+
+void Session::resetGlobalStats() {
+  StatsRegistry::instance().reset();
+  EncodeCache::instance().clear();
 }
 
 std::vector<PassCatalogEntry> Session::listPasses() {

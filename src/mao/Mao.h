@@ -73,13 +73,24 @@ struct OptimizeOptions {
   /// Reconstruct the pre-pipeline unit by re-parsing the program's source
   /// on first rollback instead of cloning eagerly.
   bool LazyCheckpoint = true;
+  /// Collect per-pass instruction/byte deltas and pipeline counters for
+  /// lastReport() / --mao-report. Off by default: the footprint walk costs
+  /// one entry-list scan per pass boundary.
+  bool CollectStats = false;
 };
 
-/// Per-pass outcome of an optimize run.
+/// Per-pass outcome of an optimize run. The delta fields are populated
+/// only under OptimizeOptions::CollectStats; the timing fields are always
+/// measured.
 struct PassOutcomeInfo {
   std::string Pass;
   std::string Status; ///< "ok", "failed", "rolled-back", "skipped".
   unsigned Transformations = 0;
+  long InstructionDelta = 0; ///< Committed instruction-count change.
+  long ByteDelta = 0;        ///< Committed encoded-size change (bytes).
+  double WallMs = 0.0;
+  double VerifyMs = 0.0;
+  double ValidateMs = 0.0;
   std::string Detail;
 };
 
@@ -152,6 +163,52 @@ struct TuneSummary {
   std::string ReportJson; ///< The full machine-readable report.
 };
 
+/// Cache totals published by the run report.
+struct CacheCounters {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Entries = 0;
+};
+
+/// Histogram summary row of the run report.
+struct HistogramInfo {
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = 0;
+  uint64_t Max = 0;
+};
+
+/// The machine-readable run report accumulated by a Session across its
+/// parse/optimize/tune calls (--mao-report / mao --stats).
+///
+/// Determinism contract: every field above the "timing section" marker is
+/// identical for every OptimizeOptions::Jobs / --mao-jobs value (counters
+/// are commutative reductions, cache accounting is insert-exact, snapshot
+/// ordering is sorted), so reportJson(R, /*IncludeTimings=*/false) is
+/// byte-identical across worker counts. The timing section is wall-clock
+/// and scheduling dependent by nature.
+struct RunReport {
+  std::string Input; ///< Input path or parseText name.
+  ParseInfo Parse;
+  std::vector<PassOutcomeInfo> Passes; ///< In invocation order.
+  unsigned Failures = 0;
+  unsigned Rollbacks = 0;
+  unsigned Skips = 0;
+  unsigned TotalTransformations = 0;
+  CacheCounters EncodeCache; ///< Process-wide encoding-length cache.
+  /// Registry counters, "time."-prefixed ones excluded (sorted by name).
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, int64_t>> Gauges;
+  std::vector<std::pair<std::string, HistogramInfo>> Histograms;
+  bool Tuned = false;
+  TuneSummary Tune; ///< Valid when Tuned.
+  // -- timing section (jobs-dependent) --
+  unsigned Jobs = 1;   ///< Resolved worker count of the last optimize.
+  double TotalMs = 0.0; ///< Wall clock across optimize/tune calls.
+  /// Registry counters prefixed "time." (microsecond accumulators).
+  std::vector<std::pair<std::string, uint64_t>> TimeCounters;
+};
+
 /// Section name -> assembled bytes.
 using AssembledBytes = std::map<std::string, std::vector<uint8_t>>;
 
@@ -190,6 +247,11 @@ public:
     /// When set, diagnostics are also collected as SARIF and flushed to
     /// this path by writeSarif() / the destructor.
     std::string SarifPath;
+    /// When set, the session collects a Chrome trace-event timeline (one
+    /// lane per worker thread over passes, shards, tune candidates, and
+    /// simulator runs) and flushes it to this path by writeTrace() / the
+    /// destructor. Loadable in chrome://tracing and Perfetto.
+    std::string TraceOutPath;
   };
 
   Session();
@@ -200,6 +262,30 @@ public:
 
   /// Flushes the SARIF log now (also runs on destruction).
   Status writeSarif();
+
+  /// Flushes the trace-event timeline now (also runs on destruction).
+  Status writeTrace();
+
+  // Observability (see RunReport for the determinism contract).
+  /// The run report so far, with cache and counter snapshots taken now.
+  RunReport lastReport() const;
+  /// Renders \p R as the versioned report JSON; with IncludeTimings false
+  /// the "timings" object is omitted and the document is byte-identical
+  /// across worker counts.
+  static std::string reportJson(const RunReport &R,
+                                bool IncludeTimings = true);
+  std::string lastReportJson(bool IncludeTimings = true) const;
+  /// Writes lastReportJson(true) to \p Path ("-" = stdout).
+  Status writeReport(const std::string &Path) const;
+  /// The human-readable `mao --stats` table for the current report.
+  std::string statsTable() const;
+  /// Sets the global trace level (--mao-trace-level): infrastructure
+  /// tracing and every pass without an explicit trace[N] option.
+  static void setTraceLevel(int Level);
+  /// Zeroes process-global observability state (metrics registry and the
+  /// encoding-length cache) so sequential runs in one process can be
+  /// compared in isolation. Does not touch per-session reports.
+  static void resetGlobalStats();
 
   /// Arms the deterministic fault injector ("site:permille[,...]").
   Status armFaultInjection(const std::string &Spec, uint64_t Seed);

@@ -5,7 +5,11 @@
 #include "ir/Verifier.h"
 #include "support/FaultInjection.h"
 #include "support/OptionRegistry.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Timeline.h"
+#include "x86/EncodeCache.h"
+#include "x86/Encoder.h"
 
 #include <algorithm>
 #include <cassert>
@@ -24,18 +28,10 @@ using namespace mao;
 MaoPass::~MaoPass() = default;
 
 void MaoPass::trace(int Level, const char *Fmt, ...) const {
-  if (Level > Tracer.level())
-    return;
-  // One trace line is three stdio calls; concurrent shards would
-  // interleave them mid-line without this lock.
-  static std::mutex TraceM;
-  std::lock_guard<std::mutex> Lock(TraceM);
-  std::fprintf(stderr, "[%s] ", Name.c_str());
   va_list Args;
   va_start(Args, Fmt);
-  std::vfprintf(stderr, Fmt, Args);
+  Tracer.vtrace(Level, Fmt, Args);
   va_end(Args);
-  std::fputc('\n', stderr);
 }
 
 PassRegistry &PassRegistry::instance() {
@@ -191,6 +187,49 @@ double elapsedMs(Clock::time_point Since) {
       .count();
 }
 
+/// Instruction-count and encoded-size footprint of a unit, for per-pass
+/// deltas under PipelineOptions::CollectStats.
+struct UnitFootprint {
+  long Instructions = 0;
+  long Bytes = 0;
+};
+
+/// Prices every instruction entry via the encode cache. Like the
+/// verifier's encoding check, misses are measured with
+/// encodeInstructionNoInject so the fault injector's per-site draw
+/// sequence is identical whether or not stats collection is on —
+/// observability must never change what a fault-injected run does.
+UnitFootprint measureFootprint(const MaoUnit &Unit) {
+  UnitFootprint F;
+  EncodeCache &Cache = EncodeCache::instance();
+  std::vector<uint8_t> Bytes;
+  for (const MaoEntry &E : Unit.entries()) {
+    if (!E.isInstruction())
+      continue;
+    ++F.Instructions;
+    const Instruction &Insn = E.instruction();
+    if (Insn.isOpaque()) {
+      F.Bytes += OpaqueInstructionSizeEstimate;
+      continue;
+    }
+    if (std::optional<unsigned> Cached = Cache.cachedLength(Insn)) {
+      F.Bytes += *Cached;
+      continue;
+    }
+    Bytes.clear();
+    MaoStatus Encoded = encodeInstructionNoInject(Insn, 0, nullptr, Bytes);
+    if (Encoded.ok()) {
+      Cache.noteLength(Insn, static_cast<unsigned>(Bytes.size()));
+      F.Bytes += static_cast<long>(Bytes.size());
+    } else {
+      // Unencodable content (mid-pipeline scratch state): keep the walk
+      // total-defined with the opaque estimate instead of asserting.
+      F.Bytes += OpaqueInstructionSizeEstimate;
+    }
+  }
+  return F;
+}
+
 /// Runs one pass request over the unit; returns the transformation count.
 /// Throws PassTimeoutError / propagates pass exceptions; returns through
 /// \p FailedFn the function a function pass failed on (empty otherwise).
@@ -299,6 +338,9 @@ unsigned executeSharded(MaoUnit &Unit, const PassRequest &Req,
     }
     // Per-shard option map: passes read (and may cache into) their map,
     // so sharing one copy across threads would race.
+    TimelineSpan Span("shard", Timeline::active()
+                                   ? Req.PassName + ":" + Fns[I].name()
+                                   : std::string());
     MaoOptionMap ShardOptions = Req.Options;
     ScopedShardIds Ids(Unit, IdBase + I * MaoUnit::ShardIdBlockSize,
                        IdBase + (I + 1) * MaoUnit::ShardIdBlockSize);
@@ -372,6 +414,8 @@ MaoStatus rollbackToCheckpoint(MaoUnit &Unit, MaoUnit &Checkpoint,
                                const PipelineOptions &Options,
                                ThreadPool *Pool) {
   FaultInjector::ScopedSuspend NoInjection;
+  if (Options.CollectStats)
+    StatsRegistry::instance().counter("pipeline.replays").add();
   if (!HaveCheckpoint) {
     ErrorOr<MaoUnit> CheckpointOr = Options.CheckpointProvider();
     if (!CheckpointOr.ok())
@@ -440,6 +484,47 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
     HaveCheckpoint = true;
   }
 
+  // Footprint baseline plus outcome finalizer for --mao-report: deltas are
+  // measured on committed state (after any rollback/replay resolved), so
+  // they are a property of the pipeline's decisions, not its scheduling.
+  const bool Collect = Options.CollectStats;
+  StatsRegistry &Stats = StatsRegistry::instance();
+  UnitFootprint Prev;
+  if (Collect)
+    Prev = measureFootprint(Unit);
+  auto Finish = [&](PassOutcome &O) {
+    if (!Collect)
+      return;
+    UnitFootprint Cur = measureFootprint(Unit);
+    O.InstructionDelta = Cur.Instructions - Prev.Instructions;
+    O.ByteDelta = Cur.Bytes - Prev.Bytes;
+    Prev = Cur;
+    Stats.counter("pipeline.passes_run").add();
+    Stats.counter("pipeline.transformations").add(O.Transformations);
+    Stats.histogram("pipeline.pass_transformations")
+        .record(O.Transformations);
+    switch (O.Status) {
+    case PassStatus::Ok:
+      Stats.counter("pipeline.passes_ok").add();
+      break;
+    case PassStatus::Failed:
+      Stats.counter("pipeline.failures").add();
+      break;
+    case PassStatus::RolledBack:
+      Stats.counter("pipeline.rollbacks").add();
+      break;
+    case PassStatus::Skipped:
+      Stats.counter("pipeline.skips").add();
+      break;
+    }
+    Stats.counter("time.pipeline.pass_us")
+        .add(static_cast<uint64_t>(O.WallMs * 1000.0));
+    Stats.counter("time.pipeline.verify_us")
+        .add(static_cast<uint64_t>(O.VerifyMs * 1000.0));
+    Stats.counter("time.pipeline.validate_us")
+        .add(static_cast<uint64_t>(O.ValidateMs * 1000.0));
+  };
+
   for (const PassRequest &Req : Requests) {
     PassOutcome Outcome;
     Outcome.PassName = Req.PassName;
@@ -462,55 +547,64 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
     std::vector<ShardFailure> ShardFailures;
 
     std::string FailedFn;
-    try {
-      if (Sharded) {
-        // Shardable pass: all functions run (inline or on the pool);
-        // failures are per shard and handled below, so a bad function
-        // cannot abort its siblings mid-request.
-        Outcome.Transformations = executeSharded(
-            Unit, Req, Options, Pool.get(), /*SkipFns=*/{}, ShardFailures);
-        if (!ShardFailures.empty()) {
-          Failed = true;
-          FailureDetail = "pass " + Req.PassName + " failed on " +
-                          std::to_string(ShardFailures.size()) +
-                          " function(s): ";
-          for (size_t I = 0; I < ShardFailures.size(); ++I) {
-            if (I)
-              FailureDetail += "; ";
-            FailureDetail += ShardFailures[I].FnName;
+    {
+      TimelineSpan PassSpan("pass", Req.PassName);
+      try {
+        if (Sharded) {
+          // Shardable pass: all functions run (inline or on the pool);
+          // failures are per shard and handled below, so a bad function
+          // cannot abort its siblings mid-request.
+          Outcome.Transformations = executeSharded(
+              Unit, Req, Options, Pool.get(), /*SkipFns=*/{}, ShardFailures);
+          if (!ShardFailures.empty()) {
+            Failed = true;
+            if (Collect)
+              Stats.counter("pipeline.shard_failures")
+                  .add(ShardFailures.size());
+            FailureDetail = "pass " + Req.PassName + " failed on " +
+                            std::to_string(ShardFailures.size()) +
+                            " function(s): ";
+            for (size_t I = 0; I < ShardFailures.size(); ++I) {
+              if (I)
+                FailureDetail += "; ";
+              FailureDetail += ShardFailures[I].FnName;
+            }
+          }
+        } else {
+          ErrorOr<unsigned> CountOr =
+              executeRequest(Unit, Req, Options, FailedFn);
+          if (CountOr.ok()) {
+            Outcome.Transformations = *CountOr;
+          } else {
+            Failed = true;
+            FailureDetail = CountOr.message();
+            if (!Registry.knows(Req.PassName))
+              FailureCode = DiagCode::PassUnknown;
           }
         }
-      } else {
-        ErrorOr<unsigned> CountOr =
-            executeRequest(Unit, Req, Options, FailedFn);
-        if (CountOr.ok()) {
-          Outcome.Transformations = *CountOr;
-        } else {
-          Failed = true;
-          FailureDetail = CountOr.message();
-          if (!Registry.knows(Req.PassName))
-            FailureCode = DiagCode::PassUnknown;
-        }
+      } catch (const PassTimeoutError &E) {
+        Failed = true;
+        ShardFailures.clear(); // Timeout fails the whole request.
+        FailureDetail = E.what();
+        FailureCode = DiagCode::PassTimeout;
+      } catch (const std::exception &E) {
+        Failed = true;
+        ShardFailures.clear();
+        FailureDetail =
+            "pass " + Req.PassName + " threw an exception: " + E.what();
+        FailureCode = DiagCode::PassException;
       }
-    } catch (const PassTimeoutError &E) {
-      Failed = true;
-      ShardFailures.clear(); // Timeout fails the whole request.
-      FailureDetail = E.what();
-      FailureCode = DiagCode::PassTimeout;
-    } catch (const std::exception &E) {
-      Failed = true;
-      ShardFailures.clear();
-      FailureDetail =
-          "pass " + Req.PassName + " threw an exception: " + E.what();
-      FailureCode = DiagCode::PassException;
     }
     Outcome.WallMs = elapsedMs(Start);
 
     // Post-pass consistency check: a pass that corrupted the IR counts as
     // failed even if it reported success.
     if (!Failed && Options.VerifyAfterEachPass) {
+      TimelineSpan VerifySpan("verify", Req.PassName);
+      Clock::time_point VerifyStart = Clock::now();
       VerifierReport Report =
           verifyUnit(Unit, Options.PerPassVerify, Options.Diags, Req.PassName);
+      Outcome.VerifyMs = elapsedMs(VerifyStart);
       if (!Report.clean()) {
         Failed = true;
         FailureDetail = "verifier failed after pass " + Req.PassName + ": " +
@@ -523,8 +617,11 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
     // Runs after the structural verifier so the validator only ever sees
     // structurally sound IR.
     if (!Failed && Options.SemanticCheck && HavePrePass) {
+      TimelineSpan ValidateSpan("validate", Req.PassName);
+      Clock::time_point ValidateStart = Clock::now();
       try {
         MaoStatus Check = Options.SemanticCheck(PrePass, Unit, Req.PassName);
+        Outcome.ValidateMs = elapsedMs(ValidateStart);
         if (!Check.ok()) {
           Failed = true;
           ShardFailures.clear();
@@ -544,6 +641,7 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
       if (Transactional)
         Committed.push_back({&Req, {}});
       Outcome.Status = PassStatus::Ok;
+      Finish(Outcome);
       Result.Counts.emplace_back(Req.PassName, Outcome.Transformations);
       Result.Outcomes.push_back(std::move(Outcome));
       continue;
@@ -563,6 +661,7 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
     switch (Options.OnError) {
     case OnErrorPolicy::Abort:
       Outcome.Status = PassStatus::Failed;
+      Finish(Outcome);
       Result.Outcomes.push_back(std::move(Outcome));
       Result.Ok = false;
       Result.Error = FailureDetail;
@@ -574,6 +673,7 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
         // misbehaved), so stop hard.
         Outcome.Status = PassStatus::Failed;
         Outcome.Detail += "; " + Why;
+        Finish(Outcome);
         Result.Outcomes.push_back(std::move(Outcome));
         Result.Ok = false;
         Result.Error = Why;
@@ -644,6 +744,7 @@ PipelineResult mao::runPasses(MaoUnit &Unit,
       Outcome.Status = PassStatus::Skipped;
       break;
     }
+    Finish(Outcome);
     Result.Counts.emplace_back(Req.PassName, Outcome.Transformations);
     Result.Outcomes.push_back(std::move(Outcome));
   }

@@ -35,10 +35,14 @@ public:
   /// outlives the map it was created from (PassRegistry::create hands out
   /// passes whose request maps are temporaries, and sharded execution gets
   /// its per-shard isolation for free).
+  /// A pass with no explicit trace[N] option inherits the global trace
+  /// level (--mao-trace-level), so infrastructure-wide tracing reaches
+  /// every pass without per-pass spellings.
   MaoPass(const char *Name, const MaoOptionMap *Options, MaoUnit *Unit)
       : Name(Name), Options(Options ? *Options : MaoOptionMap()), Unit(Unit),
-        Tracer(Name, Options ? static_cast<int>(Options->getInt("trace", 0))
-                             : 0) {}
+        Tracer(Name, Options && Options->has("trace")
+                         ? static_cast<int>(Options->getInt("trace", 0))
+                         : TraceContext::global().level()) {}
   virtual ~MaoPass();
 
   /// Main entry point; returns false to abort the pipeline.
@@ -232,6 +236,15 @@ struct PassOutcome {
   unsigned Transformations = 0;
   /// Wall-clock time spent in the pass, excluding snapshot/verify overhead.
   double WallMs = 0.0;
+  /// Wall-clock time spent in the post-pass structural verifier.
+  double VerifyMs = 0.0;
+  /// Wall-clock time spent in the semantic validation hook.
+  double ValidateMs = 0.0;
+  /// Instruction-count and encoded-byte deltas across the pass, measured
+  /// on the committed state (0 for a rolled-back pass). Only populated
+  /// under PipelineOptions::CollectStats.
+  long InstructionDelta = 0;
+  long ByteDelta = 0;
   /// Human-readable failure detail; empty on success.
   std::string Detail;
 };
@@ -295,6 +308,12 @@ struct PipelineOptions {
   std::function<MaoStatus(MaoUnit &Before, MaoUnit &After,
                           const std::string &PassName)>
       SemanticCheck;
+  /// Measure per-pass instruction/byte footprint deltas and publish
+  /// pipeline counters to the StatsRegistry (--mao-report / --stats). The
+  /// footprint walk prices each instruction with the cached encoding
+  /// length (encoding outside the fault-injection draw sequence, like the
+  /// verifier), so enabling stats never perturbs injected faults.
+  bool CollectStats = false;
 };
 
 /// Runs the requested passes over \p Unit in command-line order under the

@@ -2,6 +2,8 @@
 
 #include "support/Diag.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cstdio>
 
@@ -239,7 +241,9 @@ bool SarifDiagSink::writeTo(const std::string &Path) const {
 }
 
 void StderrDiagSink::handle(const Diagnostic &D) {
-  std::fprintf(stderr, "mao: %s\n", D.toString().c_str());
+  // Shares the log lock with TraceContext so diagnostics and trace lines
+  // from parallel shards never interleave mid-line.
+  lockedLogWrite("mao: " + D.toString() + "\n");
 }
 
 void DiagEngine::report(Diagnostic D) {

@@ -245,6 +245,29 @@ OptionRegistry buildDriverOptions(MaoCommandLine &Cmd) {
         return MaoStatus::success();
       },
       "also write diagnostics as a SARIF 2.1.0 log to FILE");
+  R.addCustom(
+      "--mao-report",
+      [&Cmd](const std::string &Path) {
+        if (Path.empty())
+          return MaoStatus::error("--mao-report expects a file path or '-'");
+        Cmd.ReportPath = Path;
+        return MaoStatus::success();
+      },
+      "write the machine-readable JSON run report to FILE ('-' for stdout)");
+  R.addFlag("--stats", &Cmd.Stats,
+            "print the human-readable run statistics table to stderr");
+  R.addCustom(
+      "--mao-trace-out",
+      [&Cmd](const std::string &Path) {
+        if (Path.empty())
+          return MaoStatus::error("--mao-trace-out expects a file path");
+        Cmd.TraceOut = Path;
+        return MaoStatus::success();
+      },
+      "write a Chrome trace-event timeline of the run to FILE");
+  R.addInt("--mao-trace-level", &Cmd.TraceLevel, 0,
+           "global trace verbosity (0-3) for infrastructure tracing and "
+           "passes without an explicit trace[N] option");
   R.addFlag("--lint", &Cmd.Lint,
             "run the MaoCheck linter instead of the pass pipeline");
   R.addFlag("--lint-werror", &Cmd.LintWerror,

@@ -126,6 +126,20 @@ struct MaoCommandLine {
   /// falling back to the first function in the unit).
   std::string TuneEntry;
 
+  // Observability (see DESIGN.md "Observability" and src/support/Stats.h).
+  /// --mao-report=FILE: write the machine-readable run report as JSON
+  /// ("-" for stdout). Non-timing sections are byte-identical for every
+  /// --mao-jobs value.
+  std::string ReportPath;
+  /// --stats: print the human-readable run statistics table to stderr.
+  bool Stats = false;
+  /// --mao-trace-out=FILE: write a Chrome trace-event timeline of the run
+  /// (one lane per worker thread; load with chrome://tracing or Perfetto).
+  std::string TraceOut;
+  /// --mao-trace-level=N: global trace verbosity for infrastructure
+  /// tracing and for passes without an explicit trace[N] option.
+  long TraceLevel = 0;
+
   /// Worker count with the 0-means-hardware-concurrency rule applied.
   unsigned effectiveJobs() const;
 };

@@ -1,0 +1,141 @@
+//===- support/Stats.cpp - Process-wide metrics registry ------------------===//
+
+#include "support/Stats.h"
+
+#include <bit>
+#include <cstdio>
+
+using namespace mao;
+
+void StatHistogram::record(uint64_t Sample) {
+  unsigned Bucket = std::bit_width(Sample);
+  if (Bucket >= NumBuckets)
+    Bucket = NumBuckets - 1;
+  Buckets[Bucket].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Sample, std::memory_order_relaxed);
+  uint64_t Cur = Min.load(std::memory_order_relaxed);
+  while (Sample < Cur &&
+         !Min.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed))
+    ;
+  Cur = Max.load(std::memory_order_relaxed);
+  while (Sample > Cur &&
+         !Max.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed))
+    ;
+}
+
+StatHistogram::Summary StatHistogram::summary() const {
+  Summary S;
+  S.Count = Count.load(std::memory_order_relaxed);
+  S.Sum = Sum.load(std::memory_order_relaxed);
+  S.Min = S.Count ? Min.load(std::memory_order_relaxed) : 0;
+  S.Max = Max.load(std::memory_order_relaxed);
+  for (unsigned I = 0; I < NumBuckets; ++I)
+    S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+  return S;
+}
+
+void StatHistogram::reset() {
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Min.store(UINT64_MAX, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+}
+
+StatsRegistry &StatsRegistry::instance() {
+  static StatsRegistry R;
+  return R;
+}
+
+StatCounter &StatsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<StatCounter>())
+             .first;
+  return *It->second;
+}
+
+StatGauge &StatsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::string(Name), std::make_unique<StatGauge>())
+             .first;
+  return *It->second;
+}
+
+StatHistogram &StatsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms
+             .emplace(std::string(Name), std::make_unique<StatHistogram>())
+             .first;
+  return *It->second;
+}
+
+StatsSnapshot StatsRegistry::snapshot() const {
+  StatsSnapshot Snap;
+  std::lock_guard<std::mutex> Lock(M);
+  Snap.Counters.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    Snap.Counters.emplace_back(Name, C->value());
+  Snap.Gauges.reserve(Gauges.size());
+  for (const auto &[Name, G] : Gauges)
+    Snap.Gauges.emplace_back(Name, G->value());
+  Snap.Histograms.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms)
+    Snap.Histograms.emplace_back(Name, H->summary());
+  return Snap;
+}
+
+void StatsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+std::string mao::renderStatsTable(const StatsSnapshot &Snap) {
+  std::string Out;
+  char Buf[256];
+  size_t Width = 8;
+  for (const auto &[Name, V] : Snap.Counters)
+    Width = std::max(Width, Name.size());
+  for (const auto &[Name, V] : Snap.Gauges)
+    Width = std::max(Width, Name.size());
+  if (!Snap.Counters.empty()) {
+    Out += "  counters:\n";
+    for (const auto &[Name, V] : Snap.Counters) {
+      std::snprintf(Buf, sizeof(Buf), "    %-*s %12llu\n", (int)Width,
+                    Name.c_str(), (unsigned long long)V);
+      Out += Buf;
+    }
+  }
+  if (!Snap.Gauges.empty()) {
+    Out += "  gauges:\n";
+    for (const auto &[Name, V] : Snap.Gauges) {
+      std::snprintf(Buf, sizeof(Buf), "    %-*s %12lld\n", (int)Width,
+                    Name.c_str(), (long long)V);
+      Out += Buf;
+    }
+  }
+  if (!Snap.Histograms.empty()) {
+    Out += "  histograms:\n";
+    for (const auto &[Name, H] : Snap.Histograms) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "    %-*s count=%llu sum=%llu min=%llu max=%llu\n",
+                    (int)Width, Name.c_str(), (unsigned long long)H.Count,
+                    (unsigned long long)H.Sum, (unsigned long long)H.Min,
+                    (unsigned long long)H.Max);
+      Out += Buf;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,141 @@
+//===- support/Stats.h - Process-wide metrics registry ---------*- C++ -*-===//
+//
+// Part of the MAO reproduction project, under GPL v3 like the original MAO.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe metrics registry backing `--mao-report` and `mao --stats`.
+///
+/// Three instrument kinds are supported:
+///   * StatCounter   — monotonically increasing uint64 (events, totals)
+///   * StatGauge     — settable int64 (sizes, current values)
+///   * StatHistogram — power-of-two bucketed distribution with count/sum/
+///                     min/max
+///
+/// All instruments are updated with relaxed atomics, so concurrent shards
+/// and tune workers can bump them without locks; because every published
+/// value is a commutative reduction (sum, min, max), the totals are *exact*
+/// and independent of thread scheduling. The registry hands out stable
+/// references: once created, an instrument lives for the process lifetime,
+/// so callers may cache `StatCounter &` across calls.
+///
+/// Naming convention: dotted lowercase paths ("pipeline.rollbacks",
+/// "uarch.cycles"). Names prefixed with "time." hold wall-clock
+/// micro-second accumulations; the run report segregates those into its
+/// "timings" section so that every other section is byte-identical across
+/// `--mao-jobs` values (the determinism contract of PR 2 extended to
+/// observability).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_SUPPORT_STATS_H
+#define MAO_SUPPORT_STATS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mao {
+
+/// Monotonic event counter. add() is wait-free; value() is a racy-but-exact
+/// snapshot (all updates are relaxed fetch_adds, so the final sum equals the
+/// number of events regardless of interleaving).
+class StatCounter {
+public:
+  void add(uint64_t N = 1) { Value.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Value{0};
+};
+
+/// Last-writer-wins signed gauge for sizes and levels.
+class StatGauge {
+public:
+  void set(int64_t N) { Value.store(N, std::memory_order_relaxed); }
+  void add(int64_t N) { Value.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> Value{0};
+};
+
+/// Lock-free histogram over power-of-two buckets: bucket B counts samples
+/// whose bit width is B, i.e. samples in [2^(B-1), 2^B). Count, sum, min
+/// and max are tracked exactly (min/max via CAS loops).
+class StatHistogram {
+public:
+  static constexpr unsigned NumBuckets = 33; // bit widths 0..32, 33 = huge
+
+  struct Summary {
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Min = 0; ///< 0 when Count == 0.
+    uint64_t Max = 0;
+    std::array<uint64_t, NumBuckets> Buckets{};
+  };
+
+  void record(uint64_t Sample);
+  Summary summary() const;
+  void reset();
+
+private:
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{UINT64_MAX};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// Point-in-time view of every registered instrument, sorted by name so two
+/// snapshots of identical state render identically (the report-determinism
+/// contract).
+struct StatsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, int64_t>> Gauges;
+  std::vector<std::pair<std::string, StatHistogram::Summary>> Histograms;
+};
+
+/// Find-or-create instrument registry. Creation takes a mutex; updates on
+/// the returned references never do.
+class StatsRegistry {
+public:
+  static StatsRegistry &instance();
+
+  StatCounter &counter(std::string_view Name);
+  StatGauge &gauge(std::string_view Name);
+  StatHistogram &histogram(std::string_view Name);
+
+  /// Sorted, deterministic snapshot of all instruments.
+  StatsSnapshot snapshot() const;
+
+  /// Zeroes every instrument (registrations survive; cached references
+  /// stay valid). Used by tests and api::Session::resetGlobalStats to
+  /// compare runs in one process.
+  void reset();
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<StatCounter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<StatGauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<StatHistogram>, std::less<>>
+      Histograms;
+};
+
+/// Renders a fixed-width human table of a snapshot (the body of
+/// `mao --stats`).
+std::string renderStatsTable(const StatsSnapshot &Snap);
+
+} // namespace mao
+
+#endif // MAO_SUPPORT_STATS_H

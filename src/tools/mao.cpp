@@ -51,6 +51,8 @@ void printUsage() {
                "           [--tune] [--tune-budget={small,medium,large,N}]\n"
                "           [--tune-report=FILE] [--tune-seed=N]\n"
                "           [--tune-config={core2,opteron}] [--tune-entry=F]\n"
+               "           [--mao-report=FILE] [--stats]\n"
+               "           [--mao-trace-out=FILE] [--mao-trace-level=N]\n"
                "           input.s\n"
                "\n"
                "example: mao --mao=LFIND=trace[0]:ASM=o[/dev/null] in.s\n"
@@ -109,9 +111,29 @@ int main(int Argc, char **Argv) {
       return ExitUsage;
     }
 
+  if (Cmd.TraceLevel > 0)
+    mao::api::Session::setTraceLevel(static_cast<int>(Cmd.TraceLevel));
+
   mao::api::Session::Config Config;
   Config.SarifPath = Cmd.SarifPath;
+  Config.TraceOutPath = Cmd.TraceOut;
   mao::api::Session Session(Config);
+
+  // Whether per-pass metrics are being collected this run; the report and
+  // the stats table both feed off the same registry snapshot.
+  const bool CollectStats = !Cmd.ReportPath.empty() || Cmd.Stats;
+  // Emits the requested observability artifacts (run report, stats table,
+  // trace timeline); called on every exit path past parsing.
+  auto FlushObservability = [&]() {
+    if (!Cmd.ReportPath.empty())
+      if (mao::api::Status S = Session.writeReport(Cmd.ReportPath); !S.Ok)
+        std::fprintf(stderr, "mao: error: %s\n", S.Message.c_str());
+    if (Cmd.Stats)
+      std::fputs(Session.statsTable().c_str(), stderr);
+    if (!Cmd.TraceOut.empty())
+      if (mao::api::Status S = Session.writeTrace(); !S.Ok)
+        std::fprintf(stderr, "mao: error: %s\n", S.Message.c_str());
+  };
 
   Session.armFaultInjectionFromEnv();
   if (!Cmd.FaultSpec.empty())
@@ -157,6 +179,7 @@ int main(int Argc, char **Argv) {
     mao::api::TuneSummary Tune;
     if (mao::api::Status S = Session.tune(Program, Request, Tune); !S.Ok) {
       std::fprintf(stderr, "mao: tune: %s\n", S.Message.c_str());
+      FlushObservability();
       return ExitPipelineError;
     }
     std::fprintf(stderr,
@@ -185,11 +208,13 @@ int main(int Argc, char **Argv) {
     Options.VerifyAfterEachPass = Cmd.Verify;
     Options.PassTimeoutMs = Cmd.PassTimeoutMs;
     Options.Jobs = Cmd.Jobs;
+    Options.CollectStats = CollectStats;
     mao::api::OptimizeResult Result =
         Session.optimize(Program, Pipeline, Options);
     if (!Result.Ok) {
       if (!Result.Error.empty())
         std::fprintf(stderr, "mao: error: %s\n", Result.Error.c_str());
+      FlushObservability();
       return ExitPipelineError;
     }
     for (const mao::api::PassOutcomeInfo &Outcome : Result.Outcomes) {
@@ -207,13 +232,17 @@ int main(int Argc, char **Argv) {
   // Final consistency gate when verification was requested or the tuner
   // rewrote the unit: never emit assembly the verifier rejects.
   if (VerifiedPerPass || Cmd.Tune)
-    if (!Session.verify(Program).Ok)
+    if (!Session.verify(Program).Ok) {
+      FlushObservability();
       return ExitPipelineError;
+    }
 
   if (!HasAsmPass)
     if (mao::api::Status S = Session.emitToFile(Program, "-"); !S.Ok) {
       std::fprintf(stderr, "mao: error: %s\n", S.Message.c_str());
+      FlushObservability();
       return ExitPipelineError;
     }
+  FlushObservability();
   return ExitOk;
 }

@@ -42,6 +42,10 @@ public:
   /// are value-identical by construction, so order cannot matter).
   void insert(uint64_t Key, uint64_t Cycles);
 
+  /// Exact hit/miss accounting: lookup(), insert() and stats() all run
+  /// under the single cache mutex, and the tuner consults the cache from
+  /// the orchestrator thread in candidate-index order (BatchEvaluator
+  /// stage 2), so the counts are identical for every --mao-jobs value.
   struct Stats {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
@@ -51,7 +55,7 @@ public:
 
 private:
   std::string ConfigName;
-  mutable std::mutex M;
+  mutable std::mutex M; ///< Guards Map, Hits and Misses.
   std::unordered_map<uint64_t, uint64_t> Map;
   mutable uint64_t Hits = 0;
   mutable uint64_t Misses = 0;

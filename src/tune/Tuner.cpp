@@ -4,7 +4,9 @@
 
 #include "asm/Assembler.h"
 #include "pass/MaoPass.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Timeline.h"
 #include "tune/ScoreCache.h"
 #include "uarch/Runner.h"
 
@@ -74,6 +76,7 @@ public:
     // Rollback), so one broken parameter degrades a candidate instead of
     // killing it.
     auto RunOne = [&](size_t I) {
+      TimelineSpan Span("tune", "candidate#" + std::to_string(I));
       Slot &S = Slots[I];
       S.Unit = Base.clone();
       S.Unit.rebuildStructure();
@@ -312,6 +315,20 @@ ErrorOr<TuneResult> mao::tuneUnit(MaoUnit &Unit, const TuneOptions &Options) {
   R.ScoreCacheHits =
       static_cast<uint64_t>(R.Evaluations - R.FailedCandidates) -
       Eval.simulations();
+
+  // Publish the search totals. Everything here is derived from the
+  // jobs-independent search trajectory (fixed batch width, index-ordered
+  // cache consults), so the counters match the --tune-report determinism
+  // guarantee.
+  StatsRegistry &Stats = StatsRegistry::instance();
+  Stats.counter("tune.candidates").add(R.Evaluations);
+  Stats.counter("tune.failed_candidates").add(R.FailedCandidates);
+  Stats.counter("tune.cache_served").add(R.ScoreCacheHits);
+  Stats.counter("tune.simulations").add(R.ScoreCacheMisses);
+  Stats.counter("tune.restarts").add(R.Restarts);
+  Stats.counter("tune.improvements").add(R.History.size());
+  if (R.TunedCycles < R.BaselineCycles)
+    Stats.counter("tune.accepted").add();
 
   // Apply the winner to the caller's unit.
   PipelineOptions POpts;

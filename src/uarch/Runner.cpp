@@ -3,7 +3,9 @@
 #include "uarch/Runner.h"
 
 #include "analysis/Relaxer.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Timeline.h"
 
 using namespace mao;
 
@@ -35,6 +37,7 @@ std::optional<uint64_t> dataAddress(const Instruction &Insn,
 ErrorOr<MeasureResult> mao::measureFunction(MaoUnit &Unit,
                                             const std::string &Function,
                                             const MeasureOptions &Options) {
+  TimelineSpan Span("sim", "measure:" + Function);
   RelaxationResult Relax = relaxUnit(Unit);
   if (!Relax.Converged)
     return MaoStatus::error("relaxation did not converge");
@@ -62,6 +65,10 @@ ErrorOr<MeasureResult> mao::measureFunction(MaoUnit &Unit,
     return MaoStatus::error("emulation did not complete: " +
                             Result.Emulation.Message);
   Result.Pmu = Sim.finish();
+  StatsRegistry &Stats = StatsRegistry::instance();
+  Stats.counter("uarch.runs").add();
+  Stats.histogram("uarch.run_cycles").record(Result.Pmu.CpuCycles);
+  Result.Pmu.exportTo(Stats);
   return Result;
 }
 

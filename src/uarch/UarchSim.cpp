@@ -2,6 +2,7 @@
 
 #include "uarch/UarchSim.h"
 
+#include "support/Stats.h"
 #include "x86/Instruction.h"
 
 #include <algorithm>
@@ -332,4 +333,18 @@ const PmuCounters &UarchSimulator::finish() {
                               Pmu.UopsRetired / Cfg.RetireWidth});
   }
   return Pmu;
+}
+
+void PmuCounters::exportTo(StatsRegistry &Stats) const {
+  Stats.counter("uarch.cycles").add(CpuCycles);
+  Stats.counter("uarch.instructions").add(InstRetired);
+  Stats.counter("uarch.uops").add(UopsRetired);
+  Stats.counter("uarch.decode_lines").add(DecodeLines);
+  Stats.counter("uarch.lsd_uops").add(LsdUops);
+  Stats.counter("uarch.cond_branches").add(BrCondRetired);
+  Stats.counter("uarch.branch_mispredicts").add(BrMispredicted);
+  Stats.counter("uarch.rs_full_stalls").add(RsFullStalls);
+  Stats.counter("uarch.l1_hits").add(L1Hits);
+  Stats.counter("uarch.l1_misses").add(L1Misses);
+  Stats.counter("uarch.l2_misses").add(L2Misses);
 }

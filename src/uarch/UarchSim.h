@@ -32,6 +32,8 @@
 
 namespace mao {
 
+class StatsRegistry;
+
 /// PMU-style event counters.
 struct PmuCounters {
   uint64_t CpuCycles = 0;
@@ -51,6 +53,10 @@ struct PmuCounters {
                            static_cast<double>(CpuCycles)
                      : 0.0;
   }
+
+  /// Accumulates every counter into \p Stats under "uarch.<counter>", so
+  /// --mao-report exposes the simulator's PMU totals across all runs.
+  void exportTo(StatsRegistry &Stats) const;
 };
 
 /// One dynamic instruction event.

@@ -80,11 +80,16 @@ unsigned EncodeCache::length(const Instruction &Insn) {
       return It->second;
     }
   }
-  Misses.fetch_add(1, std::memory_order_relaxed);
   unsigned Length = instructionLengthUncached(Insn);
   std::lock_guard<std::mutex> Lock(S.M);
-  S.Map.emplace(Key, Length);
-  return Length;
+  auto [It, Inserted] = S.Map.emplace(Key, Length);
+  // Hit vs. miss is decided by the insert, not the probe above: when
+  // another thread inserted this key between the unlock and here, the call
+  // is counted a hit. That keeps Misses == entries inserted through
+  // length() and Hits + Misses == calls, both independent of thread
+  // scheduling — --mao-report publishes these as exact.
+  (Inserted ? Misses : Hits).fetch_add(1, std::memory_order_relaxed);
+  return It->second;
 }
 
 std::optional<unsigned> EncodeCache::cachedLength(const Instruction &Insn) const {
@@ -96,7 +101,6 @@ std::optional<unsigned> EncodeCache::cachedLength(const Instruction &Insn) const
   auto It = S.Map.find(Key);
   if (It == S.Map.end())
     return std::nullopt;
-  Hits.fetch_add(1, std::memory_order_relaxed);
   return It->second;
 }
 

@@ -48,7 +48,10 @@ public:
   unsigned length(const Instruction &Insn);
 
   /// Lookup only: the memoized length if \p Insn was successfully encoded
-  /// before, std::nullopt otherwise. Never encodes.
+  /// before, std::nullopt otherwise. Never encodes and never counts toward
+  /// hit/miss statistics — whether a probe finds its key depends on what
+  /// other shards cached first, so counting probes would make the stats
+  /// scheduling-dependent.
   std::optional<unsigned> cachedLength(const Instruction &Insn) const;
 
   /// Records a successful encode of \p Insn with \p Length bytes.
@@ -67,6 +70,13 @@ public:
   /// Drops every entry (tests and benchmarks isolating cold behaviour).
   void clear();
 
+  /// Exact accounting for length() calls: Hits + Misses equals the number
+  /// of length() calls and Misses equals the number of entries inserted
+  /// through length(), regardless of thread interleaving (a racing
+  /// double-encode is counted as one miss — whoever wins the insert — and
+  /// one hit). cachedLength()/noteLength() probes are not counted, so the
+  /// numbers published by --mao-report are identical across --mao-jobs
+  /// values.
   struct Stats {
     uint64_t Hits = 0;
     uint64_t Misses = 0;

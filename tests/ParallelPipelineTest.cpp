@@ -107,6 +107,7 @@ RunSnapshot runWithJobs(const std::string &Source, const std::string &PassLine,
   Options.OnError = Policy;
   Options.VerifyAfterEachPass = Policy != OnErrorPolicy::Abort;
   Options.Jobs = Jobs;
+  Options.CollectStats = true; // Stats must not perturb sharded runs.
   Options.CheckpointProvider = [Source] { return parseAssembly(Source); };
 
   PipelineResult Result = runPasses(Unit, Requests, Options);
