@@ -1,0 +1,98 @@
+#!/bin/sh
+# Crash-recovery gate for the persistent artifact cache: a writer killed
+# at any instruction must never leave an entry that serves wrong bytes.
+#
+#   - `maod --stress-cache` writes entries in a tight loop and is
+#     kill -9'd mid-write, repeatedly; after every kill,
+#     `maod --fsck-cache` must find ZERO corrupt entries — a torn write
+#     may leave a stale temp file (swept and counted), never a torn
+#     visible entry,
+#   - a deliberately corrupted entry (truncation) IS quarantined by fsck,
+#     proving the detector actually fires,
+#   - after all of that, a cold `mao --cache-dir` run and its warm hit in
+#     the survived directory are byte-identical to a plain run.
+#
+# Registered as the ctest entry `crash_recovery`; run standalone as
+#
+#   scripts/crash_recovery.sh path/to/mao path/to/maod [examples-dir]
+set -u
+
+MAO="${1:?usage: crash_recovery.sh path/to/mao path/to/maod [examples-dir]}"
+MAOD="${2:?usage: crash_recovery.sh path/to/mao path/to/maod [examples-dir]}"
+EXAMPLES="${3:-$(dirname "$0")/../examples}"
+TMPDIR="${TMPDIR:-/tmp}"
+WORK="$TMPDIR/mao_crash_recovery.$$"
+CACHE="$WORK/cache"
+KILLS="${CRASH_RECOVERY_KILLS:-8}"
+FAILED=0
+
+mkdir -p "$WORK"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "crash_recovery: FAIL: $1" >&2
+  FAILED=1
+}
+
+# Phase 1: kill the stress writer mid-write, repeatedly. Each round uses a
+# different seed so the writer is mid-entry at a different offset.
+round=0
+while [ "$round" -lt "$KILLS" ]; do
+  "$MAOD" "--stress-cache=$CACHE" --stress-count=1000000 \
+    "--stress-seed=$round" 2>/dev/null &
+  PID=$!
+  # Let it write for a moment, then kill it dead mid-write.
+  sleep 0.2
+  kill -9 "$PID" 2>/dev/null
+  wait "$PID" 2>/dev/null
+  round=$((round + 1))
+done
+
+FSCK=$("$MAOD" "--fsck-cache=$CACHE")
+if [ -z "$FSCK" ]; then
+  fail "fsck produced no report"
+else
+  echo "crash_recovery: after $KILLS kill -9s: $FSCK"
+  case "$FSCK" in
+    *" 0 quarantined"*) : ;;
+    *) fail "kill -9 left corrupt visible entries: $FSCK" ;;
+  esac
+  case "$FSCK" in
+    *" 0 entries"*) fail "stress writer published no entries at all" ;;
+  esac
+fi
+
+# Phase 2: the corruption detector must actually fire. Truncate one real
+# entry and fsck again — exactly that entry lands in quarantine/.
+victim=$(find "$CACHE" -maxdepth 1 -name '*.mao' | head -n 1)
+if [ -z "$victim" ]; then
+  fail "no entry available to corrupt"
+else
+  size=$(wc -c <"$victim")
+  half=$((size / 2))
+  head -c "$half" "$victim" >"$victim.cut" && mv "$victim.cut" "$victim"
+  FSCK=$("$MAOD" "--fsck-cache=$CACHE")
+  case "$FSCK" in
+    *" 1 quarantined"*)
+      echo "crash_recovery: truncated entry quarantined" ;;
+    *) fail "truncated entry not quarantined: $FSCK" ;;
+  esac
+  q=$(find "$CACHE/quarantine" -type f 2>/dev/null | wc -l)
+  [ "$q" -ge 1 ] || fail "quarantine/ is empty after fsck"
+fi
+
+# Phase 3: the survived directory still serves byte-identical artifacts.
+src="$EXAMPLES/tune_fig1.s"
+"$MAO" --mao-passes=zee,redtest "$src" >"$WORK/direct.s" 2>/dev/null || \
+  fail "plain run failed"
+"$MAO" --mao-passes=zee,redtest "--cache-dir=$CACHE" "$src" \
+  >"$WORK/cold.s" 2>/dev/null || fail "cold run in survived cache failed"
+"$MAO" --mao-passes=zee,redtest "--cache-dir=$CACHE" "$src" \
+  >"$WORK/warm.s" 2>/dev/null || fail "warm run in survived cache failed"
+cmp -s "$WORK/direct.s" "$WORK/cold.s" || \
+  fail "cold output in survived cache differs from the plain run"
+cmp -s "$WORK/direct.s" "$WORK/warm.s" || \
+  fail "warm output in survived cache differs from the plain run"
+
+[ "$FAILED" -eq 0 ] && echo "crash_recovery: ok"
+exit "$FAILED"

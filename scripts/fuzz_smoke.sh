@@ -33,4 +33,20 @@ LINT_SEEDS=$((SEEDS / 2))
 echo "fuzz_smoke: lint + semantic validation, $LINT_SEEDS seeds"
 "$MAOFUZZ" --seeds="$LINT_SEEDS" --seed-base=1 --lint
 
+# Service-mode phase: cold/warm artifact-cache runs must match a direct
+# compute byte-for-byte, the wire codec must round-trip, and bit-flipped
+# frames/entries must never deliver different bytes. Each seed runs the
+# compute several times (direct, cold, warm, verified hit), so a reduced
+# count keeps the wall-clock modest.
+SERVE_SEEDS=$((SEEDS / 5))
+[ "$SERVE_SEEDS" -ge 1 ] || SERVE_SEEDS=1
+echo "fuzz_smoke: serve clean path, $SERVE_SEEDS seeds"
+"$MAOFUZZ" --seeds="$SERVE_SEEDS" --seed-base=1 --serve
+
+# Injected fs/protocol faults (short writes, failed renames, read-side
+# bit flips, torn frames): contained, and still byte-identical output.
+echo "fuzz_smoke: serve injected path (fs/protocol faults), $SERVE_SEEDS seeds"
+"$MAOFUZZ" --seeds="$SERVE_SEEDS" --seed-base=1 --serve \
+  --inject=fswrite:200,fsrename:200,cacheread:300,frame:100@11
+
 echo "fuzz_smoke: ok"

@@ -17,6 +17,7 @@
 #include "check/SemanticValidator.h"
 #include "ir/Verifier.h"
 #include "pass/MaoPass.h"
+#include "serve/ArtifactCache.h"
 #include "support/Diag.h"
 #include "support/FaultInjection.h"
 #include "support/Options.h"
@@ -29,6 +30,7 @@
 #include "uarch/Runner.h"
 #include "x86/EncodeCache.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -124,6 +126,7 @@ struct Session::Impl {
   bool TraceActive = false;
   bool TraceFlushed = false;
   RunReport Report;
+  std::unique_ptr<serve::ArtifactCache> Cache;
 
   explicit Impl(Config C) : Cfg(std::move(C)) {
     if (Cfg.StderrDiagnostics)
@@ -183,6 +186,189 @@ Status Session::armFaultInjection(const std::string &Spec, uint64_t Seed) {
 
 void Session::armFaultInjectionFromEnv() {
   FaultInjector::instance().configureFromEnv();
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent artifact cache
+//===----------------------------------------------------------------------===//
+
+Status Session::cacheOpen(const std::string &Dir) {
+  auto Cache = std::make_unique<serve::ArtifactCache>();
+  if (MaoStatus S = Cache->open(Dir))
+    return Status::error(S.message());
+  I->Cache = std::move(Cache);
+  return Status::success();
+}
+
+void Session::cacheClose() { I->Cache.reset(); }
+
+bool Session::cacheIsOpen() const { return I->Cache && I->Cache->isOpen(); }
+
+ArtifactCounters Session::cacheStats() const {
+  ArtifactCounters C;
+  if (!cacheIsOpen())
+    return C;
+  const serve::ArtifactCache::Stats S = I->Cache->stats();
+  C.Hits = S.Hits;
+  C.Misses = S.Misses;
+  C.Stores = S.Stores;
+  C.StoreFailures = S.StoreFailures;
+  C.Quarantines = S.Quarantines;
+  C.StaleTmpRemoved = S.StaleTmpRemoved;
+  C.Entries = S.Entries;
+  return C;
+}
+
+std::string Session::canonicalPipelineSpec(
+    const std::vector<PassSpec> &Pipeline) {
+  std::string Out;
+  for (const PassSpec &Spec : Pipeline) {
+    if (!Out.empty())
+      Out += ',';
+    Out += Spec.Name;
+    if (!Spec.Options.empty()) {
+      auto Options = Spec.Options;
+      std::sort(Options.begin(), Options.end());
+      Out += '(';
+      for (size_t J = 0; J < Options.size(); ++J) {
+        if (J)
+          Out += ',';
+        Out += Options[J].first;
+        if (!Options[J].second.empty())
+          Out += "=" + Options[J].second;
+      }
+      Out += ')';
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Chains \p Part into \p Hash with an unambiguous length separator.
+uint64_t mixKeyPart(uint64_t Hash, const std::string &Part) {
+  Hash = serve::fnv1a64(Part, Hash);
+  const char Sep[9] = {'\0',
+                       static_cast<char>(Part.size() & 0xff),
+                       static_cast<char>((Part.size() >> 8) & 0xff),
+                       static_cast<char>((Part.size() >> 16) & 0xff),
+                       static_cast<char>((Part.size() >> 24) & 0xff),
+                       '\0',
+                       '\0',
+                       '\0',
+                       '\0'};
+  return serve::fnv1a64(std::string_view(Sep, sizeof(Sep)), Hash);
+}
+
+} // namespace
+
+uint64_t Session::cacheKey(const CachedRunRequest &Request) {
+  // Schema tag first, then a pass/option version fingerprint: the sorted
+  // registry catalogue stands in for per-pass version numbers — any pass
+  // added, removed, renamed, or re-kinded invalidates every key, so a
+  // stale cache can never serve output an older binary produced under
+  // different semantics.
+  uint64_t Hash = serve::fnv1a64("mao-artifact-v1");
+  for (const PassCatalogEntry &Entry : listPasses()) {
+    Hash = mixKeyPart(Hash, Entry.Name);
+    Hash = mixKeyPart(Hash, Entry.Kind);
+  }
+  Hash = mixKeyPart(Hash, Request.Source);
+  Hash = mixKeyPart(Hash, canonicalPipelineSpec(Request.Pipeline));
+  Hash = mixKeyPart(Hash, Request.Options.OnError);
+  Hash = mixKeyPart(Hash, Request.Options.Validate);
+  Hash = mixKeyPart(Hash,
+                    Request.Options.VerifyAfterEachPass ? "verify" : "");
+  // A pass timeout changes which passes commit, so it separates keys
+  // (0, the default, is the only fully deterministic setting).
+  Hash = mixKeyPart(Hash, std::to_string(Request.Options.PassTimeoutMs));
+  // Jobs deliberately excluded: output is byte-identical for every value.
+  return Hash;
+}
+
+namespace {
+
+/// The uncached compute path of cacheRun: parse → optimize → emit through
+/// \p S, plus the deterministic per-run report (non-timing sections only;
+/// Input is a fixed sentinel so the stored report is a pure function of
+/// the cache key, not of what the requester called the file).
+Status computeArtifact(Session &S, const CachedRunRequest &Request,
+                       CachedRunResult &Out) {
+  Program P;
+  ParseInfo Info;
+  if (Status St = S.parseText(Request.Source, Request.Name, P, &Info);
+      !St.Ok)
+    return St;
+  // CollectStats is forced on so the stored report's per-pass deltas do
+  // not depend on which caller happened to compute the entry first — the
+  // report must be a pure function of the cache key.
+  OptimizeOptions Opts = Request.Options;
+  Opts.CollectStats = true;
+  OptimizeResult R = S.optimize(P, Request.Pipeline, Opts);
+  if (!R.Ok)
+    return Status::error(R.Error.empty() ? "pipeline failed" : R.Error);
+  Out.Output = S.emitToString(P);
+  RunReport Report;
+  Report.Input = "<artifact>";
+  Report.Parse = Info;
+  Report.Passes = R.Outcomes;
+  for (const PassOutcomeInfo &Outcome : R.Outcomes) {
+    if (Outcome.Status == "failed")
+      ++Report.Failures;
+    else if (Outcome.Status == "rolled-back")
+      ++Report.Rollbacks;
+    else if (Outcome.Status == "skipped")
+      ++Report.Skips;
+  }
+  Report.TotalTransformations = R.TotalTransformations;
+  Out.ReportJson = Session::reportJson(Report, /*IncludeTimings=*/false);
+  return Status::success();
+}
+
+} // namespace
+
+Status Session::cacheRun(const CachedRunRequest &Request,
+                         CachedRunResult &Out) {
+  Out = CachedRunResult();
+  // No cache open: plain compute. Same code path (and so byte-identical
+  // output and report) as a cache miss, minus the store.
+  if (!cacheIsOpen())
+    return computeArtifact(*this, Request, Out);
+  const uint64_t Key = cacheKey(Request);
+  serve::CacheEntry Entry;
+  if (I->Cache->lookup(Key, Entry)) {
+    const std::string *Output = Entry.find("output");
+    const std::string *Report = Entry.find("report");
+    if (Output && Report) {
+      if (!Request.VerifyHit) {
+        Out.CacheHit = true;
+        Out.Output = *Output;
+        Out.ReportJson = *Report;
+        return Status::success();
+      }
+      CachedRunResult Fresh;
+      if (Status S = computeArtifact(*this, Request, Fresh); !S.Ok)
+        return S;
+      if (Fresh.Output != *Output || Fresh.ReportJson != *Report)
+        return Status::error(
+            "artifact cache hit diverged from recompute (key " +
+            std::to_string(Key) + ")");
+      Out = std::move(Fresh);
+      Out.CacheHit = true;
+      return Status::success();
+    }
+    // Checksum-valid but schema-incomplete (an entry from a different
+    // producer): fall through and overwrite with a fresh compute.
+  }
+  if (Status S = computeArtifact(*this, Request, Out); !S.Ok)
+    return S;
+  serve::CacheEntry Store;
+  Store.set("output", Out.Output);
+  Store.set("report", Out.ReportJson);
+  if (MaoStatus S = I->Cache->store(Key, Store))
+    // The artifact itself is good; persisting it is best-effort.
+    Out.Diagnostic = "artifact not cached: " + S.message();
+  return Status::success();
 }
 
 Status Session::parseFile(const std::string &Path, Program &Out,
@@ -426,6 +612,7 @@ Status Session::tune(Program &P, const TuneRequest &Request,
   Opts.Seed = Request.Seed;
   Opts.Budget = tuneBudgetFromString(Request.Budget);
   Opts.Jobs = Request.Jobs == 0 ? hardwareJobs() : Request.Jobs;
+  Opts.ScoreCacheBudgetBytes = Request.ScoreCacheBudgetBytes;
   const auto Start = std::chrono::steady_clock::now();
   ErrorOr<TuneResult> ResultOr = [&] {
     TimelineSpan Span("tune", "search:" + (Request.Entry.empty()
@@ -519,7 +706,11 @@ void appendKeyMs(std::string &Out, const char *Key, double V,
 RunReport Session::lastReport() const {
   RunReport R = I->Report;
   const EncodeCache::Stats CS = EncodeCache::instance().stats();
-  R.EncodeCache = {CS.Hits, CS.Misses, CS.Entries};
+  R.EncodeCache = {CS.Hits, CS.Misses, CS.Evictions, CS.Entries};
+  if (cacheIsOpen()) {
+    R.HasArtifactCache = true;
+    R.Artifact = cacheStats();
+  }
   R.Counters.clear();
   R.TimeCounters.clear();
   R.Gauges.clear();
@@ -572,8 +763,21 @@ std::string Session::reportJson(const RunReport &R, bool IncludeTimings) {
   Out += "\"caches\":{\"encode\":{";
   appendKeyU64(Out, "hits", R.EncodeCache.Hits);
   appendKeyU64(Out, "misses", R.EncodeCache.Misses);
+  appendKeyU64(Out, "evictions", R.EncodeCache.Evictions);
   appendKeyU64(Out, "entries", R.EncodeCache.Entries, /*Comma=*/false);
-  Out += "}},\n";
+  Out += "}";
+  if (R.HasArtifactCache) {
+    Out += ",\"artifact\":{";
+    appendKeyU64(Out, "hits", R.Artifact.Hits);
+    appendKeyU64(Out, "misses", R.Artifact.Misses);
+    appendKeyU64(Out, "stores", R.Artifact.Stores);
+    appendKeyU64(Out, "store_failures", R.Artifact.StoreFailures);
+    appendKeyU64(Out, "quarantines", R.Artifact.Quarantines);
+    appendKeyU64(Out, "stale_tmp_removed", R.Artifact.StaleTmpRemoved);
+    appendKeyU64(Out, "entries", R.Artifact.Entries, /*Comma=*/false);
+    Out += "}";
+  }
+  Out += "},\n";
 
   Out += "\"counters\":{";
   for (size_t I = 0; I < R.Counters.size(); ++I) {
@@ -689,11 +893,24 @@ std::string Session::statsTable() const {
     }
   }
   std::snprintf(Buf, sizeof(Buf),
-                "  encode cache: %llu hits, %llu misses, %llu entries\n",
+                "  encode cache: %llu hits, %llu misses, %llu evictions, "
+                "%llu entries\n",
                 (unsigned long long)R.EncodeCache.Hits,
                 (unsigned long long)R.EncodeCache.Misses,
+                (unsigned long long)R.EncodeCache.Evictions,
                 (unsigned long long)R.EncodeCache.Entries);
   Out += Buf;
+  if (R.HasArtifactCache) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  artifact cache: %llu hits, %llu misses, %llu stores, "
+                  "%llu quarantines, %llu entries\n",
+                  (unsigned long long)R.Artifact.Hits,
+                  (unsigned long long)R.Artifact.Misses,
+                  (unsigned long long)R.Artifact.Stores,
+                  (unsigned long long)R.Artifact.Quarantines,
+                  (unsigned long long)R.Artifact.Entries);
+    Out += Buf;
+  }
   if (R.Tuned) {
     std::snprintf(Buf, sizeof(Buf),
                   "  tune: %u candidates, winner '%s' (%llu -> %llu cycles)\n",
@@ -713,6 +930,10 @@ void Session::setTraceLevel(int Level) {
 void Session::resetGlobalStats() {
   StatsRegistry::instance().reset();
   EncodeCache::instance().clear();
+}
+
+void Session::setEncodeCacheBudget(uint64_t Bytes) {
+  EncodeCache::instance().setByteBudget(Bytes);
 }
 
 std::vector<PassCatalogEntry> Session::listPasses() {

@@ -148,6 +148,9 @@ struct TuneRequest {
   uint64_t Seed = 1;
   unsigned Jobs = 1; ///< 0 = all hardware threads.
   std::string ReportPath; ///< When set, the JSON report is written here.
+  /// Score-cache byte budget, 0 = unlimited (--mao-score-cache-budget).
+  /// Eviction can only cost re-simulation, never change the result.
+  uint64_t ScoreCacheBudgetBytes = 0;
 };
 
 /// Summary of a tuning run.
@@ -167,7 +170,47 @@ struct TuneSummary {
 struct CacheCounters {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+  uint64_t Evictions = 0;
   uint64_t Entries = 0;
+};
+
+/// Persistent artifact-cache totals (Session::cacheOpen; see DESIGN.md,
+/// "Service mode & persistent cache").
+struct ArtifactCounters {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Stores = 0;
+  uint64_t StoreFailures = 0;
+  uint64_t Quarantines = 0;
+  uint64_t StaleTmpRemoved = 0;
+  uint64_t Entries = 0;
+};
+
+/// One cached optimization request: the whole parse → optimize → emit
+/// round as a pure function of (Source, Pipeline, Options), which is what
+/// makes it content-addressable. Name is diagnostic-only and excluded
+/// from the key.
+struct CachedRunRequest {
+  std::string Source;
+  std::string Name = "<input>";
+  std::vector<PassSpec> Pipeline;
+  OptimizeOptions Options;
+  /// Paranoia mode: on a cache hit, recompute anyway and fail the request
+  /// if the stored bytes differ (fuzzing and the serve acceptance tests).
+  bool VerifyHit = false;
+};
+
+/// Result of Session::cacheRun. Output and ReportJson are byte-identical
+/// between a hit and a recompute, for every OptimizeOptions::Jobs value —
+/// ReportJson is the per-run report with the jobs-dependent timing section
+/// omitted.
+struct CachedRunResult {
+  bool CacheHit = false;
+  std::string Output;
+  std::string ReportJson;
+  /// Non-fatal store-side detail (e.g. the entry could not be persisted);
+  /// the computed result is still valid when this is set.
+  std::string Diagnostic;
 };
 
 /// Histogram summary row of the run report.
@@ -196,6 +239,8 @@ struct RunReport {
   unsigned Skips = 0;
   unsigned TotalTransformations = 0;
   CacheCounters EncodeCache; ///< Process-wide encoding-length cache.
+  bool HasArtifactCache = false; ///< True once cacheOpen() succeeded.
+  ArtifactCounters Artifact; ///< Valid when HasArtifactCache.
   /// Registry counters, "time."-prefixed ones excluded (sorted by name).
   std::vector<std::pair<std::string, uint64_t>> Counters;
   std::vector<std::pair<std::string, int64_t>> Gauges;
@@ -286,11 +331,44 @@ public:
   /// encoding-length cache) so sequential runs in one process can be
   /// compared in isolation. Does not touch per-session reports.
   static void resetGlobalStats();
+  /// Caps the process-wide encoding-length cache at \p Bytes of keyed
+  /// content, evicting oldest-first beyond it (0 = unlimited, the
+  /// default — eviction order is scheduling-dependent under parallel
+  /// shards, so capping trades the cross-jobs cache-stats determinism
+  /// for bounded memory; output bytes are unaffected either way).
+  static void setEncodeCacheBudget(uint64_t Bytes);
 
   /// Arms the deterministic fault injector ("site:permille[,...]").
   Status armFaultInjection(const std::string &Spec, uint64_t Seed);
   /// Applies MAO_FAULT_INJECT from the environment, if set.
   void armFaultInjectionFromEnv();
+
+  // Persistent artifact cache (--cache-dir; see DESIGN.md, "Service mode
+  // & persistent cache"). Entries are written crash-safely (temp file +
+  // fsync + atomic rename + checksum trailer); corrupt or torn entries
+  // are quarantined and recomputed, and a hit is byte-identical to a
+  // recompute.
+  /// Opens (creating if needed) the on-disk cache rooted at \p Dir.
+  Status cacheOpen(const std::string &Dir);
+  void cacheClose();
+  bool cacheIsOpen() const;
+  ArtifactCounters cacheStats() const;
+  /// The content-addressed key cacheRun uses for \p Request: FNV-1a over
+  /// the input bytes, the canonical pipeline spelling, the key-relevant
+  /// execution options, and the pass/option version fingerprint of this
+  /// binary. Jobs is deliberately excluded — output is identical for
+  /// every worker count.
+  static uint64_t cacheKey(const CachedRunRequest &Request);
+  /// Runs \p Request through the cache: a verified hit returns the stored
+  /// artifact; a miss computes parse → optimize → emit through this
+  /// session and persists the result. Store failures are reported in
+  /// CachedRunResult::Diagnostic but never fail the run. Without an open
+  /// cache this is a plain compute — same code path as a miss, no store.
+  Status cacheRun(const CachedRunRequest &Request, CachedRunResult &Out);
+  /// Renders \p Pipeline in the canonical registry spelling
+  /// ("a,b(c=1,d=2)"), the form used for cache keys and serve requests.
+  static std::string canonicalPipelineSpec(
+      const std::vector<PassSpec> &Pipeline);
 
   // Parse.
   Status parseFile(const std::string &Path, Program &Out,

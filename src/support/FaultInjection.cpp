@@ -15,6 +15,14 @@ const char *mao::faultSiteName(FaultSite Site) {
     return "encoder";
   case FaultSite::PassRunner:
     return "pass";
+  case FaultSite::FsWrite:
+    return "fswrite";
+  case FaultSite::FsRename:
+    return "fsrename";
+  case FaultSite::CacheRead:
+    return "cacheread";
+  case FaultSite::Frame:
+    return "frame";
   }
   return "unknown";
 }
@@ -62,7 +70,8 @@ MaoStatus FaultInjector::configure(const std::string &Spec, uint64_t Seed) {
     if (!parseSiteName(Pair.substr(0, Colon), Site))
       return MaoStatus::error("unknown fault-injection site '" +
                               Pair.substr(0, Colon) +
-                              "' (want parser, encoder, or pass)");
+                              "' (want parser, encoder, pass, fswrite, "
+                              "fsrename, cacheread, or frame)");
     char *EndPtr = nullptr;
     const std::string RateText = Pair.substr(Colon + 1);
     long Rate = std::strtol(RateText.c_str(), &EndPtr, 10);

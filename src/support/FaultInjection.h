@@ -32,9 +32,28 @@
 
 namespace mao {
 
-/// Instrumented components. Keep in sync with faultSiteName().
-enum class FaultSite : uint8_t { Parser = 0, Encoder = 1, PassRunner = 2 };
-constexpr unsigned NumFaultSites = 3;
+/// Instrumented components. Keep in sync with faultSiteName(). The first
+/// three are the PR 1 compute-path sites; the filesystem/protocol domain
+/// (fswrite, fsrename, cacheread, frame) exercises the persistent artifact
+/// cache and the maod framing layer:
+///   * FsWrite   — a crash-safe cache write is cut short (short write),
+///                 modelling a writer killed or a disk filling mid-write.
+///   * FsRename  — the atomic publish rename fails, modelling a crash in
+///                 the instant between temp write and rename.
+///   * CacheRead — a read-back cache entry has one bit flipped, modelling
+///                 on-disk corruption; the checksum trailer must catch it.
+///   * Frame     — a protocol frame arrives truncated, modelling a peer
+///                 that died mid-send or a cut connection.
+enum class FaultSite : uint8_t {
+  Parser = 0,
+  Encoder = 1,
+  PassRunner = 2,
+  FsWrite = 3,
+  FsRename = 4,
+  CacheRead = 5,
+  Frame = 6,
+};
+constexpr unsigned NumFaultSites = 7;
 
 const char *faultSiteName(FaultSite Site);
 

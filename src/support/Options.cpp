@@ -268,6 +268,35 @@ OptionRegistry buildDriverOptions(MaoCommandLine &Cmd) {
   R.addInt("--mao-trace-level", &Cmd.TraceLevel, 0,
            "global trace verbosity (0-3) for infrastructure tracing and "
            "passes without an explicit trace[N] option");
+  R.addString("--cache-dir", &Cmd.CacheDir,
+              "persistent artifact cache directory; hits skip the pipeline "
+              "and are byte-identical to a recompute");
+  R.addString("--connect", &Cmd.ConnectPath,
+              "run through the maod daemon at this unix socket (bounded "
+              "retry, then transparent local fallback)");
+  R.addFlag("--cache-verify", &Cmd.CacheVerify,
+            "on a cache hit, recompute anyway and fail on any divergence");
+  auto AddBudget = [&R](const char *Flag, uint64_t *Slot, const char *Help) {
+    R.addCustom(
+        Flag,
+        [Flag, Slot](const std::string &Value) {
+          char *End = nullptr;
+          unsigned long long Bytes = std::strtoull(Value.c_str(), &End, 10);
+          if (End == Value.c_str() || *End != '\0')
+            return MaoStatus::error(std::string(Flag) +
+                                    " expects a byte count; got '" + Value +
+                                    "'");
+          *Slot = Bytes;
+          return MaoStatus::success();
+        },
+        Help);
+  };
+  AddBudget("--mao-encode-cache-budget", &Cmd.EncodeCacheBudget,
+            "cap the encode-length cache at BYTES of keyed content, "
+            "evicting oldest-first (0 = unlimited)");
+  AddBudget("--mao-score-cache-budget", &Cmd.ScoreCacheBudget,
+            "cap the tuner's score cache at BYTES, evicting oldest-first "
+            "(0 = unlimited)");
   R.addFlag("--lint", &Cmd.Lint,
             "run the MaoCheck linter instead of the pass pipeline");
   R.addFlag("--lint-werror", &Cmd.LintWerror,

@@ -140,6 +140,24 @@ struct MaoCommandLine {
   /// tracing and for passes without an explicit trace[N] option.
   long TraceLevel = 0;
 
+  // Service mode & persistent cache (see DESIGN.md "Service mode &
+  // persistent cache" and src/serve).
+  /// --cache-dir=DIR: persistent artifact cache; hits skip the pipeline
+  /// and are byte-identical to a recompute.
+  std::string CacheDir;
+  /// --connect=SOCKET: send the run to a maod daemon at this unix socket,
+  /// with bounded retry and transparent local fallback.
+  std::string ConnectPath;
+  /// --cache-verify: on a cache hit, recompute anyway and fail on any
+  /// divergence (acceptance tests and paranoid builds).
+  bool CacheVerify = false;
+  /// --mao-encode-cache-budget=BYTES: cap the process-wide encode-length
+  /// cache (0 = unlimited, the default).
+  uint64_t EncodeCacheBudget = 0;
+  /// --mao-score-cache-budget=BYTES: cap the tuner's score cache
+  /// (0 = unlimited, the default).
+  uint64_t ScoreCacheBudget = 0;
+
   /// Worker count with the 0-means-hardware-concurrency rule applied.
   unsigned effectiveJobs() const;
 };

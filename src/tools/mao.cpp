@@ -25,10 +25,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "mao/Mao.h"
+#include "serve/Serve.h"
 #include "support/Options.h"
 
+#include <csignal>
 #include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 namespace {
@@ -37,6 +43,23 @@ constexpr int ExitOk = 0;
 constexpr int ExitUsage = 1;
 constexpr int ExitParseError = 2;
 constexpr int ExitPipelineError = 3;
+
+/// Observability flush hook for SIGINT/SIGTERM: an interrupted run still
+/// writes its report, stats table, and trace before dying with the
+/// default signal disposition (so the exit status reads as
+/// signal-terminated to the parent, e.g. a Makefile).
+std::function<void()> *SignalFlush = nullptr;
+volatile std::sig_atomic_t InSignalExit = 0;
+
+void onSignal(int Sig) {
+  if (InSignalExit) // Re-entered (second ^C): give up immediately.
+    _exit(128 + Sig);
+  InSignalExit = 1;
+  if (SignalFlush)
+    (*SignalFlush)();
+  std::signal(Sig, SIG_DFL);
+  std::raise(Sig);
+}
 
 void printUsage() {
   std::fprintf(stderr,
@@ -53,6 +76,8 @@ void printUsage() {
                "           [--tune-config={core2,opteron}] [--tune-entry=F]\n"
                "           [--mao-report=FILE] [--stats]\n"
                "           [--mao-trace-out=FILE] [--mao-trace-level=N]\n"
+               "           [--cache-dir=DIR] [--connect=SOCKET]\n"
+               "           [--cache-verify] [--mao-encode-cache-budget=B]\n"
                "           input.s\n"
                "\n"
                "example: mao --mao=LFIND=trace[0]:ASM=o[/dev/null] in.s\n"
@@ -113,6 +138,8 @@ int main(int Argc, char **Argv) {
 
   if (Cmd.TraceLevel > 0)
     mao::api::Session::setTraceLevel(static_cast<int>(Cmd.TraceLevel));
+  if (Cmd.EncodeCacheBudget != 0)
+    mao::api::Session::setEncodeCacheBudget(Cmd.EncodeCacheBudget);
 
   mao::api::Session::Config Config;
   Config.SarifPath = Cmd.SarifPath;
@@ -134,6 +161,10 @@ int main(int Argc, char **Argv) {
       if (mao::api::Status S = Session.writeTrace(); !S.Ok)
         std::fprintf(stderr, "mao: error: %s\n", S.Message.c_str());
   };
+  std::function<void()> FlushOnSignal = FlushObservability;
+  SignalFlush = &FlushOnSignal;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
 
   Session.armFaultInjectionFromEnv();
   if (!Cmd.FaultSpec.empty())
@@ -143,6 +174,118 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "mao: error: %s\n", S.Message.c_str());
       return ExitUsage;
     }
+
+  bool HasAsmPass = false;
+  for (const mao::api::PassSpec &Spec : Pipeline)
+    if (Spec.Name == "ASM")
+      HasAsmPass = true;
+
+  // Service mode: --connect routes the run through a maod daemon (with
+  // transparent local fallback), --cache-dir through the local persistent
+  // artifact cache. Both cover the plain parse → optimize → emit round;
+  // lint, tune, and ASM file-output passes keep the direct path.
+  const bool WantService = !Cmd.ConnectPath.empty() || !Cmd.CacheDir.empty();
+  const bool ServiceRun = WantService && !LintMode && !Cmd.Tune && !HasAsmPass;
+  if (WantService && !ServiceRun)
+    std::fprintf(stderr,
+                 "mao: warning: --connect/--cache-dir do not cover --lint, "
+                 "--tune, or ASM passes; running directly\n");
+  if (ServiceRun) {
+    // The cache key is over the exact input bytes: read them verbatim.
+    std::ifstream In(Cmd.Inputs[0], std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "mao: error: cannot read %s\n",
+                   Cmd.Inputs[0].c_str());
+      return ExitParseError;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    const std::string Source = Buf.str();
+
+    // In service mode the authoritative run report is the per-run JSON
+    // from the cache or daemon — byte-identical between a warm hit and a
+    // recompute, which the session report (empty on a hit) is not.
+    auto FlushService = [&](const std::string &ReportJson) {
+      if (!Cmd.ReportPath.empty()) {
+        if (Cmd.ReportPath == "-") {
+          std::fwrite(ReportJson.data(), 1, ReportJson.size(), stdout);
+        } else {
+          std::FILE *F = std::fopen(Cmd.ReportPath.c_str(), "w");
+          const bool Ok =
+              F && std::fwrite(ReportJson.data(), 1, ReportJson.size(), F) ==
+                       ReportJson.size();
+          if (F)
+            std::fclose(F);
+          if (!Ok)
+            std::fprintf(stderr, "mao: error: cannot write run report to %s\n",
+                         Cmd.ReportPath.c_str());
+        }
+      }
+      if (Cmd.Stats)
+        std::fputs(Session.statsTable().c_str(), stderr);
+      if (!Cmd.TraceOut.empty())
+        (void)Session.writeTrace();
+    };
+
+    if (!Cmd.ConnectPath.empty()) {
+      mao::serve::ServeRequest Req;
+      Req.Name = Cmd.Inputs[0];
+      Req.Source = Source;
+      Req.Pipeline = mao::api::Session::canonicalPipelineSpec(Pipeline);
+      Req.OnError = Cmd.OnError;
+      Req.Validate = Cmd.Validate;
+      Req.Jobs = Cmd.Jobs;
+      Req.DeadlineMs = static_cast<uint32_t>(Cmd.PassTimeoutMs);
+      mao::serve::ClientOptions Client;
+      Client.SocketPath = Cmd.ConnectPath;
+      mao::serve::ServeResponse Resp;
+      if (mao::MaoStatus S = mao::serve::clientRun(Client, Req, Resp)) {
+        std::fprintf(stderr, "mao: warning: %s; falling back to a local run\n",
+                     S.message().c_str());
+      } else {
+        if (Resp.Status == mao::serve::ServeStatus::Error) {
+          std::fprintf(stderr, "mao: error: %s\n", Resp.Diagnostic.c_str());
+          FlushService(Resp.Report);
+          return ExitPipelineError;
+        }
+        if (Resp.Status == mao::serve::ServeStatus::DegradedIdentity)
+          std::fprintf(stderr,
+                       "mao: warning: daemon degraded to identity: %s\n",
+                       Resp.Diagnostic.c_str());
+        else if (!Resp.Diagnostic.empty())
+          std::fprintf(stderr, "mao: warning: %s\n", Resp.Diagnostic.c_str());
+        std::fwrite(Resp.Output.data(), 1, Resp.Output.size(), stdout);
+        FlushService(Resp.Report);
+        return ExitOk;
+      }
+    }
+
+    if (!Cmd.CacheDir.empty())
+      if (mao::api::Status S = Session.cacheOpen(Cmd.CacheDir); !S.Ok)
+        std::fprintf(stderr, "mao: warning: cache disabled: %s\n",
+                     S.Message.c_str());
+    mao::api::CachedRunRequest Run;
+    Run.Source = Source;
+    Run.Name = Cmd.Inputs[0];
+    Run.Pipeline = Pipeline;
+    Run.Options.OnError = Cmd.OnError;
+    Run.Options.Validate = Cmd.Validate;
+    Run.Options.VerifyAfterEachPass = Cmd.Verify;
+    Run.Options.PassTimeoutMs = Cmd.PassTimeoutMs;
+    Run.Options.Jobs = Cmd.Jobs;
+    Run.VerifyHit = Cmd.CacheVerify;
+    mao::api::CachedRunResult Result;
+    if (mao::api::Status S = Session.cacheRun(Run, Result); !S.Ok) {
+      std::fprintf(stderr, "mao: error: %s\n", S.Message.c_str());
+      FlushService("");
+      return ExitPipelineError;
+    }
+    if (!Result.Diagnostic.empty())
+      std::fprintf(stderr, "mao: warning: %s\n", Result.Diagnostic.c_str());
+    std::fwrite(Result.Output.data(), 1, Result.Output.size(), stdout);
+    FlushService(Result.ReportJson);
+    return ExitOk;
+  }
 
   mao::api::Program Program;
   mao::api::ParseInfo Parse;
@@ -176,6 +319,7 @@ int main(int Argc, char **Argv) {
     Request.Seed = Cmd.TuneSeed;
     Request.Jobs = Cmd.Jobs;
     Request.ReportPath = Cmd.TuneReport;
+    Request.ScoreCacheBudgetBytes = Cmd.ScoreCacheBudget;
     mao::api::TuneSummary Tune;
     if (mao::api::Status S = Session.tune(Program, Request, Tune); !S.Ok) {
       std::fprintf(stderr, "mao: tune: %s\n", S.Message.c_str());
@@ -194,11 +338,6 @@ int main(int Argc, char **Argv) {
                  Tune.TunedPipeline.c_str());
     // The tuned unit is already applied; fall through to verify + emit.
   }
-
-  bool HasAsmPass = false;
-  for (const mao::api::PassSpec &Spec : Pipeline)
-    if (Spec.Name == "ASM")
-      HasAsmPass = true;
 
   bool VerifiedPerPass = false;
   if (!Pipeline.empty() || !Cmd.Tune) {

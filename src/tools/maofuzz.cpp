@@ -20,12 +20,25 @@
 /// the assertion weakens to "no crash, every failure is contained by the
 /// rollback machinery".
 ///
-///   maofuzz [--seeds=N] [--seed-base=B] [--inject=spec[@seed]] [--lint] [-v]
+///   maofuzz [--seeds=N] [--seed-base=B] [--inject=spec[@seed]] [--lint]
+///           [--serve] [-v]
 ///
 /// With --lint each clean iteration additionally runs the MaoCheck linter
 /// (which must never crash) and the semantic translation validator: the
 /// program must validate against its own clone, and every pass in the
 /// random pipeline must preserve semantics.
+///
+/// With --serve each iteration exercises the service-mode contract
+/// instead: a cold Session::cacheRun, its warm hit, and a cache-less
+/// direct compute must all produce byte-identical output; the wire codec
+/// must round-trip the request; a frame carrying it must either arrive
+/// with an identical payload or fail its checksum (a seed-derived bit
+/// flip in transit can never yield different bytes); and a bit-flipped
+/// on-disk entry must never parse. Combined with --inject over the
+/// fs/protocol fault domain (fswrite, fsrename, cacheread, frame) the
+/// assertion weakens, as on the compute path, to "no crash, no wrong
+/// bytes": injected store/read/frame faults are expected and counted,
+/// but every output byte still matches the direct compute.
 ///
 /// Exit codes: 0 all iterations clean (or contained), 1 at least one
 /// property violated, 2 usage error.
@@ -33,12 +46,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "mao/Mao.h"
+#include "serve/ArtifactCache.h"
+#include "serve/Protocol.h"
 #include "support/Random.h"
 #include "workload/Workload.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 using namespace mao;
@@ -56,6 +72,12 @@ struct FuzzConfig {
   /// semantic validator: identity must validate as equivalent, and every
   /// clean-path pass must report zero divergences.
   bool Lint = false;
+  /// --serve: fuzz the service-mode contract (artifact cache + wire
+  /// protocol) instead of the raw pipeline.
+  bool Serve = false;
+  /// Cache directory shared by every --serve iteration (content
+  /// addressing keeps per-seed entries disjoint).
+  std::string ServeCacheDir;
 };
 
 /// Derives a small-but-varied workload from one fuzz seed. Every knob stays
@@ -247,6 +269,197 @@ IterationResult runOne(uint64_t Seed, const FuzzConfig &Config) {
   return R;
 }
 
+/// One --serve iteration: cache-path byte-identity plus wire/entry
+/// corruption properties, all derived from \p Seed.
+IterationResult runServeOne(uint64_t Seed, const FuzzConfig &Config) {
+  IterationResult R;
+  const bool Injecting = !Config.InjectSpec.empty();
+  api::Session::Config SessionConfig;
+  SessionConfig.StderrDiagnostics = false;
+
+  auto Violate = [&](const char *What, const std::string &Detail) {
+    std::fprintf(stderr, "maofuzz: seed %llu: serve: %s: %s\n",
+                 static_cast<unsigned long long>(Seed), What, Detail.c_str());
+    R.PropertyViolated = true;
+  };
+
+  api::CachedRunRequest Request;
+  Request.Source = generateWorkloadAssembly(randomSpec(Seed));
+  Request.Name = "fuzz.s";
+  Request.Pipeline = randomPipeline(Seed);
+  Request.Options.OnError = "rollback";
+
+  // Reference bytes: a cache-less compute through a fresh session. The
+  // fs/protocol fault domain never touches this path, so it is the fixed
+  // point every cached variant must reproduce byte-for-byte.
+  api::CachedRunResult Direct;
+  {
+    api::Session Session(SessionConfig);
+    if (api::Status S = Session.cacheRun(Request, Direct); !S.Ok) {
+      if (Injecting)
+        ++R.InjectedFailures;
+      else
+        Violate("direct compute failed", S.Message);
+      return R;
+    }
+  }
+
+  // Cold miss, then warm lookup, through the shared cache directory. An
+  // injected store or read fault may cost the hit — never the bytes.
+  api::Session Session(SessionConfig);
+  if (api::Status S = Session.cacheOpen(Config.ServeCacheDir); !S.Ok) {
+    Violate("cacheOpen failed", S.Message);
+    return R;
+  }
+  api::CachedRunResult Cold, Warm;
+  if (api::Status S = Session.cacheRun(Request, Cold); !S.Ok) {
+    if (Injecting)
+      ++R.InjectedFailures;
+    else
+      Violate("cold cacheRun failed", S.Message);
+    return R;
+  }
+  if (!Cold.Diagnostic.empty() && Injecting)
+    ++R.InjectedFailures; // A contained store fault.
+  if (Cold.Output != Direct.Output) {
+    Violate("cold output differs from direct compute", "byte mismatch");
+    return R;
+  }
+  if (api::Status S = Session.cacheRun(Request, Warm); !S.Ok) {
+    if (Injecting)
+      ++R.InjectedFailures;
+    else
+      Violate("warm cacheRun failed", S.Message);
+    return R;
+  }
+  if (Warm.Output != Direct.Output) {
+    Violate("warm output differs from direct compute", "byte mismatch");
+    return R;
+  }
+  if (!Injecting) {
+    if (!Warm.CacheHit) {
+      Violate("warm run missed", Warm.Diagnostic);
+      return R;
+    }
+    if (Warm.ReportJson != Cold.ReportJson) {
+      Violate("warm report differs from cold report", "byte mismatch");
+      return R;
+    }
+    // Paranoia mode: recompute the hit and compare against stored bytes.
+    api::CachedRunRequest Paranoid = Request;
+    Paranoid.VerifyHit = true;
+    api::CachedRunResult Verified;
+    if (api::Status S = Session.cacheRun(Paranoid, Verified); !S.Ok) {
+      Violate("--cache-verify style recompute diverged", S.Message);
+      return R;
+    }
+  }
+
+  // Wire codec round trip for a request carrying this iteration's source.
+  serve::ServeRequest Wire;
+  Wire.Name = "fuzz.s";
+  Wire.Source = Request.Source;
+  Wire.Pipeline = api::Session::canonicalPipelineSpec(Request.Pipeline);
+  const std::string Payload = serve::encodeRequest(Wire);
+  serve::ServeRequest Decoded;
+  if (MaoStatus S = serve::decodeRequest(Payload, Decoded)) {
+    Violate("request codec failed to round-trip", S.message());
+    return R;
+  }
+  if (Decoded.Source != Wire.Source || Decoded.Pipeline != Wire.Pipeline) {
+    Violate("request codec changed the payload", "field mismatch");
+    return R;
+  }
+
+  // Frame transport: over a pipe the frame either arrives with an
+  // identical payload or fails (checksum/truncation, injected or real) —
+  // it can never arrive with different bytes.
+  RandomSource Rng(Seed * 0x2545f4914f6cdd1dULL + 3);
+  int Fds[2];
+  if (::pipe(Fds) == 0) {
+    serve::Frame Out{serve::FrameKind::Request, Payload};
+    MaoStatus WriteS = serve::writeFrame(Fds[1], Out);
+    ::close(Fds[1]);
+    if (!WriteS) {
+      serve::Frame In;
+      bool CleanEof = false;
+      if (MaoStatus S = serve::readFrame(Fds[0], In, CleanEof)) {
+        if (Injecting)
+          ++R.InjectedFailures; // FaultSite::Frame truncation, contained.
+        else
+          Violate("frame failed to round-trip", S.message());
+      } else if (In.Payload != Payload) {
+        Violate("frame arrived with different bytes", "payload mismatch");
+      }
+    }
+    ::close(Fds[0]);
+    if (R.PropertyViolated)
+      return R;
+  }
+
+  // Transit corruption: flip one seed-derived bit anywhere in a captured
+  // frame. The reader must reject it or deliver the identical payload
+  // (only the unchecked padding byte can survive a flip) — never
+  // different bytes.
+  if (::pipe(Fds) == 0) {
+    std::string Captured;
+    {
+      int CapFds[2];
+      if (::pipe(CapFds) == 0) {
+        (void)serve::writeFrame(CapFds[1], {serve::FrameKind::Request,
+                                            Payload});
+        ::close(CapFds[1]);
+        char Buf[4096];
+        ssize_t N;
+        while ((N = ::read(CapFds[0], Buf, sizeof(Buf))) > 0)
+          Captured.append(Buf, static_cast<size_t>(N));
+        ::close(CapFds[0]);
+      }
+    }
+    if (!Captured.empty()) {
+      const size_t Byte = Rng.nextBelow(Captured.size());
+      Captured[Byte] = static_cast<char>(
+          Captured[Byte] ^ (1u << Rng.nextBelow(8)));
+      (void)::write(Fds[1], Captured.data(), Captured.size());
+      ::close(Fds[1]);
+      serve::Frame In;
+      bool CleanEof = false;
+      MaoStatus S = serve::readFrame(Fds[0], In, CleanEof);
+      if (S.ok() && In.Payload != Payload) {
+        Violate("corrupted frame delivered different bytes",
+                "flip at byte " + std::to_string(Byte));
+      }
+    } else {
+      ::close(Fds[1]);
+    }
+    ::close(Fds[0]);
+    if (R.PropertyViolated)
+      return R;
+  }
+
+  // On-disk corruption: a bit-flipped serialized entry must never parse
+  // (every byte, trailer included, is under the checksum).
+  {
+    serve::CacheEntry Entry;
+    Entry.set("output", Direct.Output);
+    Entry.set("report", Direct.ReportJson);
+    std::string Bytes = serve::ArtifactCache::serializeEntry(Seed, Entry);
+    const size_t Byte = Rng.nextBelow(Bytes.size());
+    Bytes[Byte] = static_cast<char>(Bytes[Byte] ^ (1u << Rng.nextBelow(8)));
+    serve::CacheEntry Parsed;
+    if (serve::ArtifactCache::parseEntry(Bytes, Seed, Parsed).ok()) {
+      Violate("bit-flipped cache entry parsed",
+              "flip at byte " + std::to_string(Byte));
+      return R;
+    }
+  }
+
+  if (Config.Verbose)
+    std::fprintf(stderr, "maofuzz: seed %llu serve ok (%u contained faults)\n",
+                 static_cast<unsigned long long>(Seed), R.InjectedFailures);
+  return R;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -276,14 +489,29 @@ int main(int Argc, char **Argv) {
       Config.InjectSpec = Spec;
     } else if (Arg == "--lint") {
       Config.Lint = true;
+    } else if (Arg == "--serve") {
+      Config.Serve = true;
     } else if (Arg == "-v" || Arg == "--verbose") {
       Config.Verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: maofuzz [--seeds=N] [--seed-base=B] "
-                   "[--inject=site:permille,...[@seed]] [--lint] [-v]\n");
+                   "[--inject=site:permille,...[@seed]] [--lint] [--serve] "
+                   "[-v]\n");
       return 2;
     }
+  }
+
+  std::string ServeCacheRoot;
+  if (Config.Serve) {
+    char Template[] = "/tmp/maofuzz-serve-XXXXXX";
+    const char *Dir = mkdtemp(Template);
+    if (!Dir) {
+      std::fprintf(stderr, "maofuzz: cannot create serve cache dir\n");
+      return 2;
+    }
+    ServeCacheRoot = Dir;
+    Config.ServeCacheDir = ServeCacheRoot + "/cache";
   }
 
   unsigned Violations = 0;
@@ -301,11 +529,15 @@ int main(int Argc, char **Argv) {
         return 2;
       }
     }
-    IterationResult R = runOne(Seed, Config);
+    IterationResult R =
+        Config.Serve ? runServeOne(Seed, Config) : runOne(Seed, Config);
     if (R.PropertyViolated)
       ++Violations;
     ContainedFaults += R.InjectedFailures;
   }
+
+  if (!ServeCacheRoot.empty())
+    std::system(("rm -rf '" + ServeCacheRoot + "'").c_str());
 
   std::printf("maofuzz: %u seeds, %u violations, %u contained injected "
               "faults\n",

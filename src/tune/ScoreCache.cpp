@@ -42,10 +42,25 @@ std::optional<uint64_t> ScoreCache::lookup(uint64_t Key) const {
 
 void ScoreCache::insert(uint64_t Key, uint64_t Cycles) {
   std::lock_guard<std::mutex> Lock(M);
-  Map.emplace(Key, Cycles);
+  if (!Map.emplace(Key, Cycles).second)
+    return;
+  Order.push_back(Key);
+  if (ByteBudget == 0)
+    return;
+  const uint64_t MaxEntries = ByteBudget / BytesPerEntry;
+  while (Map.size() > MaxEntries && Order.size() > 1) {
+    Map.erase(Order.front());
+    Order.pop_front();
+    ++Evictions;
+  }
+}
+
+void ScoreCache::setByteBudget(uint64_t Bytes) {
+  std::lock_guard<std::mutex> Lock(M);
+  ByteBudget = Bytes;
 }
 
 ScoreCache::Stats ScoreCache::stats() const {
   std::lock_guard<std::mutex> Lock(M);
-  return {Hits, Misses, Map.size()};
+  return {Hits, Misses, Evictions, Map.size()};
 }

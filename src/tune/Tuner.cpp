@@ -209,6 +209,7 @@ ErrorOr<TuneResult> mao::tuneUnit(MaoUnit &Unit, const TuneOptions &Options) {
   SearchSpace Space(Unit);
   RandomSource Rng(Options.Seed);
   ScoreCache Cache(Options.Config);
+  Cache.setByteBudget(Options.ScoreCacheBudgetBytes);
   BatchEvaluator Eval(Unit, Entry, MOpts, Cache, std::max(1u, Options.Jobs));
 
   std::set<std::string> Seen;

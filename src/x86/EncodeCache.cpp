@@ -65,6 +65,30 @@ const EncodeCache::Shard &EncodeCache::shardFor(const std::string &Key) const {
   return Shards[std::hash<std::string>{}(Key) % NumShards];
 }
 
+void EncodeCache::setByteBudget(uint64_t Bytes) {
+  ByteBudget.store(Bytes, std::memory_order_relaxed);
+}
+
+void EncodeCache::noteInsert(
+    Shard &S, std::unordered_map<std::string, unsigned>::iterator It) {
+  S.Order.push_back(&It->first);
+  S.KeyBytes += It->first.size();
+  const uint64_t Budget = ByteBudget.load(std::memory_order_relaxed);
+  if (Budget == 0)
+    return;
+  const uint64_t ShardBudget = Budget / NumShards;
+  // Never evict the entry just inserted: a key larger than the whole
+  // shard budget still gets cached (and evicted by the next insert), so
+  // a pathological budget degrades throughput, not correctness.
+  while (S.KeyBytes > ShardBudget && S.Order.size() > 1) {
+    const std::string *Oldest = S.Order.front();
+    S.Order.pop_front();
+    S.KeyBytes -= Oldest->size();
+    S.Map.erase(*Oldest);
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 unsigned EncodeCache::length(const Instruction &Insn) {
   // Opaque instructions have a constant estimated size and unbounded raw
   // text; memoizing them would bloat the cache for no reuse.
@@ -89,7 +113,10 @@ unsigned EncodeCache::length(const Instruction &Insn) {
   // length() and Hits + Misses == calls, both independent of thread
   // scheduling — --mao-report publishes these as exact.
   (Inserted ? Misses : Hits).fetch_add(1, std::memory_order_relaxed);
-  return It->second;
+  const unsigned Result = It->second;
+  if (Inserted)
+    noteInsert(S, It);
+  return Result;
 }
 
 std::optional<unsigned> EncodeCache::cachedLength(const Instruction &Insn) const {
@@ -110,7 +137,9 @@ void EncodeCache::noteLength(const Instruction &Insn, unsigned Length) {
   const std::string Key = makeKey(Insn);
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.M);
-  S.Map.emplace(Key, Length);
+  auto [It, Inserted] = S.Map.emplace(Key, Length);
+  if (Inserted)
+    noteInsert(S, It);
 }
 
 bool EncodeCache::invalidate(const Instruction &Insn) {
@@ -119,22 +148,37 @@ bool EncodeCache::invalidate(const Instruction &Insn) {
   const std::string Key = makeKey(Insn);
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.M);
-  return S.Map.erase(Key) != 0;
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end())
+    return false;
+  for (auto OI = S.Order.begin(); OI != S.Order.end(); ++OI) {
+    if (*OI == &It->first) {
+      S.Order.erase(OI);
+      break;
+    }
+  }
+  S.KeyBytes -= It->first.size();
+  S.Map.erase(It);
+  return true;
 }
 
 void EncodeCache::clear() {
   for (Shard &S : Shards) {
     std::lock_guard<std::mutex> Lock(S.M);
     S.Map.clear();
+    S.Order.clear();
+    S.KeyBytes = 0;
   }
   Hits.store(0);
   Misses.store(0);
+  Evictions.store(0);
 }
 
 EncodeCache::Stats EncodeCache::stats() const {
   Stats Result;
   Result.Hits = Hits.load();
   Result.Misses = Misses.load();
+  Result.Evictions = Evictions.load();
   for (const Shard &S : Shards) {
     std::lock_guard<std::mutex> Lock(S.M);
     Result.Entries += S.Map.size();

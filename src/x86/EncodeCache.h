@@ -31,6 +31,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -70,6 +71,14 @@ public:
   /// Drops every entry (tests and benchmarks isolating cold behaviour).
   void clear();
 
+  /// Caps resident key bytes at \p Bytes, split evenly across shards;
+  /// inserts over budget evict in FIFO order. 0 (the default) disables
+  /// eviction entirely: an uncapped cache keeps the published hit/miss
+  /// numbers independent of insertion order, so the cap is strictly
+  /// opt-in (--mao-encode-cache-budget) for long-lived maod processes
+  /// that would otherwise grow without bound.
+  void setByteBudget(uint64_t Bytes);
+
   /// Exact accounting for length() calls: Hits + Misses equals the number
   /// of length() calls and Misses equals the number of entries inserted
   /// through length(), regardless of thread interleaving (a racing
@@ -80,6 +89,7 @@ public:
   struct Stats {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
+    uint64_t Evictions = 0;
     size_t Entries = 0;
   };
   Stats stats() const;
@@ -95,14 +105,26 @@ private:
   struct Shard {
     mutable std::mutex M;
     std::unordered_map<std::string, unsigned> Map;
+    /// Insertion order for FIFO eviction. Pointers into Map's keys are
+    /// stable (node-based container); entries removed via invalidate()
+    /// are also unlinked here.
+    std::deque<const std::string *> Order;
+    size_t KeyBytes = 0;
   };
 
   Shard &shardFor(const std::string &Key);
   const Shard &shardFor(const std::string &Key) const;
 
+  /// Records \p It's insertion in \p S and evicts FIFO-oldest entries
+  /// while the shard exceeds its slice of the budget. Caller holds S.M.
+  void noteInsert(Shard &S,
+                  std::unordered_map<std::string, unsigned>::iterator It);
+
   std::array<Shard, NumShards> Shards;
+  std::atomic<uint64_t> ByteBudget{0};
   mutable std::atomic<uint64_t> Hits{0};
   mutable std::atomic<uint64_t> Misses{0};
+  mutable std::atomic<uint64_t> Evictions{0};
 };
 
 } // namespace mao

@@ -261,6 +261,52 @@ f:
   Cache.clear();
 }
 
+TEST(EncodeCache, ByteBudgetBoundsResidencyWithoutChangingLengths) {
+  const char *const Asm = R"(	.text
+	.type f, @function
+f:
+	movq %rax, %rbx
+	addq $1, %rbx
+	testq %rbx, %rbx
+	xorl %ecx, %ecx
+	subl $1, %ecx
+	movl $7, %edx
+	cmpl %edx, %ecx
+	ret
+	.size f, .-f
+)";
+  auto UnitOr = parseAssembly(Asm);
+  ASSERT_TRUE(UnitOr.ok());
+  std::vector<Instruction> Insns;
+  for (const MaoEntry &E : UnitOr->entries())
+    if (E.isInstruction() && !E.instruction().isOpaque())
+      Insns.push_back(E.instruction());
+  ASSERT_GE(Insns.size(), 7u);
+
+  EncodeCache &Cache = EncodeCache::instance();
+  Cache.clear();
+  // Uncapped reference lengths first.
+  Cache.setByteBudget(0);
+  std::vector<unsigned> Reference;
+  for (const Instruction &Insn : Insns)
+    Reference.push_back(Cache.length(Insn));
+  Cache.clear();
+
+  // A 1-byte budget forces every shard down to its single newest entry:
+  // residency is bounded, and the lengths coming back are still exact.
+  Cache.setByteBudget(1);
+  for (unsigned Round = 0; Round < 3; ++Round)
+    for (size_t I = 0; I < Insns.size(); ++I)
+      EXPECT_EQ(Cache.length(Insns[I]), Reference[I]);
+  EncodeCache::Stats S = Cache.stats();
+  EXPECT_GT(S.Evictions, 0u);
+  EXPECT_LE(S.Entries, 16u); // One survivor per shard at most.
+
+  // Lifting the cap restores unlimited growth for later tests.
+  Cache.setByteBudget(0);
+  Cache.clear();
+}
+
 const char *kKernel =
     "\t.text\n\t.globl bench_main\n\t.type bench_main, @function\n"
     "bench_main:\n"
