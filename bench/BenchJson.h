@@ -1,0 +1,161 @@
+//===- bench/BenchJson.h - Shared BENCH_<name>.json emission ----*- C++ -*-===//
+///
+/// \file
+/// Every bench binary emits a machine-readable summary next to its
+/// human-readable output, all in one shared shape:
+///
+///   {"bench": "<name>", "schema": 1, "metrics": {"<key>": <number>, ...}}
+///
+/// scripts/bench_trajectory.sh validates every emitted file against this
+/// schema, which is what makes the bench suite a *trajectory*: a run is
+/// comparable to any other run, metric by metric, across commits.
+///
+/// Two usage styles, matching the two harness styles in this directory:
+///
+///   - printf harnesses call Report.set("key", value) for the numbers they
+///     already print, then Report.write(Path) before returning;
+///   - google-benchmark harnesses run through runCapturedBenchmarks(),
+///     which records every benchmark's per-iteration time and user
+///     counters automatically.
+///
+/// The output path is `--bench-json=PATH` when given, else the first bare
+/// argument ending in ".json" (bench_serve's historical convention), else
+/// `BENCH_<name>.json` in the working directory. write() always includes a
+/// "harness_wall_ms" metric so no valid run can produce an empty metrics
+/// object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_BENCH_BENCHJSON_H
+#define MAO_BENCH_BENCHJSON_H
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace maobench {
+
+/// Metric keys stay within [A-Za-z0-9_]; everything else (the '/' and ':'
+/// google-benchmark puts into parameterized names) becomes '_'.
+inline std::string sanitizeMetricKey(std::string_view Raw) {
+  std::string Key;
+  Key.reserve(Raw.size());
+  for (char C : Raw) {
+    const bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                    (C >= '0' && C <= '9') || C == '_';
+    Key += Ok ? C : '_';
+  }
+  return Key;
+}
+
+class BenchReport {
+public:
+  explicit BenchReport(std::string Name)
+      : Name(std::move(Name)), Start(std::chrono::steady_clock::now()) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Records one metric; NaN/Inf are clamped to 0 so the file is always
+  /// valid JSON. Keys are sanitized, later sets overwrite earlier ones.
+  void set(std::string_view Key, double Value) {
+    Metrics[sanitizeMetricKey(Key)] = std::isfinite(Value) ? Value : 0.0;
+  }
+
+  /// Writes the schema-shaped JSON to \p Path. Returns false (with a
+  /// message on stderr) when the file cannot be written; benches treat
+  /// that as a harness failure.
+  bool write(const std::string &Path) {
+    const double WallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - Start)
+            .count();
+    Metrics["harness_wall_ms"] = WallMs;
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "bench: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    std::fprintf(F, "{\"bench\": \"%s\", \"schema\": 1, \"metrics\": {",
+                 Name.c_str());
+    bool First = true;
+    for (const auto &[Key, Value] : Metrics) {
+      std::fprintf(F, "%s\"%s\": %.17g", First ? "" : ", ", Key.c_str(),
+                   Value);
+      First = false;
+    }
+    std::fprintf(F, "}}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  std::string Name;
+  std::map<std::string, double> Metrics; ///< Sorted => deterministic file.
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Resolves where this bench's JSON goes (see file comment for the rules).
+inline std::string benchJsonPath(int argc, char **argv,
+                                 const std::string &Name) {
+  const std::string_view Flag = "--bench-json=";
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    if (Arg.substr(0, Flag.size()) == Flag)
+      return std::string(Arg.substr(Flag.size()));
+  }
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    if (!Arg.empty() && Arg[0] != '-' && Arg.size() > 5 &&
+        Arg.substr(Arg.size() - 5) == ".json")
+      return std::string(Arg);
+  }
+  return "BENCH_" + Name + ".json";
+}
+
+/// Console reporter that additionally records every finished run into a
+/// BenchReport: per-iteration real time in milliseconds plus every user
+/// counter, keyed by the (sanitized) benchmark name.
+class CaptureReporter : public benchmark::ConsoleReporter {
+public:
+  explicit CaptureReporter(BenchReport &Report) : Report(Report) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    benchmark::ConsoleReporter::ReportRuns(Runs);
+    for (const Run &R : Runs) {
+      if (R.error_occurred)
+        continue;
+      const std::string Key = sanitizeMetricKey(R.benchmark_name());
+      const double Iters = R.iterations > 0
+                               ? static_cast<double>(R.iterations)
+                               : 1.0;
+      Report.set(Key + "_ms_per_iter",
+                 R.real_accumulated_time * 1e3 / Iters);
+      for (const auto &[CounterName, Counter] : R.counters)
+        Report.set(Key + "_" + CounterName, Counter.value);
+    }
+  }
+
+private:
+  BenchReport &Report;
+};
+
+/// Initializes google-benchmark, runs the registered benchmarks with a
+/// CaptureReporter feeding \p Report, and writes the JSON. Returns the
+/// process exit code.
+inline int runCapturedBenchmarks(int argc, char **argv, BenchReport &Report) {
+  const std::string OutPath = benchJsonPath(argc, argv, Report.name());
+  benchmark::Initialize(&argc, argv);
+  CaptureReporter Reporter(Report);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  return Report.write(OutPath) ? 0 : 1;
+}
+
+} // namespace maobench
+
+#endif // MAO_BENCH_BENCHJSON_H

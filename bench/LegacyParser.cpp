@@ -1,0 +1,577 @@
+//===- bench/LegacyParser.cpp - Frozen pre-arena parser ---------------------==//
+//
+// Snapshot of src/asm/Parser.cpp before the single-pass string_view lexer
+// landed. Kept byte-faithful (modulo namespacing and the removal of the
+// fault-injection draw, which would perturb benchmark runs) so bench_core's
+// legacy-vs-current parse throughput ratio measures the real rewrite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "LegacyParser.h"
+
+#include "x86/Encoder.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+
+using namespace mao;
+
+namespace {
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t");
+  return S.substr(B, E - B + 1);
+}
+
+bool isLabelChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.' ||
+         C == '$' || C == '@';
+}
+
+/// Splits on commas at paren depth zero, outside quoted strings.
+std::vector<std::string> splitTopLevelCommas(const std::string &Text) {
+  std::vector<std::string> Parts;
+  std::string Cur;
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = 0; I < Text.size(); ++I) {
+    char C = Text[I];
+    if (InString) {
+      Cur += C;
+      if (C == '\\' && I + 1 < Text.size())
+        Cur += Text[++I];
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"') {
+      InString = true;
+      Cur += C;
+      continue;
+    }
+    if (C == '(')
+      ++Depth;
+    else if (C == ')')
+      --Depth;
+    if (C == ',' && Depth == 0) {
+      Parts.push_back(trim(Cur));
+      Cur.clear();
+      continue;
+    }
+    Cur += C;
+  }
+  if (!trim(Cur).empty() || !Parts.empty())
+    Parts.push_back(trim(Cur));
+  return Parts;
+}
+
+bool parseInteger(const std::string &Text, int64_t &Value) {
+  if (Text.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  Value = static_cast<int64_t>(std::strtoll(Text.c_str(), &End, 0));
+  return End == Text.c_str() + Text.size() && End != Text.c_str();
+}
+
+bool parseSymbolExpr(const std::string &Text, std::string &Name,
+                     int64_t &Addend) {
+  if (Text.empty() || std::isdigit(static_cast<unsigned char>(Text[0])))
+    return false;
+  size_t I = 0;
+  while (I < Text.size() && isLabelChar(Text[I]))
+    ++I;
+  if (I == 0)
+    return false;
+  Name = Text.substr(0, I);
+  Addend = 0;
+  if (I == Text.size())
+    return true;
+  if (Text[I] != '+' && Text[I] != '-')
+    return false;
+  int64_t Rest = 0;
+  if (!parseInteger(Text.substr(I), Rest))
+    return false;
+  Addend = Rest;
+  return true;
+}
+
+std::optional<Operand> parseOperandText(const std::string &RawText) {
+  std::string Text = trim(RawText);
+  if (Text.empty())
+    return std::nullopt;
+
+  bool Star = false;
+  if (Text[0] == '*') {
+    Star = true;
+    Text = trim(Text.substr(1));
+    if (Text.empty())
+      return std::nullopt;
+  }
+
+  if (Text[0] == '$') {
+    std::string Body = Text.substr(1);
+    int64_t Value = 0;
+    if (parseInteger(Body, Value))
+      return Operand::makeImm(Value);
+    std::string Sym;
+    int64_t Addend = 0;
+    if (parseSymbolExpr(Body, Sym, Addend))
+      return Operand::makeImmSym(Sym, Addend);
+    return std::nullopt;
+  }
+
+  if (Text[0] == '%') {
+    Reg R = parseRegName(Text.substr(1));
+    if (R == Reg::None)
+      return std::nullopt;
+    Operand Op = Operand::makeReg(R);
+    Op.IndirectStar = Star;
+    return Op;
+  }
+
+  size_t Paren = Text.find('(');
+  if (Paren != std::string::npos) {
+    if (Text.back() != ')')
+      return std::nullopt;
+    MemRef M;
+    std::string DispText = trim(Text.substr(0, Paren));
+    if (!DispText.empty()) {
+      if (!parseInteger(DispText, M.Disp) &&
+          !parseSymbolExpr(DispText, M.SymDisp, M.Disp))
+        return std::nullopt;
+    }
+    std::string Inner = Text.substr(Paren + 1, Text.size() - Paren - 2);
+    std::vector<std::string> Parts = splitTopLevelCommas(Inner);
+    if (Parts.empty() || Parts.size() > 3)
+      return std::nullopt;
+    if (!Parts[0].empty()) {
+      if (Parts[0][0] != '%')
+        return std::nullopt;
+      M.Base = parseRegName(Parts[0].substr(1));
+      if (M.Base == Reg::None)
+        return std::nullopt;
+    }
+    if (Parts.size() >= 2 && !Parts[1].empty()) {
+      if (Parts[1][0] != '%')
+        return std::nullopt;
+      M.Index = parseRegName(Parts[1].substr(1));
+      if (M.Index == Reg::None)
+        return std::nullopt;
+    }
+    if (Parts.size() == 3 && !Parts[2].empty()) {
+      int64_t Scale = 0;
+      if (!parseInteger(Parts[2], Scale) ||
+          (Scale != 1 && Scale != 2 && Scale != 4 && Scale != 8))
+        return std::nullopt;
+      M.Scale = static_cast<uint8_t>(Scale);
+    }
+    Operand Op = Operand::makeMem(std::move(M));
+    Op.IndirectStar = Star;
+    return Op;
+  }
+
+  // Bare integer: absolute memory reference.
+  int64_t Value = 0;
+  if (parseInteger(Text, Value)) {
+    MemRef M;
+    M.Disp = Value;
+    Operand Op = Operand::makeMem(std::move(M));
+    Op.IndirectStar = Star;
+    return Op;
+  }
+
+  // Bare symbol: direct target or data symbol.
+  std::string Sym;
+  int64_t Addend = 0;
+  if (parseSymbolExpr(Text, Sym, Addend)) {
+    Operand Op = Operand::makeSymbol(Sym, Addend);
+    Op.IndirectStar = Star;
+    return Op;
+  }
+  return std::nullopt;
+}
+
+struct MnemonicParse {
+  Mnemonic Mn = Mnemonic::Invalid;
+  Width W = Width::None;
+  Width SrcW = Width::None;
+  CondCode CC = CondCode::None;
+  uint8_t NopLength = 1;
+};
+
+std::optional<Width> widthFromChar(char C) {
+  switch (C) {
+  case 'b':
+    return Width::B;
+  case 'w':
+    return Width::W;
+  case 'l':
+    return Width::L;
+  case 'q':
+    return Width::Q;
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<MnemonicParse> parseMnemonicText(const std::string &M) {
+  MnemonicParse P;
+
+  if (M.rfind("nop", 0) == 0) {
+    if (M == "nop") {
+      P.Mn = Mnemonic::NOP;
+      return P;
+    }
+    std::string Rest = M.substr(3);
+    int64_t Len = 0;
+    if (parseInteger(Rest, Len) && Len >= 1 && Len <= 15) {
+      P.Mn = Mnemonic::NOP;
+      P.NopLength = static_cast<uint8_t>(Len);
+      return P;
+    }
+    return std::nullopt;
+  }
+
+  if (M == "movslq") {
+    P.Mn = Mnemonic::MOVSX;
+    P.SrcW = Width::L;
+    P.W = Width::Q;
+    return P;
+  }
+
+  if (M == "movq") {
+    P.Mn = Mnemonic::MOV;
+    P.W = Width::Q;
+    return P;
+  }
+  if (M == "movabs" || M == "movabsq") {
+    P.Mn = Mnemonic::MOV;
+    P.W = Width::Q;
+    return P;
+  }
+
+  if (Mnemonic Exact = findMnemonicExact(M); Exact != Mnemonic::Invalid) {
+    if (Exact != Mnemonic::JCC && Exact != Mnemonic::SETCC &&
+        Exact != Mnemonic::CMOVCC) {
+      P.Mn = Exact;
+      return P;
+    }
+  }
+
+  if (M.size() == 6 &&
+      (M.rfind("movz", 0) == 0 || M.rfind("movs", 0) == 0)) {
+    auto Src = widthFromChar(M[4]);
+    auto Dst = widthFromChar(M[5]);
+    if (Src && Dst && widthBytes(*Src) < widthBytes(*Dst) &&
+        *Src != Width::L) {
+      P.Mn = M[3] == 'z' ? Mnemonic::MOVZX : Mnemonic::MOVSX;
+      P.SrcW = *Src;
+      P.W = *Dst;
+      return P;
+    }
+  }
+
+  if (M.size() >= 2 && M[0] == 'j') {
+    CondCode CC = parseCondCode(M.substr(1));
+    if (CC != CondCode::None) {
+      P.Mn = Mnemonic::JCC;
+      P.CC = CC;
+      return P;
+    }
+  }
+  if (M.rfind("set", 0) == 0) {
+    CondCode CC = parseCondCode(M.substr(3));
+    if (CC != CondCode::None) {
+      P.Mn = Mnemonic::SETCC;
+      P.CC = CC;
+      P.W = Width::B;
+      return P;
+    }
+  }
+  if (M.rfind("cmov", 0) == 0) {
+    std::string Rest = M.substr(4);
+    CondCode CC = parseCondCode(Rest);
+    if (CC == CondCode::None && Rest.size() >= 2) {
+      if (auto W = widthFromChar(Rest.back())) {
+        CC = parseCondCode(Rest.substr(0, Rest.size() - 1));
+        if (CC != CondCode::None)
+          P.W = *W;
+      }
+    }
+    if (CC != CondCode::None) {
+      P.Mn = Mnemonic::CMOVCC;
+      P.CC = CC;
+      return P;
+    }
+  }
+
+  if (M.size() >= 2) {
+    if (auto W = widthFromChar(M.back())) {
+      std::string Base = M.substr(0, M.size() - 1);
+      if (Base == "sal")
+        Base = "shl";
+      Mnemonic Mn = findMnemonicExact(Base);
+      if (Mn != Mnemonic::Invalid && Mn != Mnemonic::JCC &&
+          Mn != Mnemonic::SETCC && Mn != Mnemonic::CMOVCC) {
+        P.Mn = Mn;
+        P.W = *W;
+        return P;
+      }
+    }
+  }
+  if (M == "sal") {
+    P.Mn = Mnemonic::SHL;
+    return P;
+  }
+  return std::nullopt;
+}
+
+void deduceWidth(Instruction &Insn) {
+  if (Insn.W != Width::None)
+    return;
+  const EncKind K = Insn.info().Kind;
+  if (K == EncKind::Push || K == EncKind::Pop) {
+    Insn.W = Width::Q;
+    return;
+  }
+  for (auto It = Insn.Ops.rbegin(), E = Insn.Ops.rend(); It != E; ++It) {
+    if (It->isReg() && regIsGpr(It->R)) {
+      Insn.W = regWidth(It->R);
+      return;
+    }
+  }
+}
+
+bool validateBranchTarget(const Instruction &Insn) {
+  const Operand *Target = Insn.branchTarget();
+  if (!Target)
+    return true;
+  if (Target->isSymbol())
+    return !Target->IndirectStar;
+  if (Target->isReg() || Target->isMem())
+    return Target->IndirectStar;
+  return false;
+}
+
+Instruction makeOpaque(const std::string &Line) {
+  Instruction Insn;
+  Insn.Mn = Mnemonic::OPAQUE;
+  Insn.RawText = trim(Line);
+  return Insn;
+}
+
+Instruction legacyParseInstructionLine(const std::string &Line) {
+  std::string Text = trim(Line);
+  size_t NameEnd = 0;
+  while (NameEnd < Text.size() && !std::isspace(static_cast<unsigned char>(
+                                      Text[NameEnd])))
+    ++NameEnd;
+  std::string Name = Text.substr(0, NameEnd);
+  std::string Rest = trim(Text.substr(NameEnd));
+
+  auto ParsedMnemonic = parseMnemonicText(Name);
+  if (!ParsedMnemonic)
+    return makeOpaque(Line);
+
+  Instruction Insn;
+  Insn.Mn = ParsedMnemonic->Mn;
+  Insn.W = ParsedMnemonic->W;
+  Insn.SrcW = ParsedMnemonic->SrcW;
+  Insn.CC = ParsedMnemonic->CC;
+  Insn.NopLength = ParsedMnemonic->NopLength;
+
+  if (!Rest.empty()) {
+    for (const std::string &OpText : splitTopLevelCommas(Rest)) {
+      auto Op = parseOperandText(OpText);
+      if (!Op)
+        return makeOpaque(Line);
+      Insn.Ops.push_back(std::move(*Op));
+    }
+  }
+
+  if (Insn.Mn == Mnemonic::MOV) {
+    bool HasXmm = false;
+    for (const Operand &Op : Insn.Ops)
+      if (Op.isReg() && regIsXmm(Op.R))
+        HasXmm = true;
+    if (HasXmm)
+      Insn.Mn = Mnemonic::MOVQX;
+  }
+
+  deduceWidth(Insn);
+  if (!validateBranchTarget(Insn))
+    return makeOpaque(Line);
+
+  auto CountOk = [&]() -> bool {
+    switch (Insn.info().Kind) {
+    case EncKind::Mov:
+    case EncKind::Movx:
+    case EncKind::Lea:
+    case EncKind::AluRMI:
+    case EncKind::Test:
+    case EncKind::Xchg:
+    case EncKind::Cmovcc:
+    case EncKind::SseMov:
+    case EncKind::SseCvtMov:
+    case EncKind::SseAlu:
+      return Insn.Ops.size() == 2;
+    case EncKind::UnaryRM:
+    case EncKind::Push:
+    case EncKind::Pop:
+    case EncKind::Bswap:
+    case EncKind::Setcc:
+    case EncKind::Jmp:
+    case EncKind::Jcc:
+    case EncKind::Call:
+    case EncKind::Prefetch:
+      return Insn.Ops.size() == 1;
+    case EncKind::ImulMulti:
+      return Insn.Ops.size() >= 1 && Insn.Ops.size() <= 3;
+    case EncKind::ShiftRot:
+      return Insn.Ops.size() == 1 || Insn.Ops.size() == 2;
+    case EncKind::Ret:
+      return Insn.Ops.size() <= 1;
+    case EncKind::Fixed:
+    case EncKind::Nop:
+      return Insn.Ops.empty();
+    case EncKind::Opaque:
+      return true;
+    }
+    return false;
+  };
+  if (!CountOk())
+    return makeOpaque(Line);
+
+  switch (Insn.info().Kind) {
+  case EncKind::Mov:
+  case EncKind::AluRMI:
+  case EncKind::Test:
+  case EncKind::UnaryRM:
+  case EncKind::ImulMulti:
+  case EncKind::ShiftRot:
+  case EncKind::Xchg:
+  case EncKind::Bswap:
+  case EncKind::Cmovcc:
+    if (Insn.W == Width::None)
+      return makeOpaque(Line);
+    break;
+  default:
+    break;
+  }
+
+  std::vector<uint8_t> Bytes;
+  if (encodeInstruction(Insn, 0, nullptr, Bytes))
+    return makeOpaque(Line);
+  return Insn;
+}
+
+Directive parseDirectiveLine(const std::string &Text) {
+  Directive Dir;
+  size_t NameEnd = 0;
+  while (NameEnd < Text.size() &&
+         !std::isspace(static_cast<unsigned char>(Text[NameEnd])))
+    ++NameEnd;
+  Dir.Name = Text.substr(0, NameEnd);
+  std::string Rest = trim(Text.substr(NameEnd));
+  if (!Rest.empty())
+    Dir.Args = splitTopLevelCommas(Rest);
+
+  static const std::unordered_map<std::string, DirKind> KindMap = {
+      {".text", DirKind::Text},       {".data", DirKind::Data},
+      {".bss", DirKind::Bss},         {".section", DirKind::Section},
+      {".p2align", DirKind::P2Align}, {".balign", DirKind::Balign},
+      {".align", DirKind::Balign},    {".globl", DirKind::Globl},
+      {".global", DirKind::Globl},    {".type", DirKind::Type},
+      {".size", DirKind::Size},       {".byte", DirKind::Byte},
+      {".word", DirKind::Word},       {".value", DirKind::Word},
+      {".short", DirKind::Word},      {".long", DirKind::Long},
+      {".int", DirKind::Long},        {".quad", DirKind::Quad},
+      {".zero", DirKind::Zero},       {".skip", DirKind::Zero},
+      {".space", DirKind::Zero},      {".string", DirKind::String},
+      {".ascii", DirKind::Ascii},     {".asciz", DirKind::Asciz},
+  };
+  auto It = KindMap.find(Dir.Name);
+  Dir.Kind = It == KindMap.end() ? DirKind::Other : It->second;
+  return Dir;
+}
+
+std::string stripComment(const std::string &Line, bool &Malformed) {
+  bool InString = false;
+  for (size_t I = 0; I < Line.size(); ++I) {
+    char C = Line[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '#') {
+      Malformed = InString;
+      return Line.substr(0, I);
+    }
+  }
+  Malformed = InString;
+  return Line;
+}
+
+} // namespace
+
+ErrorOr<MaoUnit> maobench::legacyParseAssembly(const std::string &Text,
+                                               ParseStats *Stats) {
+  MaoUnit Unit;
+  ParseStats LocalStats;
+
+  size_t LineStart = 0;
+  while (LineStart <= Text.size()) {
+    size_t LineEnd = Text.find('\n', LineStart);
+    if (LineEnd == std::string::npos)
+      LineEnd = Text.size();
+    bool Malformed = false;
+    std::string Line =
+        stripComment(Text.substr(LineStart, LineEnd - LineStart), Malformed);
+    LineStart = LineEnd + 1;
+    ++LocalStats.Lines;
+    if (Malformed)
+      return MaoStatus::error("unterminated string literal");
+
+    std::string Stmt = trim(Line);
+    while (!Stmt.empty()) {
+      size_t I = 0;
+      while (I < Stmt.size() && isLabelChar(Stmt[I]))
+        ++I;
+      if (I == 0 || I >= Stmt.size() || Stmt[I] != ':')
+        break;
+      Unit.append(MaoEntry::makeLabel(Stmt.substr(0, I)));
+      ++LocalStats.Labels;
+      Stmt = trim(Stmt.substr(I + 1));
+    }
+    if (Stmt.empty())
+      continue;
+
+    if (Stmt[0] == '.') {
+      Unit.append(MaoEntry::makeDirective(parseDirectiveLine(Stmt)));
+      ++LocalStats.Directives;
+      continue;
+    }
+
+    Instruction Insn = legacyParseInstructionLine(Stmt);
+    if (Insn.isOpaque())
+      ++LocalStats.OpaqueInstructions;
+    ++LocalStats.Instructions;
+    Unit.append(MaoEntry::makeInstruction(std::move(Insn)));
+  }
+
+  Unit.rebuildStructure();
+  if (Stats)
+    *Stats = LocalStats;
+  return Unit;
+}

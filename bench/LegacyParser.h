@@ -1,0 +1,28 @@
+//===- bench/LegacyParser.h - Frozen pre-arena parser -----------*- C++ -*-===//
+///
+/// \file
+/// A verbatim snapshot of src/asm/Parser.cpp as it stood before the
+/// string_view lexer rewrite (substr/trim per token, phantom final line and
+/// all). bench_core parses the same corpus through both front ends so the
+/// parse-MB/s headline in BENCH_core.json is an apples-to-apples ratio
+/// against the real pre-PR code, not a synthetic strawman.
+///
+/// Benchmark-only: nothing in src/ may include this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAO_BENCH_LEGACYPARSER_H
+#define MAO_BENCH_LEGACYPARSER_H
+
+#include "asm/Parser.h"
+
+namespace maobench {
+
+/// The pre-PR parseAssembly, bit-for-bit the old algorithm (including its
+/// phantom empty final line for newline-terminated input).
+mao::ErrorOr<mao::MaoUnit> legacyParseAssembly(const std::string &Text,
+                                               mao::ParseStats *Stats);
+
+} // namespace maobench
+
+#endif // MAO_BENCH_LEGACYPARSER_H

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ApiBenchUtil.h"
+#include "BenchJson.h"
 
 using namespace maobench;
 
@@ -58,7 +59,8 @@ std::string imageBenchmark(unsigned NeutralIters) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("branch_alias");
   printHeader("E6: branch-predictor aliasing by PC>>5 and the BRALIGN "
               "pass (Core-2 model)");
   mao::api::Session Session;
@@ -74,5 +76,9 @@ int main() {
               (unsigned long long)P0.BranchMispredicts,
               (unsigned long long)P1.BranchMispredicts);
   printRow("image benchmark", 3.00, percentGain(P0.Cycles, P1.Cycles));
-  return 0;
+  Report.set("separated_pairs", Fixes);
+  Report.set("mispredicts_before", static_cast<double>(P0.BranchMispredicts));
+  Report.set("mispredicts_after", static_cast<double>(P1.BranchMispredicts));
+  Report.set("gain_pct", percentGain(P0.Cycles, P1.Cycles));
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 #include "asm/AsmEmitter.h"
@@ -80,12 +81,12 @@ BENCHMARK(BM_ParseOnly)->Unit(benchmark::kMillisecond);
 int main(int argc, char **argv) {
   printHeader("E9: compile-time overhead (paper: MAO ~5x gas; "
               "gcc -O2 +5-10%)");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  BenchReport Report("compile_time");
+  const int Rc = runCapturedBenchmarks(argc, argv, Report);
   std::printf("\nCompare BM_MaoPipeline against BM_GasOnly: the ratio is "
               "the reproduction's\nanalogue of the paper's ~5x "
               "assembler-time overhead. Since assembly is a\nsmall "
               "fraction of compilation, the paper's end-to-end gcc -O2 "
               "cost was 5-10%%.\n");
-  return 0;
+  return Rc;
 }

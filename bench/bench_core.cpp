@@ -1,0 +1,241 @@
+//===- bench/bench_core.cpp - Throughput core: parse/pipeline/relax -----------===//
+//
+// The throughput trajectory for the arena-IR + zero-copy-parse work, in one
+// binary and four headline metrics (all in BENCH_core.json):
+//
+//  - parse MB/s, new single-pass string_view lexer vs. the frozen pre-PR
+//    parser (bench/LegacyParser.cpp), on the repo's examples corpus and on
+//    a larger synthetic corpus. The acceptance bar for the parser rewrite
+//    is examples_parse_speedup_x >= 2.
+//  - pipeline instructions/s/core: the standard peephole+sched pass line
+//    at --mao-jobs=1 over the synthetic corpus.
+//  - relaxation convergence wall-clock, grow vs. optimal mode, plus the
+//    branches the optimal audit recovers.
+//  - cross-jobs byte-identity: the emitted assembly at jobs 1/2/4 must be
+//    identical (jobs_byte_identical is 1 when it holds; the tier-1
+//    pipeline tests enforce the same invariant, this records it in the
+//    trajectory).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+#include "BenchUtil.h"
+#include "LegacyParser.h"
+
+#include "analysis/Relaxer.h"
+#include "asm/AsmEmitter.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+using namespace maobench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Best-of-N wall-clock of \p Fn in seconds (min absorbs scheduler noise
+/// better than mean on a shared machine).
+template <typename F> double bestSeconds(unsigned Reps, F &&Fn) {
+  double Best = 1e300;
+  for (unsigned I = 0; I < Reps; ++I) {
+    const Clock::time_point T0 = Clock::now();
+    Fn();
+    Best = std::min(Best,
+                    std::chrono::duration<double>(Clock::now() - T0).count());
+  }
+  return Best;
+}
+
+/// Every .s file under the examples directory, as (name, content) pairs.
+/// Looked up relative to the working directory and one level up, so the
+/// bench works from both the build tree and the repo root; falls back to
+/// the synthetic corpus when the directory is absent.
+std::vector<std::pair<std::string, std::string>>
+loadExamples(int argc, char **argv) {
+  namespace fs = std::filesystem;
+  std::string Dir;
+  const std::string_view Flag = "--examples=";
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    if (Arg.substr(0, Flag.size()) == Flag)
+      Dir = std::string(Arg.substr(Flag.size()));
+  }
+  if (Dir.empty())
+    for (const char *Candidate : {"examples", "../examples"})
+      if (fs::is_directory(Candidate)) {
+        Dir = Candidate;
+        break;
+      }
+  std::vector<std::pair<std::string, std::string>> Files;
+  if (Dir.empty())
+    return Files;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir)) {
+    if (Entry.path().extension() != ".s")
+      continue;
+    std::ifstream In(Entry.path(), std::ios::binary);
+    std::string Text((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+    if (!Text.empty())
+      Files.emplace_back(Entry.path().filename().string(), std::move(Text));
+  }
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+/// Parses every corpus file \p Loops times through \p Parse and returns
+/// MB/s of input text consumed.
+template <typename F>
+double parseThroughputMbs(
+    const std::vector<std::pair<std::string, std::string>> &Corpus,
+    unsigned Loops, F &&Parse) {
+  double Bytes = 0;
+  for (const auto &[Name, Text] : Corpus)
+    Bytes += static_cast<double>(Text.size());
+  const double Seconds = bestSeconds(3, [&] {
+    for (unsigned I = 0; I < Loops; ++I)
+      for (const auto &[Name, Text] : Corpus) {
+        auto Unit = Parse(Text);
+        if (!Unit.ok()) {
+          std::fprintf(stderr, "bench: parse of %s failed: %s\n",
+                       Name.c_str(), Unit.message().c_str());
+          std::exit(1);
+        }
+        benchmark::DoNotOptimize(Unit->entries().size());
+      }
+  });
+  return Seconds > 0 ? Bytes * Loops / Seconds / (1024.0 * 1024.0) : 0.0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchReport Report("core");
+  printHeader("Throughput core: parse / pipeline / relaxation trajectory");
+
+  // --- Parse throughput: new lexer vs. the frozen pre-PR parser. -------
+  auto Examples = loadExamples(argc, argv);
+  const bool HaveExamples = !Examples.empty();
+  if (!HaveExamples)
+    std::printf("examples/ not found; using the synthetic corpus for the "
+                "headline ratio\n");
+
+  WorkloadSpec Spec = googleCorpusProfile(0.05);
+  std::vector<std::pair<std::string, std::string>> Synthetic;
+  Synthetic.emplace_back("synthetic-corpus", generateWorkloadAssembly(Spec));
+  const auto &Headline = HaveExamples ? Examples : Synthetic;
+  // Small corpus => many loops; the big one gets few.
+  const unsigned HeadlineLoops = HaveExamples ? 400 : 4;
+
+  const double NewMbs = parseThroughputMbs(
+      Headline, HeadlineLoops,
+      [](const std::string &Text) { return parseAssembly(Text); });
+  const double LegacyMbs = parseThroughputMbs(
+      Headline, HeadlineLoops, [](const std::string &Text) {
+        return legacyParseAssembly(Text, nullptr);
+      });
+  const double Speedup = LegacyMbs > 0 ? NewMbs / LegacyMbs : 0.0;
+  std::printf("examples parse:   new %8.1f MB/s   legacy %8.1f MB/s   "
+              "speedup %.2fx (bar: >= 2x)\n",
+              NewMbs, LegacyMbs, Speedup);
+  Report.set("examples_parse_mb_s", NewMbs);
+  Report.set("examples_parse_mb_s_legacy", LegacyMbs);
+  Report.set("examples_parse_speedup_x", Speedup);
+
+  const double SynNewMbs = parseThroughputMbs(
+      Synthetic, 4,
+      [](const std::string &Text) { return parseAssembly(Text); });
+  const double SynLegacyMbs =
+      parseThroughputMbs(Synthetic, 4, [](const std::string &Text) {
+        return legacyParseAssembly(Text, nullptr);
+      });
+  std::printf("synthetic parse:  new %8.1f MB/s   legacy %8.1f MB/s   "
+              "speedup %.2fx\n",
+              SynNewMbs, SynLegacyMbs,
+              SynLegacyMbs > 0 ? SynNewMbs / SynLegacyMbs : 0.0);
+  Report.set("synthetic_parse_mb_s", SynNewMbs);
+  Report.set("synthetic_parse_mb_s_legacy", SynLegacyMbs);
+  Report.set("synthetic_parse_speedup_x",
+             SynLegacyMbs > 0 ? SynNewMbs / SynLegacyMbs : 0.0);
+
+  // --- Pipeline throughput at one core. --------------------------------
+  linkAllPasses();
+  ParseStats Stats;
+  auto CorpusUnit = parseAssembly(Synthetic[0].second, &Stats);
+  if (!CorpusUnit.ok()) {
+    std::fprintf(stderr, "bench: corpus parse failed\n");
+    return 1;
+  }
+  std::vector<PassRequest> Requests;
+  if (parseMaoOption("ZEE:REDTEST:REDMOV:ADDADD:LOOP16:SCHED", Requests))
+    return 1;
+  PipelineOptions OneCore;
+  OneCore.Jobs = 1;
+  const double PipelineSeconds = bestSeconds(3, [&] {
+    MaoUnit Unit = CorpusUnit->clone();
+    Unit.rebuildStructure();
+    PipelineResult R = runPasses(Unit, Requests, OneCore);
+    if (!R.Ok) {
+      std::fprintf(stderr, "bench: pipeline failed: %s\n", R.Error.c_str());
+      std::exit(1);
+    }
+  });
+  const double InstsPerSecCore =
+      PipelineSeconds > 0 ? Stats.Instructions / PipelineSeconds : 0.0;
+  std::printf("pipeline:         %zu insts in %.1f ms at 1 core -> %.0f "
+              "insts/s/core\n",
+              Stats.Instructions, PipelineSeconds * 1e3, InstsPerSecCore);
+  Report.set("pipeline_insts_per_s_per_core", InstsPerSecCore);
+
+  // --- Relaxation convergence, grow vs. optimal. ------------------------
+  const RelaxMode SavedMode = relaxMode();
+  for (RelaxMode Mode : {RelaxMode::Grow, RelaxMode::Optimal}) {
+    setRelaxMode(Mode);
+    MaoUnit Unit = CorpusUnit->clone();
+    Unit.rebuildStructure();
+    RelaxationResult Last;
+    const double Seconds = bestSeconds(3, [&] { Last = relaxUnit(Unit); });
+    const char *Name = Mode == RelaxMode::Grow ? "grow" : "optimal";
+    if (!Last.Converged) {
+      std::fprintf(stderr, "bench: %s relaxation did not converge\n", Name);
+      return 1;
+    }
+    std::printf("relax (%s):%s %8.3f ms to converge, %u iterations, "
+                "%u branches shrunk\n",
+                Name, Mode == RelaxMode::Grow ? "    " : " ", Seconds * 1e3,
+                Last.Iterations, Last.ShrunkBranches);
+    Report.set(std::string("relax_") + Name + "_converge_ms", Seconds * 1e3);
+    Report.set(std::string("relax_") + Name + "_iterations",
+               Last.Iterations);
+    if (Mode == RelaxMode::Optimal)
+      Report.set("relax_optimal_shrunk_branches", Last.ShrunkBranches);
+  }
+  setRelaxMode(SavedMode);
+
+  // --- Cross-jobs byte-identity. ----------------------------------------
+  std::string Reference;
+  bool Identical = true;
+  for (unsigned Jobs : {1u, 2u, 4u}) {
+    MaoUnit Unit = CorpusUnit->clone();
+    Unit.rebuildStructure();
+    PipelineOptions Options;
+    Options.Jobs = Jobs;
+    PipelineResult R = runPasses(Unit, Requests, Options);
+    if (!R.Ok) {
+      std::fprintf(stderr, "bench: pipeline (jobs=%u) failed\n", Jobs);
+      return 1;
+    }
+    std::string Out = emitAssembly(Unit);
+    if (Jobs == 1)
+      Reference = std::move(Out);
+    else
+      Identical = Identical && Out == Reference;
+  }
+  std::printf("cross-jobs:       emitted assembly at jobs 1/2/4 %s\n",
+              Identical ? "byte-identical" : "DIVERGED");
+  Report.set("jobs_byte_identical", Identical ? 1.0 : 0.0);
+
+  const bool Wrote = Report.write(benchJsonPath(argc, argv, Report.name()));
+  return (Wrote && Identical) ? 0 : 1;
+}

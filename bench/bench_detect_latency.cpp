@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 #include "detect/Detect.h"
@@ -19,19 +20,25 @@ using namespace maobench;
 
 namespace {
 
+unsigned Matches = 0, Probes = 0;
+
 void report(const char *What, ErrorOr<unsigned> Detected, unsigned Truth) {
+  ++Probes;
   if (!Detected.ok()) {
     std::printf("  %-26s detection failed: %s\n", What,
                 Detected.message().c_str());
     return;
   }
+  if (*Detected == Truth)
+    ++Matches;
   std::printf("  %-26s detected %3u   (configured: %3u)  %s\n", What,
               *Detected, Truth, *Detected == Truth ? "MATCH" : "off");
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("detect_latency");
   printHeader("E16: micro-architectural parameter detection (Sec. IV, "
               "Fig. 6)");
   struct Machine {
@@ -59,5 +66,8 @@ int main() {
   std::printf("\nEach parameter is recovered black-box from PMU-style "
               "counters on generated\nmicrobenchmarks, as the paper's "
               "Python framework does on real hardware.\n");
-  return 0;
+  Report.set("probes", Probes);
+  Report.set("matches", Matches);
+  Report.set("match_rate", Probes ? 100.0 * Matches / Probes : 0.0);
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

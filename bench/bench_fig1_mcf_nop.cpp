@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 using namespace maobench;
@@ -64,7 +65,8 @@ std::string fig1Loop(bool WithNop, unsigned Iterations) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("fig1_mcf_nop");
   printHeader("E1: Fig. 1 - the high-impact NOP in the 181.mcf loop "
               "(Core-2 model)");
   ProcessorConfig Core2 = ProcessorConfig::core2();
@@ -81,6 +83,11 @@ int main() {
               (unsigned long long)P1.BrMispredicted);
   printRow("isolated loop speedup", 5.00,
            percentGain(P0.CpuCycles, P1.CpuCycles));
+  Report.set("isolated_gain_pct", percentGain(P0.CpuCycles, P1.CpuCycles));
+  Report.set("isolated_mispredicts_without",
+             static_cast<double>(P0.BrMispredicted));
+  Report.set("isolated_mispredicts_with",
+             static_cast<double>(P1.BrMispredicted));
 
   // Embedded: the same effect inside the full 181.mcf workload, where it
   // dilutes toward the few-percent range the paper reports.
@@ -118,8 +125,11 @@ int main() {
   Options.Config = Core2;
   auto R0 = measureFunction(B, "fig1_driver", Options);
   auto R1 = measureFunction(Nn, "fig1_driver", Options);
-  if (R0.ok() && R1.ok())
+  if (R0.ok() && R1.ok()) {
     printRow("embedded in 181.mcf", 5.00,
              percentGain(R0->Pmu.CpuCycles, R1->Pmu.CpuCycles));
-  return 0;
+    Report.set("embedded_gain_pct",
+               percentGain(R0->Pmu.CpuCycles, R1->Pmu.CpuCycles));
+  }
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

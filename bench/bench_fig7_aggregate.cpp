@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 #include <cmath>
@@ -44,7 +45,8 @@ const PaperRow PaperRows[] = {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("fig7_aggregate");
   printHeader("E15: Fig. 7 - transformation counts and aggregate "
               "performance (Core-2 model)");
   linkAllPasses();
@@ -103,5 +105,8 @@ int main() {
   std::printf("\nGeomean:                 %+0.2f%%  (paper: +0.38%%)\n", Geo);
   std::printf("Geomean w/o 253.perlbmk: %+0.2f%%  (paper: +0.61%%)\n",
               GeoNoPerl);
-  return 0;
+  Report.set("geomean_pct", Geo);
+  Report.set("geomean_no_perlbmk_pct", GeoNoPerl);
+  Report.set("benchmarks", N);
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 #include "analysis/Dataflow.h"
@@ -70,7 +71,8 @@ std::string dispatchFunction(unsigned Index, unsigned Shape) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("indirect_branches");
   printHeader("E3: indirect-branch resolution (paper: 246/320 unresolved "
               "-> 4/320 with reaching defs)");
 
@@ -102,5 +104,9 @@ int main() {
               AfterTier2);
   std::printf("resolution rate: %.1f%%\n",
               100.0 * (Total - AfterTier2) / Total);
-  return 0;
+  Report.set("indirect_branches", Total);
+  Report.set("unresolved_same_block", AfterTier1);
+  Report.set("unresolved_reaching_defs", AfterTier2);
+  Report.set("resolution_rate_pct", 100.0 * (Total - AfterTier2) / Total);
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

@@ -9,13 +9,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 #include "analysis/Relaxer.h"
 
 using namespace maobench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("instrument");
   printHeader("E18: INSTRUMENT - patchable 5-byte NOPs at entry/exit");
   linkAllPasses();
   ProcessorConfig Core2 = ProcessorConfig::core2();
@@ -48,10 +50,14 @@ int main() {
     std::printf("%-14s %9llu %9llu %+7.2f%%  %u sites, %u crossing\n", Name,
                 (unsigned long long)C0, (unsigned long long)C1, Delta, Sites,
                 Crossing);
+    Report.set(std::string(Name) + "_delta_pct", Delta);
+    Report.set(std::string(Name) + "_crossing", Crossing);
   }
   std::printf("\npaper: no degradations overall, one unexpected +8%% from "
               "an alignment\neffect; measured range here: %+.2f%% .. "
               "%+.2f%%\n",
               Worst, Best);
-  return 0;
+  Report.set("worst_delta_pct", Worst);
+  Report.set("best_delta_pct", Best);
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

@@ -10,20 +10,28 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 using namespace maobench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("loop16_opteron");
   printHeader("E12: LOOP16 small-loop alignment (Opteron model)");
   ProcessorConfig Opteron = ProcessorConfig::opteron();
-  printRow("C++/252.eon", -5.86,
-           benchmarkDelta("252.eon", "LOOP16", Opteron));
-  printRow("C/181.mcf", 2.47, benchmarkDelta("181.mcf", "LOOP16", Opteron));
-  printRow("C/186.crafty", 2.45,
-           benchmarkDelta("186.crafty", "LOOP16", Opteron));
+  struct Row {
+    const char *Label, *Benchmark;
+    double Paper;
+  } Rows[] = {{"C++/252.eon", "252.eon", -5.86},
+              {"C/181.mcf", "181.mcf", 2.47},
+              {"C/186.crafty", "186.crafty", 2.45}};
+  for (const Row &R : Rows) {
+    const double Delta = benchmarkDelta(R.Benchmark, "LOOP16", Opteron);
+    printRow(R.Label, R.Paper, Delta);
+    Report.set(std::string(R.Benchmark) + "_delta_pct", Delta);
+  }
   std::printf("\nThe Opteron model has no LSD and a narrower decoder, so a "
               "different set\nof benchmarks profits; eon's fragile bucket "
               "layout degrades on both\nplatforms, as in the paper.\n");
-  return 0;
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

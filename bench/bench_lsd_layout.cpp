@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 #include "analysis/Relaxer.h"
@@ -57,7 +58,8 @@ std::string lsdLoop(unsigned Iterations) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("lsd_layout");
   printHeader("E5: Figs. 4/5 - fitting a loop into the Loop Stream "
               "Detector (Core-2 model)");
   ProcessorConfig Core2 = ProcessorConfig::core2();
@@ -98,5 +100,9 @@ int main() {
               (unsigned long long)P1.CpuCycles,
               static_cast<double>(P0.CpuCycles) /
                   static_cast<double>(P1.CpuCycles));
-  return 0;
+  Report.set("lines_before", LinesBefore);
+  Report.set("lines_after", LinesAfter);
+  Report.set("speedup_x", static_cast<double>(P0.CpuCycles) /
+                              static_cast<double>(P1.CpuCycles));
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ApiBenchUtil.h"
+#include "BenchJson.h"
 
 #include "workload/Workload.h"
 
@@ -32,7 +33,8 @@ uint64_t textBytes(mao::api::Session &Session, mao::api::Program &Program) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("nopkill_codesize");
   printHeader("E17: NOPKILL code-size effect (paper: ~1% smaller, perf in "
               "the noise)");
   mao::api::Session Session;
@@ -58,5 +60,8 @@ int main() {
               "(paper: ~1%%)\n",
               TotalBase, TotalKilled,
               100.0 * (TotalBase - TotalKilled) / TotalBase);
-  return 0;
+  Report.set("suite_bytes_base", TotalBase);
+  Report.set("suite_bytes_killed", TotalKilled);
+  Report.set("saving_pct", 100.0 * (TotalBase - TotalKilled) / TotalBase);
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

@@ -16,6 +16,8 @@
 //
 //===----------------------------------------------------------------------==//
 
+#include "BenchJson.h"
+
 #include "asm/Parser.h"
 #include "pass/MaoPass.h"
 #include "support/Options.h"
@@ -144,4 +146,7 @@ void BM_ShardedSpeedup(benchmark::State &State) {
 }
 BENCHMARK(BM_ShardedSpeedup)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  maobench::BenchReport Report("parallel_pipeline");
+  return maobench::runCapturedBenchmarks(argc, argv, Report);
+}

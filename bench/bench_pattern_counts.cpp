@@ -13,13 +13,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 #include <cstdlib>
 
 using namespace maobench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("pattern_counts");
   double Scale = 0.1;
   if (const char *Env = std::getenv("MAO_CORPUS_SCALE"))
     Scale = std::atof(Env);
@@ -66,6 +68,7 @@ int main() {
       continue;
     std::printf("%-8s found %6u   (paper, scaled: %8.0f)\n", Name.c_str(),
                 Count, Paper);
+    Report.set(Name + "_found", Count);
   }
   unsigned RedTests = 0;
   for (const auto &[Name, Count] : Result.Counts)
@@ -76,5 +79,9 @@ int main() {
                 "of 79763 = 24%%)\n",
                 RedTests, TotalTests,
                 100.0 * RedTests / static_cast<double>(TotalTests));
-  return 0;
+  Report.set("corpus_lines", static_cast<double>(Stats.Lines));
+  Report.set("corpus_instructions", static_cast<double>(Stats.Instructions));
+  Report.set("total_tests", static_cast<double>(TotalTests));
+  Report.set("redundant_tests", RedTests);
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

@@ -20,6 +20,8 @@
 //
 //===----------------------------------------------------------------------==//
 
+#include "BenchJson.h"
+
 #include "analysis/Relaxer.h"
 #include "asm/Parser.h"
 #include "ir/Verifier.h"
@@ -229,4 +231,7 @@ BENCHMARK(BM_VerifyLayout)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  maobench::BenchReport Report("pipeline_overhead");
+  return maobench::runCapturedBenchmarks(argc, argv, Report);
+}

@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 #include "analysis/Relaxer.h"
@@ -57,24 +58,28 @@ BENCHMARK(BM_RelaxSyntheticCorpus)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   printHeader("E2: repeated relaxation (paper Sec. II example)");
+  BenchReport Report("relaxation");
 
   // The paper's example: find the jmp before and after NOP insertion.
   for (bool WithNop : {false, true}) {
     MaoUnit Unit = parseOrDie(relaxExample(WithNop));
     RelaxationResult R = relaxUnit(Unit);
     for (const MaoEntry &E : Unit.entries())
-      if (E.isInstruction() && E.instruction().isUncondJump())
+      if (E.isInstruction() && E.instruction().isUncondJump()) {
         std::printf("%-12s jmp at 0x%llx encodes in %u bytes "
                     "(relaxation: %u iterations, converged: %s)\n",
                     WithNop ? "with nop:" : "without nop:",
                     (unsigned long long)E.Address, E.Size, R.Iterations,
                     R.Converged ? "yes" : "no");
+        Report.set(WithNop ? "jmp_bytes_with_nop" : "jmp_bytes_without_nop",
+                   E.Size);
+        Report.set(WithNop ? "iterations_with_nop" : "iterations_without_nop",
+                   R.Iterations);
+      }
   }
   std::printf("paper: the branch at offset 0xb grows from 2 bytes (eb 7f) "
               "to 5 bytes (e9 ...)\nwhen a single one-byte nop moves its "
               "target out of rel8 range.\n\n");
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return runCapturedBenchmarks(argc, argv, Report);
 }

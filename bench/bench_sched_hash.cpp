@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 using namespace maobench;
@@ -41,7 +42,8 @@ std::string hashLoop(unsigned Iterations) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("sched_hash");
   printHeader("E7: Sec. III-F - hashing microbenchmark scheduling "
               "(Core-2 model)");
   ProcessorConfig Core2 = ProcessorConfig::core2();
@@ -59,5 +61,9 @@ int main() {
               (unsigned long long)P1.RsFullStalls);
   printRow("hashing microbenchmark", 15.00,
            percentGain(P0.CpuCycles, P1.CpuCycles));
-  return 0;
+  Report.set("moved", Moved);
+  Report.set("rs_full_before", static_cast<double>(P0.RsFullStalls));
+  Report.set("rs_full_after", static_cast<double>(P1.RsFullStalls));
+  Report.set("gain_pct", percentGain(P0.CpuCycles, P1.CpuCycles));
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

@@ -11,23 +11,31 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 using namespace maobench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("sched_spec2006");
   printHeader("E14: SCHED list scheduling (Core-2 model)");
   ProcessorConfig Core2 = ProcessorConfig::core2();
-  printRow("410.bwaves", 1.29, benchmarkDelta("410.bwaves", "SCHED", Core2));
-  printRow("434.zeusmp", 1.20, benchmarkDelta("434.zeusmp", "SCHED", Core2));
-  printRow("483.xalancbmk", 1.25,
-           benchmarkDelta("483.xalancbmk", "SCHED", Core2));
-  printRow("429.mcf", 1.43, benchmarkDelta("429.mcf", "SCHED", Core2));
-  printRow("464.h264ref", 1.75,
-           benchmarkDelta("464.h264ref", "SCHED", Core2));
+  struct Row {
+    const char *Benchmark;
+    double Paper;
+  } Rows[] = {{"410.bwaves", 1.29},
+              {"434.zeusmp", 1.20},
+              {"483.xalancbmk", 1.25},
+              {"429.mcf", 1.43},
+              {"464.h264ref", 1.75}};
+  for (const Row &R : Rows) {
+    const double Delta = benchmarkDelta(R.Benchmark, "SCHED", Core2);
+    printRow(R.Benchmark, R.Paper, Delta);
+    Report.set(std::string(R.Benchmark) + "_delta_pct", Delta);
+  }
   std::printf("\nThe critical-path cost function hoists the consumer chain "
               "of a\nmulti-fan-out producer ahead of its slack siblings, "
               "avoiding the\nforwarding-bandwidth stall "
               "(RESOURCE_STALLS:RS_FULL, Sec. III-F).\n");
-  return 0;
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

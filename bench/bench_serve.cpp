@@ -11,11 +11,12 @@
 //              entries deliberately corrupted (the quarantine path).
 //
 // Emits BENCH_serve.json (path overridable as argv[1]) alongside the
-// human-readable table, following the ROADMAP BENCH_<name>.json note.
+// human-readable table, in the shared schema BenchJson.h defines.
 //
 //===----------------------------------------------------------------------===//
 
 #include "ApiBenchUtil.h"
+#include "BenchJson.h"
 #include "serve/ArtifactCache.h"
 #include "serve/Serve.h"
 
@@ -217,7 +218,8 @@ RecoveryPhase benchRecovery(const std::string &Dir) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const std::string OutPath = Argc > 1 ? Argv[1] : "BENCH_serve.json";
+  BenchReport Report("serve");
+  const std::string OutPath = benchJsonPath(Argc, Argv, Report.name());
   const std::string Root = tempDir();
   const std::string CacheDir = Root + "/cache";
   constexpr unsigned Rounds = 32;
@@ -244,23 +246,17 @@ int main(int Argc, char **Argv) {
               Recovery.FsckMs, Recovery.Quarantined,
               (unsigned long long)Recovery.Entries);
 
-  std::ofstream Json(OutPath, std::ios::trunc);
-  Json << "{\n"
-       << "  \"bench\": \"serve\",\n"
-       << "  \"cold_ms_per_request\": " << Cache.ColdMsAvg << ",\n"
-       << "  \"warm_ms_per_request\": " << Cache.WarmMsAvg << ",\n"
-       << "  \"warm_speedup\": "
-       << (Cache.WarmMsAvg > 0 ? Cache.ColdMsAvg / Cache.WarmMsAvg : 0.0)
-       << ",\n"
-       << "  \"daemon_rps_1_client\": " << Rps1 << ",\n"
-       << "  \"daemon_rps_4_clients\": " << Rps4 << ",\n"
-       << "  \"fsck_ms_64_entries\": " << Recovery.FsckMs << ",\n"
-       << "  \"fsck_quarantined\": " << Recovery.Quarantined << ",\n"
-       << "  \"fsck_entries_left\": " << Recovery.Entries << "\n"
-       << "}\n";
-  Json.close();
-  std::printf("wrote %s\n", OutPath.c_str());
+  Report.set("cold_ms_per_request", Cache.ColdMsAvg);
+  Report.set("warm_ms_per_request", Cache.WarmMsAvg);
+  Report.set("warm_speedup",
+             Cache.WarmMsAvg > 0 ? Cache.ColdMsAvg / Cache.WarmMsAvg : 0.0);
+  Report.set("daemon_rps_1_client", Rps1);
+  Report.set("daemon_rps_4_clients", Rps4);
+  Report.set("fsck_ms_64_entries", Recovery.FsckMs);
+  Report.set("fsck_quarantined", Recovery.Quarantined);
+  Report.set("fsck_entries_left", static_cast<double>(Recovery.Entries));
+  const bool Wrote = Report.write(OutPath);
 
   std::system(("rm -rf '" + Root + "'").c_str());
-  return 0;
+  return Wrote ? 0 : 1;
 }

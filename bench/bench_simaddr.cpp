@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
 #include "analysis/CFG.h"
@@ -81,13 +82,15 @@ double factorForBenchmark(const std::string &Name, unsigned SamplePeriod) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("simaddr");
   printHeader("E8: forward/backward simulation address recovery "
               "(paper: 4.1x - 6.3x)");
   for (const char *Name : {"181.mcf", "252.eon", "300.twolf", "176.gcc"}) {
     double Factor = factorForBenchmark(Name, 7);
     std::printf("%-12s sampled addresses multiplied by %.1fx\n", Name,
                 Factor);
+    Report.set(std::string(Name) + "_factor_x", Factor);
   }
-  return 0;
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

@@ -17,6 +17,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "ApiBenchUtil.h"
+#include "BenchJson.h"
+
+#include <chrono>
 
 using namespace maobench;
 
@@ -79,17 +82,21 @@ std::string aliasKernel() {
          "\t.size bench_main, .-bench_main\n";
 }
 
-void tuneOne(mao::api::Session &Session, const std::string &Label,
-             const std::string &Asm) {
+void tuneOne(mao::api::Session &Session, BenchReport &Report,
+             const std::string &Label, const std::string &Asm) {
   mao::api::Program Program = parseOrDie(Session, Asm);
   mao::api::TuneRequest Request;
   Request.Budget = "medium";
   Request.Jobs = 0; // All hardware threads; the result is seed-determined.
   mao::api::TuneSummary Tune;
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point Start = Clock::now();
   if (mao::api::Status S = Session.tune(Program, Request, Tune); !S.Ok) {
     std::fprintf(stderr, "bench: tune failed: %s\n", S.Message.c_str());
     std::exit(1);
   }
+  const double Seconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
   std::printf("%-6s baseline %7llu  default %7llu  tuned %7llu cycles  "
               "(%+.2f%% vs default; %u evals, %llu cache hits)\n",
               Label.c_str(), (unsigned long long)Tune.BaselineCycles,
@@ -98,16 +105,22 @@ void tuneOne(mao::api::Session &Session, const std::string &Label,
               percentGain(Tune.DefaultCycles, Tune.TunedCycles),
               Tune.Evaluations, (unsigned long long)Tune.ScoreCacheHits);
   std::printf("       winner: --mao-passes=%s\n", Tune.TunedPipeline.c_str());
+  Report.set(Label + "_gain_vs_default_pct",
+             percentGain(Tune.DefaultCycles, Tune.TunedCycles));
+  Report.set(Label + "_evaluations", Tune.Evaluations);
+  Report.set(Label + "_candidates_per_s",
+             Seconds > 0 ? Tune.Evaluations / Seconds : 0.0);
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("tune");
   printHeader("E19: simulator-guided autotuning (mao --tune, Core-2 model, "
               "seed 1, medium budget)");
   mao::api::Session Session;
-  tuneOne(Session, "fig1", fig1Kernel());
-  tuneOne(Session, "lsd", lsdKernel());
-  tuneOne(Session, "alias", aliasKernel());
-  return 0;
+  tuneOne(Session, Report, "fig1", fig1Kernel());
+  tuneOne(Session, Report, "lsd", lsdKernel());
+  tuneOne(Session, Report, "alias", aliasKernel());
+  return Report.write(benchJsonPath(argc, argv, Report.name())) ? 0 : 1;
 }

@@ -1,0 +1,136 @@
+#!/bin/sh
+# Bench trajectory gate: runs every bench binary in quick mode and
+# validates each emitted BENCH_<name>.json against the shared schema
+# (bench/BenchJson.h):
+#
+#   {"bench": "<name>", "schema": 1, "metrics": {"<key>": <number>, ...}}
+#
+#   - "bench" is a non-empty string, "schema" is the integer 1,
+#   - "metrics" is a non-empty object of finite numbers keyed by
+#     [A-Za-z0-9_]+ names,
+#   - no other top-level keys exist (additions must bump the schema).
+#
+# The shared shape is what makes the bench suite a *trajectory*: any run is
+# comparable to any other run, metric by metric, across commits. On top of
+# the schema, the throughput headline bench_core publishes is checked for
+# presence and sanity (positive MB/s, determinism flag set).
+#
+# Registered as the ctest entry `bench_trajectory`; run standalone as
+#
+#   scripts/bench_trajectory.sh path/to/build/bench [examples-dir]
+#
+# Exits 77 (ctest SKIP) when python3 is unavailable: the JSON checks are
+# the substance of this gate.
+set -u
+
+BENCHDIR="${1:?usage: bench_trajectory.sh path/to/bench-dir [examples-dir]}"
+EXAMPLES="${2:-$(dirname "$0")/../examples}"
+WORK="${TMPDIR:-/tmp}/mao_bench_trajectory.$$"
+FAILED=0
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "bench_trajectory: SKIP: python3 not available" >&2
+  exit 77
+fi
+
+mkdir -p "$WORK" || exit 1
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT
+
+fail() {
+  echo "bench_trajectory: FAIL: $1" >&2
+  FAILED=1
+}
+
+# validate_schema <file> <expected-name>
+validate_schema() {
+  python3 - "$1" "$2" <<'EOF'
+import json, math, re, sys
+d = json.load(open(sys.argv[1]))
+if set(d.keys()) != {"bench", "schema", "metrics"}:
+    sys.exit("top-level keys must be exactly bench/schema/metrics, got %s"
+             % sorted(d.keys()))
+if d["schema"] != 1:
+    sys.exit("unexpected schema version: %r" % d["schema"])
+if not isinstance(d["bench"], str) or not d["bench"]:
+    sys.exit("bench name missing or empty")
+if d["bench"] != sys.argv[2]:
+    sys.exit("bench name %r does not match binary %r"
+             % (d["bench"], sys.argv[2]))
+metrics = d["metrics"]
+if not isinstance(metrics, dict) or not metrics:
+    sys.exit("metrics missing or empty")
+for key, value in metrics.items():
+    if not re.fullmatch(r"[A-Za-z0-9_]+", key):
+        sys.exit("metric key %r not in [A-Za-z0-9_]+" % key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+       or not math.isfinite(value):
+        sys.exit("metric %r is not a finite number: %r" % (key, value))
+EOF
+}
+
+RAN=0
+for bin in "$BENCHDIR"/bench_*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  short=${name#bench_}
+  json="$WORK/BENCH_$short.json"
+
+  # Quick mode: google-benchmark harnesses honour --benchmark_min_time and
+  # ignore the rest; printf harnesses honour --bench-json/--examples and
+  # ignore the rest. Benches must exit 0 even in quick mode.
+  if ! "$bin" "--bench-json=$json" --benchmark_min_time=0.01 \
+      "--examples=$EXAMPLES" >/dev/null 2>&1; then
+    fail "$name: run failed"
+    continue
+  fi
+  if [ ! -s "$json" ]; then
+    fail "$name: BENCH_$short.json was not written"
+    continue
+  fi
+  if ! err=$(validate_schema "$json" "$short" 2>&1); then
+    fail "$name: schema violation: $err"
+    continue
+  fi
+  RAN=$((RAN + 1))
+done
+
+if [ "$RAN" -eq 0 ]; then
+  fail "no bench binaries found in $BENCHDIR"
+fi
+
+# The throughput-core headline: bench_core must publish the parse
+# trajectory (new and legacy MB/s plus their ratio) and the cross-jobs
+# determinism bit. Thresholds here are sanity floors, not the performance
+# bar — quick mode underestimates steady-state MB/s.
+if [ -s "$WORK/BENCH_core.json" ]; then
+  if ! err=$(python3 - "$WORK/BENCH_core.json" <<'EOF' 2>&1
+import json, sys
+m = json.load(open(sys.argv[1]))["metrics"]
+required = [
+    "examples_parse_mb_s", "examples_parse_mb_s_legacy",
+    "examples_parse_speedup_x", "synthetic_parse_mb_s",
+    "synthetic_parse_mb_s_legacy", "synthetic_parse_speedup_x",
+    "jobs_byte_identical",
+]
+missing = [k for k in required if k not in m]
+if missing:
+    sys.exit("bench_core metrics missing: " + ", ".join(missing))
+for key in required[:-1]:
+    if m[key] <= 0:
+        sys.exit("bench_core metric %s is not positive: %r" % (key, m[key]))
+if m["jobs_byte_identical"] != 1:
+    sys.exit("pipeline output was not byte-identical across --mao-jobs")
+EOF
+  ); then
+    fail "bench_core headline: $err"
+  fi
+else
+  fail "bench_core did not produce BENCH_core.json"
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+  exit 1
+fi
+echo "bench_trajectory: OK ($RAN benches validated)"
+exit 0

@@ -112,6 +112,27 @@ RelaxationResult::sectionLabels(const std::string &SectionName) const {
   return It == SectionLabels.end() ? Empty : It->second;
 }
 
+namespace {
+/// Process-global mode; set once at startup from --mao-relax, before any
+/// pipeline runs, so there is no synchronization concern.
+RelaxMode GlobalRelaxMode = RelaxMode::Grow;
+} // namespace
+
+RelaxMode mao::relaxMode() { return GlobalRelaxMode; }
+void mao::setRelaxMode(RelaxMode Mode) { GlobalRelaxMode = Mode; }
+
+bool mao::parseRelaxMode(const std::string &Text, RelaxMode &Mode) {
+  if (Text == "grow") {
+    Mode = RelaxMode::Grow;
+    return true;
+  }
+  if (Text == "optimal") {
+    Mode = RelaxMode::Optimal;
+    return true;
+  }
+  return false;
+}
+
 RelaxationResult mao::relaxUnit(MaoUnit &Unit, DiagEngine *Diags) {
   RelaxationResult Result;
 
@@ -129,12 +150,17 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit, DiagEngine *Diags) {
   // address- or iteration-dependent size — alignment pads and direct
   // branches — so everything else is measured once here instead of being
   // re-encoded on every relaxation round (instruction lengths dominate the
-  // cost of a round).
+  // cost of a round). Label and branch-target names are captured as
+  // string_view keys once, so the per-round map operations allocate no
+  // strings at all.
   struct Slot {
     MaoEntry *E;
     unsigned StaticSize; ///< Valid when !Dynamic.
     bool Dynamic;
     bool IsLabel;
+    std::string_view LabelKey;  ///< Label name; valid when IsLabel.
+    const Operand *Target;      ///< Branch target; valid for dynamic insns.
+    std::string_view TargetSym; ///< Target symbol; valid for dynamic insns.
   };
   std::vector<std::pair<SectionInfo *, std::vector<Slot>>> Walk;
   for (SectionInfo &Sec : Unit.sections()) {
@@ -144,9 +170,16 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit, DiagEngine *Diags) {
         Slot S;
         S.E = &*It;
         S.Dynamic = false;
+        S.Target = nullptr;
         if (It->isInstruction()) {
           const Instruction &Insn = It->instruction();
           S.Dynamic = Insn.isBranch() && !Insn.hasIndirectTarget();
+          if (S.Dynamic) {
+            S.Target = Insn.branchTarget();
+            assert(S.Target && S.Target->isSymbol() &&
+                   "direct branch without target");
+            S.TargetSym = S.Target->Sym;
+          }
         } else if (It->isDirective()) {
           DirKind K = It->directive().Kind;
           S.Dynamic = K == DirKind::P2Align || K == DirKind::Balign;
@@ -157,6 +190,8 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit, DiagEngine *Diags) {
         // it is exported would leave relaxation over-conservative. Truly
         // external symbols are simply absent from the maps.
         S.IsLabel = It->isLabel();
+        if (S.IsLabel)
+          S.LabelKey = It->labelName();
         S.StaticSize = S.Dynamic ? 0 : entryLayoutSize(*It, 0);
         Slots.push_back(S);
       }
@@ -164,12 +199,13 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit, DiagEngine *Diags) {
   }
 
   std::string LastGrowthSection;
-  for (unsigned Iter = 1; Iter <= RelaxationIterationLimit; ++Iter) {
-    Result.Iterations = Iter;
 
-    // Address-assignment round over every section. Addresses restart at 0
-    // per section, so each section gets its own label map; the flat view
-    // is kept for same-section-aware callers.
+  // One address-assignment round over every section. Addresses restart at
+  // 0 per section, so each section gets its own label map; the flat view
+  // is kept for same-section-aware callers. Duplicate label definitions
+  // bind to the FIRST occurrence (try_emplace), matching MaoUnit::labelMap
+  // and the emulator.
+  auto AddressRound = [&] {
     Result.Labels.clear();
     Result.SectionLabels.clear();
     Result.SectionSizes.clear();
@@ -181,19 +217,21 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit, DiagEngine *Diags) {
         E.Address = Address;
         E.Size = S.Dynamic ? entryLayoutSize(E, Address) : S.StaticSize;
         if (S.IsLabel) {
-          SecLabels[E.labelName()] = Address;
-          Result.Labels[E.labelName()] = Address;
+          SecLabels.try_emplace(S.LabelKey, Address);
+          Result.Labels.try_emplace(S.LabelKey, Address);
         }
         Address += E.Size;
       }
       Result.SectionSizes[Sec->Name] = Address;
     }
+  };
 
-    // Growth round: widen branches whose rel8 displacement no longer fits.
-    // Resolution is per section: a displacement between two sections would
-    // span unrelated address spaces, so cross-section targets — like truly
-    // external ones — are absent from the branch's map and force rel32
-    // (resolved by relocation, where the distance is actually known).
+  // One growth round: widen branches whose rel8 displacement no longer
+  // fits. Resolution is per section: a displacement between two sections
+  // would span unrelated address spaces, so cross-section targets — like
+  // truly external ones — are absent from the branch's map and force rel32
+  // (resolved by relocation, where the distance is actually known).
+  auto GrowthRound = [&]() -> bool {
     bool Changed = false;
     for (auto &[Sec, Slots] : Walk) {
       const LabelAddressMap &SecLabels = Result.SectionLabels[Sec->Name];
@@ -204,10 +242,7 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit, DiagEngine *Diags) {
         Instruction &Insn = E.instruction();
         if (Insn.BranchSize != 1)
           continue;
-        const Operand *Target = Insn.branchTarget();
-        assert(Target && Target->isSymbol() &&
-               "direct branch without target");
-        auto LabelIt = SecLabels.find(Target->Sym);
+        auto LabelIt = SecLabels.find(S.TargetSym);
         if (LabelIt == SecLabels.end()) {
           // External or cross-section target: must use rel32.
           Insn.BranchSize = 4;
@@ -216,7 +251,7 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit, DiagEngine *Diags) {
           continue;
         }
         int64_t Disp =
-            LabelIt->second + Target->Imm - (E.Address + E.Size);
+            LabelIt->second + S.Target->Imm - (E.Address + E.Size);
         if (Disp < -128 || Disp > 127) {
           Insn.BranchSize = 4;
           Changed = true;
@@ -224,12 +259,90 @@ RelaxationResult mao::relaxUnit(MaoUnit &Unit, DiagEngine *Diags) {
         }
       }
     }
+    return Changed;
+  };
 
-    if (!Changed) {
-      Result.Converged = true;
-      return Result;
+  // Converge from the current branch-size state. Monotone (branches only
+  // grow), so it terminates; the shared iteration budget bounds the
+  // pathological case.
+  auto Converge = [&]() -> bool {
+    while (Result.Iterations < RelaxationIterationLimit) {
+      ++Result.Iterations;
+      AddressRound();
+      if (!GrowthRound())
+        return true;
+    }
+    return false;
+  };
+
+  Result.Converged = Converge();
+
+  if (Result.Converged && relaxMode() == RelaxMode::Optimal) {
+    // Minimality audit: the grow fixpoint can be conservatively large when
+    // alignment padding decouples displacement from branch sizes. Demote
+    // every rel32 branch whose displacement fits rel8 under the settled
+    // layout, then re-converge (which re-promotes any overreach); repeat
+    // until a round demotes nothing. Bounded to keep the worst case tame.
+    auto CountRel8 = [&] {
+      unsigned N = 0;
+      for (auto &[Sec, Slots] : Walk)
+        for (const Slot &S : Slots)
+          if (S.Dynamic && S.E->isInstruction() &&
+              S.E->instruction().BranchSize == 1)
+            ++N;
+      return N;
+    };
+    const unsigned InitialRel8 = CountRel8();
+    constexpr unsigned AuditRoundLimit = 4;
+    for (unsigned Round = 0; Round < AuditRoundLimit; ++Round) {
+      bool Shrunk = false;
+      for (auto &[Sec, Slots] : Walk) {
+        const LabelAddressMap &SecLabels = Result.SectionLabels[Sec->Name];
+        for (const Slot &S : Slots) {
+          if (!S.Dynamic || !S.E->isInstruction())
+            continue;
+          MaoEntry &E = *S.E;
+          Instruction &Insn = E.instruction();
+          if (Insn.BranchSize != 4)
+            continue;
+          auto LabelIt = SecLabels.find(S.TargetSym);
+          if (LabelIt == SecLabels.end())
+            continue; // External/cross-section: rel32 is mandatory.
+          const unsigned Rel32Size = E.Size;
+          Insn.BranchSize = 1;
+          const unsigned Rel8Size = instructionLength(Insn);
+          const unsigned Delta = Rel32Size - Rel8Size;
+          const int64_t Target = LabelIt->second + S.Target->Imm;
+          // Exact single-demotion displacement: a forward target moves
+          // down by Delta together with the branch end, a backward target
+          // gains Delta of slack from the shorter branch.
+          int64_t NewDisp = Target - (E.Address + Rel32Size);
+          if (Target <= E.Address)
+            NewDisp += Delta;
+          if (NewDisp >= -128 && NewDisp <= 127) {
+            Shrunk = true;
+          } else {
+            Insn.BranchSize = 4;
+          }
+        }
+      }
+      if (!Shrunk)
+        break;
+      if (!Converge()) {
+        Result.Converged = false;
+        break;
+      }
+    }
+    if (Result.Converged) {
+      const unsigned FinalRel8 = CountRel8();
+      Result.ShrunkBranches =
+          FinalRel8 > InitialRel8 ? FinalRel8 - InitialRel8 : 0;
     }
   }
+
+  if (Result.Converged)
+    return Result;
+
   // Hit the iteration limit; addresses are best-effort and must not be
   // trusted silently — report which section was still growing, and let the
   // verifier's layout check turn !Converged into a hard error.

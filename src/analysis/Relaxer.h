@@ -36,9 +36,41 @@ class DiagEngine;
 /// Built-in iteration bound from the paper.
 constexpr unsigned RelaxationIterationLimit = 100;
 
+/// Branch-displacement selection mode (driver flag --mao-relax).
+enum class RelaxMode : uint8_t {
+  /// Monotone grow-from-rel8, the paper's algorithm: branches only widen,
+  /// so convergence is guaranteed and the result is the least fixpoint of
+  /// the grow iteration.
+  Grow,
+  /// Minimal-size selection after Boender & Sacerdoti Coen's provably
+  /// correct branch-displacement algorithm: converge the monotone
+  /// iteration, then audit every rel32 branch under the settled layout and
+  /// shrink the ones whose displacement fits rel8, re-converging after
+  /// each shrink round. On alignment-free layouts the grow fixpoint is
+  /// already minimal and both modes agree byte-for-byte; alignment padding
+  /// can make the grow solution conservatively large, and the audit
+  /// recovers those bytes. Either way the result passes the verifier's
+  /// rel8-fixpoint layout check.
+  Optimal,
+};
+
+/// Process-global relaxation mode. Every relaxUnit caller (passes, the
+/// assembler, the layout verifier) sees the same mode, which keeps
+/// verification consistent with emission; set once at startup from the
+/// driver flag, before any pipeline runs. Defaults to Grow.
+RelaxMode relaxMode();
+void setRelaxMode(RelaxMode Mode);
+
+/// Parses "grow"/"optimal"; returns false on anything else.
+bool parseRelaxMode(const std::string &Text, RelaxMode &Mode);
+
 struct RelaxationResult {
   bool Converged = false;
   unsigned Iterations = 0;
+  /// Optimal mode only: net number of branches demoted from rel32 to rel8
+  /// by the minimality audit (0 in Grow mode or when the grow fixpoint was
+  /// already minimal).
+  unsigned ShrunkBranches = 0;
   /// Label -> address within its *defining* section. Every label defined
   /// in the unit is present, including global ones. Addresses of different
   /// sections are unrelated address spaces (each restarts at 0): this flat

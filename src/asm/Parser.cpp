@@ -1,4 +1,14 @@
 //===- asm/Parser.cpp - AT&T assembly parser --------------------------------==//
+//
+// Single-pass string_view lexer: every token (mnemonic, operand, directive
+// argument, label) is a view into the input buffer until the moment it must
+// be stored in the IR, so the per-line cost is bounded by the characters
+// scanned, not by substr/trim temporaries. Integer parsing goes through
+// std::from_chars with strtoll-compatible base detection, mnemonic and
+// register lookups hit transparent-hash tables keyed by string_view, and
+// the encode-validation scratch buffer is reused across instructions.
+//
+//===----------------------------------------------------------------------===//
 
 #include "asm/Parser.h"
 
@@ -7,45 +17,79 @@
 
 #include <cassert>
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
+#include <cstring>
+#include <limits>
 #include <optional>
+#include <string_view>
+#include <unordered_set>
 
 using namespace mao;
 
 namespace {
 
-std::string trim(const std::string &S) {
-  size_t B = S.find_first_not_of(" \t");
-  if (B == std::string::npos)
-    return "";
-  size_t E = S.find_last_not_of(" \t");
-  return S.substr(B, E - B + 1);
+std::string_view trim(std::string_view S) {
+  size_t B = 0, E = S.size();
+  while (B != E && (S[B] == ' ' || S[B] == '\t'))
+    ++B;
+  while (E != B && (S[E - 1] == ' ' || S[E - 1] == '\t'))
+    --E;
+  return S.substr(B, E - B);
 }
 
-bool isLabelChar(char C) {
-  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.' ||
-         C == '$' || C == '@';
+/// Per-byte classification tables: the lexer asks these questions for
+/// nearly every input byte, so they must not go through the locale-aware
+/// libc functions.
+struct CharTables {
+  bool Label[256] = {};
+  bool Space[256] = {};
+  constexpr CharTables() {
+    for (unsigned C = '0'; C <= '9'; ++C)
+      Label[C] = true;
+    for (unsigned C = 'a'; C <= 'z'; ++C)
+      Label[C] = Label[C - 'a' + 'A'] = true;
+    Label[static_cast<unsigned char>('_')] = true;
+    Label[static_cast<unsigned char>('.')] = true;
+    Label[static_cast<unsigned char>('$')] = true;
+    Label[static_cast<unsigned char>('@')] = true;
+    for (char C : {' ', '\t', '\n', '\v', '\f', '\r'})
+      Space[static_cast<unsigned char>(C)] = true;
+  }
+};
+constexpr CharTables Chars;
+
+bool isLabelChar(char C) { return Chars.Label[static_cast<unsigned char>(C)]; }
+bool isSpaceChar(char C) { return Chars.Space[static_cast<unsigned char>(C)]; }
+
+bool isAllDigits(std::string_view S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+  return true;
 }
 
-/// Splits on commas at paren depth zero, outside quoted strings.
-std::vector<std::string> splitTopLevelCommas(const std::string &Text) {
-  std::vector<std::string> Parts;
-  std::string Cur;
+/// Splits on commas at paren depth zero, outside quoted strings, appending
+/// trimmed views into \p Parts (cleared first). Views alias \p Text.
+void splitTopLevelCommas(std::string_view Text,
+                         std::vector<std::string_view> &Parts) {
+  Parts.clear();
+  size_t Start = 0;
   int Depth = 0;
   bool InString = false;
+  bool Any = false;
   for (size_t I = 0; I < Text.size(); ++I) {
     char C = Text[I];
     if (InString) {
-      Cur += C;
       if (C == '\\' && I + 1 < Text.size())
-        Cur += Text[++I];
+        ++I;
       else if (C == '"')
         InString = false;
       continue;
     }
     if (C == '"') {
       InString = true;
-      Cur += C;
       continue;
     }
     if (C == '(')
@@ -53,40 +97,96 @@ std::vector<std::string> splitTopLevelCommas(const std::string &Text) {
     else if (C == ')')
       --Depth;
     if (C == ',' && Depth == 0) {
-      Parts.push_back(trim(Cur));
-      Cur.clear();
-      continue;
+      Parts.push_back(trim(Text.substr(Start, I - Start)));
+      Start = I + 1;
+      Any = true;
     }
-    Cur += C;
   }
-  if (!trim(Cur).empty() || !Parts.empty())
-    Parts.push_back(trim(Cur));
-  return Parts;
+  std::string_view Last = trim(Text.substr(Start));
+  if (!Last.empty() || Any)
+    Parts.push_back(Last);
 }
 
-/// Parses a full integer (decimal, hex, octal, optional sign). Returns
-/// false unless the whole string is consumed.
-bool parseInteger(const std::string &Text, int64_t &Value) {
+/// Parses a full integer with strtoll base-0 semantics (decimal, 0x hex,
+/// leading-0 octal, optional sign); returns false unless the whole view is
+/// consumed. Out-of-range values clamp like strtoll.
+bool parseInteger(std::string_view Text, int64_t &Value) {
   if (Text.empty())
     return false;
-  errno = 0;
-  char *End = nullptr;
-  Value = static_cast<int64_t>(std::strtoll(Text.c_str(), &End, 0));
-  return End == Text.c_str() + Text.size() && End != Text.c_str();
+  size_t I = 0;
+  bool Neg = false;
+  if (Text[0] == '+' || Text[0] == '-') {
+    Neg = Text[0] == '-';
+    I = 1;
+  }
+  int Base = 10;
+  if (Text.size() - I >= 2 && Text[I] == '0' &&
+      (Text[I + 1] == 'x' || Text[I + 1] == 'X')) {
+    Base = 16;
+    I += 2;
+  } else if (Text.size() - I >= 1 && Text[I] == '0') {
+    Base = 8;
+  }
+  if (I >= Text.size())
+    return false;
+  unsigned long long Magnitude = 0;
+  const char *First = Text.data() + I;
+  const char *Last = Text.data() + Text.size();
+  auto [Ptr, Ec] = std::from_chars(First, Last, Magnitude, Base);
+  if (Ptr != Last || Ec == std::errc::invalid_argument)
+    return false;
+  if (Ec == std::errc::result_out_of_range) {
+    Value = Neg ? std::numeric_limits<int64_t>::min()
+                : std::numeric_limits<int64_t>::max();
+    return true;
+  }
+  Value = Neg ? -static_cast<int64_t>(Magnitude)
+              : static_cast<int64_t>(Magnitude);
+  return true;
+}
+
+/// True when \p S spells a GAS numeric local-label reference: digits
+/// followed by 'b' (last definition backwards) or 'f' (next definition
+/// forwards). \p N receives the label number, \p Dir the direction char.
+bool isLocalLabelRef(std::string_view S, uint64_t &N, char &Dir) {
+  if (S.size() < 2)
+    return false;
+  char Last = S.back();
+  if (Last != 'b' && Last != 'f')
+    return false;
+  std::string_view Digits = S.substr(0, S.size() - 1);
+  if (!isAllDigits(Digits))
+    return false;
+  const char *First = Digits.data();
+  auto [Ptr, Ec] = std::from_chars(First, First + Digits.size(), N, 10);
+  if (Ptr != First + Digits.size() || Ec != std::errc())
+    return false;
+  Dir = Last;
+  return true;
 }
 
 /// Parses "sym", "sym+4", "sym-4" into name and addend. The symbol must
-/// start with a label character that is not a digit (so plain integers are
-/// rejected).
-bool parseSymbolExpr(const std::string &Text, std::string &Name,
+/// start with a non-digit label character — except for numeric local-label
+/// references ("1b"/"1f"), which are accepted whole and resolved to their
+/// internal names by parseAssembly.
+bool parseSymbolExpr(std::string_view Text, std::string_view &Name,
                      int64_t &Addend) {
-  if (Text.empty() || std::isdigit(static_cast<unsigned char>(Text[0])))
+  if (Text.empty())
     return false;
   size_t I = 0;
-  while (I < Text.size() && isLabelChar(Text[I]))
-    ++I;
-  if (I == 0)
-    return false;
+  if (std::isdigit(static_cast<unsigned char>(Text[0]))) {
+    while (I < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[I])))
+      ++I;
+    if (I >= Text.size() || (Text[I] != 'b' && Text[I] != 'f'))
+      return false;
+    ++I; // The direction suffix is part of the name ("1b").
+  } else {
+    while (I < Text.size() && isLabelChar(Text[I]))
+      ++I;
+    if (I == 0)
+      return false;
+  }
   Name = Text.substr(0, I);
   Addend = 0;
   if (I == Text.size())
@@ -100,10 +200,19 @@ bool parseSymbolExpr(const std::string &Text, std::string &Name,
   return true;
 }
 
+/// Reused per-parse scratch so the hot path performs no per-line heap
+/// allocation beyond what lands in the IR.
+struct ParseScratch {
+  std::vector<std::string_view> Operands;
+  std::vector<std::string_view> MemParts;
+  std::vector<uint8_t> EncodeBytes;
+};
+
 /// Parses one operand in AT&T syntax. Returns std::nullopt on anything
 /// outside the modelled forms (caller degrades the instruction to opaque).
-std::optional<Operand> parseOperandText(const std::string &RawText) {
-  std::string Text = trim(RawText);
+std::optional<Operand> parseOperandText(std::string_view RawText,
+                                        ParseScratch &Scratch) {
+  std::string_view Text = trim(RawText);
   if (Text.empty())
     return std::nullopt;
 
@@ -116,14 +225,14 @@ std::optional<Operand> parseOperandText(const std::string &RawText) {
   }
 
   if (Text[0] == '$') {
-    std::string Body = Text.substr(1);
+    std::string_view Body = Text.substr(1);
     int64_t Value = 0;
     if (parseInteger(Body, Value))
       return Operand::makeImm(Value);
-    std::string Sym;
+    std::string_view Sym;
     int64_t Addend = 0;
     if (parseSymbolExpr(Body, Sym, Addend))
-      return Operand::makeImmSym(Sym, Addend);
+      return Operand::makeImmSym(std::string(Sym), Addend);
     return std::nullopt;
   }
 
@@ -137,18 +246,24 @@ std::optional<Operand> parseOperandText(const std::string &RawText) {
   }
 
   size_t Paren = Text.find('(');
-  if (Paren != std::string::npos) {
+  if (Paren != std::string_view::npos) {
     if (Text.back() != ')')
       return std::nullopt;
     MemRef M;
-    std::string DispText = trim(Text.substr(0, Paren));
+    std::string_view DispText = trim(Text.substr(0, Paren));
     if (!DispText.empty()) {
-      if (!parseInteger(DispText, M.Disp) &&
-          !parseSymbolExpr(DispText, M.SymDisp, M.Disp))
+      std::string_view SymDisp;
+      if (parseInteger(DispText, M.Disp))
+        ;
+      else if (parseSymbolExpr(DispText, SymDisp, M.Disp))
+        M.SymDisp = std::string(SymDisp);
+      else
         return std::nullopt;
     }
-    std::string Inner = Text.substr(Paren + 1, Text.size() - Paren - 2);
-    std::vector<std::string> Parts = splitTopLevelCommas(Inner);
+    std::string_view Inner =
+        Text.substr(Paren + 1, Text.size() - Paren - 2);
+    std::vector<std::string_view> &Parts = Scratch.MemParts;
+    splitTopLevelCommas(Inner, Parts);
     if (Parts.empty() || Parts.size() > 3)
       return std::nullopt;
     if (!Parts[0].empty()) {
@@ -188,10 +303,10 @@ std::optional<Operand> parseOperandText(const std::string &RawText) {
   }
 
   // Bare symbol: direct target or data symbol.
-  std::string Sym;
+  std::string_view Sym;
   int64_t Addend = 0;
   if (parseSymbolExpr(Text, Sym, Addend)) {
-    Operand Op = Operand::makeSymbol(Sym, Addend);
+    Operand Op = Operand::makeSymbol(std::string(Sym), Addend);
     Op.IndirectStar = Star;
     return Op;
   }
@@ -207,137 +322,192 @@ struct MnemonicParse {
   uint8_t NopLength = 1;
 };
 
-std::optional<Width> widthFromChar(char C) {
-  switch (C) {
-  case 'b':
-    return Width::B;
-  case 'w':
-    return Width::W;
-  case 'l':
-    return Width::L;
-  case 'q':
-    return Width::Q;
-  default:
-    return std::nullopt;
-  }
+bool startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
 }
 
-std::optional<MnemonicParse> parseMnemonicText(const std::string &M) {
-  MnemonicParse P;
+/// The precomputed spelling table behind parseMnemonicText(): every fixed
+/// mnemonic spelling the grammar accepts — exact names, width-suffixed
+/// forms, movz/movs width pairs, the jcc/setcc/cmovcc condition families,
+/// explicit-length NOPs and the movq/movabs/sal special cases — resolved
+/// once at startup into a single map so the hot path is one hash lookup
+/// instead of a cascade of prefix probes. Insertion order encodes rule
+/// precedence (emplace keeps the first binding of a spelling), mirroring
+/// the rule order of the cascade it replaces.
+struct SvHashMn {
+  using is_transparent = void;
+  size_t operator()(std::string_view S) const {
+    return std::hash<std::string_view>{}(S);
+  }
+};
 
-  // Explicit-length NOPs: "nop", "nop2" .. "nop15" (MAO dialect).
-  if (M.rfind("nop", 0) == 0) {
-    if (M == "nop") {
-      P.Mn = Mnemonic::NOP;
-      return P;
+/// Packs a name of up to 8 bytes into a uint64_t (little-endian,
+/// zero-padded). Injective for NUL-free tokens of a given length; a token
+/// can only alias a shorter name if the token is that name plus trailing
+/// NUL bytes, which the lookups below reject explicitly.
+uint64_t packShortSpelling(std::string_view Name) {
+  uint64_t Key = 0;
+  std::memcpy(&Key, Name.data(), Name.size());
+  return Key;
+}
+
+/// Spellings of at most 8 bytes — every mnemonic on any hot path — live in
+/// a uint64_t-keyed map so lookup hashes one integer instead of a byte
+/// string; the handful of longer spellings (prefetchnta and friends) fall
+/// back to a string-keyed map.
+struct MnemonicMap {
+  std::unordered_map<uint64_t, MnemonicParse> Short;
+  std::unordered_map<std::string, MnemonicParse, SvHashMn, std::equal_to<>>
+      Long;
+};
+
+MnemonicMap buildMnemonicMap() {
+  MnemonicMap Map;
+  const auto Add = [&Map](std::string Key, const MnemonicParse &P) {
+    if (Key.size() <= 8)
+      Map.Short.emplace(packShortSpelling(Key), P);
+    else
+      Map.Long.emplace(std::move(Key), P);
+  };
+  constexpr Width Widths[] = {Width::B, Width::W, Width::L, Width::Q};
+  const auto WidthChar = [](Width W) {
+    return W == Width::B ? 'b' : W == Width::W ? 'w' : W == Width::L ? 'l'
+                                                                     : 'q';
+  };
+
+  // Explicit-length NOPs: "nop", "nop1" .. "nop15" (MAO dialect).
+  {
+    MnemonicParse P;
+    P.Mn = Mnemonic::NOP;
+    Add("nop", P);
+    for (unsigned Len = 1; Len <= 15; ++Len) {
+      P.NopLength = static_cast<uint8_t>(Len);
+      Add("nop" + std::to_string(Len), P);
     }
-    std::string Rest = M.substr(3);
+  }
+  {
+    MnemonicParse P;
+    P.Mn = Mnemonic::MOVSX;
+    P.SrcW = Width::L;
+    P.W = Width::Q;
+    Add("movslq", P);
+  }
+  // "movq" is primarily the 64-bit GPR move; the SSE form is selected after
+  // operand parsing when an xmm register is present.
+  {
+    MnemonicParse P;
+    P.Mn = Mnemonic::MOV;
+    P.W = Width::Q;
+    Add("movq", P);
+    Add("movabs", P);
+    Add("movabsq", P);
+  }
+  // Exact matches: suffix-less mnemonics, SSE ops, prefetches, jmp/call.
+  // "j" alone and "set"/"cmov" without a condition are not instructions.
+  for (unsigned I = 1; I < static_cast<unsigned>(Mnemonic::NumMnemonics);
+       ++I) {
+    const Mnemonic Mn = static_cast<Mnemonic>(I);
+    if (Mn == Mnemonic::JCC || Mn == Mnemonic::SETCC ||
+        Mn == Mnemonic::CMOVCC)
+      continue;
+    MnemonicParse P;
+    P.Mn = Mn;
+    Add(opcodeInfo(Mn).Name, P);
+  }
+  // movz/movs with explicit source and destination width ("movzbl").
+  for (Width Src : Widths) {
+    if (Src == Width::L)
+      continue;
+    for (Width Dst : Widths) {
+      if (widthBytes(Src) >= widthBytes(Dst))
+        continue;
+      for (bool Zero : {true, false}) {
+        MnemonicParse P;
+        P.Mn = Zero ? Mnemonic::MOVZX : Mnemonic::MOVSX;
+        P.SrcW = Src;
+        P.W = Dst;
+        Add(std::string(Zero ? "movz" : "movs") +
+                std::string(1, WidthChar(Src)) + std::string(1, WidthChar(Dst)),
+            P);
+      }
+    }
+  }
+  // Conditional families: every accepted condition-code spelling, and for
+  // cmov also the width-suffixed form (full-cc spellings inserted first, as
+  // the cascade tried parseCondCode on the whole suffix before peeling a
+  // width character).
+  for (const CondCodeSpelling &S : CondCodeSpellings) {
+    MnemonicParse P;
+    P.CC = S.CC;
+    P.Mn = Mnemonic::JCC;
+    Add(std::string("j") + S.Name, P);
+    P.Mn = Mnemonic::SETCC;
+    P.W = Width::B;
+    Add(std::string("set") + S.Name, P);
+    P.Mn = Mnemonic::CMOVCC;
+    P.W = Width::None;
+    Add(std::string("cmov") + S.Name, P);
+  }
+  for (const CondCodeSpelling &S : CondCodeSpellings)
+    for (Width W : Widths) {
+      MnemonicParse P;
+      P.Mn = Mnemonic::CMOVCC;
+      P.CC = S.CC;
+      P.W = W;
+      Add(std::string("cmov") + S.Name + std::string(1, WidthChar(W)), P);
+    }
+  // Width-suffixed form ("addl", "pushq", "salq"). findMnemonicExact
+  // resolves duplicate base spellings to their first table entry, exactly
+  // as the cascade's per-call lookup did.
+  for (unsigned I = 1; I < static_cast<unsigned>(Mnemonic::NumMnemonics);
+       ++I) {
+    const std::string_view Name = opcodeInfo(static_cast<Mnemonic>(I)).Name;
+    const Mnemonic Mn = findMnemonicExact(Name);
+    if (Mn == Mnemonic::Invalid || Mn == Mnemonic::JCC ||
+        Mn == Mnemonic::SETCC || Mn == Mnemonic::CMOVCC)
+      continue;
+    // The cascade short-circuited every "nop"-prefixed spelling through the
+    // explicit-length rule, so "nopl"/"nopw" never reached the suffix rule;
+    // keep them out of the table too (they stay opaque).
+    if (startsWith(Name, "nop"))
+      continue;
+    for (Width W : Widths) {
+      MnemonicParse P;
+      P.Mn = Mn;
+      P.W = W;
+      Add(std::string(Name) + std::string(1, WidthChar(W)), P);
+    }
+  }
+  {
+    MnemonicParse P;
+    P.Mn = Mnemonic::SHL;
+    Add("sal", P);
+    for (Width W : Widths) {
+      P.W = W;
+      Add(std::string("sal") + std::string(1, WidthChar(W)), P);
+    }
+  }
+  return Map;
+}
+
+std::optional<MnemonicParse> parseMnemonicText(std::string_view M) {
+  static const MnemonicMap Map = buildMnemonicMap();
+  if (!M.empty() && M.size() <= 8 && M.back() != '\0') {
+    if (auto It = Map.Short.find(packShortSpelling(M)); It != Map.Short.end())
+      return It->second;
+  } else if (auto It = Map.Long.find(M); It != Map.Long.end()) {
+    return It->second;
+  }
+  // Non-canonical NOP length spellings ("nop007", "nop0xf") still parse:
+  // the table holds only the decimal spellings.
+  if (startsWith(M, "nop") && M.size() > 3) {
     int64_t Len = 0;
-    if (parseInteger(Rest, Len) && Len >= 1 && Len <= 15) {
+    if (parseInteger(M.substr(3), Len) && Len >= 1 && Len <= 15) {
+      MnemonicParse P;
       P.Mn = Mnemonic::NOP;
       P.NopLength = static_cast<uint8_t>(Len);
       return P;
     }
-    return std::nullopt;
-  }
-
-  if (M == "movslq") {
-    P.Mn = Mnemonic::MOVSX;
-    P.SrcW = Width::L;
-    P.W = Width::Q;
-    return P;
-  }
-
-  // "movq" is primarily the 64-bit GPR move; the SSE form is selected after
-  // operand parsing when an xmm register is present.
-  if (M == "movq") {
-    P.Mn = Mnemonic::MOV;
-    P.W = Width::Q;
-    return P;
-  }
-  if (M == "movabs" || M == "movabsq") {
-    P.Mn = Mnemonic::MOV;
-    P.W = Width::Q;
-    return P;
-  }
-
-  // Exact matches: suffix-less mnemonics, SSE ops, prefetches, jmp/call.
-  if (Mnemonic Exact = findMnemonicExact(M); Exact != Mnemonic::Invalid) {
-    // "j" alone and "set"/"cmov" without a condition are not instructions.
-    if (Exact != Mnemonic::JCC && Exact != Mnemonic::SETCC &&
-        Exact != Mnemonic::CMOVCC) {
-      P.Mn = Exact;
-      return P;
-    }
-  }
-
-  // movz/movs with explicit source and destination width ("movzbl").
-  if (M.size() == 6 &&
-      (M.rfind("movz", 0) == 0 || M.rfind("movs", 0) == 0)) {
-    auto Src = widthFromChar(M[4]);
-    auto Dst = widthFromChar(M[5]);
-    if (Src && Dst && widthBytes(*Src) < widthBytes(*Dst) &&
-        *Src != Width::L) {
-      P.Mn = M[3] == 'z' ? Mnemonic::MOVZX : Mnemonic::MOVSX;
-      P.SrcW = *Src;
-      P.W = *Dst;
-      return P;
-    }
-  }
-
-  // Conditional families.
-  if (M.size() >= 2 && M[0] == 'j') {
-    CondCode CC = parseCondCode(M.substr(1));
-    if (CC != CondCode::None) {
-      P.Mn = Mnemonic::JCC;
-      P.CC = CC;
-      return P;
-    }
-  }
-  if (M.rfind("set", 0) == 0) {
-    CondCode CC = parseCondCode(M.substr(3));
-    if (CC != CondCode::None) {
-      P.Mn = Mnemonic::SETCC;
-      P.CC = CC;
-      P.W = Width::B;
-      return P;
-    }
-  }
-  if (M.rfind("cmov", 0) == 0) {
-    std::string Rest = M.substr(4);
-    CondCode CC = parseCondCode(Rest);
-    if (CC == CondCode::None && Rest.size() >= 2) {
-      if (auto W = widthFromChar(Rest.back())) {
-        CC = parseCondCode(Rest.substr(0, Rest.size() - 1));
-        if (CC != CondCode::None)
-          P.W = *W;
-      }
-    }
-    if (CC != CondCode::None) {
-      P.Mn = Mnemonic::CMOVCC;
-      P.CC = CC;
-      return P;
-    }
-  }
-
-  // Width-suffixed form ("addl", "pushq", "salq").
-  if (M.size() >= 2) {
-    if (auto W = widthFromChar(M.back())) {
-      std::string Base = M.substr(0, M.size() - 1);
-      if (Base == "sal")
-        Base = "shl";
-      Mnemonic Mn = findMnemonicExact(Base);
-      if (Mn != Mnemonic::Invalid && Mn != Mnemonic::JCC &&
-          Mn != Mnemonic::SETCC && Mn != Mnemonic::CMOVCC) {
-        P.Mn = Mn;
-        P.W = *W;
-        return P;
-      }
-    }
-  }
-  if (M == "sal") {
-    P.Mn = Mnemonic::SHL;
-    return P;
   }
   return std::nullopt;
 }
@@ -372,23 +542,21 @@ bool validateBranchTarget(const Instruction &Insn) {
   return false;
 }
 
-Instruction makeOpaque(const std::string &Line) {
+Instruction makeOpaque(std::string_view Line) {
   Instruction Insn;
   Insn.Mn = Mnemonic::OPAQUE;
-  Insn.RawText = trim(Line);
+  Insn.RawText = std::string(trim(Line));
   return Insn;
 }
 
-} // namespace
-
-Instruction mao::parseInstructionLine(const std::string &Line) {
-  std::string Text = trim(Line);
+Instruction parseInstructionImpl(std::string_view Line,
+                                 ParseScratch &Scratch) {
+  std::string_view Text = trim(Line);
   size_t NameEnd = 0;
-  while (NameEnd < Text.size() && !std::isspace(static_cast<unsigned char>(
-                                      Text[NameEnd])))
+  while (NameEnd < Text.size() && !isSpaceChar(Text[NameEnd]))
     ++NameEnd;
-  std::string Name = Text.substr(0, NameEnd);
-  std::string Rest = trim(Text.substr(NameEnd));
+  std::string_view Name = Text.substr(0, NameEnd);
+  std::string_view Rest = trim(Text.substr(NameEnd));
 
   auto ParsedMnemonic = parseMnemonicText(Name);
   if (!ParsedMnemonic)
@@ -402,8 +570,11 @@ Instruction mao::parseInstructionLine(const std::string &Line) {
   Insn.NopLength = ParsedMnemonic->NopLength;
 
   if (!Rest.empty()) {
-    for (const std::string &OpText : splitTopLevelCommas(Rest)) {
-      auto Op = parseOperandText(OpText);
+    std::vector<std::string_view> &Operands = Scratch.Operands;
+    splitTopLevelCommas(Rest, Operands);
+    Insn.Ops.reserve(Operands.size());
+    for (std::string_view OpText : Operands) {
+      auto Op = parseOperandText(OpText, Scratch);
       if (!Op)
         return makeOpaque(Line);
       Insn.Ops.push_back(std::move(*Op));
@@ -485,40 +656,52 @@ Instruction mao::parseInstructionLine(const std::string &Line) {
     break;
   }
 
-  // Final validation: must be encodable.
-  std::vector<uint8_t> Bytes;
-  if (encodeInstruction(Insn, 0, nullptr, Bytes))
+  // Final validation: must be encodable. The scratch buffer is reused so
+  // validation does not allocate per instruction.
+  Scratch.EncodeBytes.clear();
+  if (encodeInstruction(Insn, 0, nullptr, Scratch.EncodeBytes))
     return makeOpaque(Line);
   return Insn;
 }
 
-namespace {
-
-Directive parseDirectiveLine(const std::string &Text) {
+Directive parseDirectiveLine(std::string_view Text,
+                             ParseScratch &Scratch) {
   Directive Dir;
   size_t NameEnd = 0;
-  while (NameEnd < Text.size() &&
-         !std::isspace(static_cast<unsigned char>(Text[NameEnd])))
+  while (NameEnd < Text.size() && !isSpaceChar(Text[NameEnd]))
     ++NameEnd;
-  Dir.Name = Text.substr(0, NameEnd);
-  std::string Rest = trim(Text.substr(NameEnd));
-  if (!Rest.empty())
-    Dir.Args = splitTopLevelCommas(Rest);
+  Dir.Name = std::string(Text.substr(0, NameEnd));
+  std::string_view Rest = trim(Text.substr(NameEnd));
+  if (!Rest.empty()) {
+    std::vector<std::string_view> &Parts = Scratch.Operands;
+    splitTopLevelCommas(Rest, Parts);
+    Dir.Args.reserve(Parts.size());
+    for (std::string_view Part : Parts)
+      Dir.Args.emplace_back(Part);
+  }
 
-  static const std::unordered_map<std::string, DirKind> KindMap = {
-      {".text", DirKind::Text},       {".data", DirKind::Data},
-      {".bss", DirKind::Bss},         {".section", DirKind::Section},
-      {".p2align", DirKind::P2Align}, {".balign", DirKind::Balign},
-      {".align", DirKind::Balign},    {".globl", DirKind::Globl},
-      {".global", DirKind::Globl},    {".type", DirKind::Type},
-      {".size", DirKind::Size},       {".byte", DirKind::Byte},
-      {".word", DirKind::Word},       {".value", DirKind::Word},
-      {".short", DirKind::Word},      {".long", DirKind::Long},
-      {".int", DirKind::Long},        {".quad", DirKind::Quad},
-      {".zero", DirKind::Zero},       {".skip", DirKind::Zero},
-      {".space", DirKind::Zero},      {".string", DirKind::String},
-      {".ascii", DirKind::Ascii},     {".asciz", DirKind::Asciz},
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const {
+      return std::hash<std::string_view>{}(S);
+    }
   };
+  static const std::unordered_map<std::string, DirKind, SvHash,
+                                  std::equal_to<>>
+      KindMap = {
+          {".text", DirKind::Text},       {".data", DirKind::Data},
+          {".bss", DirKind::Bss},         {".section", DirKind::Section},
+          {".p2align", DirKind::P2Align}, {".balign", DirKind::Balign},
+          {".align", DirKind::Balign},    {".globl", DirKind::Globl},
+          {".global", DirKind::Globl},    {".type", DirKind::Type},
+          {".size", DirKind::Size},       {".byte", DirKind::Byte},
+          {".word", DirKind::Word},       {".value", DirKind::Word},
+          {".short", DirKind::Word},      {".long", DirKind::Long},
+          {".int", DirKind::Long},        {".quad", DirKind::Quad},
+          {".zero", DirKind::Zero},       {".skip", DirKind::Zero},
+          {".space", DirKind::Zero},      {".string", DirKind::String},
+          {".ascii", DirKind::Ascii},     {".asciz", DirKind::Asciz},
+      };
   auto It = KindMap.find(Dir.Name);
   Dir.Kind = It == KindMap.end() ? DirKind::Other : It->second;
   return Dir;
@@ -526,7 +709,14 @@ Directive parseDirectiveLine(const std::string &Text) {
 
 /// Strips '#' comments outside of quoted strings. Sets \p Malformed when
 /// the line ends inside an unterminated string literal.
-std::string stripComment(const std::string &Line, bool &Malformed) {
+std::string_view stripComment(std::string_view Line, bool &Malformed) {
+  // Fast path: no string literal on the line (the overwhelming case), so
+  // the first '#' — if any — starts the comment. find() is memchr.
+  if (Line.find('"') == std::string_view::npos) {
+    Malformed = false;
+    size_t Hash = Line.find('#');
+    return Hash == std::string_view::npos ? Line : Line.substr(0, Hash);
+  }
   bool InString = false;
   for (size_t I = 0; I < Line.size(); ++I) {
     char C = Line[I];
@@ -548,7 +738,51 @@ std::string stripComment(const std::string &Line, bool &Malformed) {
   return Line;
 }
 
+/// Internal name for the \p K-th definition of numeric local label \p N
+/// (1-based). The ".LMAOL" prefix is reserved alongside makeUniqueLabel's
+/// ".LMAO" namespace.
+std::string localLabelName(uint64_t N, uint32_t K) {
+  return ".LMAOL" + std::to_string(N) + "_" + std::to_string(K);
+}
+
+/// True when \p Text contains a token spelling a numeric local-label
+/// reference ("1b"/"12f") at label-char boundaries. Used to reject opaque
+/// instructions and directive arguments that mention local labels once
+/// definitions have been renamed — passing the raw text through would
+/// dangle, and mis-binding is the one thing this parser must never do.
+bool mentionsLocalLabelRef(std::string_view Text) {
+  for (size_t I = 0; I < Text.size();) {
+    if (!std::isdigit(static_cast<unsigned char>(Text[I]))) {
+      // Skip the rest of any label-char run so "x86f" is not a match.
+      if (isLabelChar(Text[I])) {
+        while (I < Text.size() && isLabelChar(Text[I]))
+          ++I;
+      } else {
+        ++I;
+      }
+      continue;
+    }
+    if (I > 0 && isLabelChar(Text[I - 1])) {
+      ++I;
+      continue;
+    }
+    size_t J = I;
+    while (J < Text.size() && std::isdigit(static_cast<unsigned char>(Text[J])))
+      ++J;
+    if (J < Text.size() && (Text[J] == 'b' || Text[J] == 'f') &&
+        (J + 1 >= Text.size() || !isLabelChar(Text[J + 1])))
+      return true;
+    I = J;
+  }
+  return false;
+}
+
 } // namespace
+
+Instruction mao::parseInstructionLine(const std::string &Line) {
+  ParseScratch Scratch;
+  return parseInstructionImpl(Line, Scratch);
+}
 
 ErrorOr<MaoUnit> mao::parseAssembly(const std::string &Text,
                                     ParseStats *Stats,
@@ -556,34 +790,68 @@ ErrorOr<MaoUnit> mao::parseAssembly(const std::string &Text,
                                     DiagEngine *Diags) {
   MaoUnit Unit;
   ParseStats LocalStats;
+  ParseScratch Scratch;
+  StringInterner &Interner = Unit.interner();
 
-  auto ParseError = [&](DiagCode Code,
-                        const std::string &Message) -> MaoStatus {
-    SourceLoc Loc{Filename, static_cast<unsigned>(LocalStats.Lines)};
+  // Duplicate-label tracking: interned views, one allocation per distinct
+  // name for the whole parse.
+  std::unordered_set<std::string_view> SeenLabels;
+
+  // GAS numeric local labels: "N:" may be defined many times; "Nb" binds to
+  // the most recent definition, "Nf" to the next one. Definitions are
+  // renamed to unique internal names (.LMAOL<N>_<k>) and references are
+  // resolved here, so the label maps never see a collision.
+  std::unordered_map<uint64_t, uint32_t> LocalDefs;
+  struct PendingRef {
+    uint64_t N;
+    uint32_t TargetK;
+    unsigned Line;
+  };
+  std::vector<PendingRef> ForwardRefs;
+  // Lines whose verbatim text (opaque instructions, directive args)
+  // mentions a local-label reference; fatal if any local label is defined.
+  std::vector<unsigned> VerbatimLocalRefLines;
+
+  auto ParseErrorAt = [&](DiagCode Code, const std::string &Message,
+                          unsigned Line) -> MaoStatus {
+    SourceLoc Loc{Filename, Line};
     if (Diags)
       Diags->error(Code, Message, Loc);
     return MaoStatus::error(Loc.File + ":" + std::to_string(Loc.Line) +
                             ": " + Message);
   };
+  auto ParseError = [&](DiagCode Code,
+                        const std::string &Message) -> MaoStatus {
+    return ParseErrorAt(Code, Message,
+                        static_cast<unsigned>(LocalStats.Lines));
+  };
 
+  const std::string_view Input(Text);
+  // Hoisted: one singleton access per parse, one predicted branch per line
+  // when injection is disabled (shouldFail itself stays authoritative when
+  // any site is armed).
+  FaultInjector &Faults = FaultInjector::instance();
   size_t LineStart = 0;
-  while (LineStart <= Text.size()) {
-    size_t LineEnd = Text.find('\n', LineStart);
-    if (LineEnd == std::string::npos)
-      LineEnd = Text.size();
+  // Strict inequality: input ending in '\n' has no phantom empty final
+  // line (the old substr lexer counted one, skewing ParseStats.Lines and
+  // EOF diagnostics).
+  while (LineStart < Input.size()) {
+    size_t LineEnd = Input.find('\n', LineStart);
+    if (LineEnd == std::string_view::npos)
+      LineEnd = Input.size();
     bool Malformed = false;
-    std::string Line =
-        stripComment(Text.substr(LineStart, LineEnd - LineStart), Malformed);
+    std::string_view Line =
+        stripComment(Input.substr(LineStart, LineEnd - LineStart), Malformed);
     LineStart = LineEnd + 1;
     ++LocalStats.Lines;
     if (Malformed)
       return ParseError(DiagCode::ParseUnterminatedString,
                         "unterminated string literal");
-    if (FaultInjector::instance().shouldFail(FaultSite::Parser))
+    if (Faults.anySiteEnabled() && Faults.shouldFail(FaultSite::Parser))
       return ParseError(DiagCode::ParseInjectedFault,
                         "injected parser fault");
 
-    std::string Stmt = trim(Line);
+    std::string_view Stmt = trim(Line);
     // Peel leading labels ("name: name2: insn").
     while (!Stmt.empty()) {
       size_t I = 0;
@@ -591,7 +859,32 @@ ErrorOr<MaoUnit> mao::parseAssembly(const std::string &Text,
         ++I;
       if (I == 0 || I >= Stmt.size() || Stmt[I] != ':')
         break;
-      Unit.append(MaoEntry::makeLabel(Stmt.substr(0, I)));
+      std::string_view Name = Stmt.substr(0, I);
+      uint64_t LocalN = 0;
+      auto IsNumericLabel = [&] {
+        // Gate on the first byte so ordinary labels never run from_chars.
+        if (!std::isdigit(static_cast<unsigned char>(Name[0])) ||
+            !isAllDigits(Name))
+          return false;
+        auto NumRes =
+            std::from_chars(Name.data(), Name.data() + Name.size(), LocalN);
+        return NumRes.ec == std::errc() &&
+               NumRes.ptr == Name.data() + Name.size();
+      };
+      if (IsNumericLabel()) {
+        // Numeric local label: every definition gets a fresh internal name.
+        uint32_t K = ++LocalDefs[LocalN];
+        Unit.emplaceBack(MaoEntry::Kind::Label, localLabelName(LocalN, K));
+      } else {
+        std::string_view Interned = Interner.intern(Name);
+        if (!SeenLabels.insert(Interned).second && Diags)
+          Diags->warning(
+              DiagCode::ParseDuplicateLabel,
+              "duplicate definition of label '" + std::string(Name) +
+                  "'; the first definition wins",
+              SourceLoc{Filename, static_cast<unsigned>(LocalStats.Lines)});
+        Unit.emplaceBack(MaoEntry::Kind::Label, std::string(Name));
+      }
       ++LocalStats.Labels;
       Stmt = trim(Stmt.substr(I + 1));
     }
@@ -599,19 +892,95 @@ ErrorOr<MaoUnit> mao::parseAssembly(const std::string &Text,
       continue;
 
     if (Stmt[0] == '.') {
-      Unit.append(MaoEntry::makeDirective(parseDirectiveLine(Stmt)));
+      Directive Dir = parseDirectiveLine(Stmt, Scratch);
+      for (const std::string &Arg : Dir.Args)
+        // Quoted string literals cannot reference labels.
+        if (!Arg.empty() && Arg[0] != '"' && mentionsLocalLabelRef(Arg)) {
+          VerbatimLocalRefLines.push_back(
+              static_cast<unsigned>(LocalStats.Lines));
+          break;
+        }
+      Unit.emplaceBack(std::move(Dir));
       ++LocalStats.Directives;
       continue;
     }
 
-    Instruction Insn = parseInstructionLine(Stmt);
-    if (Insn.isOpaque())
+    Instruction Insn = parseInstructionImpl(Stmt, Scratch);
+    if (Insn.isOpaque()) {
       ++LocalStats.OpaqueInstructions;
+      if (mentionsLocalLabelRef(Insn.RawText))
+        VerbatimLocalRefLines.push_back(
+            static_cast<unsigned>(LocalStats.Lines));
+    } else {
+      // Resolve numeric local-label references against the definitions
+      // seen so far ("Nb") or expected later ("Nf", validated at EOF).
+      auto Resolve = [&](std::string &Sym) -> MaoStatus {
+        uint64_t N = 0;
+        char Dir = 0;
+        if (!isLocalLabelRef(Sym, N, Dir))
+          return MaoStatus::success();
+        if (Dir == 'b') {
+          auto It = LocalDefs.find(N);
+          if (It == LocalDefs.end())
+            return ParseError(DiagCode::ParseLocalLabelUndefined,
+                              "backward local-label reference '" + Sym +
+                                  "' has no preceding definition of '" +
+                                  std::to_string(N) + ":'");
+          Sym = localLabelName(N, It->second);
+          return MaoStatus::success();
+        }
+        uint32_t TargetK = LocalDefs[N] + 1;
+        ForwardRefs.push_back(
+            {N, TargetK, static_cast<unsigned>(LocalStats.Lines)});
+        Sym = localLabelName(N, TargetK);
+        return MaoStatus::success();
+      };
+      // Local-label references start with a digit, which ordinary symbols
+      // never do — gate on the first byte so the common case skips the
+      // resolver entirely. Interning (relaxation and encoding key their
+      // label maps on pooled storage) runs after Resolve may have
+      // rewritten the symbol.
+      auto StartsWithDigit = [](const std::string &S) {
+        return std::isdigit(static_cast<unsigned char>(S[0])) != 0;
+      };
+      for (Operand &Op : Insn.Ops) {
+        if (!Op.Sym.empty()) {
+          if (StartsWithDigit(Op.Sym))
+            if (MaoStatus S = Resolve(Op.Sym))
+              return S;
+          Interner.intern(Op.Sym);
+        }
+        if (Op.isMem() && Op.Mem.hasSym() && StartsWithDigit(Op.Mem.SymDisp))
+          if (MaoStatus S = Resolve(Op.Mem.SymDisp))
+            return S;
+      }
+    }
     ++LocalStats.Instructions;
-    Unit.append(MaoEntry::makeInstruction(std::move(Insn)));
+    Unit.emplaceBack(std::move(Insn));
   }
 
-  Unit.rebuildStructure();
+  // EOF validation: every forward reference needs a later definition.
+  for (const PendingRef &Ref : ForwardRefs)
+    if (LocalDefs[Ref.N] < Ref.TargetK)
+      return ParseErrorAt(DiagCode::ParseLocalLabelDangling,
+                          "forward local-label reference '" +
+                              std::to_string(Ref.N) +
+                              "f' has no following definition of '" +
+                              std::to_string(Ref.N) + ":'",
+                          Ref.Line);
+  // Verbatim text mentioning local labels cannot be resolved; once any
+  // numeric local label is defined (and therefore renamed), passing that
+  // text through would mis-bind, so reject it instead.
+  if (!LocalDefs.empty() && !VerbatimLocalRefLines.empty())
+    return ParseErrorAt(
+        DiagCode::ParseLocalLabelUndefined,
+        "local-label reference inside unmodelled text cannot be resolved "
+        "(numeric local labels are renamed during parsing)",
+        VerbatimLocalRefLines.front());
+
+  // No eager rebuildStructure(): the derived views (sections, functions,
+  // label map) build lazily on first access, so a parse whose consumer
+  // only walks entries never pays for them.
   if (Stats)
     *Stats = LocalStats;
   return Unit;

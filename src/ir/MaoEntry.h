@@ -13,7 +13,9 @@
 
 #include "x86/Instruction.h"
 
+#include <cassert>
 #include <cstdint>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -56,28 +58,73 @@ struct Directive {
 };
 
 /// One node in MAO's long entry list.
+///
+/// The payload is a tagged union: a node is exactly one of instruction,
+/// label, or directive, and only the active member is ever constructed.
+/// With hundreds of thousands of nodes per translation unit this matters
+/// twice over — a label node no longer carries (and moves, and destroys)
+/// an empty Instruction and Directive, and sizeof(MaoEntry) shrinks to
+/// the largest payload instead of the sum of all three.
 class MaoEntry {
 public:
   enum class Kind : uint8_t { Instruction, Label, Directive };
 
   static MaoEntry makeInstruction(Instruction Insn) {
-    MaoEntry E;
-    E.EntryKind = Kind::Instruction;
-    E.Insn = std::move(Insn);
-    return E;
+    return MaoEntry(std::move(Insn));
   }
   static MaoEntry makeLabel(std::string Name) {
-    MaoEntry E;
-    E.EntryKind = Kind::Label;
-    E.LabelName = std::move(Name);
-    return E;
+    return MaoEntry(Kind::Label, std::move(Name));
   }
   static MaoEntry makeDirective(Directive Dir) {
-    MaoEntry E;
-    E.EntryKind = Kind::Directive;
-    E.Dir = std::move(Dir);
-    return E;
+    return MaoEntry(std::move(Dir));
   }
+
+  /// Payload constructors, public so container emplace can build an entry
+  /// in place (MaoUnit::emplaceBack) with a single payload move. Prefer
+  /// the named factories everywhere a temporary entry is acceptable.
+  explicit MaoEntry(Instruction I) : EntryKind(Kind::Instruction) {
+    new (&Insn) Instruction(std::move(I));
+  }
+  MaoEntry(Kind K, std::string Name) : EntryKind(Kind::Label) {
+    assert(K == Kind::Label && "tag constructor is for labels only");
+    (void)K;
+    new (&LabelName) std::string(std::move(Name));
+  }
+  explicit MaoEntry(Directive D) : EntryKind(Kind::Directive) {
+    new (&Dir) Directive(std::move(D));
+  }
+
+  MaoEntry(const MaoEntry &O)
+      : Address(O.Address), Size(O.Size), Id(O.Id), EntryKind(O.EntryKind) {
+    constructFrom(O);
+  }
+  MaoEntry(MaoEntry &&O) noexcept
+      : Address(O.Address), Size(O.Size), Id(O.Id), EntryKind(O.EntryKind) {
+    constructFrom(std::move(O));
+  }
+  MaoEntry &operator=(const MaoEntry &O) {
+    if (this == &O)
+      return *this;
+    destroyPayload();
+    Address = O.Address;
+    Size = O.Size;
+    Id = O.Id;
+    EntryKind = O.EntryKind;
+    constructFrom(O);
+    return *this;
+  }
+  MaoEntry &operator=(MaoEntry &&O) noexcept {
+    if (this == &O)
+      return *this;
+    destroyPayload();
+    Address = O.Address;
+    Size = O.Size;
+    Id = O.Id;
+    EntryKind = O.EntryKind;
+    constructFrom(std::move(O));
+    return *this;
+  }
+  ~MaoEntry() { destroyPayload(); }
 
   Kind kind() const { return EntryKind; }
   bool isInstruction() const { return EntryKind == Kind::Instruction; }
@@ -119,12 +166,55 @@ public:
   uint32_t Id = 0;
 
 private:
-  MaoEntry() = default;
+  /// Placement-constructs the active member from \p O's. EntryKind must
+  /// already equal O.EntryKind; a moved-from \p O keeps its (now hollow)
+  /// member alive so its destructor still runs against the right kind.
+  void constructFrom(const MaoEntry &O) {
+    switch (EntryKind) {
+    case Kind::Instruction:
+      new (&Insn) Instruction(O.Insn);
+      break;
+    case Kind::Label:
+      new (&LabelName) std::string(O.LabelName);
+      break;
+    case Kind::Directive:
+      new (&Dir) Directive(O.Dir);
+      break;
+    }
+  }
+  void constructFrom(MaoEntry &&O) noexcept {
+    switch (EntryKind) {
+    case Kind::Instruction:
+      new (&Insn) Instruction(std::move(O.Insn));
+      break;
+    case Kind::Label:
+      new (&LabelName) std::string(std::move(O.LabelName));
+      break;
+    case Kind::Directive:
+      new (&Dir) Directive(std::move(O.Dir));
+      break;
+    }
+  }
+  void destroyPayload() {
+    switch (EntryKind) {
+    case Kind::Instruction:
+      Insn.~Instruction();
+      break;
+    case Kind::Label:
+      LabelName.~basic_string();
+      break;
+    case Kind::Directive:
+      Dir.~Directive();
+      break;
+    }
+  }
 
-  Kind EntryKind = Kind::Directive;
-  Instruction Insn;
-  std::string LabelName;
-  Directive Dir;
+  Kind EntryKind;
+  union {
+    Instruction Insn;
+    std::string LabelName;
+    Directive Dir;
+  };
 };
 
 } // namespace mao

@@ -51,6 +51,9 @@ MaoUnit MaoUnit::clone() const {
   Copy.Entries = Entries;
   Copy.NextEntryId = NextEntryId;
   Copy.NextLabelId = NextLabelId;
+  // The copy's views are lazily rebuilt on first access (they cannot be
+  // copied: they hold iterators into *our* entry list).
+  Copy.StructureDirty = true;
   return Copy;
 }
 
@@ -101,6 +104,7 @@ EntryIter MaoUnit::erase(EntryIter Pos) {
 }
 
 MaoFunction *MaoUnit::findFunction(const std::string &Name) {
+  ensureStructure();
   for (MaoFunction &Fn : Functions)
     if (Fn.name() == Name)
       return &Fn;
@@ -157,6 +161,7 @@ std::string trimmed(const std::string &S) {
 } // namespace
 
 void MaoUnit::rebuildStructure() {
+  StructureDirty = false;
   Labels.clear();
   Sections.clear();
   Functions.clear();
@@ -164,8 +169,11 @@ void MaoUnit::rebuildStructure() {
   // Pass 1: label map and the set of symbols declared @function.
   std::unordered_map<std::string, bool> IsFunctionSym;
   for (MaoEntry &E : Entries) {
+    // First definition wins on duplicates: fall-through execution reaches
+    // the first one, and the emulator binds the same way. The parser warns
+    // (MAO-parse-duplicate-label) and the full verifier rejects.
     if (E.isLabel())
-      Labels[E.labelName()] = &E;
+      Labels.try_emplace(E.labelName(), &E);
     if (E.isDirective(DirKind::Type)) {
       const Directive &Dir = E.directive();
       const std::string &TypeArg = Dir.arg(1);

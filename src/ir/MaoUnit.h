@@ -17,17 +17,23 @@
 #define MAO_IR_MAOUNIT_H
 
 #include "ir/MaoEntry.h"
+#include "support/Arena.h"
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 namespace mao {
 
-using EntryList = std::list<MaoEntry>;
+/// The entry list lives in the unit's arena: every list node is bump-
+/// allocated and recycled through the arena's free bins, so structural
+/// edits never touch the global heap and teardown is one arena free.
+using EntryList = std::list<MaoEntry, ArenaAllocator<MaoEntry>>;
 using EntryIter = EntryList::iterator;
 using ConstEntryIter = EntryList::const_iterator;
 
@@ -136,23 +142,45 @@ struct SectionInfo {
 /// The IR for one assembly file.
 class MaoUnit {
 public:
-  MaoUnit() = default;
+  MaoUnit()
+      : IrArena(std::make_shared<Arena>()),
+        Interner(std::make_unique<StringInterner>(IrArena.get())),
+        Entries(ArenaAllocator<MaoEntry>(IrArena.get())) {}
   MaoUnit(const MaoUnit &) = delete;
   MaoUnit &operator=(const MaoUnit &) = delete;
   // Sections and functions hold iterators into the entry list (including
   // end(), which does not survive a list move) and back-pointers to the
-  // unit, so moves must rebuild the derived structure.
-  MaoUnit(MaoUnit &&Other) noexcept { *this = std::move(Other); }
+  // unit, so moves must rebuild the derived structure. The entry list's
+  // allocator propagates on move, so the nodes stay where they are and the
+  // arena travels with them (O(1), no per-node copy); the moved-from unit
+  // is reset to a fresh arena so it remains usable.
+  MaoUnit(MaoUnit &&Other) noexcept : MaoUnit() { *this = std::move(Other); }
   MaoUnit &operator=(MaoUnit &&Other) noexcept {
     if (this == &Other)
       return *this;
+    // Order matters: destroy our nodes while our own arena is still alive
+    // (the list move-assign clears *this through the old allocator first),
+    // then drop the old arena.
     Entries = std::move(Other.Entries);
+    IrArena = std::move(Other.IrArena);
+    Interner = std::move(Other.Interner);
     NextEntryId = Other.NextEntryId;
     NextLabelId = Other.NextLabelId;
+    Other.IrArena = std::make_shared<Arena>();
+    Other.Interner = std::make_unique<StringInterner>(Other.IrArena.get());
+    Other.Entries = EntryList(ArenaAllocator<MaoEntry>(Other.IrArena.get()));
     Other.Functions.clear();
     Other.Sections.clear();
     Other.Labels.clear();
-    rebuildStructure();
+    Other.StructureDirty = false;
+    // The derived views are rebuilt lazily on first access, not here: a
+    // unit is moved three times on its way out of the parser (into the
+    // status wrapper, then to the caller), and eager rebuilding made that
+    // the single largest cost of parsing a small file.
+    Functions.clear();
+    Sections.clear();
+    Labels.clear();
+    StructureDirty = true;
     return *this;
   }
 
@@ -179,6 +207,18 @@ public:
   /// nodes (see DESIGN.md, "Sharded pass pipeline" for the full contract).
   EntryIter append(MaoEntry Entry);
 
+  /// Constructs an entry in place at the end of the list from a payload
+  /// (Instruction, Directive, or Kind::Label + name) — one payload move,
+  /// no intermediate MaoEntry. Locking and Id assignment match append();
+  /// this is the parser's hot path, where entries arrive one per line.
+  template <class... ArgsT> EntryIter emplaceBack(ArgsT &&...Args) {
+    std::lock_guard<std::mutex> Lock(StructuralM);
+    EntryIter It = Entries.emplace(Entries.end(),
+                                   std::forward<ArgsT>(Args)...);
+    It->Id = nextId();
+    return It;
+  }
+
   /// Inserts before \p Pos; returns an iterator to the inserted entry.
   EntryIter insertBefore(EntryIter Pos, MaoEntry Entry);
   /// Inserts after \p Pos; returns an iterator to the inserted entry.
@@ -200,22 +240,51 @@ public:
   /// thread-safe; call before the parallel region.
   uint32_t reserveIdBlocks(size_t Count, uint32_t BlockSize);
 
-  /// (Re)computes sections and functions from the entry list. Called after
-  /// parsing; passes that restructure function boundaries re-invoke it.
+  /// (Re)computes sections and functions from the entry list. Passes that
+  /// restructure function boundaries re-invoke it. Structural edits
+  /// (append/insert/erase) deliberately do NOT schedule a rebuild — the
+  /// views go stale until the caller rebuilds, which sharded passes rely
+  /// on. Moving or cloning a unit marks the views dirty instead, and the
+  /// accessors below rebuild on first use; a dirty unit must not be read
+  /// from several threads until one caller has rebuilt it (the pipeline
+  /// rebuilds before every parallel region already).
   void rebuildStructure();
 
-  std::vector<MaoFunction> &functions() { return Functions; }
-  const std::vector<MaoFunction> &functions() const { return Functions; }
-  std::vector<SectionInfo> &sections() { return Sections; }
+  std::vector<MaoFunction> &functions() {
+    ensureStructure();
+    return Functions;
+  }
+  const std::vector<MaoFunction> &functions() const {
+    ensureStructure();
+    return Functions;
+  }
+  std::vector<SectionInfo> &sections() {
+    ensureStructure();
+    return Sections;
+  }
 
   /// Finds a function by name; null when absent.
   MaoFunction *findFunction(const std::string &Name);
 
   /// Label name -> defining entry. Rebuilt by rebuildStructure(); passes
   /// inserting labels must re-run it or register labels explicitly.
-  const std::unordered_map<std::string, MaoEntry *> &labelMap() const {
+  /// Keys are views into entry-owned storage (stable: list nodes never
+  /// move) and must not outlive the unit. Duplicate definitions bind to
+  /// the FIRST occurrence — the one branch fall-through reaches — matching
+  /// the emulator; the parser diagnoses redefinitions (MAO-parse-
+  /// duplicate-label) and the verifier rejects them outright.
+  const std::unordered_map<std::string_view, MaoEntry *> &labelMap() const {
+    ensureStructure();
     return Labels;
   }
+
+  /// The unit's string-interning pool (arena-backed). The parser interns
+  /// every label and symbol name through this so equal names share one
+  /// allocation; interned views live exactly as long as the unit.
+  StringInterner &interner() { return *Interner; }
+
+  /// The unit's arena (IR nodes + interned strings); exposed for stats.
+  const Arena &arena() const { return *IrArena; }
 
   /// Generates a fresh MAO-local label name (".LMAO<n>").
   std::string makeUniqueLabel();
@@ -231,12 +300,28 @@ private:
   /// with StructuralM held (all callers are the structural editors).
   uint32_t nextId();
 
+  /// Rebuilds the derived views if a move/clone left them dirty. Logically
+  /// const: the views are a cache over the entry list.
+  void ensureStructure() const {
+    if (StructureDirty)
+      const_cast<MaoUnit *>(this)->rebuildStructure();
+  }
+
+  /// The arena owns the storage behind Entries' nodes and the interner's
+  /// strings; declared before both so it is destroyed last.
+  std::shared_ptr<Arena> IrArena;
+  std::unique_ptr<StringInterner> Interner;
   EntryList Entries;
   std::vector<MaoFunction> Functions;
   std::vector<SectionInfo> Sections;
-  std::unordered_map<std::string, MaoEntry *> Labels;
+  std::unordered_map<std::string_view, MaoEntry *> Labels;
   uint32_t NextEntryId = 1;
   uint32_t NextLabelId = 0;
+  /// True when a move or clone invalidated the derived views; cleared by
+  /// rebuildStructure(). False on a fresh unit: its (empty) views match
+  /// its (empty) entry list, and callers that append entries read empty
+  /// views until they rebuild, exactly as before views went lazy.
+  bool StructureDirty = false;
   /// Serializes structural edits (insert/erase/append). Deliberately not
   /// moved by the move operations — a unit is never moved while shards
   /// are running (whole-unit passes are pipeline barriers).

@@ -179,7 +179,7 @@ void Checker::checkStructure() {
     if (Found == Index.end() || !Entry->isLabel() ||
         Entry->labelName() != Name)
       issue(DiagCode::VerifyBadStructure,
-            "label map entry '" + Name +
+            "label map entry '" + std::string(Name) +
                 "' does not match a label in the unit");
   }
 }

@@ -10,6 +10,7 @@
 
 #include "mao/Mao.h"
 
+#include "analysis/Relaxer.h"
 #include "asm/AsmEmitter.h"
 #include "asm/Assembler.h"
 #include "asm/Parser.h"
@@ -934,6 +935,15 @@ void Session::resetGlobalStats() {
 
 void Session::setEncodeCacheBudget(uint64_t Bytes) {
   EncodeCache::instance().setByteBudget(Bytes);
+}
+
+Status Session::setRelaxMode(const std::string &Mode) {
+  RelaxMode Parsed;
+  if (!parseRelaxMode(Mode, Parsed))
+    return Status::error("invalid relax mode '" + Mode +
+                         "' (expected grow or optimal)");
+  mao::setRelaxMode(Parsed);
+  return Status::success();
 }
 
 std::vector<PassCatalogEntry> Session::listPasses() {

@@ -337,6 +337,12 @@ public:
   /// shards, so capping trades the cross-jobs cache-stats determinism
   /// for bounded memory; output bytes are unaffected either way).
   static void setEncodeCacheBudget(uint64_t Bytes);
+  /// Sets the process-global branch-displacement selection mode
+  /// (--mao-relax): "grow" (default) or "optimal". Affects every
+  /// subsequent relaxation in the process — passes, emission, and the
+  /// layout verifier all see the same mode. Returns an error for any
+  /// other spelling.
+  static Status setRelaxMode(const std::string &Mode);
 
   /// Arms the deterministic fault injector ("site:permille[,...]").
   Status armFaultInjection(const std::string &Spec, uint64_t Seed);

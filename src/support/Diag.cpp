@@ -21,6 +21,12 @@ const char *mao::diagCodeName(DiagCode Code) {
     return "parse-unterminated-string";
   case DiagCode::ParseInjectedFault:
     return "parse-injected-fault";
+  case DiagCode::ParseDuplicateLabel:
+    return "parse-duplicate-label";
+  case DiagCode::ParseLocalLabelUndefined:
+    return "parse-local-label-undefined";
+  case DiagCode::ParseLocalLabelDangling:
+    return "parse-local-label-dangling";
   case DiagCode::PassUnknown:
     return "pass-unknown";
   case DiagCode::PassFailed:

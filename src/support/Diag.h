@@ -36,6 +36,9 @@ enum class DiagCode : uint16_t {
   // Parser.
   ParseUnterminatedString,
   ParseInjectedFault,
+  ParseDuplicateLabel,
+  ParseLocalLabelUndefined,
+  ParseLocalLabelDangling,
   // Pass pipeline.
   PassUnknown,
   PassFailed,

@@ -211,6 +211,10 @@ OptionRegistry buildDriverOptions(MaoCommandLine &Cmd) {
             "run the full IR verifier after every pass");
   R.addEnum("--mao-validate", &Cmd.Validate, {"off", "structural", "semantic"},
             "per-pass validation level (semantic proves behaviour preserved)");
+  R.addEnum("--mao-relax", &Cmd.RelaxMode, {"grow", "optimal"},
+            "branch-displacement selection: grow = the paper's monotone "
+            "widening; optimal = shrink rel32 branches that fit rel8 after "
+            "convergence");
   R.addInt("--mao-pass-timeout-ms", &Cmd.PassTimeoutMs, 0,
            "per-pass wall-clock budget in ms (0 = unlimited)");
   R.addUint("--mao-jobs", &Cmd.Jobs, 0,

@@ -96,6 +96,11 @@ struct MaoCommandLine {
   /// --mao-fault-inject=spec[@seed]: arm the fault injector.
   std::string FaultSpec;
   uint64_t FaultSeed = 1;
+  /// --mao-relax={grow,optimal}: branch-displacement selection mode.
+  /// "grow" is the paper's monotone grow-from-rel8 iteration; "optimal"
+  /// additionally audits the converged layout and demotes rel32 branches
+  /// whose displacement fits rel8 (see analysis/Relaxer.h).
+  std::string RelaxMode = "grow";
   /// --mao-validate={off,structural,semantic}: per-pass validation level.
   /// "structural" runs the IR verifier after every pass; "semantic"
   /// additionally proves each pass preserved observable behaviour

@@ -140,6 +140,11 @@ int main(int Argc, char **Argv) {
     mao::api::Session::setTraceLevel(static_cast<int>(Cmd.TraceLevel));
   if (Cmd.EncodeCacheBudget != 0)
     mao::api::Session::setEncodeCacheBudget(Cmd.EncodeCacheBudget);
+  if (mao::api::Status S = mao::api::Session::setRelaxMode(Cmd.RelaxMode);
+      !S.Ok) {
+    std::fprintf(stderr, "mao: error: %s\n", S.Message.c_str());
+    return ExitUsage;
+  }
 
   mao::api::Session::Config Config;
   Config.SarifPath = Cmd.SarifPath;

@@ -6,6 +6,7 @@
 #include "x86/EncodeCache.h"
 
 #include <cassert>
+#include <cstring>
 
 using namespace mao;
 
@@ -53,8 +54,14 @@ private:
   MaoStatus encodePrefetch();
 
   // Component helpers ------------------------------------------------------
-  void addPrefix(uint8_t Byte) { Prefixes.push_back(Byte); }
-  void addOpcode(uint8_t Byte) { Opcode.push_back(Byte); }
+  void addPrefix(uint8_t Byte) {
+    assert(NumPrefixes < sizeof(Prefixes) && "too many prefixes");
+    Prefixes[NumPrefixes++] = Byte;
+  }
+  void addOpcode(uint8_t Byte) {
+    assert(OpcodeLen < sizeof(Opcode) && "opcode too long");
+    Opcode[OpcodeLen++] = Byte;
+  }
 
   /// Applies operand-size conventions for width \p W: 0x66 for 16-bit,
   /// REX.W for 64-bit.
@@ -111,9 +118,9 @@ private:
   }
 
   unsigned totalLength() const {
-    return static_cast<unsigned>(Prefixes.size()) + (Need66 ? 1 : 0) +
-           (rexByteNeeded() ? 1 : 0) + static_cast<unsigned>(Opcode.size()) +
-           (HasModRM ? 1 : 0) + (HasSib ? 1 : 0) + DispSize + ImmSize;
+    return NumPrefixes + (Need66 ? 1 : 0) + (rexByteNeeded() ? 1 : 0) +
+           OpcodeLen + (HasModRM ? 1 : 0) + (HasSib ? 1 : 0) + DispSize +
+           ImmSize;
   }
 
   bool rexByteNeeded() const { return Rex != 0 || ForceRex; }
@@ -122,12 +129,17 @@ private:
   int64_t Address;
   const LabelAddressMap *Labels;
 
-  std::vector<uint8_t> Prefixes; // mandatory + legacy prefixes except 66
+  // Encodings are short and bounded, so the component buffers are plain
+  // inline arrays: this builder is constructed once per encoded (or merely
+  // validated) instruction and must not touch the heap on the hot path.
+  uint8_t Prefixes[4];                // mandatory + legacy prefixes except 66
+  uint8_t NumPrefixes = 0;
   bool Need66 = false;
   uint8_t Rex = 0;
   bool ForceRex = false;
   bool HighByteUsed = false;
-  std::vector<uint8_t> Opcode;
+  uint8_t Opcode[4];
+  uint8_t OpcodeLen = 0;
   bool HasModRM = false;
   uint8_t ModRM = 0;
   bool HasSib = false;
@@ -135,11 +147,12 @@ private:
   unsigned DispSize = 0;
   int64_t Disp = 0;
   bool DispIsPcRel = false;           // patched after length is known
-  std::string PcRelSym;               // symbol for PC-relative disp
+  const std::string *PcRelSym = nullptr; // symbol for PC-relative disp
   int64_t PcRelAddend = 0;
   unsigned ImmSize = 0;
   int64_t Imm = 0;
-  std::vector<uint8_t> RawBytes;      // fixed-pattern instructions (NOPs)
+  uint8_t RawBytes[16];               // fixed-pattern instructions (NOPs)
+  uint8_t RawLen = 0;
 };
 
 bool fitsInt8(int64_t V) { return V >= -128 && V <= 127; }
@@ -168,7 +181,7 @@ MaoStatus EncodingBuilder::setRM(const Operand &Op) {
     ModRM |= 0x05; // mod=00 rm=101
     DispSize = 4;
     DispIsPcRel = true;
-    PcRelSym = M.SymDisp;
+    PcRelSym = &M.SymDisp;
     PcRelAddend = M.Disp;
     return MaoStatus::success();
   }
@@ -651,7 +664,7 @@ MaoStatus EncodingBuilder::encodeBranch() {
     }
     DispSize = Size;
     DispIsPcRel = true;
-    PcRelSym = Target.Sym;
+    PcRelSym = &Target.Sym;
     PcRelAddend = Target.Imm;
     return MaoStatus::success();
   }
@@ -670,7 +683,7 @@ MaoStatus EncodingBuilder::encodeCall() {
     addOpcode(0xe8);
     DispSize = 4;
     DispIsPcRel = true;
-    PcRelSym = Target.Sym;
+    PcRelSym = &Target.Sym;
     PcRelAddend = Target.Imm;
     return MaoStatus::success();
   }
@@ -765,9 +778,9 @@ MaoStatus EncodingBuilder::encodeNop() {
   assert(Len <= 15 && "NOP length out of range");
   unsigned Extra = Len > 9 ? Len - 9 : 0;
   unsigned FormLen = Len - Extra;
-  RawBytes.assign(Extra, 0x66);
-  RawBytes.insert(RawBytes.end(), Forms[FormLen - 1],
-                  Forms[FormLen - 1] + FormLen);
+  std::memset(RawBytes, 0x66, Extra);
+  std::memcpy(RawBytes + Extra, Forms[FormLen - 1], FormLen);
+  RawLen = static_cast<uint8_t>(Len);
   return MaoStatus::success();
 }
 
@@ -891,7 +904,9 @@ MaoStatus EncodingBuilder::encodeBody() {
     return encodePrefetch();
   case EncKind::Opaque:
     // Unknown instruction: a fixed-size placeholder (see header comment).
-    RawBytes.assign(OpaqueInstructionSizeEstimate, 0xcc);
+    static_assert(OpaqueInstructionSizeEstimate <= sizeof(RawBytes));
+    std::memset(RawBytes, 0xcc, OpaqueInstructionSizeEstimate);
+    RawLen = OpaqueInstructionSizeEstimate;
     return MaoStatus::success();
   }
   assert(false && "covered switch");
@@ -902,8 +917,8 @@ MaoStatus EncodingBuilder::run(std::vector<uint8_t> &Out) {
   if (MaoStatus S = encodeBody())
     return S;
 
-  if (!RawBytes.empty()) {
-    Out.insert(Out.end(), RawBytes.begin(), RawBytes.end());
+  if (RawLen != 0) {
+    Out.insert(Out.end(), RawBytes, RawBytes + RawLen);
     return MaoStatus::success();
   }
 
@@ -912,9 +927,9 @@ MaoStatus EncodingBuilder::run(std::vector<uint8_t> &Out) {
         "high-byte register cannot be combined with a REX prefix");
 
   if (DispIsPcRel) {
-    int64_t Target = resolveSym(PcRelSym, PcRelAddend);
+    int64_t Target = resolveSym(*PcRelSym, PcRelAddend);
     // PcRelSym may legitimately be unresolved (external symbol): encode 0.
-    if (Labels && Labels->count(PcRelSym))
+    if (Labels && Labels->count(*PcRelSym))
       Disp = Target - (Address + totalLength());
     else
       Disp = 0;
@@ -922,14 +937,14 @@ MaoStatus EncodingBuilder::run(std::vector<uint8_t> &Out) {
       return MaoStatus::error("rel8 branch displacement out of range");
   }
 
-  for (uint8_t P : Prefixes)
-    Out.push_back(P);
+  for (uint8_t I = 0; I < NumPrefixes; ++I)
+    Out.push_back(Prefixes[I]);
   if (Need66)
     Out.push_back(0x66);
   if (rexByteNeeded())
     Out.push_back(static_cast<uint8_t>(0x40 | Rex));
-  for (uint8_t B : Opcode)
-    Out.push_back(B);
+  for (uint8_t I = 0; I < OpcodeLen; ++I)
+    Out.push_back(Opcode[I]);
   if (HasModRM)
     Out.push_back(ModRM);
   if (HasSib)

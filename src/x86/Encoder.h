@@ -21,13 +21,18 @@
 #include "x86/Instruction.h"
 
 #include <cstdint>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 namespace mao {
 
-/// Symbol name -> byte address within the current layout.
-using LabelAddressMap = std::unordered_map<std::string, int64_t>;
+/// Symbol name -> byte address within the current layout. Keys are views
+/// into storage owned by the unit being laid out (entry label names /
+/// interned strings), so a map must not outlive its unit; in exchange,
+/// relaxation rounds and encoding do zero string allocations per lookup
+/// (std::string arguments convert to string_view implicitly).
+using LabelAddressMap = std::unordered_map<std::string_view, int64_t>;
 
 /// Number of bytes an Opaque (unmodelled) instruction is assumed to occupy.
 /// The original MAO has gas' exact sizes even for exotic instructions; we

@@ -62,7 +62,7 @@ struct Instruction {
   /// Branch displacement size chosen by relaxation: 0 = not yet chosen,
   /// 1 = rel8, 4 = rel32. Calls are always rel32.
   uint8_t BranchSize = 0;
-  std::vector<Operand> Ops; ///< AT&T order: sources first, destination last.
+  OperandList Ops;          ///< AT&T order: sources first, destination last.
   std::string RawText;      ///< Verbatim text for Opaque instructions.
 
   const OpcodeInfo &info() const { return opcodeInfo(Mn); }

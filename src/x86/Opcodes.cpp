@@ -3,13 +3,13 @@
 #include "x86/Opcodes.h"
 
 #include <cassert>
+#include <functional>
 #include <unordered_map>
 
 using namespace mao;
 
-namespace {
-
-const OpcodeInfo OpcodeTable[] = {
+const OpcodeInfo mao::OpcodeTable[static_cast<unsigned>(
+    Mnemonic::NumMnemonics)] = {
     {"<invalid>", EncKind::Opaque, 0, 0, 0, 0, 0, 0, 0, 0, 0},
 #define MAO_MNEM(Enum, Name, Kind, FDef, FUse, IDef, IUse, EncA, EncB, Lat,   \
                  Ports, Uops)                                                  \
@@ -27,16 +27,23 @@ const OpcodeInfo OpcodeTable[] = {
 #include "x86/Opcodes.def"
 };
 
+namespace {
+struct SvHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view S) const {
+    return std::hash<std::string_view>{}(S);
+  }
+};
+
 } // namespace
 
-const OpcodeInfo &mao::opcodeInfo(Mnemonic Mn) {
-  assert(Mn < Mnemonic::NumMnemonics && "mnemonic out of range");
-  return OpcodeTable[static_cast<unsigned>(Mn)];
-}
-
-Mnemonic mao::findMnemonicExact(const std::string &Name) {
-  static const std::unordered_map<std::string, Mnemonic> Map = [] {
-    std::unordered_map<std::string, Mnemonic> M;
+Mnemonic mao::findMnemonicExact(std::string_view Name) {
+  // Transparent hashing: lookups take the parser's string_view tokens
+  // directly, with no per-call key allocation.
+  static const std::unordered_map<std::string, Mnemonic, SvHash,
+                                  std::equal_to<>>
+      Map = [] {
+    std::unordered_map<std::string, Mnemonic, SvHash, std::equal_to<>> M;
     for (unsigned I = 1; I < static_cast<unsigned>(Mnemonic::NumMnemonics);
          ++I) {
       // Later duplicates (e.g. MOVQX also spelled "movq") do not shadow the

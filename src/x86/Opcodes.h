@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace mao {
 
@@ -86,12 +87,21 @@ struct OpcodeInfo {
   uint8_t Uops;        ///< Fused-domain micro-ops.
 };
 
+/// The per-mnemonic table, generated from Opcodes.def (defined in
+/// Opcodes.cpp). Indexed by the Mnemonic enumerator value; exposed so
+/// opcodeInfo() inlines to a single indexed load — it sits on the encode
+/// and parse hot paths and is consulted several times per instruction.
+extern const OpcodeInfo OpcodeTable[static_cast<unsigned>(
+    Mnemonic::NumMnemonics)];
+
 /// Returns the static record for \p Mn.
-const OpcodeInfo &opcodeInfo(Mnemonic Mn);
+inline const OpcodeInfo &opcodeInfo(Mnemonic Mn) {
+  return OpcodeTable[static_cast<unsigned>(Mn)];
+}
 
 /// Finds a mnemonic whose base spelling is exactly \p Name (no suffix
 /// processing); Mnemonic::Invalid when unknown.
-Mnemonic findMnemonicExact(const std::string &Name);
+Mnemonic findMnemonicExact(std::string_view Name);
 
 /// True for instructions that end or redirect straight-line execution.
 inline bool isControlFlow(Mnemonic Mn) {

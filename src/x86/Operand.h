@@ -14,7 +14,10 @@
 #include "x86/Registers.h"
 
 #include <cstdint>
+#include <iterator>
+#include <new>
 #include <string>
+#include <utility>
 
 namespace mao {
 
@@ -97,6 +100,163 @@ struct Operand {
 
   /// Renders the operand in AT&T syntax ("%rax", "$5", "8(%rsp,%rcx,4)").
   std::string toString() const;
+};
+
+/// The operand sequence of one instruction: a small-vector with two inline
+/// slots. Nearly every modelled x86 instruction has at most two explicit
+/// operands, so keeping them inside Instruction removes the heap
+/// allocation-and-free per instruction that std::vector<Operand> cost on
+/// the parse and clone hot paths; the rare three-operand imul spills to the
+/// heap. Deliberately minimal: exactly the vector API surface the code base
+/// uses (indexing, size, push_back, reverse iteration, equality).
+class OperandList {
+public:
+  using value_type = Operand;
+  using iterator = Operand *;
+  using const_iterator = const Operand *;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  OperandList() = default;
+  OperandList(const OperandList &O) {
+    growTo(O.Count);
+    for (uint32_t I = 0; I < O.Count; ++I)
+      new (data() + I) Operand(O.data()[I]);
+    Count = O.Count;
+  }
+  OperandList(OperandList &&O) noexcept { moveFrom(std::move(O)); }
+  OperandList &operator=(const OperandList &O) {
+    if (this != &O) {
+      clear();
+      growTo(O.Count);
+      for (uint32_t I = 0; I < O.Count; ++I)
+        new (data() + I) Operand(O.data()[I]);
+      Count = O.Count;
+    }
+    return *this;
+  }
+  OperandList &operator=(OperandList &&O) noexcept {
+    if (this != &O) {
+      clear();
+      releaseHeap();
+      moveFrom(std::move(O));
+    }
+    return *this;
+  }
+  ~OperandList() {
+    clear();
+    releaseHeap();
+  }
+
+  Operand *data() {
+    return Heap ? Heap : reinterpret_cast<Operand *>(Inline);
+  }
+  const Operand *data() const {
+    return Heap ? Heap : reinterpret_cast<const Operand *>(Inline);
+  }
+
+  uint32_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  Operand &operator[](size_t I) { return data()[I]; }
+  const Operand &operator[](size_t I) const { return data()[I]; }
+  Operand &front() { return data()[0]; }
+  const Operand &front() const { return data()[0]; }
+  Operand &back() { return data()[Count - 1]; }
+  const Operand &back() const { return data()[Count - 1]; }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + Count; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + Count; }
+  reverse_iterator rbegin() { return reverse_iterator(end()); }
+  reverse_iterator rend() { return reverse_iterator(begin()); }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  void push_back(const Operand &Op) { emplace_back(Op); }
+  void push_back(Operand &&Op) { emplace_back(std::move(Op)); }
+  template <typename... Args> Operand &emplace_back(Args &&...A) {
+    if (Count == Cap)
+      growTo(Count + 1);
+    Operand *P = new (data() + Count) Operand(std::forward<Args>(A)...);
+    ++Count;
+    return *P;
+  }
+
+  void clear() {
+    for (uint32_t I = 0; I < Count; ++I)
+      data()[I].~Operand();
+    Count = 0;
+  }
+
+  /// Pre-sizes capacity; like std::vector, never shrinks.
+  void reserve(size_t N) {
+    if (N > Cap)
+      growTo(static_cast<uint32_t>(N));
+  }
+
+  bool operator==(const OperandList &O) const {
+    if (Count != O.Count)
+      return false;
+    for (uint32_t I = 0; I < Count; ++I)
+      if (!(data()[I] == O.data()[I]))
+        return false;
+    return true;
+  }
+
+private:
+  static constexpr uint32_t InlineCap = 2;
+
+  void moveFrom(OperandList &&O) noexcept {
+    if (O.Heap) {
+      Heap = O.Heap;
+      Cap = O.Cap;
+      Count = O.Count;
+      O.Heap = nullptr;
+      O.Cap = InlineCap;
+      O.Count = 0;
+      return;
+    }
+    for (uint32_t I = 0; I < O.Count; ++I)
+      new (data() + I) Operand(std::move(O.data()[I]));
+    Count = O.Count;
+    O.clear();
+  }
+
+  void growTo(uint32_t AtLeast) {
+    if (AtLeast <= Cap)
+      return;
+    uint32_t NewCap = Cap * 2;
+    while (NewCap < AtLeast)
+      NewCap *= 2;
+    Operand *NewData =
+        static_cast<Operand *>(::operator new(sizeof(Operand) * NewCap));
+    Operand *Old = data();
+    for (uint32_t I = 0; I < Count; ++I) {
+      new (NewData + I) Operand(std::move(Old[I]));
+      Old[I].~Operand();
+    }
+    releaseHeap();
+    Heap = NewData;
+    Cap = NewCap;
+  }
+
+  void releaseHeap() {
+    if (Heap) {
+      ::operator delete(Heap);
+      Heap = nullptr;
+      Cap = InlineCap;
+    }
+  }
+
+  Operand *Heap = nullptr;
+  uint32_t Count = 0;
+  uint32_t Cap = InlineCap;
+  alignas(Operand) unsigned char Inline[sizeof(Operand) * InlineCap];
 };
 
 } // namespace mao

@@ -3,63 +3,46 @@
 #include "x86/Registers.h"
 
 #include <cassert>
+#include <cstring>
 #include <unordered_map>
 
 using namespace mao;
 
-namespace {
-
-struct RegInfo {
-  const char *Name;
-  Width W;
-  uint8_t Encoding;
-  Reg Super;
-  bool NeedsRex;
-  bool HighByte;
-};
-
-const RegInfo RegTable[] = {
+const RegInfo mao::RegTable[static_cast<unsigned>(Reg::NumRegs)] = {
     {"none", Width::None, 0, Reg::None, false, false},
 #define MAO_REG(Name, Att, W, Enc, Super, Rex, High)                           \
   {Att, Width::W, Enc, Reg::Super, Rex != 0, High != 0},
 #include "x86/Registers.def"
 };
 
-const RegInfo &infoFor(Reg R) {
-  assert(R < Reg::NumRegs && "register out of range");
-  return RegTable[static_cast<unsigned>(R)];
+namespace {
+
+/// Every modelled register name fits in 8 bytes ("xmm15" is the longest),
+/// so names pack losslessly into a uint64_t and the lookup hashes one
+/// integer instead of a byte string.
+uint64_t packShortName(std::string_view Name) {
+  uint64_t Key = 0;
+  std::memcpy(&Key, Name.data(), Name.size());
+  return Key;
 }
 
 } // namespace
 
-const char *mao::regName(Reg R) { return infoFor(R).Name; }
-
-Reg mao::parseRegName(const std::string &Name) {
-  static const std::unordered_map<std::string, Reg> Map = [] {
-    std::unordered_map<std::string, Reg> M;
-    for (unsigned I = 1; I < static_cast<unsigned>(Reg::NumRegs); ++I)
-      M.emplace(RegTable[I].Name, static_cast<Reg>(I));
+Reg mao::parseRegName(std::string_view Name) {
+  static const std::unordered_map<uint64_t, Reg> Map = [] {
+    std::unordered_map<uint64_t, Reg> M;
+    for (unsigned I = 1; I < static_cast<unsigned>(Reg::NumRegs); ++I) {
+      assert(std::strlen(RegTable[I].Name) <= 8 &&
+             "register name no longer packs into the uint64_t fast key");
+      M.emplace(packShortName(RegTable[I].Name), static_cast<Reg>(I));
+    }
     return M;
   }();
-  auto It = Map.find(Name);
+  if (Name.empty() || Name.size() > 8 || Name.back() == '\0')
+    return Reg::None;
+  auto It = Map.find(packShortName(Name));
   return It == Map.end() ? Reg::None : It->second;
 }
-
-Width mao::regWidth(Reg R) { return infoFor(R).W; }
-
-unsigned mao::regEncoding(Reg R) { return infoFor(R).Encoding; }
-
-Reg mao::superReg(Reg R) { return infoFor(R).Super; }
-
-bool mao::regNeedsRex(Reg R) { return infoFor(R).NeedsRex; }
-
-bool mao::regIsHighByte(Reg R) { return infoFor(R).HighByte; }
-
-bool mao::regIsGpr(Reg R) {
-  return R >= Reg::RAX && R <= Reg::BH;
-}
-
-bool mao::regIsXmm(Reg R) { return R >= Reg::XMM0 && R <= Reg::XMM15; }
 
 Reg mao::gprWithWidth(Reg Super64, Width W) {
   assert(Super64 >= Reg::RAX && Super64 <= Reg::R15 &&

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace mao {
 
@@ -30,32 +31,56 @@ enum class Reg : uint8_t {
 /// Number of distinct 64-bit GPR super registers (RAX..R15).
 constexpr unsigned NumGprSupers = 16;
 
+/// Static description of one register view. The table (generated from
+/// Registers.def in Registers.cpp) is exposed so the accessors below inline
+/// to indexed loads — they run several times per operand on the parse and
+/// encode hot paths.
+struct RegInfo {
+  const char *Name;
+  Width W;
+  uint8_t Encoding;
+  Reg Super;
+  bool NeedsRex;
+  bool HighByte;
+};
+extern const RegInfo RegTable[static_cast<unsigned>(Reg::NumRegs)];
+
 /// Returns the AT&T name without the '%' sigil ("rax").
-const char *regName(Reg R);
+inline const char *regName(Reg R) {
+  return RegTable[static_cast<unsigned>(R)].Name;
+}
 
 /// Parses a register name without the '%' sigil; Reg::None when unknown.
-Reg parseRegName(const std::string &Name);
+Reg parseRegName(std::string_view Name);
 
 /// Returns the register's natural width (Width::None for XMM).
-Width regWidth(Reg R);
+inline Width regWidth(Reg R) { return RegTable[static_cast<unsigned>(R)].W; }
 
 /// Returns the 4-bit hardware encoding (bit 3 belongs in a REX prefix).
-unsigned regEncoding(Reg R);
+inline unsigned regEncoding(Reg R) {
+  return RegTable[static_cast<unsigned>(R)].Encoding;
+}
 
 /// Returns the canonical 64-bit super register (RAX for AL/AX/EAX/RAX).
-Reg superReg(Reg R);
+inline Reg superReg(Reg R) {
+  return RegTable[static_cast<unsigned>(R)].Super;
+}
 
 /// True for registers that require a REX prefix to be encodable.
-bool regNeedsRex(Reg R);
+inline bool regNeedsRex(Reg R) {
+  return RegTable[static_cast<unsigned>(R)].NeedsRex;
+}
 
 /// True for AH/CH/DH/BH, which cannot appear in a REX-prefixed instruction.
-bool regIsHighByte(Reg R);
+inline bool regIsHighByte(Reg R) {
+  return RegTable[static_cast<unsigned>(R)].HighByte;
+}
 
 /// True for any general-purpose register view (not RIP, not XMM).
-bool regIsGpr(Reg R);
+inline bool regIsGpr(Reg R) { return R >= Reg::RAX && R <= Reg::BH; }
 
 /// True for XMM registers.
-bool regIsXmm(Reg R);
+inline bool regIsXmm(Reg R) { return R >= Reg::XMM0 && R <= Reg::XMM15; }
 
 /// Returns the GPR view of \p Super64 with width \p W (e.g. RAX + L -> EAX).
 /// \p Super64 must be a 64-bit GPR; high-byte views are never returned.

@@ -2,6 +2,7 @@
 
 #include "x86/X86Defs.h"
 
+#include <functional>
 #include <unordered_map>
 
 using namespace mao;
@@ -47,19 +48,38 @@ const char *mao::condCodeName(CondCode CC) {
   return "<invalid>";
 }
 
-CondCode mao::parseCondCode(const std::string &Text) {
-  static const std::unordered_map<std::string, CondCode> Map = {
-      {"o", CondCode::O},    {"no", CondCode::NO},  {"b", CondCode::B},
-      {"c", CondCode::B},    {"nae", CondCode::B},  {"ae", CondCode::AE},
-      {"nb", CondCode::AE},  {"nc", CondCode::AE},  {"e", CondCode::E},
-      {"z", CondCode::E},    {"ne", CondCode::NE},  {"nz", CondCode::NE},
-      {"be", CondCode::BE},  {"na", CondCode::BE},  {"a", CondCode::A},
-      {"nbe", CondCode::A},  {"s", CondCode::S},    {"ns", CondCode::NS},
-      {"p", CondCode::P},    {"pe", CondCode::P},   {"np", CondCode::NP},
-      {"po", CondCode::NP},  {"l", CondCode::L},    {"nge", CondCode::L},
-      {"ge", CondCode::GE},  {"nl", CondCode::GE},  {"le", CondCode::LE},
-      {"ng", CondCode::LE},  {"g", CondCode::G},    {"nle", CondCode::G},
-  };
+namespace {
+struct SvHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view S) const {
+    return std::hash<std::string_view>{}(S);
+  }
+};
+
+} // namespace
+
+const CondCodeSpelling mao::CondCodeSpellings[NumCondCodeSpellings] = {
+    {"o", CondCode::O},    {"no", CondCode::NO},  {"b", CondCode::B},
+    {"c", CondCode::B},    {"nae", CondCode::B},  {"ae", CondCode::AE},
+    {"nb", CondCode::AE},  {"nc", CondCode::AE},  {"e", CondCode::E},
+    {"z", CondCode::E},    {"ne", CondCode::NE},  {"nz", CondCode::NE},
+    {"be", CondCode::BE},  {"na", CondCode::BE},  {"a", CondCode::A},
+    {"nbe", CondCode::A},  {"s", CondCode::S},    {"ns", CondCode::NS},
+    {"p", CondCode::P},    {"pe", CondCode::P},   {"np", CondCode::NP},
+    {"po", CondCode::NP},  {"l", CondCode::L},    {"nge", CondCode::L},
+    {"ge", CondCode::GE},  {"nl", CondCode::GE},  {"le", CondCode::LE},
+    {"ng", CondCode::LE},  {"g", CondCode::G},    {"nle", CondCode::G},
+};
+
+CondCode mao::parseCondCode(std::string_view Text) {
+  static const std::unordered_map<std::string, CondCode, SvHash,
+                                  std::equal_to<>>
+      Map = [] {
+    std::unordered_map<std::string, CondCode, SvHash, std::equal_to<>> M;
+    for (const CondCodeSpelling &S : CondCodeSpellings)
+      M.emplace(S.Name, S.CC);
+    return M;
+  }();
   auto It = Map.find(Text);
   return It == Map.end() ? CondCode::None : It->second;
 }

@@ -14,6 +14,7 @@
 #include <cassert>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace mao {
 
@@ -84,7 +85,17 @@ const char *condCodeName(CondCode CC);
 
 /// Parses a condition-code suffix, accepting all aliases ("z", "nae", ...).
 /// Returns CondCode::None when \p Text is not a condition code.
-CondCode parseCondCode(const std::string &Text);
+CondCode parseCondCode(std::string_view Text);
+
+/// One accepted condition-code spelling. The full alias table is exposed so
+/// clients that precompute suffix-resolution tables (the parser's mnemonic
+/// map) can enumerate every spelling instead of probing parseCondCode().
+struct CondCodeSpelling {
+  const char *Name;
+  CondCode CC;
+};
+constexpr unsigned NumCondCodeSpellings = 30;
+extern const CondCodeSpelling CondCodeSpellings[NumCondCodeSpellings];
 
 /// Returns the negated condition (E <-> NE, L <-> GE, ...).
 inline CondCode invertCondCode(CondCode CC) {

@@ -207,6 +207,56 @@ TEST(ParallelPipeline, OutputIdenticalAcrossWorkerCounts) {
   EXPECT_GT(Total, 0u);
 }
 
+/// Churns the arena from every shard at once: for each instruction the
+/// pass inserts a scratch NOP and erases it again, cycling list nodes
+/// through the arena's free bins while other shards allocate, then interns
+/// a symbol (interner traffic) and lands one real NOP at the function head
+/// so the run has observable output. Under TSAN this is the allocation
+/// contract test for the arena-backed entry list.
+class ShardArenaChurnPass : public MaoFunctionPass {
+public:
+  ShardArenaChurnPass(MaoOptionMap *Options, MaoUnit *Unit, MaoFunction *Fn)
+      : MaoFunctionPass("TESTARENACHURN", Options, Unit, Fn) {}
+  bool go() override {
+    std::vector<EntryIter> Insns;
+    for (auto It = function().begin(), E = function().end(); It != E; ++It)
+      if (It->isInstruction())
+        Insns.push_back(It.underlying());
+    for (EntryIter It : Insns) {
+      EntryIter Scratch = unit().insertBefore(
+          It, MaoEntry::makeInstruction(parseInstructionLine("nop")));
+      unit().erase(Scratch);
+    }
+    std::string_view Interned = unit().interner().intern(function().name());
+    if (Interned != function().name())
+      return false;
+    if (!Insns.empty()) {
+      unit().insertBefore(Insns.front(),
+                          MaoEntry::makeInstruction(parseInstructionLine(
+                              "nop")));
+      countTransformation();
+    }
+    return true;
+  }
+};
+REGISTER_SHARDED_FUNC_PASS("TESTARENACHURN", ShardArenaChurnPass)
+
+TEST(ParallelPipeline, ArenaChurnCleanAndIdenticalAcrossJobs) {
+  const std::string Source = parallelCorpus();
+  RunSnapshot Jobs1 = runWithJobs(Source, "TESTARENACHURN", 1);
+  ASSERT_TRUE(Jobs1.Ok);
+  for (unsigned Jobs : {2u, 4u}) {
+    RunSnapshot JobsN = runWithJobs(Source, "TESTARENACHURN", Jobs);
+    ASSERT_TRUE(JobsN.Ok);
+    EXPECT_EQ(JobsN.Asm, Jobs1.Asm) << "jobs=" << Jobs;
+    EXPECT_EQ(JobsN.Counts, Jobs1.Counts) << "jobs=" << Jobs;
+  }
+  unsigned Total = 0;
+  for (unsigned C : Jobs1.Counts)
+    Total += C;
+  EXPECT_GT(Total, 0u);
+}
+
 TEST(ParallelPipeline, RepeatedParallelRunsAreStable) {
   // Scheduling nondeterminism must never leak: the same parallel run twice
   // produces the same bytes (this would flake, not fail reliably, if shard

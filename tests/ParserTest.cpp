@@ -281,4 +281,159 @@ TEST(Parser, ErrorsCarryFileAndLine) {
   EXPECT_EQ(Diags.errorCount(), 1u);
 }
 
+//===----------------------------------------------------------------------===//
+// Line accounting, duplicate labels, and GAS numeric local labels.
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, NoPhantomEmptyFinalLine) {
+  // A trailing '\n' terminates the last line; it does not start an empty
+  // extra one (the old substr lexer counted one, skewing ParseStats.Lines
+  // and the line numbers of EOF diagnostics).
+  ParseStats WithNewline;
+  ASSERT_TRUE(parseAssembly("\tret\n", &WithNewline).ok());
+  EXPECT_EQ(WithNewline.Lines, 1u);
+
+  ParseStats WithoutNewline;
+  ASSERT_TRUE(parseAssembly("\tret", &WithoutNewline).ok());
+  EXPECT_EQ(WithoutNewline.Lines, 1u);
+
+  ParseStats Empty;
+  ASSERT_TRUE(parseAssembly("", &Empty).ok());
+  EXPECT_EQ(Empty.Lines, 0u);
+
+  ParseStats Two;
+  ASSERT_TRUE(parseAssembly("\tnop\n\tret\n", &Two).ok());
+  EXPECT_EQ(Two.Lines, 2u);
+}
+
+TEST(Parser, DuplicateLabelFirstDefinitionWins) {
+  const std::string Text = "dup:\n\tnop\ndup:\n\tret\n";
+  CollectingDiagSink Collected;
+  DiagEngine Diags;
+  Diags.addSink(&Collected);
+  auto UnitOr = parseAssembly(Text, nullptr, "dup.s", &Diags);
+  ASSERT_TRUE(UnitOr.ok());
+  ASSERT_EQ(Collected.diagnostics().size(), 1u);
+  const Diagnostic &D = Collected.diagnostics()[0];
+  EXPECT_EQ(D.Code, DiagCode::ParseDuplicateLabel);
+  EXPECT_EQ(D.Severity, DiagSeverity::Warning);
+  EXPECT_EQ(D.Loc.Line, 3u);
+  EXPECT_EQ(Diags.errorCount(), 0u);
+
+  // The label map binds the first definition: fall-through execution
+  // reaches it first, and the emulator binds the same way.
+  auto It = UnitOr->labelMap().find("dup");
+  ASSERT_NE(It, UnitOr->labelMap().end());
+  EXPECT_EQ(It->second, &UnitOr->entries().front());
+}
+
+TEST(Parser, LocalLabelsResolveBackwardAndForward) {
+  const std::string Text = "1:\n\tnop\n\tjmp 1b\n\tjmp 1f\n1:\n\tret\n";
+  auto UnitOr = parseAssembly(Text);
+  ASSERT_TRUE(UnitOr.ok()) << UnitOr.message();
+  std::vector<std::string> Targets;
+  for (const MaoEntry &E : UnitOr->entries())
+    if (E.isInstruction() && E.instruction().Mn == Mnemonic::JMP)
+      Targets.push_back(E.instruction().Ops[0].Sym);
+  ASSERT_EQ(Targets.size(), 2u);
+  // "1b" binds the most recent definition, "1f" the next one: two distinct
+  // internal names, both defined, in program order.
+  EXPECT_NE(Targets[0], Targets[1]);
+  const auto &Labels = UnitOr->labelMap();
+  ASSERT_EQ(Labels.count(Targets[0]), 1u);
+  ASSERT_EQ(Labels.count(Targets[1]), 1u);
+  EXPECT_LT(Labels.find(Targets[0])->second->Id,
+            Labels.find(Targets[1])->second->Id);
+}
+
+TEST(Parser, LocalLabelBackwardWithoutDefinitionIsRejected) {
+  CollectingDiagSink Collected;
+  DiagEngine Diags;
+  Diags.addSink(&Collected);
+  auto UnitOr = parseAssembly("1:\n\tret\n\tjmp 2b\n", nullptr, "loc.s",
+                              &Diags);
+  ASSERT_FALSE(UnitOr.ok());
+  ASSERT_EQ(Collected.diagnostics().size(), 1u);
+  EXPECT_EQ(Collected.diagnostics()[0].Code,
+            DiagCode::ParseLocalLabelUndefined);
+  EXPECT_EQ(Collected.diagnostics()[0].Loc.Line, 3u);
+}
+
+TEST(Parser, LocalLabelDanglingForwardIsRejected) {
+  CollectingDiagSink Collected;
+  DiagEngine Diags;
+  Diags.addSink(&Collected);
+  auto UnitOr = parseAssembly("1:\n\tjmp 1f\n\tret\n", nullptr, "loc.s",
+                              &Diags);
+  ASSERT_FALSE(UnitOr.ok());
+  ASSERT_EQ(Collected.diagnostics().size(), 1u);
+  EXPECT_EQ(Collected.diagnostics()[0].Code,
+            DiagCode::ParseLocalLabelDangling);
+  EXPECT_EQ(Collected.diagnostics()[0].Loc.Line, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Operand edge cases and the small-vector operand list.
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, MalformedOperandsDegradeToOpaque) {
+  EXPECT_TRUE(parse("movq (%rax, %rbx").isOpaque());         // unbalanced '('
+  EXPECT_TRUE(parse("movq (%rax)junk, %rbx").isOpaque());    // trailing text
+  EXPECT_TRUE(parse("movq (%rax,%rbx,3), %rcx").isOpaque()); // scale not 1/2/4/8
+  EXPECT_FALSE(parse("movq (%rax,%rbx,8), %rcx").isOpaque());
+}
+
+TEST(Parser, MnemonicSpellingsPinned) {
+  // Pins the precomputed spelling table to the cascade it replaced.
+  EXPECT_EQ(parse("nop0x5").NopLength, 5); // non-canonical length spelling
+  EXPECT_TRUE(parse("nopl 4(%rax)").isOpaque()); // gas's nopl stays opaque
+  EXPECT_EQ(parse("salq $2, %rax").Mn, Mnemonic::SHL);
+  Instruction Movslq = parse("movslq %eax, %rbx");
+  EXPECT_EQ(Movslq.Mn, Mnemonic::MOVSX);
+  EXPECT_EQ(Movslq.SrcW, Width::L);
+  EXPECT_EQ(Movslq.W, Width::Q);
+  // Longer-than-8-byte spellings take the fallback map.
+  EXPECT_EQ(parse("prefetchnta (%rdi)").Mn, Mnemonic::PREFETCHNTA);
+}
+
+TEST(Parser, ThreeOperandImulSpillsOperandList) {
+  // Three operands exceed the inline capacity of two; the list must spill
+  // to the heap and keep value semantics across copy and move.
+  Instruction I = parse("imulq $100, %rbx, %rax");
+  ASSERT_FALSE(I.isOpaque());
+  ASSERT_EQ(I.Ops.size(), 3u);
+  EXPECT_EQ(I.Ops[0].Imm, 100);
+  EXPECT_EQ(I.Ops[1].R, Reg::RBX);
+  EXPECT_EQ(I.Ops[2].R, Reg::RAX);
+
+  Instruction Copy = I;
+  EXPECT_TRUE(Copy.Ops == I.Ops);
+  Instruction Moved = std::move(I);
+  EXPECT_TRUE(Moved.Ops == Copy.Ops);
+  ASSERT_EQ(Moved.Ops.size(), 3u);
+  EXPECT_EQ(Moved.Ops[2].R, Reg::RAX);
+}
+
+TEST(Parser, StructureViewsSurviveMoveAndClone) {
+  // The derived views (functions, sections, labels) are rebuilt lazily
+  // after a unit is moved or cloned; accessors must never see stale
+  // iterators into the moved-from unit.
+  auto UnitOr = parseAssembly(SampleFile);
+  ASSERT_TRUE(UnitOr.ok());
+  MaoUnit Moved = std::move(*UnitOr);
+  ASSERT_EQ(Moved.functions().size(), 2u);
+  EXPECT_EQ(Moved.functions()[0].name(), "f");
+  EXPECT_TRUE(Moved.labelMap().count(".L1"));
+
+  MaoUnit Clone = Moved.clone();
+  ASSERT_EQ(Clone.functions().size(), 2u);
+  EXPECT_EQ(Clone.functions()[1].name(), "g");
+  // The clone's views point into the clone's own entry list.
+  const MaoEntry *CloneLabel = Clone.labelMap().find(".L1")->second;
+  bool InClone = false;
+  for (const MaoEntry &E : Clone.entries())
+    InClone |= (&E == CloneLabel);
+  EXPECT_TRUE(InClone);
+}
+
 } // namespace

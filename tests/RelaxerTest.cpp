@@ -304,6 +304,64 @@ TEST(Relaxer, CascadeJustUnderLimitConverges) {
     }
 }
 
+// --- Optimal branch-displacement mode (--mao-relax=optimal) -----------------
+
+/// RAII guard: flips the process-global relax mode and restores it, so a
+/// failing test cannot leak Optimal into unrelated tests.
+struct ScopedRelaxMode {
+  explicit ScopedRelaxMode(RelaxMode M) : Saved(relaxMode()) {
+    setRelaxMode(M);
+  }
+  ~ScopedRelaxMode() { setRelaxMode(Saved); }
+  RelaxMode Saved;
+};
+
+TEST(Relaxer, OptimalAgreesWithGrowOnAlignmentFreeLayout) {
+  // Without alignment padding the grow fixpoint is already minimal; the
+  // optimal audit must find nothing to shrink and reproduce the layout
+  // byte-for-byte.
+  MaoUnit GrowUnit = parseOk(paperExample(16, true));
+  RelaxationResult RG;
+  {
+    ScopedRelaxMode M(RelaxMode::Grow);
+    RG = relaxUnit(GrowUnit);
+  }
+  ASSERT_TRUE(RG.Converged);
+
+  MaoUnit OptUnit = parseOk(paperExample(16, true));
+  RelaxationResult RO;
+  {
+    ScopedRelaxMode M(RelaxMode::Optimal);
+    RO = relaxUnit(OptUnit);
+  }
+  ASSERT_TRUE(RO.Converged);
+  EXPECT_EQ(RO.ShrunkBranches, 0u);
+  EXPECT_EQ(RO.Labels, RG.Labels);
+  EXPECT_EQ(RO.SectionSizes.at(".text"), RG.SectionSizes.at(".text"));
+}
+
+TEST(Relaxer, OptimalModePassesLayoutVerifierAndAssembler) {
+  ScopedRelaxMode M(RelaxMode::Optimal);
+  MaoUnit Unit = parseOk(paperExample(40, true));
+  RelaxationResult R = relaxUnit(Unit);
+  ASSERT_TRUE(R.Converged);
+  VerifierReport Report = verifyUnit(Unit);
+  EXPECT_TRUE(Report.clean()) << Report.firstMessage();
+  auto BytesOr = assembleUnit(Unit);
+  ASSERT_TRUE(BytesOr.ok()) << BytesOr.message();
+  EXPECT_EQ(static_cast<int64_t>(BytesOr->at(".text").size()),
+            R.SectionSizes.at(".text"));
+}
+
+TEST(Relaxer, ParseRelaxModeSpellings) {
+  RelaxMode Mode = RelaxMode::Grow;
+  EXPECT_TRUE(parseRelaxMode("optimal", Mode));
+  EXPECT_EQ(Mode, RelaxMode::Optimal);
+  EXPECT_TRUE(parseRelaxMode("grow", Mode));
+  EXPECT_EQ(Mode, RelaxMode::Grow);
+  EXPECT_FALSE(parseRelaxMode("fastest", Mode));
+}
+
 // --- Assembler integration --------------------------------------------------
 
 TEST(Assembler, BytesMatchLayout) {
