@@ -1,0 +1,47 @@
+# ABI-clean companion to abi_demo.s: every function conforms to the System
+# V AMD64 ABI, so `mao --lint` reports zero findings — but only because the
+# interprocedural summaries prove it. Under --lint-no-interproc (the
+# clobber-everything call model) clean_args lights up with arg-undefined
+# false positives: the first call is assumed to destroy every argument
+# register and the second to read them all. The delta is pinned by
+# scripts/lint_examples.sh as the false-positive-reduction check.
+
+	.text
+	.globl	ok_leaf
+	.type	ok_leaf, @function
+ok_leaf:
+	movq	%rdi, %rax
+	addq	$1, %rax
+	ret
+	.size	ok_leaf, .-ok_leaf
+
+	.globl	ok_save
+	.type	ok_save, @function
+ok_save:
+	pushq	%rbx
+	movq	%rdi, %rbx
+	call	ok_leaf
+	addq	%rbx, %rax
+	popq	%rbx
+	ret
+	.size	ok_save, .-ok_save
+
+	.globl	ok_redzone_leaf
+	.type	ok_redzone_leaf, @function
+ok_redzone_leaf:
+	movq	%rdi, -8(%rsp)
+	movq	-8(%rsp), %rax
+	ret
+	.size	ok_redzone_leaf, .-ok_redzone_leaf
+
+	.globl	clean_args
+	.type	clean_args, @function
+clean_args:
+	pushq	%rbp
+	movq	%rsp, %rbp
+	movq	$1, %rdi
+	call	ok_leaf
+	call	ok_leaf
+	popq	%rbp
+	ret
+	.size	clean_args, .-clean_args

@@ -1,0 +1,80 @@
+# ABI conformance demo: every function below `helper_*` seeds exactly one
+# class of interprocedural finding for `mao --lint` (the counts are pinned
+# by scripts/lint_examples.sh — update both together):
+#
+#   bad_clobber  -> lint-callee-saved-clobbered (writes %rbx, never saves)
+#   bad_stack    -> lint-unbalanced-stack       (push reaches ret unpopped)
+#   bad_redzone  -> lint-red-zone-nonleaf       (red-zone store, then calls)
+#   bad_scratch  -> lint-use-before-def         (reads %r10 after a call to
+#                   a callee whose summary proves %r10 untouched; invisible
+#                   to the clobber-everything call model)
+#   bad_args     -> lint-dead-arg-write + lint-arg-undefined (writes %rdi
+#                   for a callee that never reads it, then calls a reader
+#                   of %rdi while it holds a clobbered value)
+
+	.text
+	.globl	helper_leaf
+	.type	helper_leaf, @function
+helper_leaf:
+	movq	%rdi, %rax
+	addq	$1, %rax
+	ret
+	.size	helper_leaf, .-helper_leaf
+
+	.globl	helper_clobber_args
+	.type	helper_clobber_args, @function
+helper_clobber_args:
+	movq	$0, %rdi
+	movq	$0, %rax
+	ret
+	.size	helper_clobber_args, .-helper_clobber_args
+
+	.globl	bad_clobber
+	.type	bad_clobber, @function
+bad_clobber:
+	movq	$5, %rbx
+	movq	%rbx, %rax
+	ret
+	.size	bad_clobber, .-bad_clobber
+
+	.globl	bad_stack
+	.type	bad_stack, @function
+bad_stack:
+	pushq	%rax
+	movq	$0, %rax
+	ret
+	.size	bad_stack, .-bad_stack
+
+	.globl	bad_redzone
+	.type	bad_redzone, @function
+bad_redzone:
+	pushq	%rbp
+	movq	%rsp, %rbp
+	movq	$1, -8(%rsp)
+	call	helper_leaf
+	popq	%rbp
+	ret
+	.size	bad_redzone, .-bad_redzone
+
+	.globl	bad_scratch
+	.type	bad_scratch, @function
+bad_scratch:
+	pushq	%rbp
+	movq	%rsp, %rbp
+	call	helper_leaf
+	movq	%r10, %rax
+	popq	%rbp
+	ret
+	.size	bad_scratch, .-bad_scratch
+
+	.globl	bad_args
+	.type	bad_args, @function
+bad_args:
+	pushq	%rbp
+	movq	%rsp, %rbp
+	movq	$3, %rdi
+	call	helper_clobber_args
+	call	helper_leaf
+	popq	%rbp
+	ret
+	.size	bad_args, .-bad_args

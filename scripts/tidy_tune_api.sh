@@ -1,7 +1,7 @@
 #!/bin/sh
-# clang-tidy gate over the autotuner and public-facade sources (the
-# newest subsystems; the rest of the tree is covered by .clang-tidy on
-# developer machines). Uses the repo's .clang-tidy configuration and the
+# clang-tidy gate over the autotuner, public-facade, analysis, and linter
+# sources (the newest subsystems; the rest of the tree is covered by
+# .clang-tidy on developer machines). Uses the repo's .clang-tidy configuration and the
 # compile database from the build tree.
 #
 # The CI container does not ship clang-tidy; in that case the check is
@@ -32,7 +32,8 @@ if [ ! -f "$BUILD/compile_commands.json" ]; then
 fi
 
 FAILED=0
-for file in "$SRC"/src/tune/*.cpp "$SRC"/src/mao/*.cpp; do
+for file in "$SRC"/src/tune/*.cpp "$SRC"/src/mao/*.cpp \
+    "$SRC"/src/analysis/*.cpp "$SRC"/src/check/*.cpp; do
   echo "tidy_tune_api: checking $file"
   if ! "$TIDY" -p "$BUILD" --quiet --warnings-as-errors='*' "$file"; then
     FAILED=1

@@ -6,9 +6,24 @@
 /// misalignment) and micro-architectural hazards (dead flag writes,
 /// partial-register stalls, false dependencies), plus the
 /// unresolved-indirect-jump audit that makes the paper's Sec. II resolution
-/// experiment (246/320 -> 4/320) observable from tool output. Each rule has
-/// its own DiagCode and emits through the DiagEngine, so findings reach the
-/// text sink and the SARIF sink alike.
+/// experiment (246/320 -> 4/320) observable from tool output.
+///
+/// Since the interprocedural layer (analysis/CallGraph + Summaries) the
+/// linter also checks System V AMD64 ABI conformance: callee-saved
+/// registers clobbered without save/restore, unbalanced stack deltas
+/// reaching `ret`, red-zone access in non-leaf functions, and argument
+/// registers that arrive at a call site holding clobbered values. With
+/// Interprocedural enabled (the default) a call clobbers only what its
+/// callee's summary says instead of acting as an opaque barrier; the
+/// clobber-everything model stays available for comparison.
+///
+/// Each rule has its own DiagCode and emits through the DiagEngine, so
+/// findings reach the text sink and the SARIF sink alike. Per-function
+/// analysis runs on a worker pool (Jobs) with findings buffered and merged
+/// in function order, so the finding set, the counts, and FindingsDigest
+/// are byte-identical for every Jobs value. A baseline file (one
+/// diagFingerprint hex per line) suppresses known findings for incremental
+/// adoption.
 ///
 /// Exit-code contract (mao --lint): 0 clean, 1 findings (any warning or
 /// error), 2 internal error. --lint-werror promotes Warning to Error.
@@ -30,17 +45,34 @@ struct LintOptions {
   bool WarningsAsErrors = false;
   /// Input file name attached to every finding's SourceLoc.
   std::string FileName;
+  /// Worker count for per-function analysis (0 = all hardware threads).
+  /// Findings are merged in function order: identical for every value.
+  unsigned Jobs = 1;
+  /// Use call-graph summaries to sharpen call effects and run the ABI
+  /// rules; false falls back to the clobber-everything call model (the
+  /// comparison baseline for the summary-sharpened rules).
+  bool Interprocedural = true;
+  /// Baseline file of fingerprints to suppress (empty = none).
+  std::string BaselinePath;
+  /// When non-empty, write every current finding's fingerprint here (the
+  /// file re-lints clean when used as BaselinePath).
+  std::string BaselineOutPath;
 };
 
 struct LintResult {
   unsigned Errors = 0;
   unsigned Warnings = 0;
   unsigned Notes = 0;
+  /// Findings matched by the baseline file and not emitted.
+  unsigned Suppressed = 0;
   bool InternalError = false;
   std::string InternalDetail;
   /// Unresolved-indirect audit totals across the unit (paper Sec. II).
   unsigned IndirectTotal = 0;
   unsigned IndirectUnresolved = 0;
+  /// Order-sensitive FNV-1a over the emitted findings' fingerprints; equal
+  /// digests mean byte-identical finding sets (the cross-Jobs contract).
+  uint64_t FindingsDigest = 0;
 
   bool clean() const { return Errors == 0 && Warnings == 0; }
 };

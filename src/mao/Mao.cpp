@@ -553,10 +553,16 @@ LintSummary Session::lint(Program &P, const LintRequest &Request) {
   LintOptions Opts;
   Opts.WarningsAsErrors = Request.WarningsAsErrors;
   Opts.FileName = Request.FileName.empty() ? P.I->Name : Request.FileName;
+  Opts.Jobs = Request.Jobs;
+  Opts.Interprocedural = Request.Interprocedural;
+  Opts.BaselinePath = Request.BaselinePath;
+  Opts.BaselineOutPath = Request.BaselineOutPath;
   LintResult Result = lintUnit(P.I->Unit, Opts, I->Diags);
   Summary.Errors = Result.Errors;
   Summary.Warnings = Result.Warnings;
   Summary.Notes = Result.Notes;
+  Summary.Suppressed = Result.Suppressed;
+  Summary.FindingsDigest = Result.FindingsDigest;
   Summary.IndirectUnresolved = Result.IndirectUnresolved;
   Summary.IndirectTotal = Result.IndirectTotal;
   Summary.InternalError = Result.InternalError;

@@ -107,6 +107,16 @@ struct OptimizeResult {
 struct LintRequest {
   bool WarningsAsErrors = false;
   std::string FileName;
+  /// Worker count for per-function analysis (0 = all hardware threads).
+  /// The finding set is byte-identical for every value.
+  unsigned Jobs = 1;
+  /// Interprocedural summaries sharpen call effects and enable the ABI
+  /// rules; false = clobber-everything comparison model.
+  bool Interprocedural = true;
+  /// Baseline file of finding fingerprints to suppress (empty = none).
+  std::string BaselinePath;
+  /// When non-empty, write all current findings' fingerprints here.
+  std::string BaselineOutPath;
 };
 
 /// Summary of a lint run (mirrors check/Lint.h's LintResult).
@@ -114,10 +124,14 @@ struct LintSummary {
   unsigned Errors = 0;
   unsigned Warnings = 0;
   unsigned Notes = 0;
+  unsigned Suppressed = 0; ///< Findings matched by the baseline file.
   unsigned IndirectUnresolved = 0;
   unsigned IndirectTotal = 0;
   bool InternalError = false;
   std::string InternalDetail;
+  /// Order-sensitive digest over emitted finding fingerprints; equal
+  /// digests mean identical finding sets (the cross-Jobs contract).
+  uint64_t FindingsDigest = 0;
   int ExitCode = 0; ///< 0 clean, 1 findings, 2 internal error.
 };
 

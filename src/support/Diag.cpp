@@ -67,8 +67,40 @@ const char *mao::diagCodeName(DiagCode Code) {
     return "lint-unresolved-indirect";
   case DiagCode::LintInternalError:
     return "lint-internal-error";
+  case DiagCode::LintCalleeSavedClobbered:
+    return "lint-callee-saved-clobbered";
+  case DiagCode::LintUnbalancedStack:
+    return "lint-unbalanced-stack";
+  case DiagCode::LintRedZoneNonLeaf:
+    return "lint-red-zone-nonleaf";
+  case DiagCode::LintArgUndefinedAtCall:
+    return "lint-arg-undefined";
+  case DiagCode::LintDeadArgWrite:
+    return "lint-dead-arg-write";
   }
   return "unknown";
+}
+
+uint64_t mao::diagFingerprint(DiagCode Code, const std::string &Message) {
+  uint64_t H = 1469598103934665603ull; // FNV-1a offset basis
+  auto Mix = [&H](const char *Data, size_t Len) {
+    for (size_t I = 0; I < Len; ++I) {
+      H ^= static_cast<unsigned char>(Data[I]);
+      H *= 1099511628211ull;
+    }
+  };
+  const char *Name = diagCodeName(Code);
+  Mix(Name, std::char_traits<char>::length(Name));
+  Mix("\0", 1);
+  Mix(Message.data(), Message.size());
+  return H;
+}
+
+std::string mao::diagFingerprintHex(uint64_t Fingerprint) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Fingerprint));
+  return Buf;
 }
 
 const char *mao::diagSeverityName(DiagSeverity Severity) {
@@ -203,6 +235,9 @@ std::string SarifDiagSink::render() const {
     Out += "\",\n";
     Out += "          \"message\": {\"text\": \"";
     Out += jsonEscape(D.Message);
+    Out += "\"},\n";
+    Out += "          \"partialFingerprints\": {\"maoLint/v1\": \"";
+    Out += diagFingerprintHex(diagFingerprint(D.Code, D.Message));
     Out += "\"}";
     if (!D.PassName.empty()) {
       Out += ",\n          \"properties\": {\"pass\": \"";

@@ -64,11 +64,26 @@ enum class DiagCode : uint16_t {
   LintFalseDependency,
   LintUnresolvedIndirect,
   LintInternalError,
+  // MaoCheck ABI conformance rules (interprocedural).
+  LintCalleeSavedClobbered,
+  LintUnbalancedStack,
+  LintRedZoneNonLeaf,
+  LintArgUndefinedAtCall,
+  LintDeadArgWrite,
 };
 
 /// Short stable name for a code ("parse-unterminated-string").
 const char *diagCodeName(DiagCode Code);
 const char *diagSeverityName(DiagSeverity Severity);
+
+/// Stable 64-bit fingerprint of a finding, FNV-1a over the code name and
+/// message text. Location-free on purpose: the same finding keeps its
+/// fingerprint when unrelated lines move. Used by lint baseline files and
+/// emitted as SARIF partialFingerprints ("maoLint/v1").
+uint64_t diagFingerprint(DiagCode Code, const std::string &Message);
+
+/// Renders a fingerprint as 16 lowercase hex digits.
+std::string diagFingerprintHex(uint64_t Fingerprint);
 
 /// A source position in an input assembly file. Line 0 means "whole file".
 struct SourceLoc {

@@ -305,6 +305,14 @@ OptionRegistry buildDriverOptions(MaoCommandLine &Cmd) {
             "run the MaoCheck linter instead of the pass pipeline");
   R.addFlag("--lint-werror", &Cmd.LintWerror,
             "promote linter warnings to errors");
+  R.addFlag("--lint-no-interproc", &Cmd.LintNoInterproc,
+            "disable interprocedural summaries: calls clobber everything "
+            "and the ABI conformance rules are skipped");
+  R.addString("--lint-baseline", &Cmd.LintBaseline,
+              "suppress lint findings whose fingerprints appear in FILE");
+  R.addString("--lint-baseline-out", &Cmd.LintBaselineOut,
+              "write all current lint findings' fingerprints to FILE (a "
+              "baseline that re-lints clean)");
   R.addFlag("--tune", &Cmd.Tune,
             "search pass parameterizations with the uarch simulator as the "
             "objective (see DESIGN.md, \"Autotuning\")");

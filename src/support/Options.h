@@ -111,6 +111,15 @@ struct MaoCommandLine {
   bool Lint = false;
   /// --lint-werror: promote linter warnings to errors.
   bool LintWerror = false;
+  /// --lint-no-interproc: disable call-graph summaries; every call falls
+  /// back to the clobber-everything model and the ABI rules are off.
+  bool LintNoInterproc = false;
+  /// --lint-baseline=FILE: suppress findings whose fingerprints appear in
+  /// FILE (one 16-hex-digit fingerprint at the start of each line).
+  std::string LintBaseline;
+  /// --lint-baseline-out=FILE: write all current findings' fingerprints to
+  /// FILE; using it as --lint-baseline re-lints clean.
+  std::string LintBaselineOut;
   /// --mao-sarif=FILE: also write diagnostics as a SARIF 2.1.0 log.
   std::string SarifPath;
 

@@ -301,12 +301,17 @@ int main(int Argc, char **Argv) {
     mao::api::LintRequest Request;
     Request.WarningsAsErrors = Cmd.LintWerror;
     Request.FileName = Cmd.Inputs[0];
+    Request.Jobs = Cmd.Jobs;
+    Request.Interprocedural = !Cmd.LintNoInterproc;
+    Request.BaselinePath = Cmd.LintBaseline;
+    Request.BaselineOutPath = Cmd.LintBaselineOut;
     mao::api::LintSummary Lint = Session.lint(Program, Request);
     std::fprintf(stderr,
-                 "mao: lint: %u error(s), %u warning(s), %u note(s); "
-                 "indirect jumps: %u unresolved of %u\n",
-                 Lint.Errors, Lint.Warnings, Lint.Notes,
+                 "mao: lint: %u error(s), %u warning(s), %u note(s), "
+                 "%u suppressed; indirect jumps: %u unresolved of %u\n",
+                 Lint.Errors, Lint.Warnings, Lint.Notes, Lint.Suppressed,
                  Lint.IndirectUnresolved, Lint.IndirectTotal);
+    FlushObservability();
     return Lint.ExitCode;
   }
 

@@ -147,6 +147,47 @@ std::vector<api::PassSpec> randomPipeline(uint64_t Seed) {
   return Pipeline;
 }
 
+/// A seed-derived cluster of functions that call each other, appended to
+/// the workload so the interprocedural rules (call graph, summaries, ABI
+/// checks) see nontrivial direct/PLT/tail-call edges plus a recursive SCC.
+std::string interproceduralCluster(uint64_t Seed) {
+  RandomSource Rng(Seed * 0xd1b54a32d192ed03ULL + 3);
+  std::string S;
+  auto Fn = [&S](const std::string &Name, const std::string &Body) {
+    S += "\t.text\n\t.globl\t" + Name + "\n\t.type\t" + Name +
+         ", @function\n" + Name + ":\n" + Body + "\t.size\t" + Name +
+         ", .-" + Name + "\n";
+  };
+  // Leaf callee: clobbers %rax only, or additionally uses (and properly
+  // saves) callee-saved %rbx.
+  bool SaveRbx = Rng.nextChance(1, 2);
+  std::string Leaf;
+  if (SaveRbx)
+    Leaf += "\tpushq\t%rbx\n";
+  Leaf += "\tmovq\t%rdi, %rax\n\taddq\t$1, %rax\n";
+  if (SaveRbx)
+    Leaf += "\tmovq\t%rax, %rbx\n\tmovq\t%rbx, %rax\n\tpopq\t%rbx\n";
+  Leaf += "\tret\n";
+  Fn("ipa_leaf", Leaf);
+  // Non-leaf caller: frame, direct call, sometimes a PLT call, and either
+  // a plain return or a tail call back into the unit.
+  std::string Mid = "\tpushq\t%rbp\n\tmovq\t%rsp, %rbp\n"
+                    "\tmovq\t$7, %rdi\n\tcall\tipa_leaf\n";
+  if (Rng.nextChance(1, 2))
+    Mid += "\tmovq\t%rax, %rdi\n\tcall\tipa_leaf@PLT\n";
+  Mid += "\tpopq\t%rbp\n";
+  Mid += Rng.nextChance(1, 2) ? "\tjmp\tipa_leaf\n" : "\tret\n";
+  Fn("ipa_mid", Mid);
+  // Mutual recursion: a two-node SCC for the summary fixpoint.
+  Fn("ipa_even", "\tsubq\t$1, %rdi\n\tjns\t.Lipa_to_odd\n"
+                 "\tmovq\t$1, %rax\n\tret\n"
+                 ".Lipa_to_odd:\n\tcall\tipa_odd\n\tret\n");
+  Fn("ipa_odd", "\tsubq\t$1, %rdi\n\tjns\t.Lipa_to_even\n"
+                "\tmovq\t$0, %rax\n\tret\n"
+                ".Lipa_to_even:\n\tcall\tipa_even\n\tret\n");
+  return S;
+}
+
 struct IterationResult {
   bool PropertyViolated = false;
   unsigned InjectedFailures = 0;
@@ -207,14 +248,49 @@ IterationResult runOne(uint64_t Seed, const FuzzConfig &Config) {
     }
   }
 
-  if (Config.Lint && !Injecting) {
-    // The linter may flag the generated code (its findings are advisory)
-    // but must never crash or report an internal error.
-    api::LintSummary Lint = Session.lint(Program, api::LintRequest());
-    if (Lint.InternalError) {
-      Violate("linter internal error", Lint.InternalDetail);
-      return R;
+  if (Config.Lint) {
+    // Lint the workload plus a seed-derived call cluster so the
+    // interprocedural rules see nontrivial call graphs. The linter may
+    // flag the generated code (its findings are advisory) but must never
+    // crash or report an internal error, and its finding set must be
+    // identical for every worker count — fault injection or not (no
+    // fault site lives in the analysis pipeline, so this holds even with
+    // the injector armed; only the parse itself can take a fault).
+    std::string InterAsm = Asm + interproceduralCluster(Seed);
+    api::Program LintProg;
+    if (api::Status S = Session.parseText(InterAsm, "fuzzipa.s", LintProg);
+        !S.Ok) {
+      if (Injecting)
+        ++R.InjectedFailures;
+      else {
+        Violate("interprocedural seed parse failed", S.Message);
+        return R;
+      }
+    } else {
+      api::LintRequest Request;
+      Request.Jobs = 1;
+      api::LintSummary L1 = Session.lint(LintProg, Request);
+      if (L1.InternalError) {
+        Violate("linter internal error", L1.InternalDetail);
+        return R;
+      }
+      Request.Jobs = 4;
+      api::LintSummary L4 = Session.lint(LintProg, Request);
+      if (L4.InternalError) {
+        Violate("linter internal error", L4.InternalDetail);
+        return R;
+      }
+      if (L1.FindingsDigest != L4.FindingsDigest || L1.Errors != L4.Errors ||
+          L1.Warnings != L4.Warnings || L1.Notes != L4.Notes) {
+        Violate("lint findings differ across worker counts",
+                "jobs=1 digest " + std::to_string(L1.FindingsDigest) +
+                    " vs jobs=4 digest " + std::to_string(L4.FindingsDigest));
+        return R;
+      }
     }
+  }
+
+  if (Config.Lint && !Injecting) {
     // Identity must validate: a unit is semantically equivalent to its
     // own clone, or the validator has a false positive.
     api::Program Clone = Program.clone();

@@ -1,0 +1,203 @@
+//===- tests/CallGraphTest.cpp - Whole-unit call graph tests ------------------==//
+//
+// Covers analysis/CallGraph: edge classification (direct, @PLT, indirect,
+// tail call), external-call and unknown-tail-jump detection, and the Tarjan
+// SCC condensation the summary fixpoint depends on (callee-first order,
+// recursion detection including self edges).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "asm/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace mao;
+
+namespace {
+
+MaoUnit parseOk(const std::string &Text) {
+  auto UnitOr = parseAssembly(Text);
+  EXPECT_TRUE(UnitOr.ok()) << UnitOr.message();
+  return std::move(*UnitOr);
+}
+
+std::string wrapFunction(const char *Name, const std::string &Body) {
+  std::string Out = "\t.text\n\t.globl\t";
+  Out += Name;
+  Out += "\n\t.type\t";
+  Out += Name;
+  Out += ", @function\n";
+  Out += Name;
+  Out += ":\n";
+  Out += Body;
+  Out += "\t.size\t";
+  Out += Name;
+  Out += ", .-";
+  Out += Name;
+  Out += "\n";
+  return Out;
+}
+
+/// Returns the site with the given target symbol, or nullptr.
+const CallSite *siteFor(const CallGraph::Node &N, const std::string &Target) {
+  for (const CallSite &S : N.Sites)
+    if (S.Target == Target)
+      return &S;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(CallGraph, DirectEdgeResolvesToUnitFunction) {
+  MaoUnit Unit = parseOk(wrapFunction("caller", "\tcall\tcallee\n\tret\n") +
+                         wrapFunction("callee", "\tret\n"));
+  Unit.rebuildStructure();
+  CallGraph CG = CallGraph::build(Unit);
+  ASSERT_EQ(CG.size(), 2u);
+  unsigned Caller = CG.indexOf("caller");
+  unsigned Callee = CG.indexOf("callee");
+  ASSERT_NE(Caller, ~0u);
+  ASSERT_NE(Callee, ~0u);
+
+  const CallGraph::Node &N = CG.node(Caller);
+  ASSERT_EQ(N.Sites.size(), 1u);
+  EXPECT_EQ(N.Sites[0].Kind, CallEdgeKind::Direct);
+  EXPECT_EQ(N.Sites[0].Callee, Callee);
+  EXPECT_EQ(N.Callees, std::vector<unsigned>{Callee});
+  EXPECT_FALSE(N.HasExternalCall);
+  EXPECT_FALSE(N.HasIndirectCall);
+
+  EXPECT_TRUE(CG.node(Callee).Sites.empty());
+  EXPECT_EQ(CG.indexOf("no_such_function"), ~0u);
+}
+
+TEST(CallGraph, ExternalCallLeavesNoEdge) {
+  MaoUnit Unit = parseOk(wrapFunction("f", "\tcall\tprintf\n\tret\n"));
+  Unit.rebuildStructure();
+  CallGraph CG = CallGraph::build(Unit);
+  const CallGraph::Node &N = CG.node(CG.indexOf("f"));
+  ASSERT_EQ(N.Sites.size(), 1u);
+  EXPECT_EQ(N.Sites[0].Callee, CallSite::External);
+  EXPECT_TRUE(N.HasExternalCall);
+  EXPECT_TRUE(N.Callees.empty());
+}
+
+TEST(CallGraph, PltSuffixStrippingAndEdgeKind) {
+  std::string Sym = "memcpy@PLT";
+  EXPECT_TRUE(stripPltSuffix(Sym));
+  EXPECT_EQ(Sym, "memcpy");
+  std::string Plain = "memcpy";
+  EXPECT_FALSE(stripPltSuffix(Plain));
+
+  // A @PLT call to a function defined in this unit is still an edge — the
+  // linker binds it locally — but classified Plt (the stub may run).
+  MaoUnit Unit = parseOk(wrapFunction("f", "\tcall\thelper@PLT\n\tret\n") +
+                         wrapFunction("helper", "\tret\n"));
+  Unit.rebuildStructure();
+  CallGraph CG = CallGraph::build(Unit);
+  const CallGraph::Node &N = CG.node(CG.indexOf("f"));
+  ASSERT_EQ(N.Sites.size(), 1u);
+  EXPECT_EQ(N.Sites[0].Kind, CallEdgeKind::Plt);
+  EXPECT_EQ(N.Sites[0].Target, "helper");
+  EXPECT_EQ(N.Sites[0].Callee, CG.indexOf("helper"));
+}
+
+TEST(CallGraph, IndirectCallSiteIsFlagged) {
+  MaoUnit Unit = parseOk(wrapFunction("f", "\tcall\t*%rax\n\tret\n"));
+  Unit.rebuildStructure();
+  CallGraph CG = CallGraph::build(Unit);
+  const CallGraph::Node &N = CG.node(CG.indexOf("f"));
+  ASSERT_EQ(N.Sites.size(), 1u);
+  EXPECT_EQ(N.Sites[0].Kind, CallEdgeKind::Indirect);
+  EXPECT_EQ(N.Sites[0].Callee, CallSite::External);
+  EXPECT_TRUE(N.HasIndirectCall);
+  EXPECT_TRUE(N.Callees.empty());
+}
+
+TEST(CallGraph, TailCallIsAnEdgeOwnLabelsAreNot) {
+  MaoUnit Unit = parseOk(
+      wrapFunction("f", "\ttestq\t%rdi, %rdi\n"
+                        "\tje\t.Lout\n"
+                        "\tjmp\tg\n" // Tail call: another unit function.
+                        ".Lout:\n"
+                        "\tret\n") +
+      wrapFunction("g", "\tret\n"));
+  Unit.rebuildStructure();
+  CallGraph CG = CallGraph::build(Unit);
+  const CallGraph::Node &N = CG.node(CG.indexOf("f"));
+  const CallSite *Tail = siteFor(N, "g");
+  ASSERT_NE(Tail, nullptr);
+  EXPECT_EQ(Tail->Kind, CallEdgeKind::TailCall);
+  EXPECT_EQ(Tail->Callee, CG.indexOf("g"));
+  // The branch to .Lout is intra-function: no site, no unknown jump.
+  EXPECT_EQ(N.Sites.size(), 1u);
+  EXPECT_FALSE(N.HasUnknownTailJump);
+}
+
+TEST(CallGraph, UnattributableOutwardJumpIsUnknown) {
+  MaoUnit Unit = parseOk(wrapFunction("f", "\tjmp\tsomewhere_else\n"));
+  Unit.rebuildStructure();
+  CallGraph CG = CallGraph::build(Unit);
+  const CallGraph::Node &N = CG.node(CG.indexOf("f"));
+  EXPECT_TRUE(N.HasUnknownTailJump);
+  EXPECT_TRUE(N.Callees.empty());
+}
+
+TEST(CallGraph, SccsComeOutCalleeFirst) {
+  // main -> a -> b (a chain): the SCC order must list b before a before
+  // main, so the summary fixpoint sees callees first.
+  MaoUnit Unit = parseOk(wrapFunction("main", "\tcall\ta\n\tret\n") +
+                         wrapFunction("a", "\tcall\tb\n\tret\n") +
+                         wrapFunction("b", "\tret\n"));
+  Unit.rebuildStructure();
+  CallGraph CG = CallGraph::build(Unit);
+  ASSERT_EQ(CG.sccs().size(), 3u);
+  EXPECT_LT(CG.sccOf(CG.indexOf("b")), CG.sccOf(CG.indexOf("a")));
+  EXPECT_LT(CG.sccOf(CG.indexOf("a")), CG.sccOf(CG.indexOf("main")));
+  for (unsigned Scc = 0; Scc < CG.sccs().size(); ++Scc)
+    EXPECT_FALSE(CG.sccIsRecursive(Scc));
+}
+
+TEST(CallGraph, MutualRecursionFormsOneRecursiveScc) {
+  MaoUnit Unit = parseOk(wrapFunction("even", "\tcall\todd\n\tret\n") +
+                         wrapFunction("odd", "\tcall\teven\n\tret\n") +
+                         wrapFunction("top", "\tcall\teven\n\tret\n"));
+  Unit.rebuildStructure();
+  CallGraph CG = CallGraph::build(Unit);
+  unsigned Even = CG.indexOf("even");
+  unsigned Odd = CG.indexOf("odd");
+  EXPECT_EQ(CG.sccOf(Even), CG.sccOf(Odd));
+  EXPECT_NE(CG.sccOf(Even), CG.sccOf(CG.indexOf("top")));
+  EXPECT_TRUE(CG.sccIsRecursive(CG.sccOf(Even)));
+  EXPECT_FALSE(CG.sccIsRecursive(CG.sccOf(CG.indexOf("top"))));
+  // The cycle is a callee of top: it must be finalized first.
+  EXPECT_LT(CG.sccOf(Even), CG.sccOf(CG.indexOf("top")));
+
+  const std::vector<unsigned> &Cycle = CG.sccs()[CG.sccOf(Even)];
+  EXPECT_EQ(Cycle.size(), 2u);
+  EXPECT_TRUE(std::find(Cycle.begin(), Cycle.end(), Even) != Cycle.end());
+  EXPECT_TRUE(std::find(Cycle.begin(), Cycle.end(), Odd) != Cycle.end());
+}
+
+TEST(CallGraph, SelfRecursionIsRecursive) {
+  MaoUnit Unit = parseOk(wrapFunction("f", "\tcall\tf\n\tret\n"));
+  Unit.rebuildStructure();
+  CallGraph CG = CallGraph::build(Unit);
+  unsigned F = CG.indexOf("f");
+  EXPECT_TRUE(CG.sccIsRecursive(CG.sccOf(F)));
+  EXPECT_EQ(CG.node(F).Callees, std::vector<unsigned>{F});
+}
+
+TEST(CallGraph, DuplicateCallsDeduplicateEdges) {
+  MaoUnit Unit = parseOk(
+      wrapFunction("f", "\tcall\tg\n\tcall\tg\n\tcall\tg\n\tret\n") +
+      wrapFunction("g", "\tret\n"));
+  Unit.rebuildStructure();
+  CallGraph CG = CallGraph::build(Unit);
+  const CallGraph::Node &N = CG.node(CG.indexOf("f"));
+  EXPECT_EQ(N.Sites.size(), 3u); // Every site kept...
+  EXPECT_EQ(N.Callees.size(), 1u); // ...but one edge.
+}

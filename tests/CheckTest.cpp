@@ -22,6 +22,7 @@
 #include "sim/Emulator.h"
 #include "support/Diag.h"
 
+#include <cstdio>
 #include <gtest/gtest.h>
 
 using namespace mao;
@@ -599,7 +600,7 @@ TEST(Lint, RuleTableIsComplete) {
   // Every registered rule has a distinct code and a non-empty name; the
   // table drives the SARIF rules array and the documentation.
   const std::vector<LintRuleInfo> &Rules = lintRules();
-  ASSERT_GE(Rules.size(), 7u);
+  ASSERT_GE(Rules.size(), 12u);
   for (size_t I = 0; I < Rules.size(); ++I) {
     EXPECT_NE(Rules[I].Name[0], '\0');
     EXPECT_NE(Rules[I].Summary[0], '\0');
@@ -625,4 +626,227 @@ TEST(Lint, FindingsRenderAsSarif) {
   // Rule declarations are unique even with repeated findings.
   size_t First = Doc.find("\"rules\"");
   ASSERT_NE(First, std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural ABI rules, baseline suppression, and lint determinism.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+LintResult lintWith(const std::string &Text, const LintOptions &Options,
+                    CollectingDiagSink *Sink = nullptr) {
+  MaoUnit Unit = parseOk(Text);
+  DiagEngine Diags;
+  if (Sink)
+    Diags.addSink(Sink);
+  return lintUnit(Unit, Options, Diags);
+}
+
+unsigned countCode(const CollectingDiagSink &Sink, DiagCode Code) {
+  unsigned N = 0;
+  for (const Diagnostic &D : Sink.diagnostics())
+    if (D.Code == Code)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(Lint, DetectsCalleeSavedClobber) {
+  CollectingDiagSink Sink;
+  LintResult Result = lintText(
+      wrapFunction("f", "\txorq %rbx, %rbx\n\tret\n"), &Sink);
+  EXPECT_TRUE(hasCode(Sink, DiagCode::LintCalleeSavedClobbered));
+  EXPECT_EQ(lintExitCode(Result), 1);
+
+  // Paired save/restore (including dual epilogues) is conformant.
+  CollectingDiagSink CleanSink;
+  lintText(wrapFunction("g", "\tpushq %rbx\n"
+                             "\tmovq %rdi, %rbx\n"
+                             "\ttestq %rdi, %rdi\n"
+                             "\tje .Lout\n"
+                             "\tmovq %rbx, %rax\n"
+                             "\tpopq %rbx\n"
+                             "\tret\n"
+                             ".Lout:\n"
+                             "\tpopq %rbx\n"
+                             "\tret\n"),
+           &CleanSink);
+  EXPECT_FALSE(hasCode(CleanSink, DiagCode::LintCalleeSavedClobbered));
+}
+
+TEST(Lint, DetectsUnbalancedStack) {
+  CollectingDiagSink Sink;
+  LintResult Result =
+      lintText(wrapFunction("f", "\tpushq %rax\n\tret\n"), &Sink);
+  EXPECT_TRUE(hasCode(Sink, DiagCode::LintUnbalancedStack));
+  EXPECT_EQ(lintExitCode(Result), 1);
+
+  CollectingDiagSink CleanSink;
+  lintText(wrapFunction("g", "\tpushq %rbp\n"
+                             "\tmovq %rsp, %rbp\n"
+                             "\tsubq $32, %rsp\n"
+                             "\tleave\n\tret\n"),
+           &CleanSink);
+  EXPECT_FALSE(hasCode(CleanSink, DiagCode::LintUnbalancedStack));
+}
+
+TEST(Lint, DetectsRedZoneOnlyInNonLeaf) {
+  const char *Body = "\tpushq %rbp\n"
+                     "\tmovq $1, -8(%rsp)\n"
+                     "\tcall g\n"
+                     "\tpopq %rbp\n"
+                     "\tret\n";
+  CollectingDiagSink Sink;
+  lintText(wrapFunction("f", Body) + wrapFunction("g", "\tret\n"), &Sink);
+  EXPECT_TRUE(hasCode(Sink, DiagCode::LintRedZoneNonLeaf));
+
+  // The same store in a leaf is exactly what the red zone is for.
+  CollectingDiagSink LeafSink;
+  lintText(wrapFunction("leaf", "\tmovq $1, -8(%rsp)\n"
+                                "\tmovq -8(%rsp), %rax\n\tret\n"),
+           &LeafSink);
+  EXPECT_FALSE(hasCode(LeafSink, DiagCode::LintRedZoneNonLeaf));
+}
+
+TEST(Lint, SummarySharpenedCallCatchesScratchRead) {
+  // helper provably clobbers only %rax, so %r10 is still undefined after
+  // the call — visible only through the callee summary; the
+  // clobber-everything model defines every register at the call.
+  const std::string Text =
+      wrapFunction("f", "\tpushq %rbp\n"
+                        "\tcall helper\n"
+                        "\tmovq %r10, %rax\n"
+                        "\tpopq %rbp\n\tret\n") +
+      wrapFunction("helper", "\tmovq %rdi, %rax\n\tret\n");
+
+  CollectingDiagSink Sharp;
+  LintOptions Options;
+  Options.FileName = "test.s";
+  lintWith(Text, Options, &Sharp);
+  EXPECT_TRUE(hasCode(Sharp, DiagCode::LintUseBeforeDef));
+
+  CollectingDiagSink Blunt;
+  Options.Interprocedural = false;
+  lintWith(Text, Options, &Blunt);
+  EXPECT_FALSE(hasCode(Blunt, DiagCode::LintUseBeforeDef));
+}
+
+TEST(Lint, DetectsDeadArgWriteAndClobberedArg) {
+  // %rdi is written for a callee that neither reads nor preserves it
+  // (dead write), and the next call reads %rdi while it holds the first
+  // callee's garbage (dead on arrival).
+  CollectingDiagSink Sink;
+  LintResult Result = lintText(
+      wrapFunction("f", "\tpushq %rbp\n"
+                        "\tmovq $3, %rdi\n"
+                        "\tcall clobber_args\n"
+                        "\tcall reader\n"
+                        "\tpopq %rbp\n\tret\n") +
+          wrapFunction("clobber_args",
+                       "\tmovq $0, %rdi\n\tmovq $0, %rax\n\tret\n") +
+          wrapFunction("reader", "\tmovq %rdi, %rax\n\tret\n"),
+      &Sink);
+  EXPECT_EQ(countCode(Sink, DiagCode::LintDeadArgWrite), 1u);
+  EXPECT_EQ(countCode(Sink, DiagCode::LintArgUndefinedAtCall), 1u);
+  EXPECT_GE(Result.Warnings, 1u);
+  EXPECT_GE(Result.Notes, 1u);
+}
+
+TEST(Lint, SummariesReduceFalsePositives) {
+  // Conformant two-call sequence: the first callee provably preserves
+  // %rdi, so the second call's argument is fine. The clobber-everything
+  // model cannot know that and floods the site with arg warnings.
+  const std::string Text =
+      wrapFunction("f", "\tpushq %rbp\n"
+                        "\tmovq $1, %rdi\n"
+                        "\tcall id\n"
+                        "\tcall id\n"
+                        "\tpopq %rbp\n\tret\n") +
+      wrapFunction("id", "\tmovq %rdi, %rax\n\tret\n");
+
+  CollectingDiagSink Sharp;
+  LintOptions Options;
+  Options.FileName = "test.s";
+  LintResult Precise = lintWith(Text, Options, &Sharp);
+  EXPECT_EQ(Precise.Warnings, 0u);
+  EXPECT_EQ(countCode(Sharp, DiagCode::LintArgUndefinedAtCall), 0u);
+
+  Options.Interprocedural = false;
+  LintResult Blunt = lintWith(Text, Options, nullptr);
+  EXPECT_GT(Blunt.Warnings, 0u)
+      << "the architectural model must be strictly noisier here";
+}
+
+TEST(Lint, BaselineSuppressesKnownFindings) {
+  const std::string Text =
+      wrapFunction("f", "\txorq %rbx, %rbx\n\tpushq %rax\n\tret\n");
+  const std::string Path = ::testing::TempDir() + "mao_lint_baseline.txt";
+
+  LintOptions Capture;
+  Capture.FileName = "test.s";
+  Capture.BaselineOutPath = Path;
+  LintResult First = lintWith(Text, Capture);
+  ASSERT_GE(First.Warnings, 2u);
+  EXPECT_EQ(First.Suppressed, 0u);
+  EXPECT_EQ(lintExitCode(First), 1);
+
+  CollectingDiagSink Sink;
+  LintOptions Replay;
+  Replay.FileName = "test.s";
+  Replay.BaselinePath = Path;
+  LintResult Second = lintWith(Text, Replay, &Sink);
+  EXPECT_EQ(Second.Warnings, 0u);
+  EXPECT_EQ(Second.Suppressed, First.Warnings + First.Notes);
+  EXPECT_EQ(lintExitCode(Second), 0);
+  EXPECT_TRUE(Sink.diagnostics().empty());
+  std::remove(Path.c_str());
+
+  // A missing baseline file must be a loud internal error, not a silent
+  // run with zero suppressions.
+  LintOptions Missing;
+  Missing.FileName = "test.s";
+  Missing.BaselinePath = ::testing::TempDir() + "mao_no_such_baseline.txt";
+  LintResult Bad = lintWith(Text, Missing);
+  EXPECT_TRUE(Bad.InternalError);
+  EXPECT_EQ(lintExitCode(Bad), 2);
+}
+
+TEST(Lint, FindingsIdenticalAcrossJobs) {
+  // A multi-function unit with findings in several functions: counts and
+  // the order-sensitive digest must not depend on the worker count.
+  std::string Text;
+  for (int I = 0; I < 6; ++I) {
+    std::string Name = "f" + std::to_string(I);
+    Text += wrapFunction(Name.c_str(),
+                         I % 2 ? "\txorq %rbx, %rbx\n\tret\n"
+                               : "\tpushq %rax\n\tret\n");
+  }
+  LintOptions Options;
+  Options.FileName = "test.s";
+  Options.Jobs = 1;
+  LintResult One = lintWith(Text, Options);
+  Options.Jobs = 4;
+  LintResult Four = lintWith(Text, Options);
+  EXPECT_GE(One.Warnings, 6u);
+  EXPECT_EQ(One.Warnings, Four.Warnings);
+  EXPECT_EQ(One.Notes, Four.Notes);
+  EXPECT_EQ(One.FindingsDigest, Four.FindingsDigest);
+
+  // The digest actually depends on the findings.
+  LintResult Other = lintWith(
+      wrapFunction("g", "\tpushq %rax\n\tret\n"), Options);
+  EXPECT_NE(One.FindingsDigest, Other.FindingsDigest);
+}
+
+TEST(Lint, FingerprintIsStableAndLocationFree) {
+  uint64_t A = diagFingerprint(DiagCode::LintUnbalancedStack, "message");
+  uint64_t B = diagFingerprint(DiagCode::LintUnbalancedStack, "message");
+  uint64_t C = diagFingerprint(DiagCode::LintRedZoneNonLeaf, "message");
+  uint64_t D = diagFingerprint(DiagCode::LintUnbalancedStack, "other");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, D);
+  EXPECT_EQ(diagFingerprintHex(A).size(), 16u);
 }

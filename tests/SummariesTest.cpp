@@ -1,0 +1,295 @@
+//===- tests/SummariesTest.cpp - Function summary tests -----------------------==//
+//
+// Covers analysis/Summaries: clobber/preserve computation net of
+// save/restore pairing, stack-delta tracking to every ret (frames, leave,
+// explicit rsp arithmetic), red-zone and leaf detection, argument-read
+// analysis, interprocedural propagation through the call graph, the
+// recursive-SCC fixpoint, and the callClobbers/callReads queries the
+// sharpened lint rules are built on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/CallGraph.h"
+#include "analysis/Dataflow.h"
+#include "analysis/Summaries.h"
+#include "asm/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mao;
+
+namespace {
+
+MaoUnit parseOk(const std::string &Text) {
+  auto UnitOr = parseAssembly(Text);
+  EXPECT_TRUE(UnitOr.ok()) << UnitOr.message();
+  return std::move(*UnitOr);
+}
+
+std::string wrapFunction(const char *Name, const std::string &Body) {
+  std::string Out = "\t.text\n\t.globl\t";
+  Out += Name;
+  Out += "\n\t.type\t";
+  Out += Name;
+  Out += ", @function\n";
+  Out += Name;
+  Out += ":\n";
+  Out += Body;
+  Out += "\t.size\t";
+  Out += Name;
+  Out += ", .-";
+  Out += Name;
+  Out += "\n";
+  return Out;
+}
+
+/// Owns everything a summary query needs; the unit must outlive the graph.
+struct Analyzed {
+  MaoUnit Unit;
+  CallGraph CG;
+  std::vector<CFG> Graphs;
+  SummaryTable Table;
+
+  explicit Analyzed(const std::string &Text) : Unit(parseOk(Text)) {
+    Unit.rebuildStructure();
+    CG = CallGraph::build(Unit);
+    Graphs.resize(Unit.functions().size());
+    for (size_t I = 0; I < Graphs.size(); ++I) {
+      Graphs[I] = CFG::build(Unit.functions()[I]);
+      resolveIndirectJumps(Graphs[I]);
+    }
+    Table = SummaryTable::compute(CG, Graphs);
+  }
+
+  const FunctionSummary &of(const std::string &Name) const {
+    unsigned Idx = CG.indexOf(Name);
+    EXPECT_NE(Idx, ~0u) << Name;
+    return Table.summary(Idx);
+  }
+};
+
+const RegMask Rax = regMaskBit(Reg::RAX);
+const RegMask Rbx = regMaskBit(Reg::RBX);
+const RegMask Rdi = regMaskBit(Reg::RDI);
+const RegMask Rsi = regMaskBit(Reg::RSI);
+
+} // namespace
+
+TEST(Summaries, LeafClobbersOnlyWhatItWrites) {
+  Analyzed A(wrapFunction("f", "\tmovq\t%rdi, %rax\n"
+                               "\taddq\t$1, %rax\n"
+                               "\tret\n"));
+  const FunctionSummary &S = A.of("f");
+  EXPECT_TRUE(S.Known);
+  EXPECT_TRUE(S.Leaf);
+  EXPECT_EQ(S.Clobbered, Rax);
+  EXPECT_EQ(S.Preserved & CalleeSavedMask, CalleeSavedMask);
+  EXPECT_TRUE(S.StackKnown);
+  EXPECT_TRUE(S.StackBalanced);
+  EXPECT_EQ(S.MaxFrameBytes, 0);
+  EXPECT_EQ(S.MaxTotalFrameBytes, 0);
+  EXPECT_EQ(S.ArgsRead, Rdi);
+  EXPECT_TRUE(S.CalleeSavedViolations.empty());
+  EXPECT_TRUE(S.StackViolations.empty());
+}
+
+TEST(Summaries, PairedSaveRestoreIsPreserved) {
+  Analyzed A(wrapFunction("f", "\tpushq\t%rbx\n"
+                               "\tmovq\t%rdi, %rbx\n"
+                               "\taddq\t%rbx, %rbx\n"
+                               "\tmovq\t%rbx, %rax\n"
+                               "\tpopq\t%rbx\n"
+                               "\tret\n"));
+  const FunctionSummary &S = A.of("f");
+  EXPECT_TRUE(S.Known);
+  EXPECT_TRUE(S.CalleeSavedViolations.empty());
+  EXPECT_FALSE(S.Clobbered & Rbx) << "paired push/pop must not clobber";
+  EXPECT_TRUE(S.Preserved & Rbx);
+  EXPECT_TRUE(S.StackBalanced);
+  EXPECT_EQ(S.MaxFrameBytes, 8);
+}
+
+TEST(Summaries, UnpairedClobberIsAViolation) {
+  Analyzed A(wrapFunction("f", "\txorq\t%r12, %r12\n\tret\n"));
+  const FunctionSummary &S = A.of("f");
+  EXPECT_TRUE(S.Known);
+  EXPECT_TRUE(S.Clobbered & regMaskBit(Reg::R12));
+  ASSERT_EQ(S.CalleeSavedViolations.size(), 1u);
+  EXPECT_NE(S.CalleeSavedViolations[0].find("%r12"), std::string::npos);
+}
+
+TEST(Summaries, SaveWithoutRestoreOnOnePathIsAViolation) {
+  // The early-out path restores; the fall-through path returns dirty.
+  Analyzed A(wrapFunction("f", "\tpushq\t%rbx\n"
+                               "\tmovq\t%rdi, %rbx\n"
+                               "\ttestq\t%rdi, %rdi\n"
+                               "\tje\t.Lout\n"
+                               "\tmovq\t%rbx, %rax\n"
+                               "\tret\n" // Dirty %rbx reaches this ret.
+                               ".Lout:\n"
+                               "\tpopq\t%rbx\n"
+                               "\tret\n"));
+  const FunctionSummary &S = A.of("f");
+  EXPECT_FALSE(S.CalleeSavedViolations.empty());
+  EXPECT_TRUE(S.Clobbered & Rbx);
+}
+
+TEST(Summaries, UnbalancedStackReachingRet) {
+  Analyzed A(wrapFunction("f", "\tpushq\t%rax\n\tret\n"));
+  const FunctionSummary &S = A.of("f");
+  EXPECT_TRUE(S.StackKnown);
+  EXPECT_FALSE(S.StackBalanced);
+  ASSERT_EQ(S.StackViolations.size(), 1u);
+  EXPECT_NE(S.StackViolations[0].find("8 byte"), std::string::npos);
+}
+
+TEST(Summaries, FramePointerEpilogueBalances) {
+  // leave pops the frame via %rbp: the walk must recover the depth from
+  // the anchor captured by `movq %rsp, %rbp`.
+  Analyzed A(wrapFunction("f", "\tpushq\t%rbp\n"
+                               "\tmovq\t%rsp, %rbp\n"
+                               "\tsubq\t$32, %rsp\n"
+                               "\tleave\n"
+                               "\tret\n"));
+  const FunctionSummary &S = A.of("f");
+  EXPECT_TRUE(S.StackKnown);
+  EXPECT_TRUE(S.StackBalanced) << "leave must rewind to the anchor";
+  EXPECT_EQ(S.MaxFrameBytes, 40);
+  EXPECT_TRUE(S.StackViolations.empty());
+}
+
+TEST(Summaries, RedZoneDetectedLeafStaysLegal) {
+  Analyzed Leaf(wrapFunction("f", "\tmovq\t%rdi, -8(%rsp)\n"
+                                  "\tmovq\t-8(%rsp), %rax\n"
+                                  "\tret\n"));
+  const FunctionSummary &S = Leaf.of("f");
+  EXPECT_TRUE(S.UsesRedZone);
+  EXPECT_TRUE(S.Leaf); // Red zone in a leaf is fine; the rule checks Leaf.
+  EXPECT_EQ(S.RedZoneSites.size(), 2u);
+
+  Analyzed NonLeaf(wrapFunction("g", "\tpushq\t%rbp\n"
+                                     "\tmovq\t$1, -8(%rsp)\n"
+                                     "\tcall\th\n"
+                                     "\tpopq\t%rbp\n"
+                                     "\tret\n") +
+                   wrapFunction("h", "\tret\n"));
+  EXPECT_FALSE(NonLeaf.of("g").Leaf);
+  EXPECT_TRUE(NonLeaf.of("g").UsesRedZone);
+  EXPECT_TRUE(NonLeaf.of("h").Leaf);
+}
+
+TEST(Summaries, ClobbersPropagateBottomUp) {
+  // mid calls leaf; leaf clobbers %rsi on top of the caller's own %rax.
+  Analyzed A(wrapFunction("mid", "\tpushq\t%rbp\n"
+                                 "\tcall\tleaf\n"
+                                 "\tpopq\t%rbp\n"
+                                 "\tret\n") +
+             wrapFunction("leaf", "\tmovq\t$0, %rsi\n\tret\n"));
+  const FunctionSummary &Mid = A.of("mid");
+  EXPECT_TRUE(Mid.Known);
+  EXPECT_TRUE(Mid.Clobbered & Rsi) << "callee clobber must propagate";
+  EXPECT_FALSE(Mid.Clobbered & Rbx) << "callee preserves must not";
+  EXPECT_FALSE(Mid.Leaf);
+  // Frame: 8 (push) + 8 (return address of the call) + callee's 0.
+  EXPECT_EQ(Mid.MaxTotalFrameBytes, 16);
+}
+
+TEST(Summaries, ArgsReadPropagatesThroughCalls) {
+  // wrapper reads no argument register itself but passes %rdi through to
+  // reader; its summary must still claim %rdi.
+  Analyzed A(wrapFunction("wrapper", "\tpushq\t%rbp\n"
+                                     "\tcall\treader\n"
+                                     "\tpopq\t%rbp\n"
+                                     "\tret\n") +
+             wrapFunction("reader", "\tmovq\t%rdi, %rax\n\tret\n") +
+             wrapFunction("blind", "\tmovq\t$0, %rdi\n"
+                                   "\tmovq\t%rdi, %rax\n\tret\n"));
+  EXPECT_TRUE(A.of("reader").ArgsRead & Rdi);
+  EXPECT_TRUE(A.of("wrapper").ArgsRead & Rdi);
+  // blind overwrites %rdi before reading it: the entry value is dead.
+  EXPECT_FALSE(A.of("blind").ArgsRead & Rdi);
+}
+
+TEST(Summaries, RecursiveSccConvergesToKnown) {
+  Analyzed A(wrapFunction("even", "\tpushq\t%rbp\n"
+                                  "\tsubq\t$1, %rdi\n"
+                                  "\tjns\t.Lcall_odd\n"
+                                  "\tmovq\t$1, %rax\n"
+                                  "\tpopq\t%rbp\n"
+                                  "\tret\n"
+                                  ".Lcall_odd:\n"
+                                  "\tcall\todd\n"
+                                  "\tpopq\t%rbp\n"
+                                  "\tret\n") +
+             wrapFunction("odd", "\tpushq\t%rbp\n"
+                                 "\tsubq\t$1, %rdi\n"
+                                 "\tjns\t.Lcall_even\n"
+                                 "\tmovq\t$0, %rax\n"
+                                 "\tpopq\t%rbp\n"
+                                 "\tret\n"
+                                 ".Lcall_even:\n"
+                                 "\tcall\teven\n"
+                                 "\tpopq\t%rbp\n"
+                                 "\tret\n"));
+  const FunctionSummary &S = A.of("even");
+  EXPECT_TRUE(S.Known) << "the fixpoint must converge on this cycle";
+  EXPECT_TRUE(S.ArgsRead & Rdi);
+  EXPECT_FALSE(S.Clobbered & Rbx)
+      << "nothing in the cycle touches callee-saved registers";
+  EXPECT_TRUE(S.StackBalanced);
+  // Recursion depth is unbounded: no total frame bound.
+  EXPECT_EQ(S.MaxTotalFrameBytes, -1);
+}
+
+TEST(Summaries, OpaqueFunctionFallsBackToConservative) {
+  Analyzed A(wrapFunction("f", "\t.byte\t0x90\n\tret\n"));
+  const FunctionSummary &S = A.of("f");
+  EXPECT_FALSE(S.Known);
+  EXPECT_TRUE(S.Clobbered & CallClobberedMask);
+}
+
+TEST(Summaries, CallQueriesUseTheCalleeSummary) {
+  Analyzed A(wrapFunction("caller", "\tpushq\t%rbp\n"
+                                    "\tcall\tquiet\n"
+                                    "\tcall\tplt_quiet@PLT\n"
+                                    "\tcall\textern_fn\n"
+                                    "\tpopq\t%rbp\n"
+                                    "\tret\n") +
+             wrapFunction("quiet", "\tmovq\t%rdi, %rax\n\tret\n") +
+             wrapFunction("plt_quiet", "\tmovq\t$2, %rax\n\tret\n"));
+  std::vector<const Instruction *> Calls;
+  for (auto It = A.Unit.functions()[A.CG.indexOf("caller")].begin();
+       It != A.Unit.functions()[A.CG.indexOf("caller")].end(); ++It)
+    if (It->isInstruction() && It->instruction().isCall())
+      Calls.push_back(&It->instruction());
+  ASSERT_EQ(Calls.size(), 3u);
+
+  // Direct call to a known leaf: exactly its clobbers and reads.
+  EXPECT_NE(A.Table.calleeSummary(*Calls[0]), nullptr);
+  EXPECT_EQ(A.Table.callClobbers(*Calls[0]), Rax);
+  EXPECT_EQ(A.Table.callReads(*Calls[0]), Rdi);
+
+  // @PLT call: callee's clobbers plus the lazy-binding stub's %r10/%r11.
+  RegMask PltClobbers = A.Table.callClobbers(*Calls[1]);
+  EXPECT_TRUE(PltClobbers & Rax);
+  EXPECT_TRUE(PltClobbers & regMaskBit(Reg::R10));
+  EXPECT_TRUE(PltClobbers & regMaskBit(Reg::R11));
+  EXPECT_EQ(A.Table.callReads(*Calls[1]), RegMask(0));
+
+  // External call: the architectural ABI model.
+  EXPECT_EQ(A.Table.calleeSummary(*Calls[2]), nullptr);
+  EXPECT_EQ(A.Table.callClobbers(*Calls[2]), CallClobberedMask);
+  EXPECT_EQ(A.Table.callReads(*Calls[2]), ArgRegsMask);
+}
+
+TEST(Summaries, TailCalleeCountsTowardClobbers) {
+  Analyzed A(wrapFunction("f", "\tjmp\tg\n") +
+             wrapFunction("g", "\tmovq\t$0, %rcx\n\tret\n"));
+  const FunctionSummary &S = A.of("f");
+  EXPECT_TRUE(S.Known);
+  EXPECT_TRUE(S.Clobbered & regMaskBit(Reg::RCX));
+  EXPECT_FALSE(S.Leaf);
+  // A tail call reuses the frame: no extra return address.
+  EXPECT_EQ(S.MaxTotalFrameBytes, 0);
+}
