@@ -1,0 +1,29 @@
+# Compiler-style redundancy for the rule synthesizer (`mao --synth`,
+# maosynth): a hot loop whose body carries a copy that is immediately
+# copied back, a duplicated register move, and an add of zero — shapes a
+# careless spiller or macro expansion leaves behind. The synthesis loop
+# harvests these windows, proves the shorter replacements equivalent
+# (flags-aware), and emits them as Window rules; scripts/synth_examples.sh
+# pins the strict simulated-cycle win on this file.
+	.text
+	.globl bench_main
+	.type bench_main, @function
+bench_main:
+	movq $600, %r9
+	movq $7, %rax
+	movq $11, %rdx
+.Lloop:
+	# Copy out, copy straight back: the back-copy is dead.
+	movq %rax, %rcx
+	movq %rcx, %rax
+	# The same move twice in a row.
+	movq %rdx, %rsi
+	movq %rdx, %rsi
+	# An add of zero: pure flag noise, and the flags die right here.
+	addq $0, %rsi
+	addq %rsi, %rax
+	subq $1, %r9
+	jne .Lloop
+	movq $0, %rax
+	ret
+	.size bench_main, .-bench_main

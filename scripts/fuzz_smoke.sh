@@ -49,4 +49,14 @@ echo "fuzz_smoke: serve injected path (fs/protocol faults), $SERVE_SEEDS seeds"
 "$MAOFUZZ" --seeds="$SERVE_SEEDS" --seed-base=1 --serve \
   --inject=fswrite:200,fsrename:200,cacheread:300,frame:100@11
 
+# Rule-synthesis phase: harvested windows must re-parse, the symbolic
+# oracle and SemanticValidator may never disagree in the unsound
+# direction, and a bounded end-to-end run must emit byte-identical tables
+# for one and two workers. Each seed runs a full (small) synthesis twice,
+# so a reduced count keeps the wall-clock modest.
+SYNTH_SEEDS=$((SEEDS / 10))
+[ "$SYNTH_SEEDS" -ge 1 ] || SYNTH_SEEDS=1
+echo "fuzz_smoke: synth prover consistency + determinism, $SYNTH_SEEDS seeds"
+"$MAOFUZZ" --seeds="$SYNTH_SEEDS" --seed-base=1 --synth
+
 echo "fuzz_smoke: ok"

@@ -1,6 +1,6 @@
 #!/bin/sh
-# clang-tidy gate over the autotuner, public-facade, analysis, and linter
-# sources (the newest subsystems; the rest of the tree is covered by
+# clang-tidy gate over the autotuner, public-facade, analysis, linter, and
+# rule-synthesis sources (the newest subsystems; the rest of the tree is covered by
 # .clang-tidy on developer machines). Uses the repo's .clang-tidy configuration and the
 # compile database from the build tree.
 #
@@ -33,7 +33,8 @@ fi
 
 FAILED=0
 for file in "$SRC"/src/tune/*.cpp "$SRC"/src/mao/*.cpp \
-    "$SRC"/src/analysis/*.cpp "$SRC"/src/check/*.cpp; do
+    "$SRC"/src/analysis/*.cpp "$SRC"/src/check/*.cpp \
+    "$SRC"/src/synth/*.cpp; do
   echo "tidy_tune_api: checking $file"
   if ! "$TIDY" -p "$BUILD" --quiet --warnings-as-errors='*' "$file"; then
     FAILED=1

@@ -19,6 +19,7 @@
 #include "ir/Verifier.h"
 #include "pass/MaoPass.h"
 #include "serve/ArtifactCache.h"
+#include "passes/PeepholeEngine.h"
 #include "support/Diag.h"
 #include "support/FaultInjection.h"
 #include "support/Options.h"
@@ -26,6 +27,7 @@
 #include "support/ThreadPool.h"
 #include "support/Timeline.h"
 #include "support/Trace.h"
+#include "synth/Synth.h"
 #include "tune/Tuner.h"
 #include "uarch/ProcessorConfig.h"
 #include "uarch/Runner.h"
@@ -618,6 +620,7 @@ Status Session::tune(Program &P, const TuneRequest &Request,
   Opts.Config = Request.Config;
   Opts.Seed = Request.Seed;
   Opts.Budget = tuneBudgetFromString(Request.Budget);
+  Opts.SynthAxis = Request.SynthAxis;
   Opts.Jobs = Request.Jobs == 0 ? hardwareJobs() : Request.Jobs;
   Opts.ScoreCacheBudgetBytes = Request.ScoreCacheBudgetBytes;
   const auto Start = std::chrono::steady_clock::now();
@@ -647,6 +650,112 @@ Status Session::tune(Program &P, const TuneRequest &Request,
   if (!Request.ReportPath.empty())
     if (MaoStatus S = writeTuneReport(R, Request.ReportPath))
       return Status::error(S.message());
+  return Status::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Rule synthesis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Status readFileText(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Status::error("cannot open '" + Path + "'");
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return Status::success();
+}
+
+} // namespace
+
+Status Session::synthesize(const SynthOptions &Request, SynthSummary &Out) {
+  synth::SynthOptions Opts;
+  Opts.IncludeWorkloads = Request.IncludeWorkloads;
+  Opts.MaxWindow = Request.MaxWindow;
+  Opts.MaxRules = Request.MaxRules;
+  Opts.Seed = Request.Seed;
+  Opts.Jobs = Request.Jobs == 0 ? hardwareJobs() : Request.Jobs;
+  Opts.Config = Request.Config;
+  for (const std::string &Path : Request.CorpusPaths) {
+    std::string Text;
+    if (Status S = readFileText(Path, Text); !S.Ok)
+      return S;
+    Opts.Corpus.emplace_back(Path, std::move(Text));
+  }
+  const auto Start = std::chrono::steady_clock::now();
+  ErrorOr<synth::SynthResult> ResultOr = [&] {
+    TimelineSpan Span("synth", "synthesize");
+    return synth::synthesizeRules(Opts);
+  }();
+  I->Report.TotalMs += std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - Start)
+                           .count();
+  if (!ResultOr.ok())
+    return Status::error(ResultOr.message());
+  const synth::SynthResult &R = *ResultOr;
+  Out = SynthSummary();
+  for (const synth::SynthRule &SR : R.Rules) {
+    RuleInfo Info;
+    Info.Name = SR.Rule.Name;
+    Info.Group = SR.Rule.Group;
+    Info.Strategy = ruleStrategyName(SR.Rule.Strategy);
+    Info.Pattern = SR.Rule.Pattern;
+    Info.Guards = SR.Rule.Guards;
+    Info.Replacement = SR.Rule.Replacement;
+    Info.Provenance = SR.Rule.Provenance;
+    Info.Fires = SR.Support;
+    Out.Rules.push_back(std::move(Info));
+  }
+  Out.CorpusFiles = R.Stats.CorpusFiles;
+  Out.WindowsHarvested = R.Stats.WindowsHarvested;
+  Out.UniqueWindows = R.Stats.UniqueWindows;
+  Out.CandidatesTried = R.Stats.CandidatesTried;
+  Out.CandidatesProven = R.Stats.CandidatesProven;
+  Out.CandidatesVerified = R.Stats.CandidatesVerified;
+  Out.RulesEmitted = R.Stats.RulesEmitted;
+  Out.ShardFailures = R.Stats.ShardFailures;
+  Out.TableText = R.TableText;
+  if (!Request.OutPath.empty()) {
+    std::ofstream OutFile(Request.OutPath, std::ios::binary);
+    if (!OutFile || !(OutFile << Out.TableText))
+      return Status::error("cannot write '" + Request.OutPath + "'");
+  }
+  return Status::success();
+}
+
+std::vector<RuleInfo> Session::listPeepholeRules() {
+  std::vector<RuleInfo> Out;
+  for (const PeepholeRule &R : activePeepholeRules()) {
+    RuleInfo Info;
+    Info.Name = R.Name;
+    Info.Group = R.Group;
+    Info.Strategy = ruleStrategyName(R.Strategy);
+    Info.Pattern = R.Pattern;
+    Info.Guards = R.Guards;
+    Info.Replacement = R.Replacement;
+    Info.Provenance = R.Provenance;
+    Info.Fires =
+        StatsRegistry::instance().counter("peep.fire." + R.Name).value();
+    Out.push_back(std::move(Info));
+  }
+  return Out;
+}
+
+Status Session::loadPeepholeRulesFile(const std::string &Path) {
+  std::string Text;
+  if (Status S = readFileText(Path, Text); !S.Ok)
+    return S;
+  if (MaoStatus S = loadSynthPeepholeRules(Text); !S.ok())
+    return Status::error(Path + ": " + S.message());
+  return Status::success();
+}
+
+Status Session::verifySynthRules(std::string *Detail) {
+  if (MaoStatus S = synth::verifyActiveSynthRules(Detail); !S.ok())
+    return Status::error(S.message());
   return Status::success();
 }
 

@@ -161,6 +161,9 @@ struct TuneRequest {
   std::string Budget = "medium"; ///< "small", "medium", "large", or a count.
   uint64_t Seed = 1;
   unsigned Jobs = 1; ///< 0 = all hardware threads.
+  /// Let the search toggle the synthesized-rule pass (--tune-synth-axis);
+  /// off by default so tune trajectories stay stable.
+  bool SynthAxis = false;
   std::string ReportPath; ///< When set, the JSON report is written here.
   /// Score-cache byte budget, 0 = unlimited (--mao-score-cache-budget).
   /// Eviction can only cost re-simulation, never change the result.
@@ -178,6 +181,49 @@ struct TuneSummary {
   uint64_t ScoreCacheHits = 0;
   uint64_t ScoreCacheMisses = 0;
   std::string ReportJson; ///< The full machine-readable report.
+};
+
+/// Options for Session::synthesize (see DESIGN.md, "Rule synthesis"). The
+/// corpus is harvested from the given files plus (by default) the workload
+/// generator; the result is deterministic in everything but Jobs, and
+/// identical for every Jobs value.
+struct SynthOptions {
+  std::vector<std::string> CorpusPaths; ///< Assembly files to harvest.
+  bool IncludeWorkloads = true; ///< Also harvest generated workload code.
+  unsigned MaxWindow = 2;       ///< Longest harvested window (1..3).
+  unsigned MaxRules = 16;       ///< Cap on emitted rules.
+  uint64_t Seed = 1;            ///< Recorded in rule provenance.
+  unsigned Jobs = 1;            ///< 0 = all hardware threads.
+  std::string Config = "core2"; ///< Processor model scoring candidates.
+  std::string OutPath; ///< When set, the emitted .def is written here.
+};
+
+/// One row of the active peephole-rule table (rule-provenance query).
+struct RuleInfo {
+  std::string Name;
+  std::string Group;
+  std::string Strategy;
+  std::string Pattern;
+  std::string Guards;
+  std::string Replacement;
+  std::string Provenance; ///< "hand:..." or "synth:...".
+  uint64_t Fires = 0;     ///< peep.fire.<name> counter, this process.
+};
+
+/// Summary of a synthesis run.
+struct SynthSummary {
+  /// Emitted rules in table order, with evidence: Fires is repurposed as
+  /// corpus support; cycle columns come via Provenance ("win=N->M").
+  std::vector<RuleInfo> Rules;
+  uint64_t CorpusFiles = 0;
+  uint64_t WindowsHarvested = 0;
+  uint64_t UniqueWindows = 0;
+  uint64_t CandidatesTried = 0;
+  uint64_t CandidatesProven = 0;   ///< Passed the symbolic oracle.
+  uint64_t CandidatesVerified = 0; ///< Also passed SemanticValidator.
+  uint64_t RulesEmitted = 0;
+  uint64_t ShardFailures = 0;
+  std::string TableText; ///< The complete rendered PeepholeRules.def.
 };
 
 /// Cache totals published by the run report.
@@ -420,6 +466,24 @@ public:
   /// \p P, and reports the scores. Deterministic in (program, seed,
   /// budget, config) for every Jobs value.
   Status tune(Program &P, const TuneRequest &Request, TuneSummary &Out);
+
+  // Rule synthesis (see DESIGN.md, "Rule synthesis").
+  /// Runs the superoptimizer synthesis loop over Request's corpus: harvest
+  /// windows, prove rewrites with the symbolic oracle plus
+  /// SemanticValidator, score survivors on the uarch model, and emit the
+  /// winners as a PeepholeRules.def table (SynthSummary::TableText, also
+  /// written to OutPath when set).
+  Status synthesize(const SynthOptions &Request, SynthSummary &Out);
+  /// The active peephole-rule table with per-rule fire counts — the
+  /// rule-provenance query behind `mao --rules`.
+  static std::vector<RuleInfo> listPeepholeRules();
+  /// Replaces the synth rule group with the rules of \p Path (a .def file,
+  /// the shape maosynth emits); `--synth-rules`. Not thread-safe; call
+  /// before optimize/tune.
+  static Status loadPeepholeRulesFile(const std::string &Path);
+  /// Re-proves every active synth-group rule (oracle + validator); the CI
+  /// gate behind `--synth-verify`. \p Detail receives a summary line.
+  static Status verifySynthRules(std::string *Detail);
 
   // Catalogue and spec parsing (registry-backed).
   static std::vector<PassCatalogEntry> listPasses();

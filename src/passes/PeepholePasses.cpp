@@ -1,7 +1,9 @@
 //===- passes/PeepholePasses.cpp - Pattern-matching peepholes ---------------===//
 ///
 /// \file
-/// The pattern-matching passes of paper Sec. III-B. They "try to cleanup
+/// The pattern-matching passes of paper Sec. III-B, now thin shims over the
+/// table-driven rewrite engine (PeepholeEngine.h): each pass runs one rule
+/// group of PeepholeRules.def over its function. They "try to cleanup
 /// redundant or bad code sequences which typically come from weaknesses or
 /// deficiencies in the compiler":
 ///
@@ -9,332 +11,92 @@
 ///   REDTEST - redundant test instructions: subl $16,%r15d ; testl %r15d,%r15d
 ///   REDMOV  - redundant memory access:     movq 24(%rsp),%rdx ; movq 24(%rsp),%rcx
 ///   ADDADD  - add/add sequences:           add $I1,rX ; ... ; add $I2,rX
+///   SYNTH   - superoptimizer-synthesized window rewrites (maosynth)
+///
+/// The matching algorithms live in PeepholeEngine.cpp; migrating them there
+/// preserved byte-identical pipeline output (PassesTest pins the patterns).
+/// Every rule application bumps its `peep.fire.<rule>` counter, which
+/// surfaces per-rule activity in `--mao-report`.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "pass/MaoPass.h"
-#include "passes/PassUtil.h"
+#include "passes/PeepholeEngine.h"
 
 using namespace mao;
 
 namespace {
 
-//===----------------------------------------------------------------------===//
-// ZEE: redundant zero extension elimination.
-//===----------------------------------------------------------------------===//
-
-/// Removes `movl %rX, %rX` (a zero-extension idiom) when the preceding
-/// definition of %rX in the same block is a 32-bit operation — every 32-bit
-/// write already zero-extends into the full register, so the move is a
-/// by-product with no effect. GCC 4.3/4.4 "does not model sign- or zero-
-/// extension well"; the sample corpus shows ~1000 occurrences.
-class ZeroExtentElimPass : public MaoFunctionPass {
+/// Shared go(): run one rule group through the engine, wiring rule firings
+/// into pass tracing and the transformation count.
+class PeepholeGroupPass : public MaoFunctionPass {
 public:
-  ZeroExtentElimPass(MaoOptionMap *Options, MaoUnit *Unit, MaoFunction *Fn)
-      : MaoFunctionPass("ZEE", Options, Unit, Fn) {}
+  PeepholeGroupPass(const char *PassName, const char *Group,
+                    MaoOptionMap *Options, MaoUnit *Unit, MaoFunction *Fn)
+      : MaoFunctionPass(PassName, Options, Unit, Fn), Group(Group) {}
 
   bool go() override {
-    CFG Graph = CFG::build(function());
-    for (BasicBlock &BB : Graph.blocks()) {
-      for (size_t I = 0; I < BB.Insns.size(); ++I) {
-        const Instruction &Insn = BB.Insns[I]->instruction();
-        if (!isSelfMove32(Insn))
-          continue;
-        if (!precedingDefZeroExtends(BB, I, Insn.Ops[0].R))
-          continue;
-        trace(1, "removing redundant zero extension: %s",
-              Insn.toString().c_str());
-        unit().erase(BB.Insns[I]);
-        BB.Insns.erase(BB.Insns.begin() + static_cast<long>(I));
-        --I;
-        countTransformation();
-      }
-    }
+    PeepholeContext Ctx{unit(), function(),
+                        [this](const PeepholeRule &R, const std::string &At) {
+                          trace(1, "rule %s fired at: %s", R.Name.c_str(),
+                                At.c_str());
+                        }};
+    countTransformation(runPeepholeGroup(Ctx, Group));
     return true;
   }
 
 private:
-  static bool isSelfMove32(const Instruction &Insn) {
-    return Insn.Mn == Mnemonic::MOV && Insn.W == Width::L &&
-           Insn.Ops.size() == 2 && Insn.Ops[0].isReg() &&
-           Insn.Ops[1].isReg() && Insn.Ops[0].R == Insn.Ops[1].R;
-  }
+  const char *Group;
+};
 
-  /// Scans backward for the nearest definition of \p R; true when it is a
-  /// 32-bit GPR write (which zero-extends) with no barrier in between.
-  bool precedingDefZeroExtends(const BasicBlock &BB, size_t MovIdx, Reg R) {
-    const RegMask Bit = regMaskBit(R);
-    for (size_t I = MovIdx; I-- > 0;) {
-      const Instruction &Prev = BB.Insns[I]->instruction();
-      const InstructionEffects Fx = Prev.effects();
-      if (Fx.Barrier)
-        return false;
-      if (!(Fx.RegDefs & Bit))
-        continue;
-      // Found the def: it must be an explicit 32-bit register write.
-      Reg Dst = plainRegDest(Prev);
-      return Dst != Reg::None && superReg(Dst) == superReg(R) &&
-             regWidth(Dst) == Width::L && !Fx.MemWrite;
-    }
-    return false; // Def not in this block: value may have set high bits.
-  }
+/// ZEE: removes `movl %rX, %rX` (a zero-extension idiom) when the
+/// preceding definition of %rX in the same block is a 32-bit operation.
+class ZeroExtentElimPass : public PeepholeGroupPass {
+public:
+  ZeroExtentElimPass(MaoOptionMap *Options, MaoUnit *Unit, MaoFunction *Fn)
+      : PeepholeGroupPass("ZEE", "zee", Options, Unit, Fn) {}
 };
 
 REGISTER_SHARDED_FUNC_PASS("ZEE", ZeroExtentElimPass)
 
-//===----------------------------------------------------------------------===//
-// REDTEST: redundant test elimination.
-//===----------------------------------------------------------------------===//
-
-/// Removes `test %r, %r` when the preceding flag-writing instruction is an
-/// ALU operation whose result landed in %r: its ZF/SF/PF already describe
-/// %r. Removal is legal only when every flag consumed downstream is in
-/// {ZF, SF, PF} — test zeroes CF/OF whereas the ALU op computed them, so a
-/// consumer of CF/OF (ja, jl, ...) would observe different values. MAO can
-/// do this because it "precisely models the x86/64 condition codes".
-class RedundantTestElimPass : public MaoFunctionPass {
+/// REDTEST: removes `test %r, %r` when the preceding flag-writing
+/// instruction is an ALU operation whose result landed in %r.
+class RedundantTestElimPass : public PeepholeGroupPass {
 public:
   RedundantTestElimPass(MaoOptionMap *Options, MaoUnit *Unit, MaoFunction *Fn)
-      : MaoFunctionPass("REDTEST", Options, Unit, Fn) {}
-
-  bool go() override {
-    FunctionAnalysis FA(function());
-    for (BasicBlock &BB : FA.Graph.blocks()) {
-      InsnLiveness IL =
-          perInstructionLiveness(FA.Graph, BB.Index, FA.Liveness);
-      for (size_t I = 0; I < BB.Insns.size(); ++I) {
-        const Instruction &Insn = BB.Insns[I]->instruction();
-        if (!isSelfTest(Insn))
-          continue;
-        const uint8_t SafeFlags = FlagZF | FlagSF | FlagPF;
-        if (IL.FlagsLiveAfter[I] & ~SafeFlags)
-          continue;
-        if (!precedingAluSetsSameFlags(BB, I, Insn))
-          continue;
-        trace(1, "removing redundant test: %s", Insn.toString().c_str());
-        unit().erase(BB.Insns[I]);
-        BB.Insns.erase(BB.Insns.begin() + static_cast<long>(I));
-        IL.RegLiveAfter.erase(IL.RegLiveAfter.begin() + static_cast<long>(I));
-        IL.FlagsLiveAfter.erase(IL.FlagsLiveAfter.begin() +
-                                static_cast<long>(I));
-        --I;
-        countTransformation();
-      }
-    }
-    return true;
-  }
-
-private:
-  static bool isSelfTest(const Instruction &Insn) {
-    return Insn.Mn == Mnemonic::TEST && Insn.Ops.size() == 2 &&
-           Insn.Ops[0].isReg() && Insn.Ops[1].isReg() &&
-           Insn.Ops[0].R == Insn.Ops[1].R;
-  }
-
-  /// Scans backward from the test: the nearest flag-writing instruction
-  /// must be a result-flag ALU op into the tested register, same width,
-  /// with no intervening redefinition of the register.
-  bool precedingAluSetsSameFlags(const BasicBlock &BB, size_t TestIdx,
-                                 const Instruction &Test) {
-    const Reg Tested = Test.Ops[0].R;
-    const RegMask Bit = regMaskBit(Tested);
-    for (size_t I = TestIdx; I-- > 0;) {
-      const Instruction &Prev = BB.Insns[I]->instruction();
-      const InstructionEffects Fx = Prev.effects();
-      if (Fx.Barrier)
-        return false;
-      if (Fx.FlagsDef) {
-        if (!flagsReflectResult(Prev.Mn))
-          return false;
-        Reg Dst = plainRegDest(Prev);
-        return Dst == Tested && Prev.W == Test.W;
-      }
-      if (Fx.RegDefs & Bit)
-        return false; // Register changed after the flags were set.
-    }
-    return false;
-  }
+      : PeepholeGroupPass("REDTEST", "redtest", Options, Unit, Fn) {}
 };
 
 REGISTER_SHARDED_FUNC_PASS("REDTEST", RedundantTestElimPass)
 
-//===----------------------------------------------------------------------===//
-// REDMOV: redundant memory access elimination.
-//===----------------------------------------------------------------------===//
-
-/// Rewrites the second of two identical loads to a register-register move:
-///   movq 24(%rsp), %rdx            movq 24(%rsp), %rdx
-///   movq 24(%rsp), %rcx    ->      movq %rdx, %rcx
-/// The rewritten sequence is two bytes shorter and performs only a single
-/// explicit memory access. Caused by "phase ordering issues and how
-/// register allocation is performed in GCC"; ~13362 occurrences in the
-/// sample corpus.
-class RedundantMemMovePass : public MaoFunctionPass {
+/// REDMOV: rewrites the second of two identical loads to a register move.
+class RedundantMemMovePass : public PeepholeGroupPass {
 public:
   RedundantMemMovePass(MaoOptionMap *Options, MaoUnit *Unit, MaoFunction *Fn)
-      : MaoFunctionPass("REDMOV", Options, Unit, Fn) {}
-
-  bool go() override {
-    CFG Graph = CFG::build(function());
-    for (BasicBlock &BB : Graph.blocks()) {
-      // Track the most recent load: (address, width) -> value register.
-      struct LastLoad {
-        bool Valid = false;
-        MemRef Addr;
-        Width W = Width::None;
-        Reg Value = Reg::None;
-      } Last;
-
-      for (EntryIter InsnIt : BB.Insns) {
-        Instruction &Insn = InsnIt->instruction();
-        const InstructionEffects Fx = Insn.effects();
-
-        if (Last.Valid && isRegLoad(Insn) && Insn.W == Last.W &&
-            Insn.Ops[0].Mem == Last.Addr &&
-            superReg(Insn.Ops[1].R) != superReg(Last.Value)) {
-          trace(1, "rewriting redundant load: %s", Insn.toString().c_str());
-          Insn.Ops[0] = Operand::makeReg(gprWithWidth(superReg(Last.Value),
-                                                      Insn.W));
-          countTransformation();
-          // The destination now holds the same value: it can forward too.
-          Last.Value = Insn.Ops[1].R;
-          continue;
-        }
-
-        // Invalidate on anything that could change the address registers,
-        // the cached value register, or memory.
-        if (Last.Valid) {
-          RegMask Watched = regMaskBit(Last.Addr.Base) |
-                            regMaskBit(Last.Addr.Index) |
-                            regMaskBit(Last.Value);
-          if (Fx.MemWrite || Fx.Barrier || (Fx.RegDefs & Watched))
-            Last.Valid = false;
-        }
-        if (isRegLoad(Insn)) {
-          // A load overwritten by itself (same dest as an address reg) is
-          // not cacheable.
-          const MemRef &M = Insn.Ops[0].Mem;
-          Reg Dst = Insn.Ops[1].R;
-          if (superReg(Dst) != superReg(M.Base) &&
-              (M.Index == Reg::None ||
-               superReg(Dst) != superReg(M.Index))) {
-            Last.Valid = true;
-            Last.Addr = M;
-            Last.W = Insn.W;
-            Last.Value = Dst;
-          }
-        }
-      }
-    }
-    return true;
-  }
-
-private:
-  /// `mov mem, %gpr` of 32- or 64-bit width (narrow widths merge and are
-  /// not worth the pattern).
-  static bool isRegLoad(const Instruction &Insn) {
-    return Insn.Mn == Mnemonic::MOV && Insn.Ops.size() == 2 &&
-           Insn.Ops[0].isMem() && Insn.Ops[1].isReg() &&
-           regIsGpr(Insn.Ops[1].R) &&
-           (Insn.W == Width::L || Insn.W == Width::Q) &&
-           !Insn.Ops[0].Mem.isRipRelative();
-  }
+      : PeepholeGroupPass("REDMOV", "redmov", Options, Unit, Fn) {}
 };
 
 REGISTER_SHARDED_FUNC_PASS("REDMOV", RedundantMemMovePass)
 
-//===----------------------------------------------------------------------===//
-// ADDADD: add/add sequence folding.
-//===----------------------------------------------------------------------===//
-
-/// Folds   add/sub $I1, rX ; <no use/def of rX, flags unread> ; add/sub $I2, rX
-/// into a single immediate operation. "Even more trivial code patterns seem
-/// to escape in today's mature compilers."
-class AddAddElimPass : public MaoFunctionPass {
+/// ADDADD: folds `add/sub $I1, rX ; ... ; add/sub $I2, rX` pairs.
+class AddAddElimPass : public PeepholeGroupPass {
 public:
   AddAddElimPass(MaoOptionMap *Options, MaoUnit *Unit, MaoFunction *Fn)
-      : MaoFunctionPass("ADDADD", Options, Unit, Fn) {}
-
-  bool go() override {
-    FunctionAnalysis FA(function());
-    for (BasicBlock &BB : FA.Graph.blocks()) {
-      bool Restart = true;
-      while (Restart) {
-        Restart = false;
-        InsnLiveness IL =
-            perInstructionLiveness(FA.Graph, BB.Index, FA.Liveness);
-        for (size_t I = 0; I + 1 < BB.Insns.size(); ++I) {
-          size_t J = findFoldablePartner(BB, I, IL);
-          if (J == 0)
-            continue;
-          foldPair(BB, I, J);
-          Restart = true; // Liveness indices shifted; recompute.
-          break;
-        }
-      }
-    }
-    return true;
-  }
-
-private:
-  static bool isImmAddSub(const Instruction &Insn) {
-    return (Insn.Mn == Mnemonic::ADD || Insn.Mn == Mnemonic::SUB) &&
-           Insn.Ops.size() == 2 && Insn.Ops[0].isConstImm() &&
-           Insn.Ops[1].isReg() &&
-           (Insn.W == Width::L || Insn.W == Width::Q);
-  }
-
-  static int64_t signedDelta(const Instruction &Insn) {
-    return Insn.Mn == Mnemonic::ADD ? Insn.Ops[0].Imm : -Insn.Ops[0].Imm;
-  }
-
-  /// Returns the index of a second add/sub on the same register that can be
-  /// folded into instruction \p I, or 0 when none.
-  size_t findFoldablePartner(const BasicBlock &BB, size_t I,
-                             const InsnLiveness &IL) {
-    const Instruction &First = BB.Insns[I]->instruction();
-    if (!isImmAddSub(First))
-      return 0;
-    const Reg RX = First.Ops[1].R;
-    const RegMask Bit = regMaskBit(RX);
-    for (size_t J = I + 1; J < BB.Insns.size(); ++J) {
-      const Instruction &Next = BB.Insns[J]->instruction();
-      const InstructionEffects Fx = Next.effects();
-      if (isImmAddSub(Next) && Next.Ops[1].R == RX && Next.W == First.W) {
-        // CF/OF of the folded op can differ from the original sequence;
-        // only fold when downstream consumers look at ZF/SF/PF at most.
-        const uint8_t SafeFlags = FlagZF | FlagSF | FlagPF;
-        if (IL.FlagsLiveAfter[J] & ~SafeFlags)
-          return 0;
-        return J;
-      }
-      if (Fx.Barrier)
-        return 0;
-      if ((Fx.RegDefs | Fx.RegUses) & Bit)
-        return 0; // rX redefined or consumed in between.
-      if (Fx.FlagsUse)
-        return 0; // Someone reads the first op's flags.
-      if (Fx.FlagsDef)
-        return 0; // Conservative: keep the flag chain simple.
-    }
-    return 0;
-  }
-
-  void foldPair(BasicBlock &BB, size_t I, size_t J) {
-    Instruction &First = BB.Insns[I]->instruction();
-    Instruction &Second = BB.Insns[J]->instruction();
-    int64_t Net = signedDelta(First) + signedDelta(Second);
-    trace(1, "folding '%s' + '%s' (net %+lld)", First.toString().c_str(),
-          Second.toString().c_str(), static_cast<long long>(Net));
-    Second.Mn = Net >= 0 ? Mnemonic::ADD : Mnemonic::SUB;
-    Second.Ops[0] = Operand::makeImm(Net >= 0 ? Net : -Net);
-    unit().erase(BB.Insns[I]);
-    BB.Insns.erase(BB.Insns.begin() + static_cast<long>(I));
-    countTransformation();
-  }
+      : PeepholeGroupPass("ADDADD", "addadd", Options, Unit, Fn) {}
 };
 
 REGISTER_SHARDED_FUNC_PASS("ADDADD", AddAddElimPass)
+
+/// SYNTH: applies the superoptimizer-synthesized window rules. Not in the
+/// default pipeline; enable with --mao-passes=SYNTH (or the tuner's
+/// --synth-tune axis), and swap the rule set with --synth-rules=FILE.
+class SynthRulesPass : public PeepholeGroupPass {
+public:
+  SynthRulesPass(MaoOptionMap *Options, MaoUnit *Unit, MaoFunction *Fn)
+      : PeepholeGroupPass("SYNTH", "synth", Options, Unit, Fn) {}
+};
+
+REGISTER_SHARDED_FUNC_PASS("SYNTH", SynthRulesPass)
 
 } // namespace
 

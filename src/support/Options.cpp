@@ -351,6 +351,40 @@ OptionRegistry buildDriverOptions(MaoCommandLine &Cmd) {
   R.addString("--tune-entry", &Cmd.TuneEntry,
               "function to emulate and score (default: bench_main, else the "
               "first function)");
+  R.addFlag("--tune-synth-axis", &Cmd.TuneSynthAxis,
+            "let the tuner toggle the synthesized rule pass as a search "
+            "axis (off by default; tune trajectories stay stable)");
+  R.addFlag("--synth", &Cmd.Synth,
+            "run the superoptimizer rule-synthesis loop over the input "
+            "instead of a pass pipeline (see DESIGN.md, \"Rule synthesis\")");
+  R.addString("--synth-out", &Cmd.SynthOut,
+              "write the synthesized PeepholeRules.def table to FILE");
+  R.addUint("--synth-window", &Cmd.SynthWindow, 2,
+            "longest harvested instruction window (1-3)");
+  R.addUint("--synth-max-rules", &Cmd.SynthMaxRules, 16,
+            "cap on emitted synthesized rules (best-supported wins kept)");
+  R.addCustom(
+      "--synth-seed",
+      [&Cmd](const std::string &Value) {
+        char *End = nullptr;
+        unsigned long long Seed = std::strtoull(Value.c_str(), &End, 10);
+        if (End == Value.c_str() || *End != '\0')
+          return MaoStatus::error("--synth-seed expects an integer; got '" +
+                                  Value + "'");
+        Cmd.SynthSeed = Seed;
+        return MaoStatus::success();
+      },
+      "provenance seed recorded in emitted rules");
+  R.addEnum("--synth-config", &Cmd.SynthConfig, {"core2", "opteron"},
+            "processor model scoring candidate replacements");
+  R.addFlag("--synth-no-workloads", &Cmd.SynthNoWorkloads,
+            "harvest only the input corpus, not generated workload code");
+  R.addString("--synth-rules", &Cmd.SynthRules,
+              "replace the synth rule group with the rules of FILE (a .def "
+              "table, the shape maosynth emits) before optimizing");
+  R.addFlag("--synth-verify", &Cmd.SynthVerify,
+            "re-prove every active synthesized rule (symbolic oracle plus "
+            "SemanticValidator) and exit; the CI gate over the rule table");
   R.setPassthrough(&Cmd.Passthrough);
   R.setPositionals(&Cmd.Inputs);
   return R;

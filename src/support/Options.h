@@ -140,6 +140,33 @@ struct MaoCommandLine {
   /// falling back to the first function in the unit).
   std::string TuneEntry;
 
+  // Rule synthesis (see DESIGN.md "Rule synthesis" and src/synth).
+  /// --synth: run the superoptimizer rule-synthesis loop over the input
+  /// (plus generated workloads) instead of a pass pipeline, and print the
+  /// emitted rule table.
+  bool Synth = false;
+  /// --synth-out=FILE: write the emitted PeepholeRules.def to FILE.
+  std::string SynthOut;
+  /// --synth-window=N: longest harvested window, in instructions (1..3).
+  unsigned SynthWindow = 2;
+  /// --synth-max-rules=N: cap on emitted rules.
+  unsigned SynthMaxRules = 16;
+  /// --synth-seed=N: recorded in rule provenance.
+  uint64_t SynthSeed = 1;
+  /// --synth-config={core2,opteron}: processor model scoring candidates.
+  std::string SynthConfig = "core2";
+  /// --synth-no-workloads: harvest only the input, not generated workloads.
+  bool SynthNoWorkloads = false;
+  /// --synth-rules=FILE: replace the synth rule group with the rules of
+  /// FILE (a .def table, the shape maosynth emits) before optimizing.
+  std::string SynthRules;
+  /// --synth-verify: re-prove every active synth rule (symbolic oracle +
+  /// SemanticValidator) and exit; the CI gate over the committed table.
+  bool SynthVerify = false;
+  /// --tune-synth-axis: let the tuner toggle the synth rule pass as a
+  /// search axis (off by default so tune trajectories stay stable).
+  bool TuneSynthAxis = false;
+
   // Observability (see DESIGN.md "Observability" and src/support/Stats.h).
   /// --mao-report=FILE: write the machine-readable run report as JSON
   /// ("-" for stdout). Non-timing sections are byte-identical for every

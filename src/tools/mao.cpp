@@ -74,6 +74,8 @@ void printUsage() {
                "           [--tune] [--tune-budget={small,medium,large,N}]\n"
                "           [--tune-report=FILE] [--tune-seed=N]\n"
                "           [--tune-config={core2,opteron}] [--tune-entry=F]\n"
+               "           [--synth] [--synth-out=FILE] [--synth-window=N]\n"
+               "           [--synth-rules=FILE] [--synth-verify]\n"
                "           [--mao-report=FILE] [--stats]\n"
                "           [--mao-trace-out=FILE] [--mao-trace-level=N]\n"
                "           [--cache-dir=DIR] [--connect=SOCKET]\n"
@@ -104,6 +106,27 @@ int main(int Argc, char **Argv) {
     std::fputs(mao::api::Session::driverHelp().c_str(), stdout);
     return ExitOk;
   }
+  // The synthesized-rule table swap happens before anything parses or
+  // optimizes so every later stage (pipeline, tuner, verifier) sees it.
+  if (!Cmd.SynthRules.empty())
+    if (mao::api::Status S =
+            mao::api::Session::loadPeepholeRulesFile(Cmd.SynthRules);
+        !S.Ok) {
+      std::fprintf(stderr, "mao: error: %s\n", S.Message.c_str());
+      return ExitParseError;
+    }
+  if (Cmd.SynthVerify) {
+    // CI gate: re-prove the active synth rules; no input file needed.
+    std::string Detail;
+    if (mao::api::Status S = mao::api::Session::verifySynthRules(&Detail);
+        !S.Ok) {
+      std::fprintf(stderr, "mao: synth-verify: %s\n", S.Message.c_str());
+      return ExitPipelineError;
+    }
+    std::fprintf(stderr, "mao: synth-verify: %s\n", Detail.c_str());
+    return ExitOk;
+  }
+
   const bool LintMode = Cmd.Lint;
   if (Cmd.Inputs.empty()) {
     printUsage();
@@ -321,6 +344,41 @@ int main(int Argc, char **Argv) {
                Parse.Lines, Parse.Instructions, Parse.OpaqueInstructions,
                Parse.Functions);
 
+  if (Cmd.Synth) {
+    mao::api::SynthOptions Request;
+    Request.CorpusPaths = Cmd.Inputs;
+    Request.IncludeWorkloads = !Cmd.SynthNoWorkloads;
+    Request.MaxWindow = Cmd.SynthWindow;
+    Request.MaxRules = Cmd.SynthMaxRules;
+    Request.Seed = Cmd.SynthSeed;
+    Request.Jobs = Cmd.Jobs;
+    Request.Config = Cmd.SynthConfig;
+    Request.OutPath = Cmd.SynthOut;
+    mao::api::SynthSummary Synth;
+    if (mao::api::Status S = Session.synthesize(Request, Synth); !S.Ok) {
+      std::fprintf(stderr, "mao: synth: %s\n", S.Message.c_str());
+      FlushObservability();
+      return ExitPipelineError;
+    }
+    std::fprintf(stderr,
+                 "mao: synth: %llu windows (%llu unique), %llu candidates, "
+                 "%llu proven, %llu verified, %llu rule(s) emitted\n",
+                 static_cast<unsigned long long>(Synth.WindowsHarvested),
+                 static_cast<unsigned long long>(Synth.UniqueWindows),
+                 static_cast<unsigned long long>(Synth.CandidatesTried),
+                 static_cast<unsigned long long>(Synth.CandidatesProven),
+                 static_cast<unsigned long long>(Synth.CandidatesVerified),
+                 static_cast<unsigned long long>(Synth.RulesEmitted));
+    for (const mao::api::RuleInfo &Rule : Synth.Rules)
+      std::fprintf(stderr, "mao: synth: %s: \"%s\" -> \"%s\" (%s)\n",
+                   Rule.Name.c_str(), Rule.Pattern.c_str(),
+                   Rule.Replacement.c_str(), Rule.Provenance.c_str());
+    if (Cmd.SynthOut.empty())
+      std::fputs(Synth.TableText.c_str(), stdout);
+    FlushObservability();
+    return ExitOk;
+  }
+
   if (Cmd.Tune) {
     mao::api::TuneRequest Request;
     Request.Entry = Cmd.TuneEntry;
@@ -328,6 +386,7 @@ int main(int Argc, char **Argv) {
     Request.Budget = Cmd.TuneBudget;
     Request.Seed = Cmd.TuneSeed;
     Request.Jobs = Cmd.Jobs;
+    Request.SynthAxis = Cmd.TuneSynthAxis;
     Request.ReportPath = Cmd.TuneReport;
     Request.ScoreCacheBudgetBytes = Cmd.ScoreCacheBudget;
     mao::api::TuneSummary Tune;

@@ -21,12 +21,20 @@
 /// rollback machinery".
 ///
 ///   maofuzz [--seeds=N] [--seed-base=B] [--inject=spec[@seed]] [--lint]
-///           [--serve] [-v]
+///           [--serve] [--synth] [-v]
 ///
 /// With --lint each clean iteration additionally runs the MaoCheck linter
 /// (which must never crash) and the semantic translation validator: the
 /// program must validate against its own clone, and every pass in the
 /// random pipeline must preserve semantics.
+///
+/// With --synth each iteration exercises the rule-synthesis pipeline
+/// (src/synth) instead: windows harvested from the seed's workload must be
+/// well-formed templates, every candidate the symbolic oracle proves must
+/// also survive the independent SemanticValidator recheck (the two provers
+/// may never disagree in the unsound direction), and a bounded end-to-end
+/// synthesis run must emit a byte-identical rule table for --mao-jobs 1
+/// and 2.
 ///
 /// With --serve each iteration exercises the service-mode contract
 /// instead: a cold Session::cacheRun, its warm hit, and a cache-less
@@ -49,6 +57,7 @@
 #include "serve/ArtifactCache.h"
 #include "serve/Protocol.h"
 #include "support/Random.h"
+#include "synth/Synth.h"
 #include "workload/Workload.h"
 
 #include <cstdio>
@@ -75,6 +84,10 @@ struct FuzzConfig {
   /// --serve: fuzz the service-mode contract (artifact cache + wire
   /// protocol) instead of the raw pipeline.
   bool Serve = false;
+  /// --synth: fuzz the rule-synthesis pipeline (harvest/prove/verify
+  /// consistency plus cross-jobs table identity) instead of the raw
+  /// pipeline.
+  bool Synth = false;
   /// Cache directory shared by every --serve iteration (content
   /// addressing keeps per-seed entries disjoint).
   std::string ServeCacheDir;
@@ -536,6 +549,120 @@ IterationResult runServeOne(uint64_t Seed, const FuzzConfig &Config) {
   return R;
 }
 
+/// One --synth iteration: prover-consistency and determinism properties of
+/// the rule-synthesis pipeline over this seed's workload.
+IterationResult runSynthOne(uint64_t Seed, const FuzzConfig &Config) {
+  IterationResult R;
+
+  auto Violate = [&](const char *What, const std::string &Detail) {
+    std::fprintf(stderr, "maofuzz: seed %llu: synth: %s: %s\n",
+                 static_cast<unsigned long long>(Seed), What, Detail.c_str());
+    R.PropertyViolated = true;
+  };
+
+  const std::string Asm = generateWorkloadAssembly(randomSpec(Seed));
+  std::vector<std::pair<std::string, std::string>> Corpus;
+  Corpus.emplace_back("fuzz.s", Asm);
+
+  // Harvest must produce well-formed, renderable windows (every template
+  // must parse back to itself — the canonical-text contract dedup and the
+  // emitter both rely on).
+  std::vector<synth::HarvestedWindow> Windows =
+      synth::harvestWindows(Corpus, /*MaxWindow=*/2, nullptr);
+  for (const synth::HarvestedWindow &W : Windows) {
+    const std::string Text = PeepholeRule::renderTemplates(W.Insns);
+    std::vector<TemplateInsn> Reparsed;
+    if (MaoStatus S = parseTemplates(Text, Reparsed)) {
+      Violate("harvested window does not re-parse", Text + ": " + S.message());
+      return R;
+    }
+    if (PeepholeRule::renderTemplates(Reparsed) != Text) {
+      Violate("harvested window render round-trip changed", Text);
+      return R;
+    }
+  }
+
+  // Prover consistency: whatever the symbolic oracle accepts, the
+  // independent SemanticValidator recheck must accept too (with the
+  // oracle's derived dead-flags guard attached). A disagreement means one
+  // of the two provers is wrong about x86 semantics. Bounded per seed to
+  // keep the smoke test's wall-clock flat.
+  unsigned Rechecked = 0;
+  for (const synth::HarvestedWindow &W : Windows) {
+    if (Rechecked >= 12)
+      break;
+    for (const std::vector<TemplateInsn> &Candidate :
+         synth::enumerateCandidates(W.Insns)) {
+      uint8_t DeadFlags = 0;
+      if (!synth::proveWindowRewrite(W.Insns, Candidate, DeadFlags))
+        continue;
+      PeepholeRule Rule;
+      Rule.Name = "FUZZ_SYN";
+      Rule.Group = "synth";
+      Rule.Strategy = RuleStrategy::Window;
+      Rule.Pattern = PeepholeRule::renderTemplates(W.Insns);
+      Rule.Guards = renderWindowGuards(DeadFlags);
+      Rule.Replacement = PeepholeRule::renderTemplates(Candidate);
+      if (MaoStatus S = compilePeepholeRule(Rule)) {
+        Violate("proven rewrite does not compile as a rule",
+                Rule.Pattern + " -> " + Rule.Replacement + ": " + S.message());
+        return R;
+      }
+      if (MaoStatus S = synth::verifyRuleWithValidator(Rule)) {
+        Violate("validator rejects an oracle-proven rewrite",
+                Rule.Pattern + " -> " + Rule.Replacement + ": " + S.message());
+        return R;
+      }
+      if (++Rechecked >= 12)
+        break;
+    }
+  }
+
+  // End to end: a bounded synthesis run over this corpus must emit a
+  // byte-identical table for one and two workers.
+  synth::SynthOptions Options;
+  Options.Corpus = Corpus;
+  Options.IncludeWorkloads = false;
+  Options.MaxWindow = 2;
+  Options.MaxRules = 4;
+  Options.Seed = Seed;
+  Options.LoopIterations = 64;
+  Options.Jobs = 1;
+  auto One = synth::synthesizeRules(Options);
+  Options.Jobs = 2;
+  auto Two = synth::synthesizeRules(Options);
+  if (!One.ok() || !Two.ok()) {
+    Violate("synthesis run failed",
+            !One.ok() ? One.message() : Two.message());
+    return R;
+  }
+  if (One->TableText != Two->TableText) {
+    Violate("emitted table differs across worker counts", "byte mismatch");
+    return R;
+  }
+  if (One->Stats.ShardFailures != 0 || Two->Stats.ShardFailures != 0) {
+    Violate("synthesis shard failed on clean path",
+            std::to_string(One->Stats.ShardFailures + Two->Stats.ShardFailures) +
+                " dropped windows");
+    return R;
+  }
+  if (One->Stats.CandidatesProven != One->Stats.CandidatesVerified) {
+    Violate("provers disagree inside the pipeline",
+            std::to_string(One->Stats.CandidatesProven) + " proven vs " +
+                std::to_string(One->Stats.CandidatesVerified) + " verified");
+    return R;
+  }
+
+  if (Config.Verbose)
+    std::fprintf(stderr,
+                 "maofuzz: seed %llu synth ok (%zu windows, %u rechecks, "
+                 "%llu rules)\n",
+                 static_cast<unsigned long long>(Seed), Windows.size(),
+                 Rechecked,
+                 static_cast<unsigned long long>(One->Stats.RulesEmitted));
+  return R;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -567,15 +694,23 @@ int main(int Argc, char **Argv) {
       Config.Lint = true;
     } else if (Arg == "--serve") {
       Config.Serve = true;
+    } else if (Arg == "--synth") {
+      Config.Synth = true;
     } else if (Arg == "-v" || Arg == "--verbose") {
       Config.Verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: maofuzz [--seeds=N] [--seed-base=B] "
                    "[--inject=site:permille,...[@seed]] [--lint] [--serve] "
-                   "[-v]\n");
+                   "[--synth] [-v]\n");
       return 2;
     }
+  }
+  if (Config.Synth && !Config.InjectSpec.empty()) {
+    // The synthesis pipeline has no fault sites; an armed injector would
+    // only skew the parse-side counters. Keep the mode clean-path only.
+    std::fprintf(stderr, "maofuzz: --synth does not combine with --inject\n");
+    return 2;
   }
 
   std::string ServeCacheRoot;
@@ -605,8 +740,9 @@ int main(int Argc, char **Argv) {
         return 2;
       }
     }
-    IterationResult R =
-        Config.Serve ? runServeOne(Seed, Config) : runOne(Seed, Config);
+    IterationResult R = Config.Synth   ? runSynthOne(Seed, Config)
+                        : Config.Serve ? runServeOne(Seed, Config)
+                                       : runOne(Seed, Config);
     if (R.PropertyViolated)
       ++Violations;
     ContainedFaults += R.InjectedFailures;

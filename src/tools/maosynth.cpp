@@ -1,0 +1,175 @@
+//===- tools/maosynth.cpp - Offline peephole-rule synthesizer ------------------===//
+///
+/// \file
+/// The offline superoptimizer front end (see DESIGN.md, "Rule synthesis"):
+///
+///   maosynth --synth-out=src/passes/PeepholeRules.def examples/*.s
+///
+/// Harvests instruction windows from the given assembly files (plus the
+/// workload generator's hot blocks unless --synth-no-workloads), proves
+/// shorter replacements equivalent, scores them on the uarch model, and
+/// emits the winning rules as a complete PeepholeRules.def. Without
+/// --synth-out the table goes to stdout; the per-rule evidence lines go to
+/// stderr either way. `--verify FILE.def` instead loads a table and re-runs
+/// the CI gate (oracle + SemanticValidator) over its synth group.
+///
+/// Exit codes: 0 success, 1 usage error, 2 input error, 3 synthesis or
+/// verification failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mao/Mao.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: maosynth [options] input.s [input2.s ...]\n"
+      "       maosynth --verify rules.def\n"
+      "\n"
+      "  --synth-out=FILE      write the emitted PeepholeRules.def to FILE\n"
+      "                        (default: stdout)\n"
+      "  --synth-window=N      longest harvested window, 1-3 (default 2)\n"
+      "  --synth-max-rules=N   cap on emitted rules (default 16)\n"
+      "  --synth-seed=N        provenance seed (default 1)\n"
+      "  --synth-config=NAME   scoring model: core2 or opteron\n"
+      "  --synth-no-workloads  harvest only the inputs, not generated\n"
+      "                        workload code\n"
+      "  --mao-jobs=N          workers for the window fan-out (0 = all\n"
+      "                        hardware threads); the emitted table is\n"
+      "                        byte-identical for every N\n"
+      "  --verify FILE         load FILE as the synth rule group and re-prove\n"
+      "                        every rule (the CI gate); no synthesis\n");
+}
+
+bool parseUnsigned(const char *Text, unsigned long long &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(Text, &End, 10);
+  return End != Text && *End == '\0';
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  mao::api::SynthOptions Options;
+  std::string VerifyPath;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      return Arg.compare(0, std::strlen(Prefix), Prefix) == 0
+                 ? Arg.c_str() + std::strlen(Prefix)
+                 : nullptr;
+    };
+    unsigned long long N = 0;
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (Arg == "--verify") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "maosynth: error: --verify expects a file\n");
+        return 1;
+      }
+      VerifyPath = Argv[++I];
+    } else if (const char *V = Value("--synth-out=")) {
+      Options.OutPath = V;
+    } else if (const char *V = Value("--synth-config=")) {
+      Options.Config = V;
+    } else if (Arg == "--synth-no-workloads") {
+      Options.IncludeWorkloads = false;
+    } else if (const char *V = Value("--synth-window=")) {
+      if (!parseUnsigned(V, N) || N < 1 || N > 3) {
+        std::fprintf(stderr, "maosynth: error: --synth-window expects 1-3\n");
+        return 1;
+      }
+      Options.MaxWindow = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--synth-max-rules=")) {
+      if (!parseUnsigned(V, N)) {
+        std::fprintf(stderr,
+                     "maosynth: error: --synth-max-rules expects a count\n");
+        return 1;
+      }
+      Options.MaxRules = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--synth-seed=")) {
+      if (!parseUnsigned(V, N)) {
+        std::fprintf(stderr,
+                     "maosynth: error: --synth-seed expects an integer\n");
+        return 1;
+      }
+      Options.Seed = N;
+    } else if (const char *V = Value("--mao-jobs=")) {
+      if (!parseUnsigned(V, N)) {
+        std::fprintf(stderr, "maosynth: error: --mao-jobs expects a count\n");
+        return 1;
+      }
+      Options.Jobs = static_cast<unsigned>(N);
+    } else if (Arg.size() >= 2 && Arg[0] == '-' && Arg[1] == '-') {
+      std::fprintf(stderr, "maosynth: error: unknown option %s\n",
+                   Arg.c_str());
+      printUsage();
+      return 1;
+    } else {
+      Options.CorpusPaths.push_back(Arg);
+    }
+  }
+
+  if (!VerifyPath.empty()) {
+    if (mao::api::Status S =
+            mao::api::Session::loadPeepholeRulesFile(VerifyPath);
+        !S.Ok) {
+      std::fprintf(stderr, "maosynth: error: %s\n", S.Message.c_str());
+      return 2;
+    }
+    std::string Detail;
+    if (mao::api::Status S = mao::api::Session::verifySynthRules(&Detail);
+        !S.Ok) {
+      std::fprintf(stderr, "maosynth: verify: %s\n", S.Message.c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "maosynth: verify: %s\n", Detail.c_str());
+    return 0;
+  }
+
+  if (Options.CorpusPaths.empty() && !Options.IncludeWorkloads) {
+    printUsage();
+    return 1;
+  }
+
+  mao::api::Session Session;
+  mao::api::SynthSummary Summary;
+  if (mao::api::Status S = Session.synthesize(Options, Summary); !S.Ok) {
+    std::fprintf(stderr, "maosynth: error: %s\n", S.Message.c_str());
+    return S.Message.find("cannot open") != std::string::npos ? 2 : 3;
+  }
+
+  std::fprintf(stderr,
+               "maosynth: %llu corpus file(s): %llu windows (%llu unique), "
+               "%llu candidates tried, %llu proven, %llu verified, "
+               "%llu shard failure(s)\n",
+               static_cast<unsigned long long>(Summary.CorpusFiles),
+               static_cast<unsigned long long>(Summary.WindowsHarvested),
+               static_cast<unsigned long long>(Summary.UniqueWindows),
+               static_cast<unsigned long long>(Summary.CandidatesTried),
+               static_cast<unsigned long long>(Summary.CandidatesProven),
+               static_cast<unsigned long long>(Summary.CandidatesVerified),
+               static_cast<unsigned long long>(Summary.ShardFailures));
+  for (const mao::api::RuleInfo &Rule : Summary.Rules)
+    std::fprintf(stderr, "maosynth: %s: \"%s\" -> \"%s\"%s%s (%s)\n",
+                 Rule.Name.c_str(), Rule.Pattern.c_str(),
+                 Rule.Replacement.c_str(),
+                 Rule.Guards.empty() ? "" : " guard ",
+                 Rule.Guards.c_str(), Rule.Provenance.c_str());
+  std::fprintf(stderr, "maosynth: %llu rule(s) emitted%s%s\n",
+               static_cast<unsigned long long>(Summary.RulesEmitted),
+               Options.OutPath.empty() ? "" : " to ",
+               Options.OutPath.c_str());
+  if (Options.OutPath.empty())
+    std::fputs(Summary.TableText.c_str(), stdout);
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include "tune/ScoreCache.h"
 
+#include "passes/PeepholeEngine.h"
+
 using namespace mao;
 
 namespace {
@@ -20,6 +22,11 @@ uint64_t fnvMix(uint64_t Hash, const void *Data, size_t Size) {
 
 uint64_t ScoreCache::keyFor(const SectionBytes &Bytes) const {
   uint64_t Hash = fnvMix(FnvOffset, ConfigName.data(), ConfigName.size());
+  // A score is a function of the bytes AND the rule table that produced
+  // them: fold the active peephole-rule digest in so a table swap
+  // (--synth-rules) can never serve a stale cycle count.
+  const uint64_t RuleDigest = peepholeRuleDigest();
+  Hash = fnvMix(Hash, &RuleDigest, sizeof(RuleDigest));
   for (const auto &[Name, Data] : Bytes) {
     Hash = fnvMix(Hash, Name.data(), Name.size());
     const uint64_t Size = Data.size();

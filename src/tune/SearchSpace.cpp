@@ -35,6 +35,8 @@ std::vector<PassRequest> TuneParams::toRequests() const {
     Out.push_back(makeRequest("REDMOV"));
   if (AddAdd)
     Out.push_back(makeRequest("ADDADD"));
+  if (Synth)
+    Out.push_back(makeRequest("SYNTH"));
   if (SchedWindow != kOff)
     Out.push_back(makeRequest(
         "SCHED", {{"window", std::to_string(SchedWindow)}}));
@@ -78,7 +80,8 @@ std::string TuneParams::toString() const {
 }
 
 SearchSpace::SearchSpace(const MaoUnit &Unit, unsigned MaxSites,
-                         unsigned MaxFunctions) {
+                         unsigned MaxFunctions, bool SynthAxis)
+    : HasSynthAxis(SynthAxis) {
   for (const MaoFunction &Fn : Unit.functions()) {
     if (Functions.size() >= MaxFunctions)
       break;
@@ -100,6 +103,7 @@ TuneParams SearchSpace::defaultParams() const {
 TuneParams SearchSpace::baselineParams() const {
   TuneParams P;
   P.Zee = P.RedTest = P.RedMov = P.AddAdd = P.NopKill = false;
+  P.Synth = false;
   P.SchedWindow = TuneParams::kOff;
   P.Loop16Max = P.LsdMaxLines = P.BralignShift = -1;
   for (const FunctionAxis &Axis : Functions)
@@ -142,6 +146,8 @@ TuneParams SearchSpace::randomParams(RandomSource &Rng) const {
   P.Loop16Max = pickAny(Loop16Choices, Rng);
   P.LsdMaxLines = pickAny(LsdChoices, Rng);
   P.BralignShift = pickAny(BralignChoices, Rng);
+  if (HasSynthAxis)
+    P.Synth = Rng.nextChance(1, 2);
   for (const FunctionAxis &Axis : Functions) {
     FunctionTuneParams F;
     F.Function = Axis.Name;
@@ -176,10 +182,16 @@ TuneParams SearchSpace::mutate(const TuneParams &P, RandomSource &Rng) const {
 TuneParams SearchSpace::mutateOnce(const TuneParams &P,
                                    RandomSource &Rng) const {
   TuneParams Q = P;
-  // Axis inventory: 9 global + 3 per function.
-  const size_t GlobalAxes = 9;
+  // Axis inventory: 9 global (10 with the gated synth axis) + 3 per
+  // function. The synth axis appends so the un-gated numbering — and with
+  // it every default tune trajectory — is unchanged.
+  const size_t GlobalAxes = HasSynthAxis ? 10 : 9;
   const size_t TotalAxes = GlobalAxes + 3 * Functions.size();
   const size_t Axis = Rng.nextBelow(TotalAxes);
+  if (HasSynthAxis && Axis == 9) {
+    Q.Synth = !Q.Synth;
+    return Q;
+  }
   switch (Axis) {
   case 0:
     Q.Zee = !Q.Zee;

@@ -51,6 +51,9 @@ struct TuneParams {
   bool RedMov = true;
   bool AddAdd = true;
   bool NopKill = false;
+  /// SYNTH (the synthesized window-rule pass). Off in the default
+  /// pipeline; only searchable when the space enables the axis.
+  bool Synth = false;
   /// SCHED window: kOff disables the pass, 0 schedules whole blocks, N > 0
   /// restricts reordering to N-instruction chunks.
   static constexpr int kOff = -2;
@@ -78,8 +81,11 @@ public:
   /// \p MaxFunctions caps how many functions get per-function axes (both
   /// keep neighbourhoods bounded on large units; axes are assigned to
   /// functions in unit order, which is deterministic).
+  /// \p SynthAxis additionally lets the search toggle the SYNTH pass
+  /// (--tune-synth-axis). Off by default: adding an axis changes the RNG
+  /// draw sequence, and default tune trajectories must stay stable.
   explicit SearchSpace(const MaoUnit &Unit, unsigned MaxSites = 32,
-                       unsigned MaxFunctions = 8);
+                       unsigned MaxFunctions = 8, bool SynthAxis = false);
 
   /// The repo's default pipeline as a point in this space.
   TuneParams defaultParams() const;
@@ -103,6 +109,7 @@ private:
     unsigned Sites = 0; ///< Directed-NOP site count (capped).
   };
   std::vector<FunctionAxis> Functions;
+  bool HasSynthAxis = false;
 };
 
 } // namespace mao

@@ -206,7 +206,8 @@ ErrorOr<TuneResult> mao::tuneUnit(MaoUnit &Unit, const TuneOptions &Options) {
   R.Seed = Options.Seed;
   R.Budget = std::max(2u, Options.Budget);
 
-  SearchSpace Space(Unit);
+  SearchSpace Space(Unit, /*MaxSites=*/32, /*MaxFunctions=*/8,
+                    Options.SynthAxis);
   RandomSource Rng(Options.Seed);
   ScoreCache Cache(Options.Config);
   Cache.setByteBudget(Options.ScoreCacheBudgetBytes);

@@ -43,6 +43,9 @@ struct TuneOptions {
   std::string Config = "core2";
   /// Search seed.
   uint64_t Seed = 1;
+  /// Let the search toggle the SYNTH (synthesized window-rule) pass as an
+  /// extra axis. Off by default so tune trajectories stay stable.
+  bool SynthAxis = false;
   /// Candidate-evaluation budget (total parameterizations scored,
   /// including the baseline and default pipeline).
   unsigned Budget = 64;
