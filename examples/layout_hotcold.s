@@ -1,0 +1,217 @@
+# Hot/cold function-layout kernel for the HOTCOLD pass and the
+# instruction-side memory hierarchy (L1I + ITLB) in the simulator.
+#
+# bench_main calls sixteen tiny helpers round-robin. Each helper is
+# preceded by a never-called "cold" function whose body ends with a
+# .p2align 12, pushing the next helper onto its own 4 KiB page: the loop
+# touches 17 code pages per iteration, thrashing the Core-2 model's
+# 16-entry LRU ITLB (every helper call pays the page-walk penalty), and
+# every helper's cache line maps to L1I set 0 (page-aligned starts), so
+# the 8-way set thrashes too. HOTCOLD moves the cold padding functions
+# behind the live ones, packing bench_main and all helpers onto one page
+# and a handful of I-cache lines; `mao --tune --tune-layout-axis` finds
+# the move and wins by a wide simulated-cycle margin.
+	.text
+	.globl	bench_main
+	.type	bench_main, @function
+bench_main:
+	movl	$600, %r10d
+	xorl	%eax, %eax
+.Lloop:
+	call	f0
+	call	f1
+	call	f2
+	call	f3
+	call	f4
+	call	f5
+	call	f6
+	call	f7
+	call	f8
+	call	f9
+	call	f10
+	call	f11
+	call	f12
+	call	f13
+	call	f14
+	call	f15
+	subl	$1, %r10d
+	jne	.Lloop
+	movl	$0, %eax
+	ret
+	.size	bench_main, .-bench_main
+
+	.type	cold0, @function
+cold0:
+	ret
+	.p2align	12
+	.size	cold0, .-cold0
+	.type	f0, @function
+f0:
+	addl	$1, %eax
+	ret
+	.size	f0, .-f0
+
+	.type	cold1, @function
+cold1:
+	ret
+	.p2align	12
+	.size	cold1, .-cold1
+	.type	f1, @function
+f1:
+	addl	$2, %eax
+	ret
+	.size	f1, .-f1
+
+	.type	cold2, @function
+cold2:
+	ret
+	.p2align	12
+	.size	cold2, .-cold2
+	.type	f2, @function
+f2:
+	addl	$3, %eax
+	ret
+	.size	f2, .-f2
+
+	.type	cold3, @function
+cold3:
+	ret
+	.p2align	12
+	.size	cold3, .-cold3
+	.type	f3, @function
+f3:
+	addl	$4, %eax
+	ret
+	.size	f3, .-f3
+
+	.type	cold4, @function
+cold4:
+	ret
+	.p2align	12
+	.size	cold4, .-cold4
+	.type	f4, @function
+f4:
+	addl	$5, %eax
+	ret
+	.size	f4, .-f4
+
+	.type	cold5, @function
+cold5:
+	ret
+	.p2align	12
+	.size	cold5, .-cold5
+	.type	f5, @function
+f5:
+	addl	$6, %eax
+	ret
+	.size	f5, .-f5
+
+	.type	cold6, @function
+cold6:
+	ret
+	.p2align	12
+	.size	cold6, .-cold6
+	.type	f6, @function
+f6:
+	addl	$7, %eax
+	ret
+	.size	f6, .-f6
+
+	.type	cold7, @function
+cold7:
+	ret
+	.p2align	12
+	.size	cold7, .-cold7
+	.type	f7, @function
+f7:
+	addl	$8, %eax
+	ret
+	.size	f7, .-f7
+
+	.type	cold8, @function
+cold8:
+	ret
+	.p2align	12
+	.size	cold8, .-cold8
+	.type	f8, @function
+f8:
+	addl	$9, %eax
+	ret
+	.size	f8, .-f8
+
+	.type	cold9, @function
+cold9:
+	ret
+	.p2align	12
+	.size	cold9, .-cold9
+	.type	f9, @function
+f9:
+	addl	$10, %eax
+	ret
+	.size	f9, .-f9
+
+	.type	cold10, @function
+cold10:
+	ret
+	.p2align	12
+	.size	cold10, .-cold10
+	.type	f10, @function
+f10:
+	addl	$11, %eax
+	ret
+	.size	f10, .-f10
+
+	.type	cold11, @function
+cold11:
+	ret
+	.p2align	12
+	.size	cold11, .-cold11
+	.type	f11, @function
+f11:
+	addl	$12, %eax
+	ret
+	.size	f11, .-f11
+
+	.type	cold12, @function
+cold12:
+	ret
+	.p2align	12
+	.size	cold12, .-cold12
+	.type	f12, @function
+f12:
+	addl	$13, %eax
+	ret
+	.size	f12, .-f12
+
+	.type	cold13, @function
+cold13:
+	ret
+	.p2align	12
+	.size	cold13, .-cold13
+	.type	f13, @function
+f13:
+	addl	$14, %eax
+	ret
+	.size	f13, .-f13
+
+	.type	cold14, @function
+cold14:
+	ret
+	.p2align	12
+	.size	cold14, .-cold14
+	.type	f14, @function
+f14:
+	addl	$15, %eax
+	ret
+	.size	f14, .-f14
+
+	.type	cold15, @function
+cold15:
+	ret
+	.p2align	12
+	.size	cold15, .-cold15
+	.type	f15, @function
+f15:
+	addl	$16, %eax
+	ret
+	.size	f15, .-f15

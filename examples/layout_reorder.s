@@ -1,0 +1,38 @@
+# Cold-block layout kernel for the BBREORDER pass. The hot loop would fit
+# comfortably in the Loop Stream Detector (two 16-byte decode lines), but a
+# dead error-handling block parked in the middle of the loop extent
+# inflates the back-branch span past the LSD's four-line limit, so every
+# iteration pays the fetch/decode path and its taken-branch bubbles.
+# BBREORDER splices the never-executed block behind the function's ret;
+# the loop then spans two lines, streams from the LSD after the warm-up
+# iterations, and drops a large fraction of its simulated cycles.
+	.text
+	.globl	bench_main
+	.type	bench_main, @function
+bench_main:
+	movl	$600, %r10d
+	xorl	%eax, %eax
+	xorl	%edx, %edx
+	xorl	%esi, %esi
+	.p2align	4
+.L0:
+	addl	$1, %eax
+	addl	$2, %edx
+	jmp	.L2
+.Lcold:
+	addl	$1000, %r9d
+	addl	$1001, %r9d
+	addl	$1002, %r9d
+	addl	$1003, %r9d
+	addl	$1004, %r9d
+	addl	$1005, %r9d
+	addl	$1006, %r9d
+	addl	$1007, %r9d
+	jmp	.L2
+.L2:
+	addl	$3, %esi
+	subl	$1, %r10d
+	jne	.L0
+	movl	$0, %eax
+	ret
+	.size	bench_main, .-bench_main

@@ -129,6 +129,36 @@ else
   fail "bench_core did not produce BENCH_core.json"
 fi
 
+# The code-layout headline: bench_layout must publish the HOTCOLD and
+# BBREORDER trajectories against the instruction-side hierarchy, and both
+# passes must actually win on their kernels (strict speedups, nonzero
+# move counts) — the layout work's reason to exist, tracked per commit.
+if [ -s "$WORK/BENCH_layout.json" ]; then
+  if ! err=$(python3 - "$WORK/BENCH_layout.json" <<'EOF' 2>&1
+import json, sys
+m = json.load(open(sys.argv[1]))["metrics"]
+required = [
+    "hotcold_moves", "hotcold_itlb_misses_before",
+    "hotcold_itlb_misses_after", "hotcold_speedup_x",
+    "bbreorder_moves", "bbreorder_lsd_uops_after", "bbreorder_speedup_x",
+]
+missing = [k for k in required if k not in m]
+if missing:
+    sys.exit("bench_layout metrics missing: " + ", ".join(missing))
+if m["hotcold_moves"] < 1 or m["bbreorder_moves"] < 1:
+    sys.exit("a layout pass moved nothing on its own kernel")
+if m["hotcold_speedup_x"] <= 1 or m["bbreorder_speedup_x"] <= 1:
+    sys.exit("a layout pass did not strictly win on its own kernel")
+if m["hotcold_itlb_misses_after"] >= m["hotcold_itlb_misses_before"]:
+    sys.exit("HOTCOLD did not reduce ITLB misses")
+EOF
+  ); then
+    fail "bench_layout headline: $err"
+  fi
+else
+  fail "bench_layout did not produce BENCH_layout.json"
+fi
+
 if [ "$FAILED" -ne 0 ]; then
   exit 1
 fi

@@ -1,6 +1,7 @@
 #!/bin/sh
-# clang-tidy gate over the autotuner, public-facade, analysis, linter, and
-# rule-synthesis sources (the newest subsystems; the rest of the tree is covered by
+# clang-tidy gate over the autotuner, public-facade, analysis, linter,
+# rule-synthesis, uarch-simulator, detection, layout-pass, and artifact-cache
+# sources (the newest subsystems; the rest of the tree is covered by
 # .clang-tidy on developer machines). Uses the repo's .clang-tidy configuration and the
 # compile database from the build tree.
 #
@@ -34,7 +35,9 @@ fi
 FAILED=0
 for file in "$SRC"/src/tune/*.cpp "$SRC"/src/mao/*.cpp \
     "$SRC"/src/analysis/*.cpp "$SRC"/src/check/*.cpp \
-    "$SRC"/src/synth/*.cpp; do
+    "$SRC"/src/synth/*.cpp "$SRC"/src/uarch/*.cpp \
+    "$SRC"/src/detect/*.cpp "$SRC"/src/passes/LayoutPasses.cpp \
+    "$SRC"/src/serve/ArtifactCache.cpp; do
   echo "tidy_tune_api: checking $file"
   if ! "$TIDY" -p "$BUILD" --quiet --warnings-as-errors='*' "$file"; then
     FAILED=1

@@ -148,6 +148,10 @@ DetectBenchmark::execute(const DetectProcessor &Proc,
       Out[Event] = Pmu.RsFullStalls;
     else if (Event == DetectProcessor::DecodeLines)
       Out[Event] = Pmu.DecodeLines;
+    else if (Event == DetectProcessor::L1IMisses)
+      Out[Event] = Pmu.L1IMisses;
+    else if (Event == DetectProcessor::ItlbMisses)
+      Out[Event] = Pmu.ItlbMisses;
     else
       return MaoStatus::error("unknown PMU event: " + Event);
   }
@@ -326,4 +330,66 @@ mao::detectForwardingBandwidth(const DetectProcessor &Proc) {
     PrevCycles = Pmu->CpuCycles;
   }
   return 6u; // Wider than the experiment can distinguish.
+}
+
+ErrorOr<unsigned> mao::detectICacheLineBytes(const DetectProcessor &Proc) {
+  // A cold straight-line sled of 8-byte NOPs misses the L1I exactly once
+  // per line it spans; two sleds differing by a known byte count make the
+  // slope delta-bytes / delta-misses the line size, with the benchmark
+  // scaffolding's own (constant) cold misses cancelling in the delta.
+  // Eight-byte NOPs divide any power-of-two line size, so no sled
+  // instruction straddles a boundary and the division is exact.
+  auto MeasureSled = [&](unsigned Nops) -> ErrorOr<uint64_t> {
+    std::string Body;
+    Body += "\t.p2align 6\n";
+    for (unsigned I = 0; I < Nops; ++I)
+      Body += "\tnop8\n";
+    auto Pmu = runDetectAssembly(Proc, Body);
+    if (!Pmu.ok())
+      return MaoStatus::error(Pmu.message());
+    return Pmu->L1IMisses;
+  };
+  auto Small = MeasureSled(128); // 1024 bytes
+  auto Large = MeasureSled(384); // 3072 bytes
+  if (!Small.ok())
+    return MaoStatus::error(Small.message());
+  if (!Large.ok())
+    return MaoStatus::error(Large.message());
+  if (*Large <= *Small)
+    return MaoStatus::error("no I-cache miss slope detected");
+  return static_cast<unsigned>(2048 / (*Large - *Small));
+}
+
+ErrorOr<unsigned> mao::detectItlbReach(const DetectProcessor &Proc) {
+  // A loop chaining jumps through K page-aligned stubs touches K + 1
+  // distinct code pages per iteration (the loop head's page plus one per
+  // stub, the last stub sharing its page with the loop tail). A
+  // fully-associative LRU ITLB is quiet once warm while K + 1 fits, and
+  // degrades to a page walk on every access as soon as it does not — the
+  // classic cyclic-access LRU cliff. The first thrashing K equals the
+  // entry count; reach is entries times the (assumed 4 KiB) page size.
+  const unsigned Trip = 200;
+  for (unsigned K = 2; K <= 48; ++K) {
+    std::string Body;
+    Body += "\tmovl $" + std::to_string(Trip) + ", %ecx\n";
+    Body += ".LITL:\n";
+    Body += "\tjmp .LITP0\n";
+    for (unsigned I = 0; I < K; ++I) {
+      Body += "\t.p2align 12\n";
+      Body += ".LITP" + std::to_string(I) + ":\n";
+      Body += I + 1 < K ? "\tjmp .LITP" + std::to_string(I + 1) + "\n"
+                        : "\tjmp .LITTAIL\n";
+    }
+    Body += ".LITTAIL:\n";
+    Body += "\tsubl $1, %ecx\n";
+    Body += "\tjne .LITL\n";
+    auto Pmu = runDetectAssembly(Proc, Body);
+    if (!Pmu.ok())
+      return MaoStatus::error(Pmu.message());
+    // Quiet runs pay only the cold walk per page; thrashing runs pay one
+    // per page per iteration.
+    if (Pmu->ItlbMisses > Trip)
+      return K * 4096;
+  }
+  return MaoStatus::error("ITLB never thrashed; reach beyond the sweep");
 }

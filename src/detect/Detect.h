@@ -49,6 +49,8 @@ public:
   static constexpr const char *BrMispredicted = "BR_MISP";
   static constexpr const char *RsFullStalls = "RESOURCE_STALLS:RS_FULL";
   static constexpr const char *DecodeLines = "DECODE_LINES";
+  static constexpr const char *L1IMisses = "L1I_MISS";
+  static constexpr const char *ItlbMisses = "ITLB_MISS";
 
 private:
   ProcessorConfig Config;
@@ -153,6 +155,17 @@ ErrorOr<unsigned> detectPredictorIndexShift(const DetectProcessor &Proc);
 /// Discovers the forwarding bandwidth: consumers of one producer until
 /// RESOURCE_STALLS:RS_FULL events appear.
 ErrorOr<unsigned> detectForwardingBandwidth(const DetectProcessor &Proc);
+
+/// Discovers the I-cache line size: two cold straight-line NOP sleds
+/// differing by a known byte count miss once per line, so the slope
+/// delta-bytes / delta-L1I-misses is the line granularity.
+ErrorOr<unsigned> detectICacheLineBytes(const DetectProcessor &Proc);
+
+/// Discovers the ITLB reach in bytes (assuming 4 KiB pages): a loop
+/// chaining jumps through K page-aligned stubs runs ITLB-quiet until the
+/// touched pages exceed the ITLB's entry count, at which point the LRU
+/// array thrashes and every iteration page-walks.
+ErrorOr<unsigned> detectItlbReach(const DetectProcessor &Proc);
 
 } // namespace mao
 

@@ -103,6 +103,11 @@ EntryIter MaoUnit::erase(EntryIter Pos) {
   return Entries.erase(Pos);
 }
 
+void MaoUnit::moveRange(EntryIter First, EntryIter Last, EntryIter Before) {
+  std::lock_guard<std::mutex> Lock(StructuralM);
+  Entries.splice(Before, Entries, First, Last);
+}
+
 MaoFunction *MaoUnit::findFunction(const std::string &Name) {
   ensureStructure();
   for (MaoFunction &Fn : Functions)

@@ -226,6 +226,13 @@ public:
   /// Removes \p Pos; returns the iterator following it.
   EntryIter erase(EntryIter Pos);
 
+  /// Moves the entry range [First, Last) to immediately before \p Before
+  /// in O(1) (a list splice): iterators into the moved range stay valid
+  /// and travel with their entries. \p Before must not lie inside
+  /// [First, Last). Like every structural edit, this leaves the
+  /// section/function views stale until rebuildStructure().
+  void moveRange(EntryIter First, EntryIter Last, EntryIter Before);
+
   /// Entry-ID block size handed to each shard of a sharded function pass.
   /// Generous: a shard exhausting its block falls back to the shared
   /// counter, which stays correct but is no longer independent of shard

@@ -195,8 +195,9 @@ void Session::armFaultInjectionFromEnv() {
 // Persistent artifact cache
 //===----------------------------------------------------------------------===//
 
-Status Session::cacheOpen(const std::string &Dir) {
+Status Session::cacheOpen(const std::string &Dir, uint64_t BudgetBytes) {
   auto Cache = std::make_unique<serve::ArtifactCache>();
+  Cache->setByteBudget(BudgetBytes);
   if (MaoStatus S = Cache->open(Dir))
     return Status::error(S.message());
   I->Cache = std::move(Cache);
@@ -218,6 +219,7 @@ ArtifactCounters Session::cacheStats() const {
   C.StoreFailures = S.StoreFailures;
   C.Quarantines = S.Quarantines;
   C.StaleTmpRemoved = S.StaleTmpRemoved;
+  C.Evictions = S.Evictions;
   C.Entries = S.Entries;
   return C;
 }
@@ -608,6 +610,10 @@ Status Session::measure(Program &P, const MeasureRequest &Request,
   Out.CondBranches = Pmu.BrCondRetired;
   Out.BranchMispredicts = Pmu.BrMispredicted;
   Out.RsFullStalls = Pmu.RsFullStalls;
+  Out.L1IHits = Pmu.L1IHits;
+  Out.L1IMisses = Pmu.L1IMisses;
+  Out.ItlbMisses = Pmu.ItlbMisses;
+  Out.LineSplitFetches = Pmu.LineSplitFetches;
   return Status::success();
 }
 
@@ -621,6 +627,7 @@ Status Session::tune(Program &P, const TuneRequest &Request,
   Opts.Seed = Request.Seed;
   Opts.Budget = tuneBudgetFromString(Request.Budget);
   Opts.SynthAxis = Request.SynthAxis;
+  Opts.LayoutAxis = Request.LayoutAxis;
   Opts.Jobs = Request.Jobs == 0 ? hardwareJobs() : Request.Jobs;
   Opts.ScoreCacheBudgetBytes = Request.ScoreCacheBudgetBytes;
   const auto Start = std::chrono::steady_clock::now();
@@ -890,6 +897,7 @@ std::string Session::reportJson(const RunReport &R, bool IncludeTimings) {
     appendKeyU64(Out, "store_failures", R.Artifact.StoreFailures);
     appendKeyU64(Out, "quarantines", R.Artifact.Quarantines);
     appendKeyU64(Out, "stale_tmp_removed", R.Artifact.StaleTmpRemoved);
+    appendKeyU64(Out, "evictions", R.Artifact.Evictions);
     appendKeyU64(Out, "entries", R.Artifact.Entries, /*Comma=*/false);
     Out += "}";
   }

@@ -152,6 +152,10 @@ struct MeasureSummary {
   uint64_t CondBranches = 0;
   uint64_t BranchMispredicts = 0;
   uint64_t RsFullStalls = 0;
+  uint64_t L1IHits = 0;
+  uint64_t L1IMisses = 0;
+  uint64_t ItlbMisses = 0;
+  uint64_t LineSplitFetches = 0;
 };
 
 /// Options for Session::tune (see DESIGN.md, "Autotuning").
@@ -164,6 +168,10 @@ struct TuneRequest {
   /// Let the search toggle the synthesized-rule pass (--tune-synth-axis);
   /// off by default so tune trajectories stay stable.
   bool SynthAxis = false;
+  /// Let the search toggle the code-layout passes — hot/cold function
+  /// splitting and I-cache basic-block reordering (--tune-layout-axis);
+  /// off by default for the same trajectory-stability reason.
+  bool LayoutAxis = false;
   std::string ReportPath; ///< When set, the JSON report is written here.
   /// Score-cache byte budget, 0 = unlimited (--mao-score-cache-budget).
   /// Eviction can only cost re-simulation, never change the result.
@@ -243,6 +251,7 @@ struct ArtifactCounters {
   uint64_t StoreFailures = 0;
   uint64_t Quarantines = 0;
   uint64_t StaleTmpRemoved = 0;
+  uint64_t Evictions = 0; ///< Entries removed to honour the byte budget.
   uint64_t Entries = 0;
 };
 
@@ -415,7 +424,9 @@ public:
   // are quarantined and recomputed, and a hit is byte-identical to a
   // recompute.
   /// Opens (creating if needed) the on-disk cache rooted at \p Dir.
-  Status cacheOpen(const std::string &Dir);
+  /// A non-zero \p BudgetBytes caps the total size of visible entries;
+  /// stores beyond the budget evict oldest entries first (--cache-budget).
+  Status cacheOpen(const std::string &Dir, uint64_t BudgetBytes = 0);
   void cacheClose();
   bool cacheIsOpen() const;
   ArtifactCounters cacheStats() const;

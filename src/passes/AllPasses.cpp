@@ -12,6 +12,7 @@ void linkAlignPasses();
 void linkSchedPass();
 void linkSimAddrPass();
 void linkPrefetchPass();
+void linkLayoutPasses();
 
 void linkAllPasses() {
   linkPeepholePasses();
@@ -22,6 +23,7 @@ void linkAllPasses() {
   linkSchedPass();
   linkSimAddrPass();
   linkPrefetchPass();
+  linkLayoutPasses();
 }
 
 } // namespace mao

@@ -3,7 +3,9 @@
 #include "serve/ArtifactCache.h"
 
 #include "support/FaultInjection.h"
+#include "support/Stats.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fcntl.h>
@@ -234,7 +236,82 @@ MaoStatus ArtifactCache::open(const std::string &Dir) {
   Root = Dir;
   StaleTmp.fetch_add(sweepStaleTmp(), std::memory_order_relaxed);
   recountEntries();
+  // A budget set before open() applies to whatever the directory already
+  // holds — reopening an over-budget cache trims it immediately.
+  enforceBudget();
   return MaoStatus::success();
+}
+
+void ArtifactCache::setByteBudget(uint64_t Bytes) {
+  BudgetBytes.store(Bytes, std::memory_order_relaxed);
+}
+
+uint64_t ArtifactCache::byteBudget() const {
+  return BudgetBytes.load(std::memory_order_relaxed);
+}
+
+unsigned ArtifactCache::enforceBudget() {
+  const uint64_t Budget = BudgetBytes.load(std::memory_order_relaxed);
+  if (Budget == 0 || !isOpen())
+    return 0;
+  struct Candidate {
+    fs::file_time_type Mtime;
+    std::string Name; ///< Tiebreak for equal mtimes: deterministic order.
+    uint64_t Size;
+  };
+  std::vector<Candidate> Files;
+  uint64_t Total = 0;
+  std::error_code Ec;
+  for (const auto &DirEntry : fs::directory_iterator(Root, Ec)) {
+    if (DirEntry.path().extension() != ".mao")
+      continue;
+    std::error_code SizeEc, TimeEc;
+    const uint64_t Size = DirEntry.file_size(SizeEc);
+    const fs::file_time_type Mtime = DirEntry.last_write_time(TimeEc);
+    if (SizeEc || TimeEc)
+      continue; // Raced with an unlink: the entry no longer counts.
+    Total += Size;
+    Files.push_back({Mtime, DirEntry.path().filename().string(), Size});
+  }
+  if (Total <= Budget)
+    return 0;
+  std::sort(Files.begin(), Files.end(),
+            [](const Candidate &A, const Candidate &B) {
+              if (A.Mtime != B.Mtime)
+                return A.Mtime < B.Mtime;
+              return A.Name < B.Name;
+            });
+  unsigned Removed = 0;
+  for (const Candidate &C : Files) {
+    if (Total <= Budget)
+      break;
+    // An unlink is atomic: the entry is either still whole or gone, so a
+    // crash anywhere in this loop leaves a consistent (if oversized)
+    // cache that the next store or open() keeps trimming.
+    std::error_code RmEc;
+    if (!fs::remove(fs::path(Root) / C.Name, RmEc) || RmEc)
+      continue; // Another evictor beat us to it; its accounting wins.
+    Total -= C.Size;
+    ++Removed;
+  }
+  if (Removed) {
+    Evicted.fetch_add(Removed, std::memory_order_relaxed);
+    StatsRegistry::instance().counter("serve.cache_evictions").add(Removed);
+    // Saturating subtract: concurrent evictors never drive Entries below
+    // zero (each entry leaves the directory exactly once).
+    uint64_t Count = Entries.load(std::memory_order_relaxed);
+    while (!Entries.compare_exchange_weak(
+        Count, Count - std::min<uint64_t>(Count, Removed),
+        std::memory_order_relaxed))
+      ;
+    // Persist the unlinks so the trim survives a host crash.
+    int DirFd = ::open(Root.c_str(), O_RDONLY | O_DIRECTORY);
+    if (DirFd >= 0) {
+      (void)::fsync(DirFd);
+      ::close(DirFd);
+    }
+  }
+  return Removed;
 }
 
 std::string ArtifactCache::entryPath(uint64_t Key) const {
@@ -276,6 +353,11 @@ MaoStatus ArtifactCache::store(uint64_t Key, const CacheEntry &Entry) {
   }
   Stores.fetch_add(1, std::memory_order_relaxed);
   Entries.fetch_add(1, std::memory_order_relaxed);
+  // Enforce the byte budget after publishing: the just-stored entry is
+  // the newest and so the last eviction candidate (unless it alone
+  // exceeds the budget, in which case evicting it is still correct —
+  // the caller holds the computed result regardless).
+  enforceBudget();
   return MaoStatus::success();
 }
 
@@ -357,6 +439,7 @@ ArtifactCache::Stats ArtifactCache::stats() const {
   S.StoreFailures = StoreFailures.load(std::memory_order_relaxed);
   S.Quarantines = Quarantines.load(std::memory_order_relaxed);
   S.StaleTmpRemoved = StaleTmp.load(std::memory_order_relaxed);
+  S.Evictions = Evicted.load(std::memory_order_relaxed);
   S.Entries = Entries.load(std::memory_order_relaxed);
   return S;
 }

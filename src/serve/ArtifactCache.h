@@ -84,6 +84,7 @@ public:
     uint64_t StoreFailures = 0;
     uint64_t Quarantines = 0;
     uint64_t StaleTmpRemoved = 0;
+    uint64_t Evictions = 0; ///< Entries removed to honour the byte budget.
     uint64_t Entries = 0; ///< *.mao files present at the last open()/fsck().
   };
 
@@ -92,8 +93,19 @@ public:
   ArtifactCache &operator=(const ArtifactCache &) = delete;
 
   /// Opens (creating if needed) the cache rooted at \p Dir and sweeps
-  /// stale temp files left by crashed writers. Idempotent.
+  /// stale temp files left by crashed writers. Idempotent. When a byte
+  /// budget is set, an over-budget directory is trimmed on open too.
   MaoStatus open(const std::string &Dir);
+
+  /// Caps the total bytes of visible entries; 0 (the default) means
+  /// unbounded. A store that pushes the cache over the budget evicts the
+  /// oldest entries (by modification time, file name as tiebreak) until
+  /// the total fits again. Eviction is a sequence of atomic unlinks plus
+  /// a directory fsync — a writer killed mid-evict leaves a smaller but
+  /// fully consistent cache, never a corrupt one, and the next store or
+  /// open() resumes trimming. May be called before or after open().
+  void setByteBudget(uint64_t Bytes);
+  uint64_t byteBudget() const;
 
   bool isOpen() const { return !Root.empty(); }
   const std::string &directory() const { return Root; }
@@ -136,14 +148,19 @@ private:
   unsigned sweepStaleTmp();
   /// Re-counts `*.mao` entries into the Entries stat.
   void recountEntries();
+  /// Evicts oldest entries until the cache fits the byte budget (no-op
+  /// when no budget is set). Returns the number of evicted entries.
+  unsigned enforceBudget();
 
   std::string Root;
+  std::atomic<uint64_t> BudgetBytes{0};
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Stores{0};
   std::atomic<uint64_t> StoreFailures{0};
   std::atomic<uint64_t> Quarantines{0};
   std::atomic<uint64_t> StaleTmp{0};
+  std::atomic<uint64_t> Evicted{0};
   std::atomic<uint64_t> Entries{0};
   std::atomic<uint64_t> TmpSeq{0}; ///< Uniquifies temp names per instance.
 };

@@ -30,7 +30,7 @@ Engine::Engine(const EngineOptions &EO) : Options(EO) {
   if (!Options.CacheDir.empty())
     // A cache that fails to open degrades to uncached service; the maod
     // main warns once at startup (cacheIsOpen() is false).
-    (void)S->cacheOpen(Options.CacheDir);
+    (void)S->cacheOpen(Options.CacheDir, Options.CacheBudgetBytes);
 }
 
 Engine::~Engine() = default;

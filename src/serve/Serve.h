@@ -42,6 +42,9 @@ namespace serve {
 /// request field exists.
 struct EngineOptions {
   std::string CacheDir;      ///< Empty: no persistent cache.
+  /// Byte budget for the persistent cache; stores beyond it evict oldest
+  /// entries first (0 = unbounded).
+  uint64_t CacheBudgetBytes = 0;
   uint32_t DefaultDeadlineMs = 0; ///< Per-request pass budget (0 = none).
   uint32_t MaxJobs = 0;      ///< Clamp on request Jobs (0 = hardware).
   /// Memory budget per request: source text larger than this is refused

@@ -301,6 +301,9 @@ OptionRegistry buildDriverOptions(MaoCommandLine &Cmd) {
   AddBudget("--mao-score-cache-budget", &Cmd.ScoreCacheBudget,
             "cap the tuner's score cache at BYTES, evicting oldest-first "
             "(0 = unlimited)");
+  AddBudget("--cache-budget", &Cmd.CacheBudget,
+            "cap the on-disk artifact cache at BYTES of entries, evicting "
+            "oldest-first (0 = unlimited)");
   R.addFlag("--lint", &Cmd.Lint,
             "run the MaoCheck linter instead of the pass pipeline");
   R.addFlag("--lint-werror", &Cmd.LintWerror,
@@ -354,6 +357,9 @@ OptionRegistry buildDriverOptions(MaoCommandLine &Cmd) {
   R.addFlag("--tune-synth-axis", &Cmd.TuneSynthAxis,
             "let the tuner toggle the synthesized rule pass as a search "
             "axis (off by default; tune trajectories stay stable)");
+  R.addFlag("--tune-layout-axis", &Cmd.TuneLayoutAxis,
+            "let the tuner toggle hot/cold function splitting and I-cache "
+            "block reordering as search axes (off by default)");
   R.addFlag("--synth", &Cmd.Synth,
             "run the superoptimizer rule-synthesis loop over the input "
             "instead of a pass pipeline (see DESIGN.md, \"Rule synthesis\")");

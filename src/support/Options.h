@@ -166,6 +166,10 @@ struct MaoCommandLine {
   /// --tune-synth-axis: let the tuner toggle the synth rule pass as a
   /// search axis (off by default so tune trajectories stay stable).
   bool TuneSynthAxis = false;
+  /// --tune-layout-axis: let the tuner toggle the code-layout passes
+  /// (hot/cold splitting, I-cache block reordering) as search axes (off
+  /// by default for the same trajectory-stability reason).
+  bool TuneLayoutAxis = false;
 
   // Observability (see DESIGN.md "Observability" and src/support/Stats.h).
   /// --mao-report=FILE: write the machine-readable run report as JSON
@@ -198,6 +202,9 @@ struct MaoCommandLine {
   /// --mao-score-cache-budget=BYTES: cap the tuner's score cache
   /// (0 = unlimited, the default).
   uint64_t ScoreCacheBudget = 0;
+  /// --cache-budget=BYTES: cap the on-disk artifact cache, evicting
+  /// oldest entries first (0 = unlimited, the default).
+  uint64_t CacheBudget = 0;
 
   /// Worker count with the 0-means-hardware-concurrency rule applied.
   unsigned effectiveJobs() const;

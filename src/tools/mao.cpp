@@ -289,7 +289,9 @@ int main(int Argc, char **Argv) {
     }
 
     if (!Cmd.CacheDir.empty())
-      if (mao::api::Status S = Session.cacheOpen(Cmd.CacheDir); !S.Ok)
+      if (mao::api::Status S = Session.cacheOpen(Cmd.CacheDir,
+                                                 Cmd.CacheBudget);
+          !S.Ok)
         std::fprintf(stderr, "mao: warning: cache disabled: %s\n",
                      S.Message.c_str());
     mao::api::CachedRunRequest Run;
@@ -387,6 +389,7 @@ int main(int Argc, char **Argv) {
     Request.Seed = Cmd.TuneSeed;
     Request.Jobs = Cmd.Jobs;
     Request.SynthAxis = Cmd.TuneSynthAxis;
+    Request.LayoutAxis = Cmd.TuneLayoutAxis;
     Request.ReportPath = Cmd.TuneReport;
     Request.ScoreCacheBudgetBytes = Cmd.ScoreCacheBudget;
     mao::api::TuneSummary Tune;

@@ -110,6 +110,7 @@ int runFsck(const std::string &Dir) {
 int main(int Argc, char **Argv) {
   std::string SocketPath;
   std::string CacheDir;
+  long CacheBudget = 0;
   bool Stdio = false;
   bool Help = false;
   std::string FsckDir;
@@ -130,6 +131,9 @@ int main(int Argc, char **Argv) {
             "serve one framed stream on stdin/stdout instead of a socket");
   R.addString("--cache-dir", &CacheDir,
               "persistent artifact cache shared by every connection");
+  R.addInt("--cache-budget", &CacheBudget, 0,
+           "cap the on-disk artifact cache at BYTES of entries, evicting "
+           "oldest-first (0 = unlimited)");
   R.addFlag("--help", &Help, "print this flag reference and exit");
   R.addInt("--max-requests", &MaxRequests, 0,
            "stop after serving this many requests (0 = serve forever)");
@@ -207,6 +211,7 @@ int main(int Argc, char **Argv) {
   mao::serve::ServerOptions Options;
   Options.SocketPath = SocketPath;
   Options.Engine.CacheDir = CacheDir;
+  Options.Engine.CacheBudgetBytes = static_cast<uint64_t>(CacheBudget);
   Options.MaxRequests = static_cast<uint64_t>(MaxRequests);
   Options.Engine.DefaultDeadlineMs = static_cast<uint32_t>(DeadlineMs);
   Options.Engine.MaxJobs = Jobs;

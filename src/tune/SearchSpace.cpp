@@ -40,6 +40,14 @@ std::vector<PassRequest> TuneParams::toRequests() const {
   if (SchedWindow != kOff)
     Out.push_back(makeRequest(
         "SCHED", {{"window", std::to_string(SchedWindow)}}));
+  // Layout passes run after the code-shrinking/reordering passes and
+  // before per-function alignment: BBREORDER settles each function's
+  // internal order, HOTCOLD settles the unit's function order, and the
+  // alignment passes then fit the final layout.
+  if (BbReorder)
+    Out.push_back(makeRequest("BBREORDER"));
+  if (HotCold)
+    Out.push_back(makeRequest("HOTCOLD"));
   for (const FunctionTuneParams &F : PerFunction) {
     if (F.AlignPow >= 0)
       Out.push_back(makeRequest("ALIGNSEL", {{"func", F.Function},
@@ -80,8 +88,9 @@ std::string TuneParams::toString() const {
 }
 
 SearchSpace::SearchSpace(const MaoUnit &Unit, unsigned MaxSites,
-                         unsigned MaxFunctions, bool SynthAxis)
-    : HasSynthAxis(SynthAxis) {
+                         unsigned MaxFunctions, bool SynthAxis,
+                         bool LayoutAxis)
+    : HasSynthAxis(SynthAxis), HasLayoutAxis(LayoutAxis) {
   for (const MaoFunction &Fn : Unit.functions()) {
     if (Functions.size() >= MaxFunctions)
       break;
@@ -148,6 +157,10 @@ TuneParams SearchSpace::randomParams(RandomSource &Rng) const {
   P.BralignShift = pickAny(BralignChoices, Rng);
   if (HasSynthAxis)
     P.Synth = Rng.nextChance(1, 2);
+  if (HasLayoutAxis) {
+    P.HotCold = Rng.nextChance(1, 2);
+    P.BbReorder = Rng.nextChance(1, 2);
+  }
   for (const FunctionAxis &Axis : Functions) {
     FunctionTuneParams F;
     F.Function = Axis.Name;
@@ -182,14 +195,27 @@ TuneParams SearchSpace::mutate(const TuneParams &P, RandomSource &Rng) const {
 TuneParams SearchSpace::mutateOnce(const TuneParams &P,
                                    RandomSource &Rng) const {
   TuneParams Q = P;
-  // Axis inventory: 9 global (10 with the gated synth axis) + 3 per
-  // function. The synth axis appends so the un-gated numbering — and with
-  // it every default tune trajectory — is unchanged.
-  const size_t GlobalAxes = HasSynthAxis ? 10 : 9;
+  // Axis inventory: 9 fixed global axes, then the gated groups (synth,
+  // then the two layout axes), then 3 per function. Gated axes append so
+  // the un-gated numbering — and with it every default tune trajectory —
+  // is unchanged.
+  size_t NextAxis = 9;
+  const size_t SynthIdx = HasSynthAxis ? NextAxis++ : ~size_t{0};
+  const size_t HotColdIdx = HasLayoutAxis ? NextAxis++ : ~size_t{0};
+  const size_t BbReorderIdx = HasLayoutAxis ? NextAxis++ : ~size_t{0};
+  const size_t GlobalAxes = NextAxis;
   const size_t TotalAxes = GlobalAxes + 3 * Functions.size();
   const size_t Axis = Rng.nextBelow(TotalAxes);
-  if (HasSynthAxis && Axis == 9) {
+  if (Axis == SynthIdx) {
     Q.Synth = !Q.Synth;
+    return Q;
+  }
+  if (Axis == HotColdIdx) {
+    Q.HotCold = !Q.HotCold;
+    return Q;
+  }
+  if (Axis == BbReorderIdx) {
+    Q.BbReorder = !Q.BbReorder;
     return Q;
   }
   switch (Axis) {

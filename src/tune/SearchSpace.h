@@ -54,6 +54,10 @@ struct TuneParams {
   /// SYNTH (the synthesized window-rule pass). Off in the default
   /// pipeline; only searchable when the space enables the axis.
   bool Synth = false;
+  /// HOTCOLD / BBREORDER (the code-layout passes). Off in the default
+  /// pipeline; only searchable when the space enables the layout axis.
+  bool HotCold = false;
+  bool BbReorder = false;
   /// SCHED window: kOff disables the pass, 0 schedules whole blocks, N > 0
   /// restricts reordering to N-instruction chunks.
   static constexpr int kOff = -2;
@@ -84,8 +88,12 @@ public:
   /// \p SynthAxis additionally lets the search toggle the SYNTH pass
   /// (--tune-synth-axis). Off by default: adding an axis changes the RNG
   /// draw sequence, and default tune trajectories must stay stable.
+  /// \p LayoutAxis likewise gates the HOTCOLD and BBREORDER code-layout
+  /// axes (--tune-layout-axis); both gated axis groups append after the
+  /// fixed nine so every un-gated trajectory is unchanged.
   explicit SearchSpace(const MaoUnit &Unit, unsigned MaxSites = 32,
-                       unsigned MaxFunctions = 8, bool SynthAxis = false);
+                       unsigned MaxFunctions = 8, bool SynthAxis = false,
+                       bool LayoutAxis = false);
 
   /// The repo's default pipeline as a point in this space.
   TuneParams defaultParams() const;
@@ -110,6 +118,7 @@ private:
   };
   std::vector<FunctionAxis> Functions;
   bool HasSynthAxis = false;
+  bool HasLayoutAxis = false;
 };
 
 } // namespace mao

@@ -207,7 +207,7 @@ ErrorOr<TuneResult> mao::tuneUnit(MaoUnit &Unit, const TuneOptions &Options) {
   R.Budget = std::max(2u, Options.Budget);
 
   SearchSpace Space(Unit, /*MaxSites=*/32, /*MaxFunctions=*/8,
-                    Options.SynthAxis);
+                    Options.SynthAxis, Options.LayoutAxis);
   RandomSource Rng(Options.Seed);
   ScoreCache Cache(Options.Config);
   Cache.setByteBudget(Options.ScoreCacheBudgetBytes);

@@ -46,6 +46,9 @@ struct TuneOptions {
   /// Let the search toggle the SYNTH (synthesized window-rule) pass as an
   /// extra axis. Off by default so tune trajectories stay stable.
   bool SynthAxis = false;
+  /// Let the search toggle the HOTCOLD and BBREORDER code-layout passes
+  /// as extra axes. Off by default for the same reason.
+  bool LayoutAxis = false;
   /// Candidate-evaluation budget (total parameterizations scored,
   /// including the baseline and default pipeline).
   unsigned Budget = 64;

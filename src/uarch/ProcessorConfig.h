@@ -25,12 +25,19 @@
 #ifndef MAO_UARCH_PROCESSORCONFIG_H
 #define MAO_UARCH_PROCESSORCONFIG_H
 
+#include <cstdint>
 #include <string>
 
 namespace mao {
 
 struct ProcessorConfig {
   std::string Name = "generic";
+
+  /// Cache replacement policies the instruction side can be configured
+  /// with. The data side stays true LRU (its non-temporal-fill contract
+  /// depends on exact recency order); real L1I arrays are usually tree
+  /// pseudo-LRU, which the model reproduces for power-of-two way counts.
+  enum class Repl : uint8_t { Lru, PseudoLru };
 
   // Front end.
   unsigned DecodeLineBytes = 16; ///< Fetch/decode window granularity.
@@ -60,13 +67,22 @@ struct ProcessorConfig {
   /// (the Sec. III-F RESOURCE_STALLS:RS_FULL mechanism).
   unsigned ForwardingBandwidth = 2;
   bool AsymmetricPorts = true;      ///< Honour per-opcode port masks.
+  unsigned NumPorts = 6;            ///< Execution ports (<= 8).
 
   // Memory hierarchy.
   unsigned L1LoadLatency = 3;
   unsigned L1Sets = 64, L1Ways = 8, LineBytes = 64; ///< 32 KiB L1D.
   unsigned L2Latency = 14;
-  unsigned L2Sets = 4096, L2Ways = 16;              ///< 4 MiB L2.
+  unsigned L2Sets = 4096, L2Ways = 16;              ///< 4 MiB L2 (I+D shared).
   unsigned MemLatency = 160;
+
+  // Instruction-side hierarchy. The L1I shares LineBytes with the data
+  // side and competes with it for the same L2 arrays.
+  unsigned L1ISets = 64, L1IWays = 8;  ///< 32 KiB L1I.
+  Repl L1IRepl = Repl::PseudoLru;      ///< Core-2 L1I is tree pseudo-LRU.
+  unsigned ItlbEntries = 16;           ///< Fully associative, LRU.
+  unsigned ItlbPageBytes = 4096;
+  unsigned ItlbMissPenalty = 20;       ///< Page-walk cycles added to fetch.
 
   /// Intel Core-2-like machine (the paper's primary platform).
   static ProcessorConfig core2() {
@@ -89,10 +105,16 @@ struct ProcessorConfig {
     C.BtbEntries = 2048;
     C.MispredictPenalty = 12;
     C.AsymmetricPorts = false;
+    C.NumPorts = 3; // Three symmetric integer pipes.
     C.ForwardingBandwidth = 3;
     C.L1Sets = 512;
     C.L1Ways = 2; // 64 KiB, 2-way: the K8 L1.
     C.L2Latency = 20;
+    C.L1ISets = 512;
+    C.L1IWays = 2; // 64 KiB, 2-way L1I, true LRU.
+    C.L1IRepl = Repl::Lru;
+    C.ItlbEntries = 32;
+    C.ItlbMissPenalty = 25;
     return C;
   }
 

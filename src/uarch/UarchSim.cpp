@@ -23,13 +23,51 @@ template <typename Fn> void forEachRegSlot(RegMask Mask, Fn Callback) {
   }
 }
 
+// Tree pseudo-LRU over a power-of-two way count. The W-1 internal nodes
+// are heap-indexed from 1; bit set means "victim is in the right subtree".
+// An access flips every node on its root-to-way path to point away from
+// the accessed way — the classic one-bit-per-node approximation of LRU.
+
+unsigned plruVictim(uint32_t Bits, unsigned Ways) {
+  unsigned Node = 1, Lo = 0, Hi = Ways;
+  while (Hi - Lo > 1) {
+    const unsigned Mid = (Lo + Hi) / 2;
+    if (Bits & (1u << Node)) {
+      Lo = Mid;
+      Node = Node * 2 + 1;
+    } else {
+      Hi = Mid;
+      Node = Node * 2;
+    }
+  }
+  return Lo;
+}
+
+uint32_t plruTouch(uint32_t Bits, unsigned Ways, unsigned Way) {
+  unsigned Node = 1, Lo = 0, Hi = Ways;
+  while (Hi - Lo > 1) {
+    const unsigned Mid = (Lo + Hi) / 2;
+    if (Way < Mid) {
+      Bits |= 1u << Node;
+      Hi = Mid;
+      Node = Node * 2;
+    } else {
+      Bits &= ~(1u << Node);
+      Lo = Mid;
+      Node = Node * 2 + 1;
+    }
+  }
+  return Bits;
+}
+
 } // namespace
 
 UarchSimulator::UarchSimulator(const ProcessorConfig &Config) : Cfg(Config) {
   Predictor.assign(Cfg.BtbEntries, 2); // Weakly taken.
   L1.assign(Cfg.L1Sets, {});
   L2.assign(Cfg.L2Sets, {});
-  PortFree.fill(0);
+  L1I.assign(Cfg.L1ISets, {});
+  PortFree.assign(std::clamp(Cfg.NumPorts, 1u, 8u), 0);
   RegReady.fill(0);
 }
 
@@ -70,56 +108,128 @@ void UarchSimulator::noteBranch(const TraceEvent &Event, bool Taken,
   }
 }
 
+bool UarchSimulator::cacheLookup(std::vector<CacheWay> &Set, uint64_t Tag,
+                                 bool MoveToFront) {
+  for (size_t I = 0; I < Set.size(); ++I) {
+    if (Set[I].Tag != Tag)
+      continue;
+    if (MoveToFront && I != 0) {
+      CacheWay W = Set[I];
+      Set.erase(Set.begin() + static_cast<long>(I));
+      Set.insert(Set.begin(), W);
+    }
+    return true;
+  }
+  return false;
+}
+
+void UarchSimulator::cacheFill(std::vector<CacheWay> &Set, uint64_t Tag,
+                               unsigned Ways, bool NonTemporal) {
+  if (NonTemporal && !Set.empty() && Set.size() >= Ways) {
+    // Non-temporal fill replaces only the LRU way and stays LRU: a
+    // single way of the set is recycled, preserving the hot ways
+    // (the paper's "always replacing a single way" behaviour).
+    Set.back() = {Tag, true};
+    return;
+  }
+  Set.insert(Set.begin(), {Tag, NonTemporal});
+  if (Set.size() > Ways)
+    Set.pop_back();
+}
+
 unsigned UarchSimulator::memoryAccess(uint64_t Address, bool IsStore,
                                       bool NonTemporal) {
   const uint64_t Line = Address / Cfg.LineBytes;
 
-  auto Lookup = [](std::vector<CacheWay> &Set, uint64_t Tag,
-                   bool MoveToFront) -> bool {
-    for (size_t I = 0; I < Set.size(); ++I) {
-      if (Set[I].Tag != Tag)
-        continue;
-      if (MoveToFront && I != 0) {
-        CacheWay W = Set[I];
-        Set.erase(Set.begin() + static_cast<long>(I));
-        Set.insert(Set.begin(), W);
-      }
-      return true;
-    }
-    return false;
-  };
-  auto Fill = [](std::vector<CacheWay> &Set, uint64_t Tag, unsigned Ways,
-                 bool NT) {
-    if (NT && !Set.empty() && Set.size() >= Ways) {
-      // Non-temporal fill replaces only the LRU way and stays LRU: a
-      // single way of the set is recycled, preserving the hot ways
-      // (the paper's "always replacing a single way" behaviour).
-      Set.back() = {Tag, true};
-      return;
-    }
-    Set.insert(Set.begin(), {Tag, NT});
-    if (Set.size() > Ways)
-      Set.pop_back();
-  };
-
   std::vector<CacheWay> &L1Set = L1[Line % Cfg.L1Sets];
-  if (Lookup(L1Set, Line, /*MoveToFront=*/!NonTemporal)) {
+  if (cacheLookup(L1Set, Line, /*MoveToFront=*/!NonTemporal)) {
     ++Pmu.L1Hits;
     return Cfg.L1LoadLatency;
   }
   ++Pmu.L1Misses;
   std::vector<CacheWay> &L2Set = L2[Line % Cfg.L2Sets];
   unsigned Latency;
-  if (Lookup(L2Set, Line, true)) {
+  if (cacheLookup(L2Set, Line, true)) {
     Latency = Cfg.L2Latency;
   } else {
     ++Pmu.L2Misses;
     Latency = Cfg.MemLatency;
-    Fill(L2Set, Line, Cfg.L2Ways, NonTemporal);
+    cacheFill(L2Set, Line, Cfg.L2Ways, NonTemporal);
   }
-  Fill(L1Set, Line, Cfg.L1Ways, NonTemporal);
+  cacheFill(L1Set, Line, Cfg.L1Ways, NonTemporal);
   (void)IsStore;
   return Latency;
+}
+
+void UarchSimulator::instructionFetch(uint64_t Line) {
+  // Translation precedes fetch: a fully associative, true-LRU ITLB over
+  // the code pages. A miss charges the page-walk penalty to the front end.
+  const uint64_t Page = Line * Cfg.LineBytes / Cfg.ItlbPageBytes;
+  bool TlbHit = false;
+  for (size_t I = 0; I < Itlb.size(); ++I) {
+    if (Itlb[I] != Page)
+      continue;
+    if (I != 0) {
+      Itlb.erase(Itlb.begin() + static_cast<long>(I));
+      Itlb.insert(Itlb.begin(), Page);
+    }
+    TlbHit = true;
+    break;
+  }
+  if (!TlbHit) {
+    ++Pmu.ItlbMisses;
+    FrontCycle += Cfg.ItlbMissPenalty;
+    Itlb.insert(Itlb.begin(), Page);
+    if (Itlb.size() > Cfg.ItlbEntries)
+      Itlb.pop_back();
+  }
+
+  // L1I with the configured replacement policy. Tree pseudo-LRU needs a
+  // power-of-two way count; other geometries fall back to true LRU.
+  ICacheSet &Set = L1I[Line % Cfg.L1ISets];
+  const bool Plru = Cfg.L1IRepl == ProcessorConfig::Repl::PseudoLru &&
+                    Cfg.L1IWays > 1 && (Cfg.L1IWays & (Cfg.L1IWays - 1)) == 0;
+  for (size_t I = 0; I < Set.Ways.size(); ++I) {
+    if (Set.Ways[I] != Line)
+      continue;
+    if (Plru) {
+      Set.PlruBits =
+          plruTouch(Set.PlruBits, Cfg.L1IWays, static_cast<unsigned>(I));
+    } else if (I != 0) {
+      Set.Ways.erase(Set.Ways.begin() + static_cast<long>(I));
+      Set.Ways.insert(Set.Ways.begin(), Line);
+    }
+    ++Pmu.L1IHits;
+    return;
+  }
+  ++Pmu.L1IMisses;
+
+  // The I-side competes with the D-side for the same unified L2 arrays:
+  // instruction misses evict data lines and vice versa.
+  std::vector<CacheWay> &L2Set = L2[Line % Cfg.L2Sets];
+  if (cacheLookup(L2Set, Line, true)) {
+    FrontCycle += Cfg.L2Latency;
+  } else {
+    ++Pmu.L2Misses;
+    FrontCycle += Cfg.MemLatency;
+    cacheFill(L2Set, Line, Cfg.L2Ways, false);
+  }
+
+  if (Plru) {
+    unsigned Way;
+    if (Set.Ways.size() < Cfg.L1IWays) {
+      Way = static_cast<unsigned>(Set.Ways.size());
+      Set.Ways.push_back(Line);
+    } else {
+      Way = plruVictim(Set.PlruBits, Cfg.L1IWays);
+      Set.Ways[Way] = Line;
+    }
+    Set.PlruBits = plruTouch(Set.PlruBits, Cfg.L1IWays, Way);
+  } else {
+    Set.Ways.insert(Set.Ways.begin(), Line);
+    if (Set.Ways.size() > Cfg.L1IWays)
+      Set.Ways.pop_back();
+  }
 }
 
 uint64_t UarchSimulator::frontEnd(const TraceEvent &Event, unsigned Uops) {
@@ -129,9 +239,26 @@ uint64_t UarchSimulator::frontEnd(const TraceEvent &Event, unsigned Uops) {
   // streaming, the taken-branch fetch bubble disappears (see noteBranch),
   // but decode-line costs remain — which is exactly why the paper's
   // short-loop-alignment cliff (LOOP16) exists on machines with an LSD.
-  if (LsdStreaming && Event.Address >= LsdLoopStart &&
-      Event.Address < LsdLoopEnd)
+  const bool Streaming = LsdStreaming && Event.Address >= LsdLoopStart &&
+                         Event.Address < LsdLoopEnd;
+  if (Streaming) {
     Pmu.LsdUops += Uops;
+  } else {
+    // Instruction fetch walks the I-side hierarchy (ITLB, L1I, shared L2)
+    // for every cache line the instruction's bytes occupy. Streamed loops
+    // bypass fetch entirely — the LSD replays already-fetched uops.
+    const int64_t FirstILine = Event.Address / Cfg.LineBytes;
+    const int64_t LastILine =
+        (Event.Address + std::max<int64_t>(Event.Size, 1) - 1) / Cfg.LineBytes;
+    if (LastILine != FirstILine)
+      ++Pmu.LineSplitFetches;
+    for (int64_t L = FirstILine; L <= LastILine; ++L) {
+      if (L == LastFetchLine)
+        continue; // Sequential fetch stays within the already-read line.
+      instructionFetch(static_cast<uint64_t>(L));
+      LastFetchLine = L;
+    }
+  }
 
   const int64_t FirstLine = Event.Address / Cfg.DecodeLineBytes;
   const int64_t LastLine =
@@ -204,13 +331,19 @@ void UarchSimulator::backEnd(const TraceEvent &Event, uint64_t ReadyCycle) {
     }
   });
 
-  // Execution-port contention.
-  uint8_t Mask = Cfg.AsymmetricPorts ? Info.Ports : PortsAluAny;
+  // Execution-port contention. The port count comes from the config
+  // (Core-2-like: 6; Opteron-like: 3 symmetric integer pipes); a
+  // symmetric machine treats every port as issue-capable for any uop.
+  const unsigned Ports = static_cast<unsigned>(PortFree.size());
+  const uint8_t Reachable = static_cast<uint8_t>((1u << Ports) - 1);
+  uint8_t Mask = Cfg.AsymmetricPorts ? Info.Ports : Reachable;
   if (Mask == 0)
     Mask = PortsAluAny;
+  if ((Mask & Reachable) == 0)
+    Mask = Reachable; // Opcode mask names only ports this machine lacks.
   unsigned BestPort = 0;
   uint64_t BestStart = ~0ULL;
-  for (unsigned P = 0; P < 6; ++P) {
+  for (unsigned P = 0; P < Ports; ++P) {
     if (!(Mask & (1u << P)))
       continue;
     uint64_t Start = std::max(Ready, PortFree[P]);
@@ -225,22 +358,37 @@ void UarchSimulator::backEnd(const TraceEvent &Event, uint64_t ReadyCycle) {
   unsigned Latency = Info.Latency;
   const bool IsPrefetch = Info.Kind == EncKind::Prefetch;
   if (Event.MemAddr && !IsPrefetch) {
+    const uint64_t Line = *Event.MemAddr / Cfg.LineBytes;
     if (Fx.MemRead) {
-      const bool NT = NextLoadNonTemporal &&
-                      *Event.MemAddr / Cfg.LineBytes == LastPrefetchLine;
-      unsigned MemLat = memoryAccess(*Event.MemAddr, false, NT);
+      // A load to a recently-prefetched line keeps the non-temporal
+      // placement its prefetchnta asked for; the hint survives unrelated
+      // stores and further prefetches in between (it used to be a
+      // single-entry latch that any intervening access clobbered), and
+      // is consumed by the load it targeted.
+      bool NonTemporal = false;
+      auto It =
+          std::find(PrefetchedLines.begin(), PrefetchedLines.end(), Line);
+      if (It != PrefetchedLines.end()) {
+        NonTemporal = true;
+        PrefetchedLines.erase(It);
+      }
+      unsigned MemLat = memoryAccess(*Event.MemAddr, false, NonTemporal);
       Latency = std::max(Latency, MemLat);
     } else if (Fx.MemWrite) {
       memoryAccess(*Event.MemAddr, true, false);
     }
-    NextLoadNonTemporal = false;
   }
   if (IsPrefetch && Event.MemAddr) {
     // The prefetch touches the cache with non-temporal placement but is
     // off the critical path.
     memoryAccess(*Event.MemAddr, false, true);
-    NextLoadNonTemporal = true;
-    LastPrefetchLine = *Event.MemAddr / Cfg.LineBytes;
+    const uint64_t Line = *Event.MemAddr / Cfg.LineBytes;
+    if (std::find(PrefetchedLines.begin(), PrefetchedLines.end(), Line) ==
+        PrefetchedLines.end()) {
+      PrefetchedLines.push_back(Line);
+      if (PrefetchedLines.size() > PrefetchWindow)
+        PrefetchedLines.erase(PrefetchedLines.begin());
+    }
   }
 
   const uint64_t Completion = BestStart + Latency;
@@ -347,4 +495,8 @@ void PmuCounters::exportTo(StatsRegistry &Stats) const {
   Stats.counter("uarch.l1_hits").add(L1Hits);
   Stats.counter("uarch.l1_misses").add(L1Misses);
   Stats.counter("uarch.l2_misses").add(L2Misses);
+  Stats.counter("uarch.l1i_hits").add(L1IHits);
+  Stats.counter("uarch.l1i_misses").add(L1IMisses);
+  Stats.counter("uarch.itlb_misses").add(ItlbMisses);
+  Stats.counter("uarch.line_split_fetches").add(LineSplitFetches);
 }

@@ -47,6 +47,10 @@ struct PmuCounters {
   uint64_t L1Hits = 0;
   uint64_t L1Misses = 0;
   uint64_t L2Misses = 0;
+  uint64_t L1IHits = 0;         ///< I-cache line fetches served by L1I.
+  uint64_t L1IMisses = 0;
+  uint64_t ItlbMisses = 0;
+  uint64_t LineSplitFetches = 0; ///< Instructions spanning two I-cache lines.
 
   double ipc() const {
     return CpuCycles ? static_cast<double>(InstRetired) /
@@ -88,6 +92,10 @@ private:
   /// Returns the load-to-use latency for \p Address and updates the caches.
   unsigned memoryAccess(uint64_t Address, bool IsStore, bool NonTemporal);
 
+  /// Brings one I-cache line in through ITLB -> L1I -> shared L2, charging
+  /// miss penalties to the front end. Called only while not LSD-streaming.
+  void instructionFetch(uint64_t Line);
+
   // --- Back end ------------------------------------------------------------
   void backEnd(const TraceEvent &Event, uint64_t ReadyCycle);
 
@@ -115,7 +123,7 @@ private:
   // Back-end state.
   std::array<uint64_t, 48> RegReady{}; ///< 16 GPR + 16 XMM + flags at [32].
   std::array<uint64_t, 48> ForwardUses{}; ///< Consumers served at RegReady.
-  std::array<uint64_t, 6> PortFree{};
+  std::vector<uint64_t> PortFree;      ///< Sized from Cfg.NumPorts.
   std::deque<uint64_t> InFlight;       ///< Completion cycles (RS window).
   uint64_t LastCompletion = 0;
   uint64_t MemReadyCycle = 0;          ///< Simple store-ordering point.
@@ -125,9 +133,34 @@ private:
     uint64_t Tag;
     bool NonTemporal;
   };
+  /// True LRU lookup; shared by the D-side L1 and the unified L2 (which
+  /// also serves instruction fetch). Hits move to front unless the access
+  /// is non-temporal.
+  static bool cacheLookup(std::vector<CacheWay> &Set, uint64_t Tag,
+                          bool MoveToFront);
+  /// Fills \p Tag into \p Set. Non-temporal fills replace only the LRU
+  /// way so they cannot displace more than one resident line.
+  static void cacheFill(std::vector<CacheWay> &Set, uint64_t Tag,
+                        unsigned Ways, bool NonTemporal);
   std::vector<std::vector<CacheWay>> L1, L2;
-  bool NextLoadNonTemporal = false;
-  uint64_t LastPrefetchLine = ~0ULL;
+
+  /// Lines touched by a recent prefetchnta whose non-temporal hint has not
+  /// yet been consumed by a load. Small FIFO: a burst of prefetches (or
+  /// intervening stores) no longer drops earlier hints.
+  static constexpr size_t PrefetchWindow = 8;
+  std::vector<uint64_t> PrefetchedLines;
+
+  // Instruction-side hierarchy.
+  /// One L1I set: way tags ordered most-recent-first when the policy is
+  /// true LRU; at fixed positions (with PlruBits picking victims) when the
+  /// policy is tree pseudo-LRU.
+  struct ICacheSet {
+    std::vector<uint64_t> Ways;
+    uint32_t PlruBits = 0;
+  };
+  std::vector<ICacheSet> L1I;
+  std::vector<uint64_t> Itlb;   ///< Fully associative pages, front = MRU.
+  int64_t LastFetchLine = -1;   ///< Last I-line touched (fetch is sequential).
 
   bool Finished = false;
 };

@@ -83,6 +83,47 @@ TEST(Detect, RecoversCore2Parameters) {
   EXPECT_EQ(*Fwd, 2u);
 }
 
+TEST(Detect, RecoversCore2InstructionSideParameters) {
+  DetectProcessor Proc(ProcessorConfig::core2());
+  auto Line = detectICacheLineBytes(Proc);
+  ASSERT_TRUE(Line.ok()) << Line.message();
+  EXPECT_EQ(*Line, 64u);
+  auto Reach = detectItlbReach(Proc);
+  ASSERT_TRUE(Reach.ok()) << Reach.message();
+  EXPECT_EQ(*Reach, 16u * 4096u) << "16-entry ITLB, 4 KiB pages";
+}
+
+TEST(Detect, RecoversOpteronInstructionSideParameters) {
+  DetectProcessor Proc(ProcessorConfig::opteron());
+  auto Line = detectICacheLineBytes(Proc);
+  ASSERT_TRUE(Line.ok()) << Line.message();
+  EXPECT_EQ(*Line, 64u);
+  auto Reach = detectItlbReach(Proc);
+  ASSERT_TRUE(Reach.ok()) << Reach.message();
+  EXPECT_EQ(*Reach, 32u * 4096u) << "32-entry ITLB, 4 KiB pages";
+}
+
+TEST(Benchmark, ReportsInstructionSideEvents) {
+  DetectProcessor Proc(ProcessorConfig::core2());
+  RandomSource Rng(4);
+  InstructionSequence Seq(Proc);
+  Seq.setDagType(DagType::Disjoint);
+  Seq.setLength(6);
+  Seq.generate(Rng);
+  LoopSpec Loop;
+  Loop.Sequences.push_back(Seq);
+  Loop.TripCount = 100;
+  DetectBenchmark Bench({Loop});
+  auto Results = Bench.execute(
+      Proc, {DetectProcessor::L1IMisses, DetectProcessor::ItlbMisses});
+  ASSERT_TRUE(Results.ok()) << Results.message();
+  // A warm loop misses each of its lines and pages exactly once.
+  EXPECT_GT((*Results)[DetectProcessor::L1IMisses], 0u);
+  EXPECT_GT((*Results)[DetectProcessor::ItlbMisses], 0u);
+  EXPECT_LT((*Results)[DetectProcessor::L1IMisses], 16u);
+  EXPECT_LT((*Results)[DetectProcessor::ItlbMisses], 4u);
+}
+
 TEST(Detect, RecoversOpteronParameters) {
   DetectProcessor Proc(ProcessorConfig::opteron());
   auto Lsd = detectLsdMaxLines(Proc);

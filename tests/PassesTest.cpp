@@ -702,6 +702,86 @@ TEST(Pipeline, UnknownPassFails) {
   EXPECT_FALSE(R.Ok);
 }
 
+TEST(BBREORDER, MovesJumpedOverBlockWithBranchInversion) {
+  // A conditionally skipped block inside the loop ends in an
+  // unconditional jump: BBREORDER inverts the guarding branch and moves
+  // the block out of the fallthrough path (shrinking the loop extent).
+  const std::string Asm = wrapFunction("\tmovl $5, %ecx\n"
+                                       "\txorl %eax, %eax\n"
+                                       "\txorl %ebx, %ebx\n"
+                                       ".L0:\n"
+                                       "\taddl $1, %eax\n"
+                                       "\tcmpl $3, %eax\n"
+                                       "\tje .LSKIP\n"
+                                       "\taddl $10, %ebx\n"
+                                       "\tjmp .LNEXT\n"
+                                       ".LSKIP:\n"
+                                       "\taddl $100, %ebx\n"
+                                       ".LNEXT:\n"
+                                       "\tsubl $1, %ecx\n"
+                                       "\tjne .L0\n"
+                                       "\tret\n");
+  MaoUnit Unit = parseOk(Asm);
+  EXPECT_EQ(runPass(Unit, "BBREORDER"), 1u);
+  // The moved block now lives after the function's final ret.
+  std::string Text = emitAssembly(Unit);
+  EXPECT_GT(Text.find("addl $10, %ebx"), Text.find("ret"));
+  expectSemanticsPreserved(Asm, "BBREORDER", {Reg::RAX, Reg::RBX, Reg::RCX});
+}
+
+TEST(BBREORDER, LeavesPlainLoopsAlone) {
+  // Nothing to move in a straight counted loop: the only candidate
+  // blocks are the loop spine itself.
+  MaoUnit Unit = parseOk(wrapFunction("\tmovl $10, %ecx\n"
+                                      ".L0:\n"
+                                      "\taddl $1, %eax\n"
+                                      "\tsubl $1, %ecx\n"
+                                      "\tjne .L0\n"
+                                      "\tret\n"));
+  EXPECT_EQ(runPass(Unit, "BBREORDER"), 0u);
+}
+
+TEST(HOTCOLD, MovesUnreachableFunctionsBehindLiveOnes) {
+  // cold1/cold2 are neither exported nor called: both move behind the
+  // live f/g pair, un-interleaving the layout.
+  const std::string Asm = "\t.text\n"
+                          "\t.globl f\n\t.type f, @function\nf:\n"
+                          "\tcall g\n\taddl $1, %eax\n\tret\n"
+                          "\t.size f, .-f\n"
+                          "\t.type cold1, @function\ncold1:\n"
+                          "\taddl $7, %ebx\n\tret\n"
+                          "\t.size cold1, .-cold1\n"
+                          "\t.type g, @function\ng:\n"
+                          "\tmovl $5, %eax\n\tret\n"
+                          "\t.size g, .-g\n"
+                          "\t.type cold2, @function\ncold2:\n"
+                          "\tret\n"
+                          "\t.size cold2, .-cold2\n";
+  MaoUnit Unit = parseOk(Asm);
+  EXPECT_GE(runPass(Unit, "HOTCOLD"), 1u);
+  std::string Text = emitAssembly(Unit);
+  EXPECT_LT(Text.find("g:"), Text.find("cold1:")) << Text;
+  EXPECT_LT(Text.find("g:"), Text.find("cold2:")) << Text;
+  expectSemanticsPreserved(Asm, "HOTCOLD", {Reg::RAX});
+}
+
+TEST(HOTCOLD, KeepsAlreadyPackedLayout) {
+  // Hot functions first, cold last: nothing is interleaved, so the pass
+  // must not churn the layout (idempotence of the packed form).
+  const std::string Asm = "\t.text\n"
+                          "\t.globl f\n\t.type f, @function\nf:\n"
+                          "\tcall g\n\tret\n"
+                          "\t.size f, .-f\n"
+                          "\t.type g, @function\ng:\n"
+                          "\tmovl $5, %eax\n\tret\n"
+                          "\t.size g, .-g\n"
+                          "\t.type cold1, @function\ncold1:\n"
+                          "\tret\n"
+                          "\t.size cold1, .-cold1\n";
+  MaoUnit Unit = parseOk(Asm);
+  EXPECT_EQ(runPass(Unit, "HOTCOLD"), 0u);
+}
+
 TEST(Options, PaperCommandLineParses) {
   // "--mao=LFIND=trace[0]:ASM=o[/dev/null]" from paper Sec. III-A.
   std::vector<PassRequest> Requests;

@@ -17,12 +17,14 @@
 #include "serve/Protocol.h"
 #include "serve/Serve.h"
 #include "support/FaultInjection.h"
+#include "support/Stats.h"
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <sys/socket.h>
@@ -207,6 +209,81 @@ TEST(ArtifactCache, CorruptEntryQuarantinedAndRecomputable) {
   ASSERT_FALSE(Cache.store(42, sampleEntry()));
   EXPECT_TRUE(Cache.lookup(42, Out));
   EXPECT_EQ(Cache.stats().Entries, 1u);
+}
+
+TEST(ArtifactCache, BudgetEvictsOldestFirst) {
+  TempDir Tmp;
+  ArtifactCache Cache;
+  ASSERT_FALSE(Cache.open(Tmp.path()));
+  for (uint64_t K = 1; K <= 3; ++K)
+    ASSERT_FALSE(Cache.store(K, sampleEntry()));
+  // Identical sections make every entry the same size on disk.
+  const uint64_t One = std::filesystem::file_size(Cache.entryPath(1));
+  // Age the entries deterministically: key 1 is the oldest.
+  const auto Now = std::filesystem::last_write_time(Cache.entryPath(3));
+  std::filesystem::last_write_time(Cache.entryPath(1),
+                                   Now - std::chrono::seconds(20));
+  std::filesystem::last_write_time(Cache.entryPath(2),
+                                   Now - std::chrono::seconds(10));
+  Cache.setByteBudget(3 * One); // Room for exactly three entries.
+  const uint64_t EvictionsBefore =
+      mao::StatsRegistry::instance().counter("serve.cache_evictions").value();
+
+  ASSERT_FALSE(Cache.store(4, sampleEntry())); // Fourth entry: over budget.
+
+  CacheEntry Out;
+  EXPECT_FALSE(fileExists(Cache.entryPath(1))) << "oldest entry not evicted";
+  EXPECT_TRUE(Cache.lookup(2, Out));
+  EXPECT_TRUE(Cache.lookup(3, Out));
+  EXPECT_TRUE(Cache.lookup(4, Out));
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_EQ(Cache.stats().Entries, 3u);
+  EXPECT_EQ(mao::StatsRegistry::instance()
+                .counter("serve.cache_evictions")
+                .value(),
+            EvictionsBefore + 1);
+}
+
+TEST(ArtifactCache, OverBudgetDirectoryIsTrimmedOnOpen) {
+  TempDir Tmp;
+  uint64_t One = 0;
+  {
+    ArtifactCache Writer;
+    ASSERT_FALSE(Writer.open(Tmp.path()));
+    for (uint64_t K = 1; K <= 4; ++K)
+      ASSERT_FALSE(Writer.store(K, sampleEntry()));
+    One = std::filesystem::file_size(Writer.entryPath(1));
+    const auto Now = std::filesystem::last_write_time(Writer.entryPath(4));
+    for (uint64_t K = 1; K <= 3; ++K)
+      std::filesystem::last_write_time(
+          Writer.entryPath(K),
+          Now - std::chrono::seconds(10 * (4 - K)));
+  }
+  // A budget set before open() trims the pre-existing directory.
+  ArtifactCache Cache;
+  Cache.setByteBudget(2 * One);
+  ASSERT_FALSE(Cache.open(Tmp.path()));
+  EXPECT_EQ(Cache.stats().Evictions, 2u);
+  EXPECT_EQ(Cache.stats().Entries, 2u);
+  CacheEntry Out;
+  EXPECT_FALSE(Cache.lookup(1, Out));
+  EXPECT_FALSE(Cache.lookup(2, Out));
+  EXPECT_TRUE(Cache.lookup(3, Out));
+  EXPECT_TRUE(Cache.lookup(4, Out));
+}
+
+TEST(ArtifactCache, ZeroBudgetNeverEvicts) {
+  TempDir Tmp;
+  ArtifactCache Cache;
+  ASSERT_FALSE(Cache.open(Tmp.path()));
+  for (uint64_t K = 1; K <= 8; ++K)
+    ASSERT_FALSE(Cache.store(K, sampleEntry()));
+  EXPECT_EQ(Cache.byteBudget(), 0u);
+  EXPECT_EQ(Cache.stats().Evictions, 0u);
+  EXPECT_EQ(Cache.stats().Entries, 8u);
+  CacheEntry Out;
+  for (uint64_t K = 1; K <= 8; ++K)
+    EXPECT_TRUE(Cache.lookup(K, Out)) << "key " << K;
 }
 
 TEST(ArtifactCache, OpenSweepsStaleTempFiles) {

@@ -222,6 +222,128 @@ TEST(Uarch, NonTemporalFillPreservesHotWays) {
   EXPECT_LT(P2.CpuCycles, P1.CpuCycles);
 }
 
+TEST(Uarch, InstructionFetchCountsArePinned) {
+  // Two passes over a straight-line NOP sled too large for the LSD pin
+  // the I-side counters exactly. Layout (relaxed addresses):
+  //   movl  at   0        -> I-line 0
+  //   .LPASS at 64 after .p2align 6; 64 x nop8 covers lines 1..8
+  //   subl/jne/ret at 576 -> I-line 9
+  // Pass one misses all ten lines; pass two re-fetches lines 1..9 and
+  // hits. Everything lives in code page 0, and every instruction is
+  // line-aligned or line-contained, so exactly one ITLB miss and no
+  // split fetches.
+  std::string S;
+  S += "\tmovl $2, %esi\n";
+  S += "\t.p2align 6\n";
+  S += ".LPASS:\n";
+  for (int I = 0; I < 64; ++I)
+    S += "\tnop8\n";
+  S += "\tsubl $1, %esi\n";
+  S += "\tjne .LPASS\n";
+  S += "\tret\n";
+  MaoUnit Unit = parseOk(wrapFunction(S));
+  PmuCounters Pmu = measure(Unit);
+  EXPECT_EQ(Pmu.L1IMisses, 10u);
+  EXPECT_EQ(Pmu.L1IHits, 9u);
+  EXPECT_EQ(Pmu.ItlbMisses, 1u);
+  EXPECT_EQ(Pmu.LineSplitFetches, 0u);
+  EXPECT_EQ(Pmu.LsdUops, 0u) << "a 33-decode-line loop must not stream";
+}
+
+TEST(Uarch, ItlbCapacityThrashesOnPageScatteredCalls) {
+  // A loop calling 17 page-aligned helpers touches 18 code pages per
+  // iteration: one over the Core-2 model's 16-entry ITLB, so the LRU
+  // array thrashes and every page transition walks. The Opteron model's
+  // 32 entries hold the whole working set after the first iteration.
+  // This is the miniature of examples/layout_hotcold.s that HOTCOLD
+  // exists to fix.
+  std::string S;
+  S += "\t.text\n\t.type f, @function\nf:\n";
+  S += "\tmovl $100, %ecx\n";
+  S += ".LITER:\n";
+  for (int I = 0; I < 17; ++I)
+    S += "\tcall g" + std::to_string(I) + "\n";
+  S += "\tsubl $1, %ecx\n";
+  S += "\tjne .LITER\n";
+  S += "\tret\n";
+  S += "\t.size f, .-f\n";
+  for (int I = 0; I < 17; ++I) {
+    std::string G = "g" + std::to_string(I);
+    S += "\t.p2align 12\n";
+    S += "\t.type " + G + ", @function\n";
+    S += G + ":\n";
+    S += "\tret\n";
+    S += "\t.size " + G + ", .-" + G + "\n";
+  }
+  MaoUnit Hot = parseOk(S);
+  PmuCounters Core2 = measure(Hot);
+  EXPECT_GE(Core2.ItlbMisses, 1700u) << "18 pages must thrash 16 entries";
+  // Page-aligned helpers all map to L1I set 0 on core2 (64 sets): the
+  // same layout also thrashes the 8-way set. Tree pseudo-LRU keeps a few
+  // lines resident under a cyclic sweep (unlike true LRU, which would
+  // miss every access), hence the slightly looser bound.
+  EXPECT_GE(Core2.L1IMisses, 1300u);
+
+  MaoUnit Hot2 = parseOk(S);
+  PmuCounters Opteron = measure(Hot2, ProcessorConfig::opteron());
+  EXPECT_LE(Opteron.ItlbMisses, 40u) << "18 pages fit in 32 entries";
+}
+
+TEST(Uarch, PrefetchHintsSurviveLaterPrefetches) {
+  // Two streaming loads per iteration, both into the hot L1 set. When
+  // both are announced by prefetchnta, both fills must stay non-temporal
+  // and the seven hot lines survive. A single-entry hint latch (the old
+  // bug) would let the second prefetch clobber the first load's hint,
+  // turning it into a hot-way-evicting normal fill — indistinguishable
+  // from not prefetching it at all.
+  auto Program = [](bool PrefetchBoth) {
+    std::string S;
+    S += "\tmovq $0x200000, %rax\n";
+    S += "\tmovl $500, %ecx\n";
+    S += ".LSCAN:\n";
+    S += "\tmovq $0x100000, %rdi\n";
+    // Seven hot lines, stride 4096 so they share L1 set 0.
+    for (int I = 0; I < 7; ++I)
+      S += "\tmovl " + std::to_string(I * 4096) + "(%rdi), %edx\n";
+    if (PrefetchBoth)
+      S += "\tprefetchnta (%rax)\n";
+    S += "\tprefetchnta 4096(%rax)\n";
+    S += "\tmovl (%rax), %edx\n";
+    S += "\tmovl 4096(%rax), %edx\n";
+    S += "\taddq $8192, %rax\n"; // Fresh lines, same set, every time.
+    S += "\tsubl $1, %ecx\n";
+    S += "\tjne .LSCAN\n";
+    S += "\tret\n";
+    return wrapFunction(S);
+  };
+  MaoUnit Both = parseOk(Program(true));
+  MaoUnit OnlyLast = parseOk(Program(false));
+  PmuCounters B = measure(Both);
+  PmuCounters L = measure(OnlyLast);
+  EXPECT_LT(B.L1Misses, L.L1Misses);
+  EXPECT_LT(B.CpuCycles, L.CpuCycles);
+}
+
+TEST(Uarch, PortCountBoundsThroughput) {
+  // The dispatch loop must honour ProcessorConfig::NumPorts (it used to
+  // iterate a hardcoded six): the same machine narrowed to one port
+  // serializes six independent adds and must be strictly slower.
+  std::string Body;
+  static const char *Regs[] = {"eax", "ebx", "edx", "esi", "edi", "r8d"};
+  for (const char *R : Regs)
+    Body += std::string("\taddl $1, %") + R + "\n";
+  MaoUnit Wide = parseOk(wrapFunction(countedLoop(0, 1000, Body)));
+  MaoUnit Narrow = parseOk(wrapFunction(countedLoop(0, 1000, Body)));
+  ProcessorConfig OnePort = ProcessorConfig::core2();
+  OnePort.NumPorts = 1;
+  PmuCounters W = measure(Wide);
+  PmuCounters N = measure(Narrow, OnePort);
+  EXPECT_LT(W.CpuCycles, N.CpuCycles);
+  // One port issues at most one uop per cycle, so the narrow machine
+  // needs at least one cycle per retired instruction.
+  EXPECT_GE(N.CpuCycles, N.InstRetired);
+}
+
 TEST(Uarch, RetireWidthBoundsIpc) {
   // IPC can never exceed the retire width.
   // Registers distinct from the %ecx loop counter.
